@@ -1,0 +1,298 @@
+//! Experiment drivers for the §IV-A micro-benchmark.
+//!
+//! A [`MicrobenchSpec`] describes one benchmark scenario (platform, process
+//! count, operation, message length, compute time, progress-call count);
+//! [`MicrobenchSpec::run`] executes it under a chosen selection logic, and
+//! [`MicrobenchSpec::run_all_fixed`] produces the per-implementation
+//! reference data the paper calls the *verification runs*.
+
+use adcl::filter::FilterKind;
+use adcl::function::FunctionSet;
+use adcl::microbench::{Imbalance, MicroBenchConfig, MicroBenchScript};
+use adcl::runner::{Runner, Script};
+use adcl::runner::TuningSession;
+use adcl::strategy::SelectionLogic;
+use adcl::tuner::TunerConfig;
+use mpisim::{NoiseConfig, World};
+use nbc::schedule::CollSpec;
+use netmodel::{Placement, Platform};
+use simcore::SimTime;
+
+/// Which collective the benchmark exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Non-blocking all-to-all (3 implementations).
+    Ialltoall,
+    /// Non-blocking all-to-all, extended with blocking variants (6).
+    IalltoallExtended,
+    /// Non-blocking broadcast (21 implementations).
+    Ibcast,
+    /// Non-blocking all-gather (3 implementations).
+    Iallgather,
+    /// Non-blocking reduce (3 implementations).
+    Ireduce,
+    /// Non-blocking all-reduce (3 implementations).
+    Iallreduce,
+    /// Non-blocking gather (2 implementations).
+    Igather,
+    /// Non-blocking scatter (2 implementations).
+    Iscatter,
+}
+
+impl CollectiveOp {
+    /// Operation name for reports and history keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveOp::Ialltoall => "ialltoall",
+            CollectiveOp::IalltoallExtended => "ialltoall-ext",
+            CollectiveOp::Ibcast => "ibcast",
+            CollectiveOp::Iallgather => "iallgather",
+            CollectiveOp::Ireduce => "ireduce",
+            CollectiveOp::Iallreduce => "iallreduce",
+            CollectiveOp::Igather => "igather",
+            CollectiveOp::Iscatter => "iscatter",
+        }
+    }
+
+    /// Build the default function-set for this operation.
+    pub fn fnset(self, spec: CollSpec) -> FunctionSet {
+        match self {
+            CollectiveOp::Ialltoall => FunctionSet::ialltoall_default(spec),
+            CollectiveOp::IalltoallExtended => FunctionSet::ialltoall_extended(spec),
+            CollectiveOp::Ibcast => FunctionSet::ibcast_default(spec),
+            CollectiveOp::Iallgather => FunctionSet::iallgather_default(spec),
+            CollectiveOp::Ireduce => FunctionSet::ireduce_default(spec),
+            CollectiveOp::Iallreduce => FunctionSet::iallreduce_default(spec),
+            CollectiveOp::Igather => FunctionSet::igather_default(spec),
+            CollectiveOp::Iscatter => FunctionSet::iscatter_default(spec),
+        }
+    }
+}
+
+/// One micro-benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct MicrobenchSpec {
+    /// The simulated machine.
+    pub platform: Platform,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// The collective under test.
+    pub op: CollectiveOp,
+    /// Message size (full payload for bcast/reduce; per-pair block for
+    /// alltoall/allgather — the paper's convention).
+    pub msg_bytes: usize,
+    /// Benchmark loop iterations.
+    pub iters: usize,
+    /// Total compute time across the loop (the paper uses 10–100 s).
+    pub compute_total: SimTime,
+    /// Progress calls per iteration.
+    pub num_progress: usize,
+    /// Compute-noise model.
+    pub noise: NoiseConfig,
+    /// Measurements per implementation during learning.
+    pub reps: usize,
+    /// Rank placement policy (`Block` fills nodes first; `RoundRobin`
+    /// scatters one rank per node, maximizing network traffic).
+    pub placement: Placement,
+    /// Systematic load imbalance across ranks (process arrival patterns).
+    pub imbalance: Imbalance,
+}
+
+/// Result of one micro-benchmark run.
+#[derive(Debug, Clone)]
+pub struct MicrobenchOutcome {
+    /// Total measured loop time in seconds (the paper's y-axis).
+    pub total: f64,
+    /// Loop time excluding the learning phase.
+    pub post_learning: f64,
+    /// Name of the winning implementation, if the logic converged.
+    pub winner: Option<String>,
+    /// Iteration at which learning finished.
+    pub converged_at: Option<usize>,
+    /// Per-iteration times.
+    pub history: Vec<f64>,
+    /// Name of the strategy used.
+    pub strategy: &'static str,
+    /// Aggregate time accounting across ranks (compute / library /
+    /// blocked) — `blocked + library` is the exposed communication cost.
+    pub accounting: mpisim::RankAccounting,
+}
+
+impl MicrobenchSpec {
+    /// The collective-operation parameters implied by this spec.
+    pub fn coll_spec(&self) -> CollSpec {
+        CollSpec::new(self.nprocs, self.msg_bytes)
+    }
+
+    /// Benchmark-loop parameters.
+    pub fn bench_config(&self) -> MicroBenchConfig {
+        MicroBenchConfig {
+            iters: self.iters,
+            compute_total: self.compute_total,
+            num_progress: self.num_progress,
+        }
+    }
+
+    /// Run the benchmark under `logic`.
+    pub fn run(&self, logic: SelectionLogic) -> MicrobenchOutcome {
+        let fnset = self.op.fnset(self.coll_spec());
+        self.run_with_fnset(fnset, logic)
+    }
+
+    /// Run the benchmark with an explicit function-set (e.g. a pinned
+    /// baseline).
+    pub fn run_with_fnset(&self, fnset: FunctionSet, logic: SelectionLogic) -> MicrobenchOutcome {
+        let mut world = World::new(self.platform.clone(), self.nprocs, self.placement, self.noise);
+        let mut session = TuningSession::new(self.nprocs);
+        let op = session.add_op(
+            self.op.name(),
+            fnset,
+            TunerConfig {
+                logic,
+                reps: self.reps,
+                warmup: 1,
+                filter: FilterKind::default(),
+            },
+        );
+        let timer = session.add_timer(vec![op]);
+        let scripts: Vec<Box<dyn Script>> = MicroBenchScript::per_rank_imbalanced(
+            self.bench_config(),
+            op,
+            timer,
+            self.nprocs,
+            self.imbalance,
+        );
+        let mut runner = Runner::new(session, scripts);
+        world.run(&mut runner).expect("microbenchmark deadlocked");
+        let accounting = world.accounting_total();
+        let s = runner.session;
+        let tuner = &s.ops[op].tuner;
+        let converged = tuner.converged_at();
+        MicrobenchOutcome {
+            total: s.timers[timer].total(),
+            post_learning: s.timers[timer].total_from(converged.unwrap_or(0)),
+            winner: tuner
+                .winner()
+                .map(|w| s.ops[op].fnset.functions[w].name.clone()),
+            converged_at: converged,
+            history: s.timers[timer].history().to_vec(),
+            strategy: tuner.strategy_name(),
+            accounting,
+        }
+    }
+
+    /// The verification runs: execute every implementation of the
+    /// function-set with the selection logic bypassed. Returns
+    /// `(name, total_seconds)` per implementation, in function-set order.
+    pub fn run_all_fixed(&self) -> Vec<(String, f64)> {
+        let fnset = self.op.fnset(self.coll_spec());
+        (0..fnset.len())
+            .map(|i| {
+                let out = self.run(SelectionLogic::Fixed(i));
+                (fnset.functions[i].name.clone(), out.total)
+            })
+            .collect()
+    }
+
+    /// The implementation a fully informed oracle would pick: the name and
+    /// total time of the fastest fixed run.
+    pub fn oracle(&self) -> (String, f64) {
+        self.run_all_fixed()
+            .into_iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN time"))
+            .expect("nonempty function set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MicrobenchSpec {
+        MicrobenchSpec {
+            platform: Platform::whale(),
+            nprocs: 8,
+            op: CollectiveOp::Ialltoall,
+            msg_bytes: 1024,
+            iters: 15,
+            compute_total: SimTime::from_millis(15),
+            num_progress: 4,
+            noise: NoiseConfig::none(),
+            reps: 3,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        }
+    }
+
+    #[test]
+    fn tuned_run_converges() {
+        let out = spec().run(SelectionLogic::BruteForce);
+        assert!(out.winner.is_some());
+        assert_eq!(out.history.len(), 15);
+        assert!(out.total >= 15e-3, "cannot beat the compute floor");
+        assert!(out.post_learning <= out.total);
+    }
+
+    #[test]
+    fn accounting_reported() {
+        let out = spec().run(SelectionLogic::Fixed(0));
+        // 8 ranks x 15 ms of compute each.
+        assert!(out.accounting.compute >= SimTime::from_millis(8 * 15));
+        assert!(out.accounting.library > SimTime::ZERO);
+        assert!(out.accounting.exposed_fraction() < 0.5);
+    }
+
+    #[test]
+    fn fixed_runs_cover_all_functions() {
+        let rows = spec().run_all_fixed();
+        assert_eq!(rows.len(), 3);
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["linear", "pairwise", "dissemination"]);
+        assert!(rows.iter().all(|(_, t)| *t > 0.0));
+    }
+
+    #[test]
+    fn adcl_close_to_oracle_after_learning() {
+        let s = spec();
+        let tuned = s.run(SelectionLogic::BruteForce);
+        let (oracle_name, oracle_total) = s.oracle();
+        // ADCL pays the learning phase, so compare steady-state rates: its
+        // post-learning per-iteration cost should be within 10% of the
+        // oracle's per-iteration cost.
+        let learn = tuned.converged_at.unwrap();
+        let tuned_rate = tuned.post_learning / (s.iters - learn) as f64;
+        let oracle_rate = oracle_total / s.iters as f64;
+        assert!(
+            tuned_rate <= oracle_rate * 1.10,
+            "tuned {tuned_rate} vs oracle {oracle_rate} ({oracle_name})"
+        );
+    }
+
+    #[test]
+    fn all_ops_run() {
+        for op in [
+            CollectiveOp::Ialltoall,
+            CollectiveOp::IalltoallExtended,
+            CollectiveOp::Iallgather,
+            CollectiveOp::Ireduce,
+            CollectiveOp::Iallreduce,
+            CollectiveOp::Igather,
+            CollectiveOp::Iscatter,
+        ] {
+            let mut s = spec();
+            s.op = op;
+            s.iters = 8;
+            s.reps = 1;
+            let out = s.run(SelectionLogic::BruteForce);
+            assert_eq!(out.history.len(), 8, "{:?}", op);
+        }
+        // Ibcast has 21 functions; use heuristic with few reps.
+        let mut s = spec();
+        s.op = CollectiveOp::Ibcast;
+        s.msg_bytes = 64 * 1024;
+        s.iters = 25;
+        s.reps = 2;
+        let out = s.run(SelectionLogic::AttributeHeuristic);
+        assert!(out.winner.is_some(), "heuristic should finish in 20 iters");
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for schedule construction and simulated
+//! collective execution across algorithms and scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbc::alltoall::{build_alltoall, AlltoallAlgo};
+use nbc::bcast::{build_bcast, BcastAlgo};
+use nbc::schedule::CollSpec;
+use std::hint::black_box;
+
+use adcl::function::FunctionSet;
+use adcl::microbench::{MicroBenchConfig, MicroBenchScript};
+use adcl::runner::{Runner, Script, TuningSession};
+use adcl::strategy::SelectionLogic;
+use adcl::tuner::TunerConfig;
+use mpisim::{NoiseConfig, World};
+use netmodel::{Placement, Platform};
+use simcore::SimTime;
+
+fn bench_schedule_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_build");
+    for p in [64usize, 1024] {
+        let spec = CollSpec::new(p, 128 * 1024);
+        g.bench_with_input(BenchmarkId::new("alltoall_all", p), &p, |b, _| {
+            b.iter(|| {
+                for algo in AlltoallAlgo::all() {
+                    black_box(build_alltoall(algo, p / 2, &spec));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bcast_binomial_seg32k", p), &p, |b, _| {
+            let spec = CollSpec::new(p, 2 * 1024 * 1024);
+            b.iter(|| black_box(build_bcast(BcastAlgo::Binomial, 32 * 1024, p / 2, &spec)))
+        });
+    }
+    g.finish();
+}
+
+/// One full simulated micro-benchmark loop (the unit of every figure).
+fn run_loop(platform: Platform, nprocs: usize, msg: usize, iters: usize) -> f64 {
+    let mut world = World::new(platform, nprocs, Placement::Block, NoiseConfig::none());
+    let mut session = TuningSession::new(nprocs);
+    let fnset = FunctionSet::ialltoall_default(CollSpec::new(nprocs, msg));
+    let op = session.add_op(
+        "ialltoall",
+        fnset,
+        TunerConfig {
+            logic: SelectionLogic::Fixed(0),
+            reps: 1,
+            warmup: 0,
+            filter: Default::default(),
+        },
+    );
+    let timer = session.add_timer(vec![op]);
+    let cfg = MicroBenchConfig {
+        iters,
+        compute_total: SimTime::from_millis(iters as u64),
+        num_progress: 5,
+    };
+    let scripts: Vec<Box<dyn Script>> = MicroBenchScript::per_rank(cfg, op, timer, nprocs);
+    let mut runner = Runner::new(session, scripts);
+    world.run(&mut runner).expect("no deadlock");
+    runner.session.timers[timer].total()
+}
+
+fn bench_simulated_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_loop");
+    g.sample_size(10);
+    for (p, msg) in [(16usize, 1024usize), (64, 1024), (16, 128 * 1024)] {
+        g.bench_with_input(
+            BenchmarkId::new("whale_linear", format!("p{p}_m{msg}")),
+            &(p, msg),
+            |b, &(p, msg)| b.iter(|| black_box(run_loop(Platform::whale(), p, msg, 5))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_builders, bench_simulated_collectives);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the simulation substrate: event queue,
+//! contention resources, and the point-to-point layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::{NoiseConfig, RankBehavior, RankId, Step, Tag, World};
+use netmodel::{Placement, Platform};
+use simcore::{EventQueue, FifoResource, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n as u64 {
+                    // Pseudo-random but monotone-safe times.
+                    q.push(SimTime::from_nanos(i ^ (((i << 7) % 1_000_000) + i)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fifo_resource(c: &mut Criterion) {
+    c.bench_function("fifo_resource_submit_100k", |b| {
+        b.iter(|| {
+            let mut r = FifoResource::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..100_000u64 {
+                t += SimTime::from_nanos(i % 97);
+                black_box(r.submit(t, SimTime::from_nanos(50)));
+            }
+            r.next_free()
+        })
+    });
+}
+
+/// A ring exchange driven end-to-end through the world.
+struct Ring {
+    bytes: usize,
+    state: Vec<u8>,
+    sends: Vec<Option<mpisim::SendHandle>>,
+    recvs: Vec<Option<mpisim::RecvHandle>>,
+}
+
+impl RankBehavior for Ring {
+    fn step(&mut self, w: &mut World, r: RankId) -> Step {
+        let n = w.nranks();
+        match self.state[r] {
+            0 => {
+                self.state[r] = 1;
+                let now = w.rank_now(r);
+                let s = w.isend(r, (r + 1) % n, Tag(0), self.bytes, now);
+                let rv = w.irecv(r, (r + n - 1) % n, Tag(0), self.bytes, now);
+                self.sends[r] = Some(s);
+                self.recvs[r] = Some(rv);
+                Step::Busy(SimTime::from_nanos(100))
+            }
+            _ => {
+                let now = w.rank_now(r);
+                w.poll(r, now);
+                if w.send_done(self.sends[r].unwrap(), now) && w.recv_done(self.recvs[r].unwrap(), now)
+                {
+                    Step::Done
+                } else {
+                    Step::Block
+                }
+            }
+        }
+    }
+}
+
+fn bench_p2p_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_ring");
+    g.sample_size(20);
+    for nranks in [16usize, 128] {
+        g.bench_with_input(BenchmarkId::new("whale", nranks), &nranks, |b, &n| {
+            b.iter(|| {
+                let mut w = World::new(Platform::whale(), n, Placement::Block, NoiseConfig::none());
+                let mut ring = Ring {
+                    bytes: 4096,
+                    state: vec![0; n],
+                    sends: vec![None; n],
+                    recvs: vec![None; n],
+                };
+                w.run(&mut ring).expect("ring completes")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_fifo_resource, bench_p2p_ring);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Ablation — co-tuning multiple operations under one timer (the paper's
+//! §V future-work item, implemented here).
+//!
+//! An application section contains *two* collectives (an all-to-all and an
+//! all-gather). A single ADCL timer brackets the section; the runtime
+//! tunes one operation at a time while the other stays frozen at its
+//! current best (coordinate descent). Compared against (a) the
+//! LibNBC-style fixed baseline and (b) the per-operation oracle.
+
+use autonbc::prelude::*;
+use bench::{banner, fmt_secs, Args, Table};
+
+struct Outcome {
+    total: f64,
+    winners: Vec<String>,
+}
+
+fn run(p: usize, iters: usize, msg: usize, logic_a: SelectionLogic, logic_b: SelectionLogic) -> Outcome {
+    let mut world = World::new(Platform::whale(), p, Placement::Block, NoiseConfig::none());
+    let mut session = TuningSession::new(p);
+    let cfg = |logic| TunerConfig {
+        logic,
+        reps: 4,
+        warmup: 1,
+        filter: FilterKind::default(),
+    };
+    let op_a = session.add_op(
+        "ialltoall",
+        FunctionSet::ialltoall_default(CollSpec::new(p, msg)),
+        cfg(logic_a),
+    );
+    let op_b = session.add_op(
+        "iallgather",
+        FunctionSet::iallgather_default(CollSpec::new(p, msg)),
+        cfg(logic_b),
+    );
+    let timer = session.add_timer(vec![op_a, op_b]);
+    let compute = SimTime::from_millis(2);
+    let mk = || {
+        let mut v = Vec::new();
+        for _ in 0..iters {
+            v.push(Instr::TimerStart(timer));
+            v.push(Instr::Start { op: op_a, slot: 0 });
+            v.push(Instr::Compute(compute));
+            v.push(Instr::Progress { op: op_a });
+            v.push(Instr::Wait { op: op_a, slot: 0 });
+            v.push(Instr::Start { op: op_b, slot: 0 });
+            v.push(Instr::Compute(compute));
+            v.push(Instr::Progress { op: op_b });
+            v.push(Instr::Wait { op: op_b, slot: 0 });
+            v.push(Instr::TimerStop(timer));
+        }
+        v
+    };
+    let scripts = VecScript::boxed((0..p).map(|_| mk()).collect());
+    let mut runner = Runner::new(session, scripts);
+    world.run(&mut runner).expect("co-tuning deadlocked");
+    let s = runner.session;
+    let winners = [op_a, op_b]
+        .iter()
+        .map(|&op| {
+            s.ops[op]
+                .tuner
+                .winner()
+                .map(|w| s.ops[op].fnset.functions[w].name.clone())
+                .unwrap_or_else(|| "?".into())
+        })
+        .collect();
+    Outcome {
+        total: s.timers[timer].total(),
+        winners,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Ablation",
+        "co-tuning two collectives under one timer (coordinate descent)",
+    );
+    let p = args.pick(16, 64);
+    let iters = args.pick(50, 300);
+    let msg = 64 * 1024;
+
+    println!();
+    println!("section = Ialltoall + compute + Iallgather, {p} procs, 64 KiB, whale");
+    let mut t = Table::new(&["configuration", "total", "alltoall impl", "allgather impl"]);
+
+    // LibNBC-style: both fixed at linear.
+    let fixed = run(p, iters, msg, SelectionLogic::Fixed(0), SelectionLogic::Fixed(0));
+    t.row(vec![
+        "fixed linear+linear".into(),
+        fmt_secs(fixed.total),
+        "linear".into(),
+        "linear".into(),
+    ]);
+
+    // Co-tuned: both brute force under the shared timer.
+    let co = run(p, iters, msg, SelectionLogic::BruteForce, SelectionLogic::BruteForce);
+    t.row(vec![
+        "co-tuned (ADCL)".into(),
+        fmt_secs(co.total),
+        co.winners[0].clone(),
+        co.winners[1].clone(),
+    ]);
+
+    // Oracle: best fixed combination, found by exhaustive search.
+    let mut best = (f64::INFINITY, 0usize, 0usize);
+    for a in 0..3 {
+        for b in 0..3 {
+            let o = run(p, iters, msg, SelectionLogic::Fixed(a), SelectionLogic::Fixed(b));
+            if o.total < best.0 {
+                best = (o.total, a, b);
+            }
+        }
+    }
+    let names = ["linear", "pairwise/ring", "dissemination/bruck"];
+    t.row(vec![
+        "oracle combination".into(),
+        fmt_secs(best.0),
+        names[best.1].into(),
+        names[best.2].into(),
+    ]);
+
+    println!();
+    t.print();
+    println!();
+    println!("expected: the co-tuned run converges near the oracle combination,");
+    println!("paying one learning phase per operation (sequentially, so the");
+    println!("measured section always has exactly one experimental variable).");
+}

@@ -1,0 +1,79 @@
+//! Ablation — historic learning (§IV-B's "interesting aspect").
+//!
+//! ADCL can transfer tuning decisions across executions of an application:
+//! a second run that finds its scenario in the history store pins the
+//! stored winner and pays no learning cost. This ablation measures the
+//! saving for several scenarios: first execution (full learning) vs second
+//! execution (history hit), with the never-tuned LibNBC-style baseline for
+//! context.
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use bench::{banner, fmt_secs, Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Ablation",
+        "historic learning: first execution vs history-assisted re-run",
+    );
+    let p = args.pick(16, 64);
+    let iters = args.pick(30, 300);
+    let mut store = HistoryStore::new();
+
+    let mut t = Table::new(&[
+        "scenario",
+        "1st run (learning)",
+        "2nd run (history)",
+        "saving",
+        "stored winner",
+    ]);
+    for (msg, compute_ms) in [(1024usize, 60u64), (32 * 1024, 120), (256 * 1024, 400)] {
+        let spec = MicrobenchSpec {
+            platform: Platform::whale(),
+            nprocs: p,
+            op: CollectiveOp::Ialltoall,
+            msg_bytes: msg,
+            iters,
+            compute_total: SimTime::from_millis(compute_ms),
+            num_progress: 5,
+            noise: NoiseConfig::light(msg as u64),
+            reps: 4,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        };
+        // First execution: learn, then store the decision.
+        let first = spec.run(SelectionLogic::BruteForce);
+        let winner = first.winner.clone().expect("converged");
+        let key = HistoryKey {
+            op: spec.op.name().into(),
+            platform: spec.platform.name.clone(),
+            nprocs: spec.nprocs,
+            msg_bytes: spec.msg_bytes,
+        };
+        store.put(key.clone(), &winner, first.post_learning / iters as f64);
+        // Second execution: round-trip the store through its file format
+        // and pin the stored winner (Tuner::with_known_winner's fast path).
+        let reloaded = HistoryStore::from_string_repr(&store.to_string_repr());
+        let stored = reloaded.get(&key).expect("hit").winner.clone();
+        let fnset = spec.op.fnset(spec.coll_spec());
+        let idx = fnset.index_of(&stored).expect("stored function exists");
+        let second = spec.run(SelectionLogic::Fixed(idx));
+        t.row(vec![
+            format!("{} B, {} ms compute", msg, compute_ms),
+            fmt_secs(first.total),
+            fmt_secs(second.total),
+            format!("{:+.1}%", (1.0 - second.total / first.total) * 100.0),
+            stored,
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!(
+        "history store round-trips {} decision(s) through its text format;",
+        store.len()
+    );
+    println!("the saving equals the learning-phase overhead, which matters most for");
+    println!("short-running jobs (the paper's motivation for historic learning).");
+}

@@ -1,0 +1,63 @@
+//! Ablation — the eager/rendezvous threshold and the progress problem.
+//!
+//! The paper's central difficulty is that large (rendezvous) messages do
+//! not progress without entering the MPI library. This ablation sweeps
+//! the eager threshold of the whale InfiniBand transport across the
+//! benchmark's message size and shows overlap appearing/disappearing:
+//! with the message below the threshold (eager) one progress call
+//! suffices; above it (rendezvous) the loop time grows unless progress
+//! calls are added.
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use bench::{banner, fmt_secs, Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Ablation",
+        "eager/rendezvous threshold vs overlap (Ialltoall, 64 KiB messages)",
+    );
+    let p = args.pick(16, 32);
+    let msg = 64 * 1024;
+    let iters = args.pick(20, 200);
+
+    println!();
+    println!("{p} processes, {} KiB per pair, linear algorithm", msg / 1024);
+    let mut t = Table::new(&["eager threshold", "1 progress call", "20 progress calls", "ratio"]);
+    for threshold in [4 * 1024usize, 16 * 1024, 64 * 1024, 256 * 1024] {
+        let mut platform = Platform::whale();
+        platform.inter.eager_threshold = threshold;
+        let mk = |num_progress| MicrobenchSpec {
+            platform: platform.clone(),
+            nprocs: p,
+            op: CollectiveOp::Ialltoall,
+            msg_bytes: msg,
+            iters,
+            compute_total: SimTime::from_millis(4 * iters as u64),
+            num_progress,
+            noise: NoiseConfig::none(),
+            reps: 1,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        };
+        let one = mk(1).run(SelectionLogic::Fixed(0)).total;
+        let many = mk(20).run(SelectionLogic::Fixed(0)).total;
+        t.row(vec![
+            format!(
+                "{} KiB ({})",
+                threshold / 1024,
+                if msg <= threshold { "eager" } else { "rendezvous" }
+            ),
+            fmt_secs(one),
+            fmt_secs(many),
+            format!("{:.2}x", one / many),
+        ]);
+    }
+    println!();
+    t.print();
+    println!();
+    println!("expected: below the threshold (eager) the single-progress-call run");
+    println!("already overlaps; above it (rendezvous) it pays a large penalty that");
+    println!("additional progress calls recover.");
+}

@@ -1,0 +1,44 @@
+//! Fig. 2 — Ialltoall verification runs.
+//!
+//! Paper setup: 128 KiB message length per process pair, 50 s compute,
+//! 32/128 processes on whale and 32/128/256 on crill; each implementation
+//! run with the selection logic bypassed, then ADCL with brute force and
+//! the attribute heuristic, for several progress-call counts.
+//!
+//! Expected shape: ADCL (both logics) lands on (or within a few percent
+//! of) the fastest fixed implementation; its total is slightly above the
+//! winner's because of the learning phase.
+
+use bench::{banner, base_spec, verification_table, Args};
+use netmodel::Platform;
+use simcore::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Fig. 2",
+        "Ialltoall verification runs (128 KiB, per-impl vs ADCL)",
+    );
+    let whale_procs = args.pick(vec![16, 32], vec![32, 128]);
+    let crill_procs = args.pick(vec![16, 32], vec![32, 128, 256]);
+    let compute = args.pick(SimTime::from_millis(300), SimTime::from_secs(50));
+    let iters = args.pick(30, 1000);
+
+    for (platform, procs) in [
+        (Platform::whale(), whale_procs),
+        (Platform::crill(), crill_procs),
+    ] {
+        for &p in &procs {
+            for num_progress in [5usize, 10] {
+                let mut spec = base_spec(platform.clone(), p, 128 * 1024);
+                spec.compute_total = compute;
+                spec.iters = iters;
+                spec.num_progress = num_progress;
+                verification_table(
+                    &spec,
+                    &format!("{} p={p} progress={num_progress}", platform.name),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 3 — Influence of the network characteristics.
+//!
+//! Paper setup: Ialltoall with 32 processes, 128 KiB per process pair,
+//! 50 s compute, 5 progress calls; whale over InfiniBand vs whale over
+//! Gigabit Ethernet.
+//!
+//! Expected shape: the linear algorithm is among the best on InfiniBand
+//! but is the worst choice on whale-tcp (incast collapse), so the best
+//! implementation differs between the two networks.
+
+use bench::{banner, base_spec, fmt_secs, Args, Table};
+use netmodel::Platform;
+use simcore::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    banner("Fig. 3", "Ialltoall: whale (InfiniBand) vs whale-tcp (GigE)");
+    let p = args.pick(16, 32);
+    let iters = args.pick(20, 1000);
+
+    let mut ib = base_spec(Platform::whale(), p, 128 * 1024);
+    ib.iters = iters;
+    ib.num_progress = 5;
+    ib.compute_total = args.pick(SimTime::from_millis(400), SimTime::from_secs(50));
+    let mut tcp = ib.clone();
+    tcp.platform = Platform::whale_tcp();
+    // TCP communication is an order of magnitude slower; scale compute so
+    // overlap is at least possible (the paper's 50 s total plays the same
+    // role at full scale).
+    tcp.compute_total = args.pick(SimTime::from_secs(4), SimTime::from_secs(50));
+
+    println!();
+    println!(
+        "{} processes, 128 KiB per pair, 5 progress calls, {} iterations",
+        p, iters
+    );
+    let ib_rows = ib.run_all_fixed();
+    let tcp_rows = tcp.run_all_fixed();
+    let mut t = Table::new(&["implementation", "whale (IB)", "whale-tcp", "IB rank", "TCP rank"]);
+    let rank_of = |rows: &[(String, f64)], name: &str| {
+        let mut sorted: Vec<&(String, f64)> = rows.iter().collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        sorted.iter().position(|(n, _)| n == name).unwrap() + 1
+    };
+    for (name, ib_t) in &ib_rows {
+        let tcp_t = tcp_rows.iter().find(|(n, _)| n == name).unwrap().1;
+        t.row(vec![
+            name.clone(),
+            fmt_secs(*ib_t),
+            fmt_secs(tcp_t),
+            format!("#{}", rank_of(&ib_rows, name)),
+            format!("#{}", rank_of(&tcp_rows, name)),
+        ]);
+    }
+    t.print();
+    println!();
+    let best = |rows: &[(String, f64)]| {
+        rows.iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone()
+    };
+    println!(
+        "best implementation: IB = {}, TCP = {} (paper: linear good on IB, worst on TCP)",
+        best(&ib_rows),
+        best(&tcp_rows)
+    );
+}

@@ -1,0 +1,70 @@
+//! Fig. 4 — Influence of the communication volume.
+//!
+//! Paper setup: Ialltoall on crill with 256 processes, 10 s compute,
+//! 5 progress calls, at 1 KiB and at 128 KiB per process pair.
+//!
+//! Expected shape: the dissemination algorithm is the best choice at
+//! 1 KiB (latency-bound, fewest messages) but the worst at 128 KiB
+//! (it moves (p/2)·log₂(p)·s bytes); linear and pairwise are poor at 1 KiB
+//! and strong at 128 KiB.
+
+use bench::{banner, base_spec, fmt_secs, Args, Table};
+use netmodel::Platform;
+use simcore::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    banner("Fig. 4", "Ialltoall on crill: 1 KiB vs 128 KiB per pair");
+    // The message-size crossover needs crill's real topology in play:
+    // with 48 cores per node, 192+ processes span several nodes and the
+    // dissemination algorithm's neighbour exchanges stay intra-node.
+    let p = args.pick(192, 256);
+    let iters = args.pick(12, 1000);
+
+    let mut small = base_spec(Platform::crill(), p, 1024);
+    small.iters = iters;
+    small.compute_total = args.pick(SimTime::from_millis(120), SimTime::from_secs(10));
+    let mut large = small.clone();
+    large.msg_bytes = 128 * 1024;
+    large.compute_total = args.pick(SimTime::from_millis(360), SimTime::from_secs(10));
+
+    println!();
+    println!("{p} processes, 5 progress calls, {iters} iterations");
+    let s_rows = small.run_all_fixed();
+    let l_rows = large.run_all_fixed();
+    let mut t = Table::new(&["implementation", "1 KiB", "128 KiB"]);
+    for (name, st) in &s_rows {
+        let lt = l_rows.iter().find(|(n, _)| n == name).unwrap().1;
+        t.row(vec![name.clone(), fmt_secs(*st), fmt_secs(lt)]);
+    }
+    t.print();
+
+    let best = |rows: &[(String, f64)]| {
+        rows.iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone()
+    };
+    let worst = |rows: &[(String, f64)]| {
+        rows.iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone()
+    };
+    println!();
+    println!(
+        "1 KiB : best = {:<14} worst = {}",
+        best(&s_rows),
+        worst(&s_rows)
+    );
+    println!(
+        "128 KiB: best = {:<14} worst = {}",
+        best(&l_rows),
+        worst(&l_rows)
+    );
+    println!();
+    println!("paper: dissemination best at 1 KiB and worst at 128 KiB; linear and");
+    println!("pairwise poor at 1 KiB and strong at 128 KiB.");
+}

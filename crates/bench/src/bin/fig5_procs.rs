@@ -1,0 +1,60 @@
+//! Fig. 5 — Influence of the number of processes.
+//!
+//! Paper setup: Ialltoall on whale, 1 KiB per process pair, 10 s compute,
+//! 100 progress calls, with 32 vs 128 processes.
+//!
+//! Expected shape: the ranking flips with scale — the dissemination
+//! algorithm does well at the smaller process count and poorly at the
+//! larger one, while linear/pairwise behave the other way around (their
+//! aggregate Bruck volume grows as (p/2)·log₂ p while per-message
+//! overheads amortize).
+
+use bench::{banner, base_spec, fmt_secs, Args, Table};
+use netmodel::Platform;
+use simcore::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    banner("Fig. 5", "Ialltoall on whale, 1 KiB: 32 vs 128 processes");
+    let (p_small, p_large) = args.pick((16, 64), (32, 128));
+    let iters = args.pick(40, 10_000);
+
+    let mut small = base_spec(Platform::whale(), p_small, 1024);
+    small.iters = iters;
+    small.num_progress = 100;
+    small.compute_total = args.pick(SimTime::from_millis(400), SimTime::from_secs(10));
+    let mut large = small.clone();
+    large.nprocs = p_large;
+
+    println!();
+    println!("1 KiB per pair, 100 progress calls, {iters} iterations");
+    let s_rows = small.run_all_fixed();
+    let l_rows = large.run_all_fixed();
+    let mut t = Table::new(&[
+        "implementation",
+        &format!("p={p_small}"),
+        &format!("p={p_large}"),
+    ]);
+    for (name, st) in &s_rows {
+        let lt = l_rows.iter().find(|(n, _)| n == name).unwrap().1;
+        t.row(vec![name.clone(), fmt_secs(*st), fmt_secs(lt)]);
+    }
+    t.print();
+
+    let best = |rows: &[(String, f64)]| {
+        rows.iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone()
+    };
+    println!();
+    println!(
+        "best at p={p_small}: {}   best at p={p_large}: {}",
+        best(&s_rows),
+        best(&l_rows)
+    );
+    println!();
+    println!("paper: dissemination good at 32 procs, poor at 128; linear/pairwise");
+    println!("poor at 32, very good at 128 on this platform.");
+}

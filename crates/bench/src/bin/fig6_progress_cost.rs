@@ -1,0 +1,51 @@
+//! Fig. 6 — Too many progress calls reduce performance.
+//!
+//! Paper setup: Ibcast on whale, 32 processes, 1 KiB message, 50 s
+//! compute; execution time of the micro-benchmark as the number of
+//! progress calls per iteration increases.
+//!
+//! Expected shape: the loop time is flat (fully overlapped) for small
+//! progress-call counts, then *rises* as each additional call adds
+//! progress-engine overhead without improving overlap.
+
+use autonbc::driver::CollectiveOp;
+use autonbc::prelude::*;
+use bench::{banner, base_spec, fmt_secs, Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    banner("Fig. 6", "Ibcast on whale: execution time vs progress calls");
+    let p = args.pick(16, 32);
+    let iters = args.pick(200, 10_000);
+
+    let mut spec = base_spec(Platform::whale(), p, 1024);
+    spec.op = CollectiveOp::Ibcast;
+    spec.iters = iters;
+    spec.compute_total = args.pick(SimTime::from_secs(1), SimTime::from_secs(50));
+    // Fix one representative implementation (binomial, 32 KiB segments) so
+    // only the progress-call count varies.
+    let fnset = CollectiveOp::Ibcast.fnset(spec.coll_spec());
+    let idx = fnset.index_of("binomial-seg32k").expect("known function");
+
+    println!();
+    println!(
+        "{} processes, 1 KiB message, {} compute total, binomial-seg32k",
+        p, spec.compute_total
+    );
+    let mut t = Table::new(&["progress calls", "loop time", "overhead vs floor"]);
+    let floor = spec.compute_total.as_secs_f64();
+    for num_progress in [1usize, 5, 10, 50, 100, 500, 1000] {
+        let mut s = spec.clone();
+        s.num_progress = num_progress;
+        let out = s.run(SelectionLogic::Fixed(idx));
+        t.row(vec![
+            num_progress.to_string(),
+            fmt_secs(out.total),
+            format!("{:+.2}%", (out.total / floor - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: increasing the number of progress calls eventually increases");
+    println!("the execution time — each call costs CPU inside the progress engine.");
+}

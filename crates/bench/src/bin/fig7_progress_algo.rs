@@ -1,0 +1,56 @@
+//! Fig. 7 — The number of progress calls changes the optimal algorithm.
+//!
+//! Paper setup: Ialltoall on crill, 32 processes, 128 KiB per pair,
+//! 100 s compute; best implementation as a function of the progress-call
+//! count.
+//!
+//! Expected shape: with a single progress call the pairwise algorithm is
+//! best (its rounds advance inside the wait; linear's concurrent streams
+//! congest), while with more than one call the linear algorithm wins —
+//! its single round overlaps fully once the rendezvous handshakes can be
+//! served during compute.
+
+use bench::{banner, base_spec, fmt_secs, Args, Table};
+use netmodel::{Placement, Platform};
+use simcore::SimTime;
+
+fn main() {
+    let args = Args::parse();
+    banner("Fig. 7", "Ialltoall on crill, 128 KiB: optimal algorithm vs progress calls");
+    let p = args.pick(32, 32);
+    let iters = args.pick(20, 1000);
+
+    let mut spec = base_spec(Platform::crill(), p, 128 * 1024);
+    // 32 processes fit on a single 48-core crill node under block
+    // placement; scatter them so the *network* algorithms are exercised,
+    // as in the paper's study.
+    spec.placement = Placement::RoundRobin;
+    spec.iters = iters;
+    spec.compute_total = args.pick(SimTime::from_secs(2), SimTime::from_secs(100));
+
+    println!();
+    println!("{p} processes, 128 KiB per pair, {} compute", spec.compute_total);
+    let mut t = Table::new(&["progress", "linear", "pairwise", "dissemination", "best"]);
+    for num_progress in [1usize, 2, 5, 10, 50, 100] {
+        let mut s = spec.clone();
+        s.num_progress = num_progress;
+        let rows = s.run_all_fixed();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone();
+        t.row(vec![
+            num_progress.to_string(),
+            fmt_secs(rows[0].1),
+            fmt_secs(rows[1].1),
+            fmt_secs(rows[2].1),
+            best,
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: pairwise delivers the best performance when only a single");
+    println!("progress call can be inserted; linear does best with more than one.");
+}

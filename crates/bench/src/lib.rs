@@ -1,0 +1,253 @@
+//! Shared infrastructure for the figure/table-regeneration binaries.
+//!
+//! Every figure and table of the paper's evaluation section has a binary
+//! in `src/bin/` that regenerates it (see the experiment index in
+//! `DESIGN.md`). Each binary prints the same rows/series the paper
+//! reports. By default the experiments run at a scaled-down size that
+//! completes in seconds; pass `--full` to use the paper-scale process
+//! counts (slower, same shape).
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+
+/// Command-line options common to all figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Run at paper-scale process counts instead of the quick defaults.
+    pub full: bool,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (only `--full` and `--help` are
+    /// recognized).
+    pub fn parse() -> Args {
+        let mut full = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--full" => full = true,
+                "--help" | "-h" => {
+                    println!("usage: <figure-binary> [--full]");
+                    println!("  --full   paper-scale process counts (slower)");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}; supported: --full");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Args { full }
+    }
+
+    /// Pick between the scaled-down and the paper-scale value.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+/// Print a figure banner.
+pub fn banner(fig: &str, caption: &str) {
+    println!("==========================================================================");
+    println!("{fig}: {caption}");
+    println!("==========================================================================");
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Print the table.
+    pub fn print(&self) {
+        let line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&self.widths)
+            .map(|(h, w)| format!("{h:>w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+        println!("{}", "-".repeat(line.join("  ").len()));
+        for r in &self.rows {
+            let line: Vec<String> = r
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+}
+
+/// Format seconds with engineering units.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// A verification-run scenario: run every implementation fixed, then ADCL
+/// with brute force and the attribute heuristic, and print the comparison
+/// (the bar groups of Figs. 2–5).
+pub fn verification_table(spec: &MicrobenchSpec, label: &str) {
+    println!();
+    println!(
+        "[{label}] {} on {}: {} procs, {} B msg, {} iters, {} compute, {} progress calls",
+        spec.op.name(),
+        spec.platform.name,
+        spec.nprocs,
+        spec.msg_bytes,
+        spec.iters,
+        spec.compute_total,
+        spec.num_progress,
+    );
+    let mut t = Table::new(&["implementation", "total", "vs best"]);
+    let rows = spec.run_all_fixed();
+    let best = rows.iter().map(|(_, x)| *x).fold(f64::INFINITY, f64::min);
+    for (name, total) in &rows {
+        t.row(vec![
+            name.clone(),
+            fmt_secs(*total),
+            format!("{:+.1}%", (total / best - 1.0) * 100.0),
+        ]);
+    }
+    for logic in [SelectionLogic::BruteForce, SelectionLogic::AttributeHeuristic] {
+        let out = spec.run(logic);
+        let name = match logic {
+            SelectionLogic::BruteForce => "ADCL (brute force)",
+            SelectionLogic::AttributeHeuristic => "ADCL (heuristic)",
+            _ => unreachable!(),
+        };
+        t.row(vec![
+            format!("{name} -> {}", out.winner.unwrap_or_else(|| "?".into())),
+            fmt_secs(out.total),
+            format!("{:+.1}%", (out.total / best - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+/// Default micro-benchmark spec used by several figures.
+pub fn base_spec(platform: Platform, nprocs: usize, msg_bytes: usize) -> MicrobenchSpec {
+    MicrobenchSpec {
+        platform,
+        nprocs,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes,
+        iters: 30,
+        compute_total: SimTime::from_millis(60),
+        num_progress: 5,
+        noise: NoiseConfig::light(2015),
+        reps: 4,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+/// Run the 3-D FFT kernel for every pattern under the given modes and
+/// print one row per pattern (the bar groups of Figs. 9–12). Returns
+/// `(pattern, mode, result)` tuples for further aggregation.
+pub fn fft_table(
+    platform: &Platform,
+    procs: usize,
+    cfg: &FftKernelConfig,
+    modes: &[FftMode],
+) -> Vec<(FftPattern, FftMode, fft3d::patterns::FftRunResult)> {
+    println!();
+    println!(
+        "{}: {} procs, {}x{}x{} grid, tile {}, {} iterations",
+        platform.name,
+        procs,
+        cfg.n,
+        cfg.n,
+        procs * cfg.planes_per_rank,
+        cfg.tile,
+        cfg.iters
+    );
+    let mut headers: Vec<String> = vec!["pattern".into()];
+    for m in modes {
+        headers.push(m.name().to_string());
+    }
+    headers.push("adcl winner".into());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    let mut results = Vec::new();
+    for pattern in FftPattern::all() {
+        let mut cells = vec![pattern.name().to_string()];
+        let mut winner = String::new();
+        for &mode in modes {
+            let r = fft3d::patterns::run_fft_kernel(
+                platform,
+                procs,
+                cfg,
+                pattern,
+                mode,
+                NoiseConfig::light(procs as u64),
+            );
+            cells.push(fmt_secs(r.total_time));
+            if matches!(mode, FftMode::Adcl(_) | FftMode::AdclExtended(_)) {
+                winner = r.winner.clone().unwrap_or_else(|| "?".into());
+            }
+            results.push((pattern, mode, r));
+        }
+        cells.push(winner);
+        t.row(cells);
+    }
+    t.print();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["x".into(), "12345".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(2.5e-3), "2.50 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5 us");
+    }
+
+    #[test]
+    fn args_pick() {
+        let a = Args { full: false };
+        assert_eq!(a.pick(1, 2), 1);
+        let a = Args { full: true };
+        assert_eq!(a.pick(1, 2), 2);
+    }
+}

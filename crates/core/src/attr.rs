@@ -1,0 +1,110 @@
+//! Attributes characterizing alternative implementations.
+//!
+//! An ADCL function-set may carry an *attribute-set*: each attribute
+//! describes one characteristic of an implementation (the algorithm, the
+//! tree fan-out, the segment size, the data-transfer primitive, ...), and
+//! each function in the set is annotated with one value per attribute. The
+//! attribute-based selection heuristic and the 2^k factorial design operate
+//! on this structure rather than on the flat function list.
+
+/// One attribute: a name and the domain of values it takes across the
+/// function-set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (e.g. `"fanout"`, `"segsize"`, `"algorithm"`).
+    pub name: String,
+    /// Distinct values occurring in the function-set, ascending.
+    pub values: Vec<i64>,
+}
+
+/// The attribute-set of a function-set: the attribute definitions plus the
+/// per-function value vectors.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeSet {
+    /// Attribute definitions, in vector order.
+    pub attrs: Vec<Attribute>,
+}
+
+impl AttributeSet {
+    /// Derive an attribute-set from per-function value vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors are ragged or `names.len()` disagrees.
+    pub fn from_functions(names: &[&str], per_function: &[Vec<i64>]) -> AttributeSet {
+        for v in per_function {
+            assert_eq!(v.len(), names.len(), "ragged attribute vectors");
+        }
+        let attrs = names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| {
+                let mut values: Vec<i64> = per_function.iter().map(|v| v[i]).collect();
+                values.sort_unstable();
+                values.dedup();
+                Attribute {
+                    name: name.to_string(),
+                    values,
+                }
+            })
+            .collect();
+        AttributeSet { attrs }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Index of the attribute called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Total size of the full cartesian attribute space (for diagnostics;
+    /// the function-set may cover only part of it).
+    pub fn space_size(&self) -> usize {
+        self.attrs.iter().map(|a| a.values.len().max(1)).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_domains() {
+        let fns = vec![vec![0, 32], vec![0, 64], vec![1, 32], vec![1, 64]];
+        let set = AttributeSet::from_functions(&["fanout", "segsize"], &fns);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.attrs[0].values, vec![0, 1]);
+        assert_eq!(set.attrs[1].values, vec![32, 64]);
+        assert_eq!(set.space_size(), 4);
+        assert_eq!(set.index_of("segsize"), Some(1));
+        assert_eq!(set.index_of("nope"), None);
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let fns = vec![vec![5], vec![3], vec![5], vec![1]];
+        let set = AttributeSet::from_functions(&["x"], &fns);
+        assert_eq!(set.attrs[0].values, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged() {
+        AttributeSet::from_functions(&["a", "b"], &[vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = AttributeSet::from_functions(&[], &[vec![], vec![]]);
+        assert!(set.is_empty());
+        assert_eq!(set.space_size(), 1);
+    }
+}

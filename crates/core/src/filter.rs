@@ -1,0 +1,110 @@
+//! Statistical filtering of run-time measurements.
+//!
+//! Measurements taken while the application runs are contaminated by OS
+//! noise and process-arrival skew. ADCL filters each function's sample set
+//! before comparing implementations; the paper notes that the few wrong
+//! decisions ADCL makes are caused by "a larger number of data outliers
+//! during the evaluation phase". These filters are what keeps that rate low.
+
+use simcore::stats;
+
+/// Outlier-filtering policy applied to a function's sample set before
+/// scoring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterKind {
+    /// No filtering: plain arithmetic mean.
+    None,
+    /// Tukey-fence IQR rejection with factor `k` (conventional `k` = 1.5),
+    /// then the mean of the survivors.
+    Iqr(f64),
+    /// Trimmed mean, dropping fraction `t` from each tail.
+    Trimmed(f64),
+    /// Median (maximally robust location estimate).
+    Median,
+}
+
+impl Default for FilterKind {
+    fn default() -> Self {
+        FilterKind::Iqr(1.5)
+    }
+}
+
+impl FilterKind {
+    /// Robust location estimate of a sample set under this policy.
+    /// Returns `f64::INFINITY` for an empty sample (an unmeasured function
+    /// never wins).
+    pub fn score(&self, samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return f64::INFINITY;
+        }
+        match *self {
+            FilterKind::None => stats::mean(samples),
+            FilterKind::Iqr(k) => stats::mean(&stats::iqr_filter(samples, k)),
+            FilterKind::Trimmed(t) => stats::trimmed_mean(samples, t),
+            FilterKind::Median => stats::median(samples),
+        }
+    }
+
+    /// Index of the best (lowest-scoring) sample set among `sets`, or
+    /// `None` if every set is empty.
+    pub fn argmin(&self, sets: &[Vec<f64>]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in sets.iter().enumerate() {
+            let sc = self.score(s);
+            if sc.is_finite() && best.is_none_or(|(_, b)| sc < b) {
+                best = Some((i, sc));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_scores_infinite() {
+        assert_eq!(FilterKind::default().score(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn iqr_ignores_spike() {
+        let mut clean: Vec<f64> = (0..20).map(|i| 1.0 + 0.001 * i as f64).collect();
+        let clean_score = FilterKind::Iqr(1.5).score(&clean);
+        clean.push(50.0); // one massive outlier
+        let spiked_score = FilterKind::Iqr(1.5).score(&clean);
+        assert!((clean_score - spiked_score).abs() < 1e-6);
+        // The unfiltered mean, by contrast, is badly skewed.
+        assert!(FilterKind::None.score(&clean) > 3.0);
+    }
+
+    #[test]
+    fn median_robust() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 100.0];
+        assert_eq!(FilterKind::Median.score(&xs), 1.0);
+    }
+
+    #[test]
+    fn argmin_picks_lowest() {
+        let sets = vec![vec![3.0, 3.1], vec![1.0, 1.1], vec![2.0]];
+        assert_eq!(FilterKind::default().argmin(&sets), Some(1));
+    }
+
+    #[test]
+    fn argmin_skips_empty_sets() {
+        let sets = vec![vec![], vec![5.0], vec![]];
+        assert_eq!(FilterKind::default().argmin(&sets), Some(1));
+        assert_eq!(FilterKind::default().argmin(&[vec![], vec![]]), None);
+    }
+
+    #[test]
+    fn argmin_with_outliers_still_correct() {
+        // Function 0 is truly faster but has one huge spike; IQR filtering
+        // must still rank it first, while the raw mean would not.
+        let f0 = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 20.0];
+        let f1 = vec![2.0; 9];
+        assert_eq!(FilterKind::Iqr(1.5).argmin(&[f0.clone(), f1.clone()]), Some(0));
+        assert_eq!(FilterKind::None.argmin(&[f0, f1]), Some(1));
+    }
+}

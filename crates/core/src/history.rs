@@ -1,0 +1,216 @@
+//! Historic learning: persisting tuning decisions across executions.
+//!
+//! ADCL can transfer knowledge between runs of an application: once a
+//! winner is known for an (operation, platform, process count, message
+//! size, ...) scenario, a later execution can skip — or shorten — the
+//! learning phase (§IV-B). The store is a simple line-oriented text file
+//! (`key\twinner\tscore`), deliberately free of external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Scenario key for a stored decision.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistoryKey {
+    /// Operation name (e.g. `"ialltoall"`).
+    pub op: String,
+    /// Platform name (e.g. `"whale"`).
+    pub platform: String,
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Message size in bytes.
+    pub msg_bytes: usize,
+}
+
+impl HistoryKey {
+    fn encode(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.op, self.platform, self.nprocs, self.msg_bytes
+        )
+    }
+
+    fn decode(s: &str) -> Option<HistoryKey> {
+        let mut it = s.split('|');
+        Some(HistoryKey {
+            op: it.next()?.to_string(),
+            platform: it.next()?.to_string(),
+            nprocs: it.next()?.parse().ok()?,
+            msg_bytes: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// A stored decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Winning function name.
+    pub winner: String,
+    /// Its measured robust score in seconds (for staleness heuristics).
+    pub score: f64,
+}
+
+/// The persistent winner store.
+///
+/// # Example
+///
+/// ```
+/// use adcl::history::{HistoryKey, HistoryStore};
+///
+/// let key = HistoryKey {
+///     op: "ialltoall".into(),
+///     platform: "whale".into(),
+///     nprocs: 32,
+///     msg_bytes: 131072,
+/// };
+/// let mut store = HistoryStore::new();
+/// store.put(key.clone(), "pairwise", 1.2e-3);
+/// let text = store.to_string_repr();
+/// let reloaded = HistoryStore::from_string_repr(&text);
+/// assert_eq!(reloaded.get(&key).unwrap().winner, "pairwise");
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryStore {
+    entries: BTreeMap<HistoryKey, HistoryEntry>,
+}
+
+impl HistoryStore {
+    /// An empty store.
+    pub fn new() -> HistoryStore {
+        HistoryStore::default()
+    }
+
+    /// Record (or overwrite) a decision.
+    pub fn put(&mut self, key: HistoryKey, winner: &str, score: f64) {
+        self.entries.insert(
+            key,
+            HistoryEntry {
+                winner: winner.to_string(),
+                score,
+            },
+        );
+    }
+
+    /// Look up a decision.
+    pub fn get(&self, key: &HistoryKey) -> Option<&HistoryEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of stored decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to the line format.
+    pub fn to_string_repr(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# adcl-rs history v1\n");
+        for (k, e) in &self.entries {
+            let _ = writeln!(out, "{}\t{}\t{:.9e}", k.encode(), e.winner, e.score);
+        }
+        out
+    }
+
+    /// Parse the line format (ignores comments and malformed lines).
+    pub fn from_string_repr(s: &str) -> HistoryStore {
+        let mut store = HistoryStore::new();
+        for line in s.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (Some(k), Some(w), Some(sc)) = (parts.next(), parts.next(), parts.next()) else {
+                continue;
+            };
+            let (Some(key), Ok(score)) = (HistoryKey::decode(k), sc.parse::<f64>()) else {
+                continue;
+            };
+            store.put(key, w, score);
+        }
+        store
+    }
+
+    /// Write the store to a file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_string_repr())
+    }
+
+    /// Load a store from a file (empty store if the file does not exist).
+    pub fn load(path: &Path) -> io::Result<HistoryStore> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Ok(Self::from_string_repr(&s)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(HistoryStore::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(op: &str, n: usize) -> HistoryKey {
+        HistoryKey {
+            op: op.into(),
+            platform: "whale".into(),
+            nprocs: n,
+            msg_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut s = HistoryStore::new();
+        s.put(key("ialltoall", 32), "pairwise", 1.5e-3);
+        s.put(key("ibcast", 128), "binomial-seg64k", 2.25e-4);
+        let text = s.to_string_repr();
+        let back = HistoryStore::from_string_repr(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(&key("ialltoall", 32)).unwrap().winner, "pairwise");
+        let e = back.get(&key("ibcast", 128)).unwrap();
+        assert!((e.score - 2.25e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_lines_ignored() {
+        let text = "# comment\n\ngarbage\nonly|three|parts\tx\nialltoall|whale|8|64\tlinear\t1.0\n";
+        let s = HistoryStore::from_string_repr(text);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_updates() {
+        let mut s = HistoryStore::new();
+        s.put(key("op", 4), "a", 1.0);
+        s.put(key("op", 4), "b", 0.5);
+        assert_eq!(s.get(&key("op", 4)).unwrap().winner, "b");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("adcl-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.tsv");
+        let mut s = HistoryStore::new();
+        s.put(key("ialltoall", 16), "dissemination", 3.0e-5);
+        s.save(&path).unwrap();
+        let back = HistoryStore::load(&path).unwrap();
+        assert_eq!(back.get(&key("ialltoall", 16)).unwrap().winner, "dissemination");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let s = HistoryStore::load(Path::new("/nonexistent/adcl/history.tsv")).unwrap();
+        assert!(s.is_empty());
+    }
+}

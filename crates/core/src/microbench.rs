@@ -1,0 +1,301 @@
+//! The paper's §IV-A micro-benchmark.
+//!
+//! The benchmark executes a loop a configurable number of times; each
+//! iteration initiates the non-blocking collective, executes a compute
+//! operation split into equal chunks with an `ADCL_Progress` call after
+//! each chunk, and finally calls the completion function:
+//!
+//! ```text
+//! for it in 0..iters {
+//!     timer_start;
+//!     start(op);
+//!     repeat num_progress times { compute(chunk); progress(op); }
+//!     wait(op);
+//!     timer_stop;
+//! }
+//! ```
+//!
+//! If the library fully overlaps communication with computation, the
+//! measured loop time equals the compute time; any excess is exposed
+//! communication. The compute time per iteration is
+//! `compute_total / iters`, and each chunk is that divided by the number of
+//! progress calls.
+
+use crate::runner::{Instr, Script};
+use simcore::SimTime;
+
+/// Configuration of one micro-benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroBenchConfig {
+    /// Loop iterations (the paper uses 1 000 for long messages, 10 000 for
+    /// short ones).
+    pub iters: usize,
+    /// Total compute time across the whole loop (e.g. 50 s).
+    pub compute_total: SimTime,
+    /// Progress calls inserted per iteration (>= 1).
+    pub num_progress: usize,
+}
+
+/// Systematic load imbalance across ranks, producing the *process arrival
+/// patterns* of Faraj et al. that the paper names as a key application
+/// characteristic: ranks enter the collective at different times because
+/// their compute phases differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imbalance {
+    /// All ranks compute equally long.
+    None,
+    /// Compute scales linearly from `1 - spread/2` (rank 0) to
+    /// `1 + spread/2` (last rank); mean preserved.
+    Ramp {
+        /// Total relative spread, e.g. 0.2 = ±10 %.
+        spread: f64,
+    },
+    /// One straggler rank computes `factor` times as long as the rest.
+    Straggler {
+        /// The slow rank.
+        rank: usize,
+        /// Its compute multiplier (> 1).
+        factor: f64,
+    },
+}
+
+impl Imbalance {
+    /// Compute-time multiplier for `rank` of `nranks`.
+    pub fn factor(&self, rank: usize, nranks: usize) -> f64 {
+        match *self {
+            Imbalance::None => 1.0,
+            Imbalance::Ramp { spread } => {
+                if nranks <= 1 {
+                    1.0
+                } else {
+                    1.0 + spread * (rank as f64 / (nranks - 1) as f64 - 0.5)
+                }
+            }
+            Imbalance::Straggler { rank: slow, factor } => {
+                if rank == slow {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+impl MicroBenchConfig {
+    /// Compute time of one iteration.
+    pub fn compute_per_iter(&self) -> SimTime {
+        self.compute_total / self.iters as u64
+    }
+
+    /// Compute time of one chunk (between progress calls).
+    pub fn chunk(&self) -> SimTime {
+        self.compute_per_iter() / self.num_progress.max(1) as u64
+    }
+}
+
+/// Lazy per-rank script generating the micro-benchmark loop (avoids
+/// materializing millions of instructions).
+pub struct MicroBenchScript {
+    cfg: MicroBenchConfig,
+    /// This rank's compute-time multiplier (arrival-pattern imbalance).
+    compute_scale: f64,
+    op: usize,
+    timer: usize,
+    iter: usize,
+    /// Position within one iteration: 0 = timer start, 1 = op start,
+    /// 2..2+2k = alternating compute/progress, then wait, then timer stop.
+    pos: usize,
+}
+
+impl MicroBenchScript {
+    /// Script for one rank.
+    pub fn new(cfg: MicroBenchConfig, op: usize, timer: usize) -> MicroBenchScript {
+        Self::with_scale(cfg, op, timer, 1.0)
+    }
+
+    /// Script for one rank with a compute-time multiplier (see
+    /// [`Imbalance`]).
+    pub fn with_scale(
+        cfg: MicroBenchConfig,
+        op: usize,
+        timer: usize,
+        compute_scale: f64,
+    ) -> MicroBenchScript {
+        assert!(cfg.iters > 0 && cfg.num_progress > 0);
+        assert!(compute_scale > 0.0);
+        MicroBenchScript {
+            cfg,
+            compute_scale,
+            op,
+            timer,
+            iter: 0,
+            pos: 0,
+        }
+    }
+
+    /// Build one boxed script per rank.
+    pub fn per_rank(cfg: MicroBenchConfig, op: usize, timer: usize, nranks: usize) -> Vec<Box<dyn Script>> {
+        Self::per_rank_imbalanced(cfg, op, timer, nranks, Imbalance::None)
+    }
+
+    /// Build per-rank scripts with an arrival-pattern imbalance.
+    pub fn per_rank_imbalanced(
+        cfg: MicroBenchConfig,
+        op: usize,
+        timer: usize,
+        nranks: usize,
+        imbalance: Imbalance,
+    ) -> Vec<Box<dyn Script>> {
+        (0..nranks)
+            .map(|r| {
+                Box::new(Self::with_scale(cfg, op, timer, imbalance.factor(r, nranks)))
+                    as Box<dyn Script>
+            })
+            .collect()
+    }
+}
+
+impl Script for MicroBenchScript {
+    fn next(&mut self) -> Option<Instr> {
+        if self.iter >= self.cfg.iters {
+            return None;
+        }
+        let k = self.cfg.num_progress;
+        // Instruction layout per iteration:
+        //   0:              TimerStart
+        //   1:              Start
+        //   2 + 2j:         Compute(chunk)       j in 0..k
+        //   3 + 2j:         Progress             j in 0..k
+        //   2 + 2k:         Wait
+        //   3 + 2k:         TimerStop
+        let instr = match self.pos {
+            0 => Instr::TimerStart(self.timer),
+            1 => Instr::Start {
+                op: self.op,
+                slot: 0,
+            },
+            p if p < 2 + 2 * k => {
+                if (p - 2) % 2 == 0 {
+                    Instr::Compute(self.cfg.chunk().scale(self.compute_scale))
+                } else {
+                    Instr::Progress { op: self.op }
+                }
+            }
+            p if p == 2 + 2 * k => Instr::Wait {
+                op: self.op,
+                slot: 0,
+            },
+            _ => Instr::TimerStop(self.timer),
+        };
+        if self.pos == 3 + 2 * k {
+            self.pos = 0;
+            self.iter += 1;
+        } else {
+            self.pos += 1;
+        }
+        Some(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: MicroBenchConfig) -> Vec<Instr> {
+        let mut s = MicroBenchScript::new(cfg, 7, 3);
+        let mut v = Vec::new();
+        while let Some(i) = s.next() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn instruction_shape_one_iteration() {
+        let cfg = MicroBenchConfig {
+            iters: 1,
+            compute_total: SimTime::from_millis(10),
+            num_progress: 2,
+        };
+        let v = collect(cfg);
+        assert_eq!(
+            v,
+            vec![
+                Instr::TimerStart(3),
+                Instr::Start { op: 7, slot: 0 },
+                Instr::Compute(SimTime::from_millis(5)),
+                Instr::Progress { op: 7 },
+                Instr::Compute(SimTime::from_millis(5)),
+                Instr::Progress { op: 7 },
+                Instr::Wait { op: 7, slot: 0 },
+                Instr::TimerStop(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn total_compute_is_preserved() {
+        let cfg = MicroBenchConfig {
+            iters: 10,
+            compute_total: SimTime::from_secs(1),
+            num_progress: 4,
+        };
+        let v = collect(cfg);
+        let total: SimTime = v
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Compute(d) => Some(*d),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, SimTime::from_secs(1));
+        let progresses = v.iter().filter(|i| matches!(i, Instr::Progress { .. })).count();
+        assert_eq!(progresses, 40);
+        let waits = v.iter().filter(|i| matches!(i, Instr::Wait { .. })).count();
+        assert_eq!(waits, 10);
+    }
+
+    #[test]
+    fn imbalance_factors() {
+        assert_eq!(Imbalance::None.factor(3, 8), 1.0);
+        let ramp = Imbalance::Ramp { spread: 0.2 };
+        assert!((ramp.factor(0, 5) - 0.9).abs() < 1e-12);
+        assert!((ramp.factor(4, 5) - 1.1).abs() < 1e-12);
+        assert!((ramp.factor(2, 5) - 1.0).abs() < 1e-12);
+        // mean preserved over all ranks
+        let mean: f64 = (0..5).map(|r| ramp.factor(r, 5)).sum::<f64>() / 5.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+        let strag = Imbalance::Straggler { rank: 2, factor: 3.0 };
+        assert_eq!(strag.factor(2, 8), 3.0);
+        assert_eq!(strag.factor(3, 8), 1.0);
+    }
+
+    #[test]
+    fn scaled_script_stretches_compute() {
+        let cfg = MicroBenchConfig {
+            iters: 1,
+            compute_total: SimTime::from_millis(10),
+            num_progress: 2,
+        };
+        let mut s = MicroBenchScript::with_scale(cfg, 0, 0, 1.5);
+        let mut total = SimTime::ZERO;
+        while let Some(i) = s.next() {
+            if let Instr::Compute(d) = i {
+                total += d;
+            }
+        }
+        assert_eq!(total, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn chunking_math() {
+        let cfg = MicroBenchConfig {
+            iters: 100,
+            compute_total: SimTime::from_secs(50),
+            num_progress: 5,
+        };
+        assert_eq!(cfg.compute_per_iter(), SimTime::from_millis(500));
+        assert_eq!(cfg.chunk(), SimTime::from_millis(100));
+    }
+}

@@ -1,0 +1,230 @@
+//! Timer objects: measuring non-blocking operations indirectly.
+//!
+//! The execution time of a non-blocking collective cannot be measured
+//! directly — the operation is only partially visible to the application.
+//! ADCL therefore decouples measurement from the communication calls: the
+//! user brackets a code section (typically one iteration of the main
+//! compute loop) with [`Timer::start`] / [`Timer::stop`], and the elapsed
+//! time is attributed to the implementation used inside that section.
+//!
+//! Each rank measures locally; an iteration's cost is the **maximum**
+//! across ranks (the equivalent of the allreduce ADCL performs), which is
+//! reported exactly once, when the last rank closes the window.
+//!
+//! A timer may be associated with *several* operations (`ops`), enabling
+//! the co-tuning extension discussed in the paper's conclusions: the
+//! runtime tunes one attached operation at a time while the others stay
+//! frozen at their current best implementation.
+
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// A measurement window aggregator across ranks.
+///
+/// # Example
+///
+/// ```
+/// use adcl::timer::Timer;
+/// use simcore::SimTime;
+///
+/// let mut t = Timer::new(2, vec![]);
+/// t.start(0, SimTime::ZERO);
+/// t.start(1, SimTime::ZERO);
+/// assert_eq!(t.stop(0, SimTime::from_micros(10)), None); // rank 1 pending
+/// let (iter, max) = t.stop(1, SimTime::from_micros(30)).unwrap();
+/// assert_eq!(iter, 0);
+/// assert!((max - 30e-6).abs() < 1e-12); // slowest rank defines the cost
+/// ```
+#[derive(Debug)]
+pub struct Timer {
+    /// Number of participating ranks (completions needed per iteration).
+    participants: usize,
+    /// Whether a given global rank participates (None = all ranks do).
+    member: Option<Vec<bool>>,
+    /// Open window start per rank.
+    open: Vec<Option<SimTime>>,
+    /// Completed iterations per rank.
+    stops: Vec<usize>,
+    /// In-flight aggregation: iteration → (ranks reported, max elapsed s).
+    agg: BTreeMap<usize, (usize, f64)>,
+    /// Completed per-iteration max elapsed times, in seconds.
+    history: Vec<f64>,
+    /// Operation ids (indices into the session's op table) co-tuned under
+    /// this timer.
+    pub ops: Vec<usize>,
+    /// Which attached op was actively learning in each iteration
+    /// (memoized by the runner at assignment time).
+    pub active_memo: Vec<Option<usize>>,
+}
+
+impl Timer {
+    /// A timer over `nranks` ranks tuning the given operations.
+    pub fn new(nranks: usize, ops: Vec<usize>) -> Timer {
+        Timer {
+            participants: nranks,
+            member: None,
+            open: vec![None; nranks],
+            stops: vec![0; nranks],
+            agg: BTreeMap::new(),
+            history: Vec::new(),
+            ops,
+            active_memo: Vec::new(),
+        }
+    }
+
+    /// A timer whose measurement window is only executed by the ranks of a
+    /// sub-communicator. `nranks` is the world size; `members` the global
+    /// ranks that start/stop this timer.
+    pub fn new_subset(nranks: usize, members: &[usize], ops: Vec<usize>) -> Timer {
+        assert!(!members.is_empty(), "empty timer subset");
+        let mut member = vec![false; nranks];
+        for &m in members {
+            member[m] = true;
+        }
+        Timer {
+            participants: members.len(),
+            member: Some(member),
+            open: vec![None; nranks],
+            stops: vec![0; nranks],
+            agg: BTreeMap::new(),
+            history: Vec::new(),
+            ops,
+            active_memo: Vec::new(),
+        }
+    }
+
+    /// True if `rank` participates in this timer.
+    pub fn is_member(&self, rank: usize) -> bool {
+        self.member.as_ref().is_none_or(|m| m[rank])
+    }
+
+    /// The iteration `rank` is currently in (number of windows it has
+    /// closed).
+    pub fn iter_of(&self, rank: usize) -> usize {
+        self.stops[rank]
+    }
+
+    /// Open the measurement window on `rank`.
+    ///
+    /// # Panics
+    /// Panics if the rank already has an open window.
+    pub fn start(&mut self, rank: usize, now: SimTime) {
+        assert!(self.is_member(rank), "rank {rank} is not a member of this timer");
+        assert!(
+            self.open[rank].is_none(),
+            "rank {rank}: timer started twice without stop"
+        );
+        self.open[rank] = Some(now);
+    }
+
+    /// Close the window on `rank`. Returns `Some((iteration, max_elapsed))`
+    /// exactly once per iteration — when the last rank reports.
+    ///
+    /// # Panics
+    /// Panics if the rank has no open window.
+    pub fn stop(&mut self, rank: usize, now: SimTime) -> Option<(usize, f64)> {
+        let begun = self.open[rank]
+            .take()
+            .unwrap_or_else(|| panic!("rank {rank}: timer stopped without start"));
+        let elapsed = (now - begun).as_secs_f64();
+        let iter = self.stops[rank];
+        self.stops[rank] += 1;
+        let entry = self.agg.entry(iter).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 = entry.1.max(elapsed);
+        if entry.0 == self.participants {
+            let (_, max) = self.agg.remove(&iter).expect("entry exists");
+            debug_assert_eq!(iter, self.history.len(), "iterations complete in order");
+            self.history.push(max);
+            return Some((iter, max));
+        }
+        None
+    }
+
+    /// Per-iteration max elapsed times completed so far.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Sum of all completed iteration times (seconds).
+    pub fn total(&self) -> f64 {
+        self.history.iter().sum()
+    }
+
+    /// Sum of iteration times from `from_iter` onwards — used to separate
+    /// the learning phase from steady-state execution (§IV-B, Fig. 11).
+    pub fn total_from(&self, from_iter: usize) -> f64 {
+        self.history.iter().skip(from_iter).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn max_across_ranks() {
+        let mut t = Timer::new(3, vec![0]);
+        t.start(0, us(0));
+        t.start(1, us(0));
+        t.start(2, us(0));
+        assert_eq!(t.stop(0, us(10)), None);
+        assert_eq!(t.stop(2, us(30)), None);
+        let (iter, max) = t.stop(1, us(20)).expect("last rank completes");
+        assert_eq!(iter, 0);
+        assert!((max - 30e-6).abs() < 1e-12);
+        assert_eq!(t.history().len(), 1);
+    }
+
+    #[test]
+    fn ranks_may_lag_iterations() {
+        let mut t = Timer::new(2, vec![]);
+        // Rank 0 runs two iterations before rank 1 finishes its first.
+        t.start(0, us(0));
+        t.stop(0, us(5));
+        t.start(0, us(5));
+        t.stop(0, us(9));
+        assert_eq!(t.iter_of(0), 2);
+        t.start(1, us(0));
+        let (i0, m0) = t.stop(1, us(7)).unwrap();
+        assert_eq!(i0, 0);
+        assert!((m0 - 7e-6).abs() < 1e-12);
+        t.start(1, us(7));
+        let done1 = t.stop(1, us(8));
+        // iteration 1: max(4us for rank0, 1us rank1) = 4us
+        let (i, m) = done1.unwrap();
+        assert_eq!(i, 1);
+        assert!((m - 4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_learning_split() {
+        let mut t = Timer::new(1, vec![]);
+        for (s, e) in [(0u64, 10u64), (10, 30), (30, 60)] {
+            t.start(0, us(s));
+            t.stop(0, us(e));
+        }
+        assert!((t.total() - 60e-6).abs() < 1e-12);
+        assert!((t.total_from(1) - 50e-6).abs() < 1e-12);
+        assert_eq!(t.total_from(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let mut t = Timer::new(1, vec![]);
+        t.start(0, us(0));
+        t.start(0, us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stopped without start")]
+    fn stop_without_start_panics() {
+        let mut t = Timer::new(1, vec![]);
+        t.stop(0, us(1));
+    }
+}

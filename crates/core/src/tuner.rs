@@ -1,0 +1,286 @@
+//! The per-operation tuning state machine.
+//!
+//! A [`Tuner`] owns the selection strategy and the measurement record of
+//! one function-set. Iterations are assigned to functions *lazily*: the
+//! first rank to begin iteration `i` forces the (memoized) decision, so all
+//! ranks of a loosely synchronized application agree on the implementation
+//! used in every iteration even though they cross iteration boundaries at
+//! slightly different times — the same mechanism the real library uses at
+//! its synchronization points.
+
+use crate::filter::FilterKind;
+use crate::function::FunctionSet;
+use crate::strategy::{SelectionLogic, Strategy};
+
+/// Tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerConfig {
+    /// Selection logic to use.
+    pub logic: SelectionLogic,
+    /// Measurements taken per tested implementation during learning.
+    pub reps: usize,
+    /// Measurements discarded after every implementation switch: the first
+    /// iterations of a newly selected implementation are polluted by rank
+    /// skew inherited from the previous one, so they are treated as
+    /// warm-up. Must be < `reps`; clamped otherwise.
+    pub warmup: usize,
+    /// Outlier filter applied before comparing implementations.
+    pub filter: FilterKind,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            logic: SelectionLogic::BruteForce,
+            reps: 10,
+            warmup: 1,
+            filter: FilterKind::default(),
+        }
+    }
+}
+
+/// Runtime tuning state for one operation.
+///
+/// # Example
+///
+/// ```
+/// use adcl::function::FunctionSet;
+/// use adcl::strategy::SelectionLogic;
+/// use adcl::tuner::{Tuner, TunerConfig};
+/// use nbc::schedule::CollSpec;
+///
+/// let fnset = FunctionSet::ialltoall_default(CollSpec::new(8, 1024));
+/// let mut tuner = Tuner::new(&fnset, TunerConfig {
+///     logic: SelectionLogic::BruteForce,
+///     reps: 2,
+///     warmup: 0,
+///     filter: Default::default(),
+/// });
+/// // Drive the learning loop: ask which implementation to use, run it,
+/// // record the measured time.
+/// for iter in 0..10 {
+///     let f = tuner.function_for_iter(iter);
+///     let measured_secs = [0.010, 0.005, 0.020][f]; // pretend measurement
+///     tuner.record(iter, measured_secs);
+/// }
+/// assert_eq!(tuner.winner(), Some(1)); // pairwise was fastest
+/// ```
+pub struct Tuner {
+    strategy: Box<dyn Strategy>,
+    cfg: TunerConfig,
+    /// Function index assigned to each iteration (memoized).
+    assignments: Vec<usize>,
+    /// Measurements per function, in seconds.
+    samples: Vec<Vec<f64>>,
+    /// Iteration at which the strategy committed, if it has.
+    converged_at: Option<usize>,
+    /// Warm-up samples still to discard, per function.
+    discards_left: Vec<usize>,
+    n_funcs: usize,
+}
+
+impl Tuner {
+    /// Create a tuner for `fnset` under `cfg`.
+    pub fn new(fnset: &FunctionSet, cfg: TunerConfig) -> Tuner {
+        let attr_vecs: Vec<Vec<i64>> = fnset.functions.iter().map(|f| f.attrs.clone()).collect();
+        let attrs = fnset.attribute_set();
+        let warmup = cfg.warmup.min(cfg.reps.saturating_sub(1));
+        let min_samples = (cfg.reps - warmup).max(1);
+        let strategy = cfg.logic.build(
+            fnset.len(),
+            &attr_vecs,
+            &attrs,
+            cfg.reps,
+            min_samples,
+            cfg.filter,
+        );
+        Tuner {
+            strategy,
+            cfg,
+            assignments: Vec::new(),
+            samples: vec![Vec::new(); fnset.len()],
+            converged_at: None,
+            discards_left: vec![warmup; fnset.len()],
+            n_funcs: fnset.len(),
+        }
+    }
+
+    /// Create a tuner that skips the learning phase entirely because a
+    /// winner is already known (historic learning, §IV-B).
+    pub fn with_known_winner(fnset: &FunctionSet, winner: usize) -> Tuner {
+        let cfg = TunerConfig {
+            logic: SelectionLogic::Fixed(winner),
+            ..TunerConfig::default()
+        };
+        let mut t = Tuner::new(fnset, cfg);
+        t.converged_at = Some(0);
+        t
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TunerConfig {
+        &self.cfg
+    }
+
+    /// Function to use for iteration `iter` (memoized; forces assignments
+    /// for any earlier unassigned iterations).
+    pub fn function_for_iter(&mut self, iter: usize) -> usize {
+        while self.assignments.len() <= iter {
+            let f = self.strategy.next_assignment(&self.samples);
+            if self.converged_at.is_none() {
+                if let Some(_w) = self.strategy.winner() {
+                    self.converged_at = Some(self.assignments.len());
+                }
+            }
+            self.assignments.push(f);
+        }
+        self.assignments[iter]
+    }
+
+    /// Function for iteration `iter` while this operation is *frozen*
+    /// under a co-tuning timer: the current best estimate is used without
+    /// consuming a learning-phase assignment, so the strategy resumes
+    /// exactly where it left off once the operation becomes active again.
+    pub fn frozen_for_iter(&mut self, iter: usize) -> usize {
+        if iter < self.assignments.len() {
+            return self.assignments[iter];
+        }
+        let f = self.best_so_far();
+        while self.assignments.len() <= iter {
+            self.assignments.push(f);
+        }
+        f
+    }
+
+    /// Record the measured execution time (seconds) of iteration `iter`.
+    /// The first `warmup` measurements of each function are discarded (see
+    /// [`TunerConfig::warmup`]).
+    pub fn record(&mut self, iter: usize, secs: f64) {
+        let f = self.function_for_iter(iter);
+        if self.discards_left[f] > 0 {
+            self.discards_left[f] -= 1;
+            return;
+        }
+        self.samples[f].push(secs);
+    }
+
+    /// The committed winner, if learning has finished.
+    pub fn winner(&self) -> Option<usize> {
+        self.strategy.winner()
+    }
+
+    /// Iteration index at which learning finished.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// Best current estimate even before convergence.
+    pub fn best_so_far(&self) -> usize {
+        self.strategy.best_so_far(&self.samples)
+    }
+
+    /// Robust score (filtered mean, seconds) of function `f`, or infinity
+    /// if unmeasured.
+    pub fn score(&self, f: usize) -> f64 {
+        self.cfg.filter.score(&self.samples[f])
+    }
+
+    /// Raw samples of function `f`.
+    pub fn samples(&self, f: usize) -> &[f64] {
+        &self.samples[f]
+    }
+
+    /// Number of functions under tuning.
+    pub fn n_funcs(&self) -> usize {
+        self.n_funcs
+    }
+
+    /// Name of the active strategy.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Functions assigned so far, per iteration.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbc::schedule::CollSpec;
+
+    fn fnset() -> FunctionSet {
+        FunctionSet::ialltoall_default(CollSpec::new(8, 1024))
+    }
+
+    fn cfg(reps: usize) -> TunerConfig {
+        TunerConfig {
+            logic: SelectionLogic::BruteForce,
+            reps,
+            warmup: 0,
+            filter: FilterKind::default(),
+        }
+    }
+
+    #[test]
+    fn assignments_are_memoized_and_stable() {
+        let mut t = Tuner::new(&fnset(), cfg(2));
+        let a = t.function_for_iter(5);
+        let b = t.function_for_iter(5);
+        assert_eq!(a, b);
+        // Asking for iteration 5 forced 0..=5.
+        assert_eq!(t.assignments().len(), 6);
+    }
+
+    #[test]
+    fn brute_force_cycle_then_commit() {
+        let mut t = Tuner::new(&fnset(), cfg(2));
+        // 3 functions x 2 reps: iterations 0..6 cycle 0,0,1,1,2,2.
+        let seq: Vec<usize> = (0..6).map(|i| t.function_for_iter(i)).collect();
+        assert_eq!(seq, vec![0, 0, 1, 1, 2, 2]);
+        // Make function 1 fastest.
+        for i in 0..6 {
+            let f = t.function_for_iter(i);
+            t.record(i, if f == 1 { 1.0 } else { 2.0 });
+        }
+        assert_eq!(t.function_for_iter(6), 1);
+        assert_eq!(t.winner(), Some(1));
+        assert_eq!(t.converged_at(), Some(6));
+    }
+
+    #[test]
+    fn racing_ranks_get_consistent_choice() {
+        // Rank A asks for iteration 6 before all of iteration 5's
+        // measurements are in: the decision is forced once and reused.
+        let mut t = Tuner::new(&fnset(), cfg(2));
+        for i in 0..5 {
+            let f = t.function_for_iter(i);
+            t.record(i, (f + 1) as f64);
+        }
+        let early = t.function_for_iter(6); // forced with partial data
+        t.record(5, 3.0);
+        let late = t.function_for_iter(6);
+        assert_eq!(early, late);
+    }
+
+    #[test]
+    fn known_winner_skips_learning() {
+        let t0 = Tuner::with_known_winner(&fnset(), 2);
+        assert_eq!(t0.winner(), Some(2));
+        assert_eq!(t0.converged_at(), Some(0));
+        let mut t = t0;
+        assert_eq!(t.function_for_iter(0), 2);
+        assert_eq!(t.function_for_iter(100), 2);
+    }
+
+    #[test]
+    fn scores_reflect_samples() {
+        let mut t = Tuner::new(&fnset(), cfg(1));
+        t.record(0, 5.0); // function 0
+        assert_eq!(t.score(0), 5.0);
+        assert_eq!(t.score(1), f64::INFINITY);
+        assert_eq!(t.best_so_far(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! FFT compute cost model.
+//!
+//! The simulated application kernel needs realistic compute durations for
+//! its tiles. We use the standard operation count of a radix-2 complex FFT
+//! — `5 n log₂ n` floating-point operations for length `n` — and a
+//! platform's per-core GFLOP/s rate to convert to time. This is the same
+//! first-order model FFTW's own planning literature uses for comparing
+//! machine performance ("mflops" = `5 n log₂ n / time`).
+
+use simcore::SimTime;
+
+/// Bytes per complex sample (two `f64`).
+pub const BYTES_PER_POINT: usize = 16;
+
+/// Floating-point operations of a 1-D complex FFT of length `n`.
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// Flops of a 2-D `n × n` plane transform (n row FFTs + n column FFTs).
+pub fn plane_flops(n: usize) -> f64 {
+    2.0 * n as f64 * fft_flops(n)
+}
+
+/// Compute-time for `flops` at `gflops` GFLOP/s.
+pub fn flops_time(flops: f64, gflops: f64) -> SimTime {
+    assert!(gflops > 0.0);
+    SimTime::from_secs_f64(flops / (gflops * 1e9))
+}
+
+/// Parameters of the distributed 3-D FFT workload: an `n³` complex grid
+/// decomposed over `p` processes along z.
+#[derive(Debug, Clone, Copy)]
+pub struct Fft3dCost {
+    /// Grid extent per dimension.
+    pub n: usize,
+    /// Number of processes.
+    pub p: usize,
+    /// Per-core compute rate in GFLOP/s.
+    pub gflops: f64,
+}
+
+impl Fft3dCost {
+    /// Planes owned by each process (rounded up).
+    pub fn local_planes(&self) -> usize {
+        self.n.div_ceil(self.p).max(1)
+    }
+
+    /// Compute time for the 2-D transforms of `planes` local planes.
+    pub fn planes_2d_time(&self, planes: usize) -> SimTime {
+        flops_time(planes as f64 * plane_flops(self.n), self.gflops)
+    }
+
+    /// Compute time for this process's share of the z-direction 1-D FFTs
+    /// corresponding to `planes` worth of redistributed data.
+    ///
+    /// After the transpose each process owns `n²/p` pencils of length `n`;
+    /// a tile of `planes` planes contributes `planes/local_planes` of that.
+    pub fn pencils_z_time(&self, planes: usize) -> SimTime {
+        let pencils_total = self.n as f64 * self.n as f64 / self.p as f64;
+        let share = planes as f64 / self.local_planes() as f64;
+        flops_time(pencils_total * share * fft_flops(self.n), self.gflops)
+    }
+
+    /// All-to-all message size per process pair for a tile of `planes`
+    /// planes: the tile holds `planes · n²` points, scattered evenly over
+    /// `p` peers.
+    pub fn tile_msg_bytes(&self, planes: usize) -> usize {
+        let points = planes * self.n * self.n;
+        (points * BYTES_PER_POINT / self.p).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert_eq!(fft_flops(8), 5.0 * 8.0 * 3.0);
+        assert_eq!(plane_flops(8), 2.0 * 8.0 * fft_flops(8));
+    }
+
+    #[test]
+    fn time_conversion() {
+        // 1 GFLOP at 2 GFLOP/s = 0.5 s.
+        assert_eq!(flops_time(1e9, 2.0), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let c = Fft3dCost {
+            n: 256,
+            p: 32,
+            gflops: 2.0,
+        };
+        assert_eq!(c.local_planes(), 8);
+        // Full local 2-D pass beats a single plane by exactly 8x.
+        assert_eq!(
+            c.planes_2d_time(8).as_nanos(),
+            c.planes_2d_time(1).as_nanos() * 8
+        );
+        // Message sizes scale linearly with tile size.
+        assert_eq!(c.tile_msg_bytes(2), 2 * c.tile_msg_bytes(1));
+        // A full tile redistribution moves n^2*planes*16/p bytes per pair.
+        assert_eq!(c.tile_msg_bytes(1), 256 * 256 * 16 / 32);
+    }
+
+    #[test]
+    fn z_share_sums_to_whole() {
+        let c = Fft3dCost {
+            n: 64,
+            p: 8,
+            gflops: 1.0,
+        };
+        let whole = c.pencils_z_time(c.local_planes());
+        let halves = c.pencils_z_time(c.local_planes() / 2);
+        assert_eq!(whole.as_nanos(), halves.as_nanos() * 2);
+    }
+
+    #[test]
+    fn uneven_process_counts_dont_panic() {
+        // The paper uses 160, 358, 500 processes with grids that do not
+        // divide evenly.
+        for p in [160usize, 358, 500, 1024] {
+            let c = Fft3dCost {
+                n: 320,
+                p,
+                gflops: 1.5,
+            };
+            assert!(c.local_planes() >= 1);
+            assert!(c.tile_msg_bytes(1) >= 1);
+            assert!(c.planes_2d_time(1) > SimTime::ZERO);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! One-dimensional FFT: iterative radix-2 with Bluestein's algorithm for
+//! arbitrary lengths.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// In-place forward FFT of arbitrary length.
+pub fn fft(data: &mut [Complex64]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT of arbitrary length (includes the `1/n` scaling).
+pub fn ifft(data: &mut [Complex64]) {
+    transform(data, true);
+    let n = data.len();
+    if n > 0 {
+        let s = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+}
+
+/// Naive O(n²) DFT, used as the correctness oracle in tests.
+pub fn dft_naive(data: &[Complex64]) -> Vec<Complex64> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = -2.0 * PI * (k * j) as f64 / n as f64;
+                acc += x * Complex64::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn transform(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, inverse);
+    } else {
+        bluestein(data, inverse);
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey with bit-reversal permutation.
+fn radix2(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let levels = n.trailing_zeros();
+    // Bit reversal permutation.
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut size = 2;
+    while size <= n {
+        let half = size / 2;
+        // Twiddle increment: exp(sign * 2πi / size) = exp(sign * πi / half).
+        let w_unit = Complex64::cis(sign * PI / half as f64);
+        for start in (0..n).step_by(size) {
+            let mut w = Complex64::ONE;
+            for k in 0..half {
+                let a = data[start + k];
+                let b = data[start + k + half] * w;
+                data[start + k] = a + b;
+                data[start + k + half] = a - b;
+                w *= w_unit;
+            }
+        }
+        size *= 2;
+    }
+}
+
+/// Bluestein's chirp-z transform: expresses a DFT of arbitrary length `n`
+/// as a convolution, evaluated with radix-2 FFTs of length `m >= 2n-1`.
+fn bluestein(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp: w[j] = exp(sign * i * π * j² / n); use j² mod 2n to avoid
+    // catastrophic angle growth.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|j| {
+            let jj = (j as u128 * j as u128) % (2 * n as u128);
+            Complex64::cis(sign * PI * jj as f64 / n as f64)
+        })
+        .collect();
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for j in 0..n {
+        a[j] = data[j] * chirp[j];
+    }
+    b[0] = chirp[0].conj();
+    for j in 1..n {
+        b[j] = chirp[j].conj();
+        b[m - j] = chirp[j].conj();
+    }
+    radix2(&mut a, false);
+    radix2(&mut b, false);
+    for j in 0..m {
+        a[j] *= b[j];
+    }
+    radix2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for j in 0..n {
+        data[j] = a[j].scale(scale) * chirp[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = simple_rng(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng() * 2.0 - 1.0, rng() * 2.0 - 1.0))
+            .collect()
+    }
+
+    fn simple_rng(mut state: u64) -> impl FnMut() -> f64 {
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        }
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let input = seq(n, 42);
+            let expect = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &expect) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_sizes() {
+        for n in [3usize, 5, 6, 7, 12, 15, 17, 100, 127] {
+            let input = seq(n, 7);
+            let expect = dft_naive(&input);
+            let mut got = input.clone();
+            fft(&mut got);
+            assert!(max_err(&got, &expect) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [2usize, 8, 13, 100, 128, 1000] {
+            let input = seq(n, 99);
+            let mut x = input.clone();
+            fft(&mut x);
+            ifft(&mut x);
+            assert!(max_err(&x, &input) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut x = vec![Complex64::ONE; 8];
+        fft(&mut x);
+        assert!((x[0] - Complex64::new(8.0, 0.0)).abs() < 1e-12);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        for n in [16usize, 24, 100] {
+            let input = seq(n, 5);
+            let time_energy: f64 = input.iter().map(|x| x.norm_sqr()).sum();
+            let mut freq = input.clone();
+            fft(&mut freq);
+            let freq_energy: f64 = freq.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a = seq(n, 1);
+        let b = seq(n, 2);
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let mut fs = sum.clone();
+        fft(&mut fs);
+        let combined: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fs, &combined) < 1e-9);
+    }
+
+    #[test]
+    fn frequency_shift_of_single_tone() {
+        // A pure tone at bin k must transform to a (scaled) impulse at k.
+        let n = 32;
+        let k = 5;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * PI * (k * j) as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (i, v) in x.iter().enumerate() {
+            if i == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak at bin {i}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut empty: Vec<Complex64> = vec![];
+        fft(&mut empty);
+        ifft(&mut empty);
+        let mut one = vec![Complex64::new(3.0, -2.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex64::new(3.0, -2.0));
+    }
+}

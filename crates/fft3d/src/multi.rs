@@ -1,0 +1,294 @@
+//! Multi-dimensional FFTs via the row-column method, with an optional
+//! multi-threaded driver.
+//!
+//! A 3-D transform of an `nx × ny × nz` grid applies 1-D FFTs along each
+//! axis in turn; the z-axis pass is exactly the step that the distributed
+//! kernel performs *after* the all-to-all transpose, so this module is also
+//! the ground truth for what the simulated application kernel computes.
+
+use crate::complex::Complex64;
+use crate::fft1d::{fft, ifft};
+
+/// A dense 3-D complex grid in row-major (`x` fastest) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    /// Extent in x.
+    pub nx: usize,
+    /// Extent in y.
+    pub ny: usize,
+    /// Extent in z.
+    pub nz: usize,
+    /// `nx * ny * nz` samples, index `x + nx*(y + ny*z)`.
+    pub data: Vec<Complex64>,
+}
+
+impl Grid3 {
+    /// An all-zero grid.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Grid3 {
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            data: vec![Complex64::ZERO; nx * ny * nz],
+        }
+    }
+
+    /// Build from a function of the coordinates.
+    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> Complex64) -> Grid3 {
+        let mut g = Grid3::zeros(nx, ny, nz);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    g.data[x + nx * (y + ny * z)] = f(x, y, z);
+                }
+            }
+        }
+        g
+    }
+
+    /// Sample accessor.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize, z: usize) -> Complex64 {
+        self.data[x + self.nx * (y + self.ny * z)]
+    }
+
+    /// Mutable sample accessor.
+    #[inline]
+    pub fn at_mut(&mut self, x: usize, y: usize, z: usize) -> &mut Complex64 {
+        &mut self.data[x + self.nx * (y + self.ny * z)]
+    }
+}
+
+/// 2-D FFT of an `nx × ny` plane stored row-major (`x` fastest).
+pub fn fft_2d(data: &mut [Complex64], nx: usize, ny: usize) {
+    assert_eq!(data.len(), nx * ny);
+    // Rows (x direction).
+    for row in data.chunks_exact_mut(nx) {
+        fft(row);
+    }
+    // Columns (y direction): gather, transform, scatter.
+    let mut col = vec![Complex64::ZERO; ny];
+    for x in 0..nx {
+        for y in 0..ny {
+            col[y] = data[x + nx * y];
+        }
+        fft(&mut col);
+        for y in 0..ny {
+            data[x + nx * y] = col[y];
+        }
+    }
+}
+
+fn z_pass(g: &mut Grid3, inverse: bool) {
+    let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+    let mut pencil = vec![Complex64::ZERO; nz];
+    for y in 0..ny {
+        for x in 0..nx {
+            for (z, slot) in pencil.iter_mut().enumerate() {
+                *slot = g.data[x + nx * (y + ny * z)];
+            }
+            if inverse {
+                ifft(&mut pencil);
+            } else {
+                fft(&mut pencil);
+            }
+            for (z, slot) in pencil.iter().enumerate() {
+                g.data[x + nx * (y + ny * z)] = *slot;
+            }
+        }
+    }
+}
+
+/// Forward 3-D FFT using `threads` worker threads for the plane passes
+/// (1 = serial).
+pub fn fft_3d(g: &mut Grid3, threads: usize) {
+    let (nx, ny) = (g.nx, g.ny);
+    plane_pass(g, threads, |plane| fft_2d(plane, nx, ny));
+    z_pass(g, false);
+}
+
+/// Inverse 3-D FFT (exact inverse of [`fft_3d`], including scaling).
+pub fn ifft_3d(g: &mut Grid3, threads: usize) {
+    let (nx, ny) = (g.nx, g.ny);
+    z_pass(g, true);
+    plane_pass(g, threads, move |plane| {
+        // Inverse 2-D: rows then columns with ifft.
+        for row in plane.chunks_exact_mut(nx) {
+            ifft(row);
+        }
+        let mut col = vec![Complex64::ZERO; ny];
+        for x in 0..nx {
+            for y in 0..ny {
+                col[y] = plane[x + nx * y];
+            }
+            ifft(&mut col);
+            for y in 0..ny {
+                plane[x + nx * y] = col[y];
+            }
+        }
+    });
+}
+
+/// Apply `f` to every z-plane, fanning planes out over `threads` workers
+/// using crossbeam's scoped threads.
+fn plane_pass(g: &mut Grid3, threads: usize, f: impl Fn(&mut [Complex64]) + Sync) {
+    let plane_len = g.nx * g.ny;
+    let planes: Vec<&mut [Complex64]> = g.data.chunks_exact_mut(plane_len).collect();
+    if threads <= 1 || planes.len() <= 1 {
+        for p in planes {
+            f(p);
+        }
+        return;
+    }
+    let nworkers = threads.min(planes.len());
+    // Round-robin planes across workers.
+    let mut buckets: Vec<Vec<&mut [Complex64]>> = (0..nworkers).map(|_| Vec::new()).collect();
+    for (i, p) in planes.into_iter().enumerate() {
+        buckets[i % nworkers].push(p);
+    }
+    crossbeam::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(|_| {
+                for p in bucket {
+                    f(p);
+                }
+            });
+        }
+    })
+    .expect("fft worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::dft_naive;
+    use std::f64::consts::PI;
+
+    fn rng_grid(nx: usize, ny: usize, nz: usize, seed: u64) -> Grid3 {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+        };
+        Grid3::from_fn(nx, ny, nz, |_, _, _| Complex64::new(next(), next()))
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    /// Naive 3-D DFT for small grids.
+    fn dft3_naive(g: &Grid3) -> Vec<Complex64> {
+        let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+        let mut out = vec![Complex64::ZERO; nx * ny * nz];
+        for kz in 0..nz {
+            for ky in 0..ny {
+                for kx in 0..nx {
+                    let mut acc = Complex64::ZERO;
+                    for z in 0..nz {
+                        for y in 0..ny {
+                            for x in 0..nx {
+                                let theta = -2.0
+                                    * PI
+                                    * ((kx * x) as f64 / nx as f64
+                                        + (ky * y) as f64 / ny as f64
+                                        + (kz * z) as f64 / nz as f64);
+                                acc += g.at(x, y, z) * Complex64::cis(theta);
+                            }
+                        }
+                    }
+                    out[kx + nx * (ky + ny * kz)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fft2d_matches_naive_on_separable_grid() {
+        // 1xN plane reduces to a 1-D DFT.
+        let n = 16;
+        let mut state = 3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        };
+        let row: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let expect = dft_naive(&row);
+        let mut plane = row.clone();
+        fft_2d(&mut plane, n, 1);
+        assert!(max_err(&plane, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn fft3d_matches_naive() {
+        for (nx, ny, nz) in [(4usize, 4usize, 4usize), (8, 4, 2), (3, 5, 2)] {
+            let g = rng_grid(nx, ny, nz, 11);
+            let expect = dft3_naive(&g);
+            let mut got = g.clone();
+            fft_3d(&mut got, 1);
+            assert!(
+                max_err(&got.data, &expect) < 1e-8,
+                "{nx}x{ny}x{nz}: {}",
+                max_err(&got.data, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let g = rng_grid(8, 8, 8, 21);
+        let mut x = g.clone();
+        fft_3d(&mut x, 1);
+        ifft_3d(&mut x, 1);
+        assert!(max_err(&x.data, &g.data) < 1e-9);
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        let g = rng_grid(16, 16, 8, 33);
+        let mut serial = g.clone();
+        fft_3d(&mut serial, 1);
+        for threads in [2usize, 4, 7] {
+            let mut par = g.clone();
+            fft_3d(&mut par, threads);
+            assert!(max_err(&par.data, &serial.data) < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plane_wave_is_single_bin() {
+        let (nx, ny, nz) = (8usize, 8usize, 8usize);
+        let (kx, ky, kz) = (2usize, 3usize, 5usize);
+        let mut g = Grid3::from_fn(nx, ny, nz, |x, y, z| {
+            Complex64::cis(
+                2.0 * PI
+                    * ((kx * x) as f64 / nx as f64
+                        + (ky * y) as f64 / ny as f64
+                        + (kz * z) as f64 / nz as f64),
+            )
+        });
+        fft_3d(&mut g, 1);
+        let total = (nx * ny * nz) as f64;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let v = g.at(x, y, z).abs();
+                    if (x, y, z) == (kx, ky, kz) {
+                        assert!((v - total).abs() < 1e-6);
+                    } else {
+                        assert!(v < 1e-6, "leak at {x},{y},{z}: {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let mut g = Grid3::zeros(2, 3, 4);
+        *g.at_mut(1, 2, 3) = Complex64::new(7.0, 0.0);
+        assert_eq!(g.at(1, 2, 3).re, 7.0);
+        assert_eq!(g.data.len(), 24);
+    }
+}

@@ -1,0 +1,362 @@
+//! 2-D (pencil) decomposed 3-D FFT with per-communicator tuning.
+//!
+//! The paper's kernel (§IV-B) uses a 1-D *slab* decomposition: one global
+//! all-to-all. Large machines use a 2-D *pencil* decomposition instead
+//! (cf. the paper's related-work comparison with Song & Hollingsworth's
+//! auto-tuned 3-D FFT): the `pr × pc` process grid performs two smaller
+//! transposes — one within each *row* communicator (`pc` ranks) and one
+//! within each *column* communicator (`pr` ranks).
+//!
+//! Each row/column communicator gets its own ADCL request and its own
+//! subset timer, so all `pr + pc` operations tune **concurrently and
+//! independently** — row and column transposes have different message
+//! sizes and member counts and may converge to different implementations.
+
+use crate::cost::{fft_flops, flops_time, BYTES_PER_POINT};
+use adcl::filter::FilterKind;
+use adcl::function::FunctionSet;
+use adcl::runner::{Instr, Runner, Script, TuningSession};
+use adcl::strategy::SelectionLogic;
+use adcl::tuner::TunerConfig;
+use mpisim::{NoiseConfig, World};
+use nbc::schedule::CollSpec;
+use netmodel::{Placement, Platform};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Pencil-decomposition workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct PencilConfig {
+    /// Grid extent per dimension (`n³` points total).
+    pub n: usize,
+    /// Process-grid rows (column-communicator size).
+    pub pr: usize,
+    /// Process-grid columns (row-communicator size).
+    pub pc: usize,
+    /// Iterations of the full 3-D FFT.
+    pub iters: usize,
+    /// Tiles per transpose stage (overlap granularity).
+    pub tiles: usize,
+    /// Outstanding all-to-alls per stage.
+    pub window: usize,
+    /// Progress calls per tile's compute phase.
+    pub progress_per_tile: usize,
+    /// Measurements per implementation during learning.
+    pub reps: usize,
+    /// Rank placement policy.
+    pub placement: Placement,
+}
+
+impl Default for PencilConfig {
+    fn default() -> Self {
+        PencilConfig {
+            n: 256,
+            pr: 4,
+            pc: 4,
+            iters: 30,
+            tiles: 4,
+            window: 2,
+            progress_per_tile: 2,
+            reps: 3,
+            placement: Placement::Block,
+        }
+    }
+}
+
+impl PencilConfig {
+    /// Total process count.
+    pub fn nprocs(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Per-pair message size of the row transpose for one tile: the local
+    /// `n³/p` points are exchanged within the `pc`-rank row communicator,
+    /// split over `tiles`.
+    pub fn row_msg_bytes(&self) -> usize {
+        let local_points = self.n * self.n * self.n / self.nprocs();
+        (local_points * BYTES_PER_POINT / self.pc / self.tiles).max(1)
+    }
+
+    /// Per-pair message size of the column transpose for one tile.
+    pub fn col_msg_bytes(&self) -> usize {
+        let local_points = self.n * self.n * self.n / self.nprocs();
+        (local_points * BYTES_PER_POINT / self.pr / self.tiles).max(1)
+    }
+
+    /// Compute time of one 1-D FFT stage over one tile's share of the
+    /// local pencils.
+    pub fn stage_tile_time(&self, gflops: f64) -> SimTime {
+        let pencils = (self.n * self.n) as f64 / self.nprocs() as f64;
+        flops_time(pencils / self.tiles as f64 * fft_flops(self.n), gflops)
+    }
+
+    /// Row-communicator members (global ranks) for row `r`.
+    pub fn row_comm(&self, r: usize) -> Vec<usize> {
+        (0..self.pc).map(|c| r * self.pc + c).collect()
+    }
+
+    /// Column-communicator members for column `c`.
+    pub fn col_comm(&self, c: usize) -> Vec<usize> {
+        (0..self.pr).map(|r| r * self.pc + c).collect()
+    }
+}
+
+/// Per-rank script: z-FFT stage, tiled row transpose (+y-FFTs), tiled
+/// column transpose (+x-FFTs); the two transpose sections are bracketed by
+/// their communicator's subset timer.
+struct PencilScript {
+    buf: VecDeque<Instr>,
+    iter: usize,
+    iters: usize,
+    template: Vec<Instr>,
+}
+
+impl PencilScript {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: &PencilConfig,
+        gflops: f64,
+        row_op: usize,
+        row_timer: usize,
+        col_op: usize,
+        col_timer: usize,
+    ) -> PencilScript {
+        let stage = cfg.stage_tile_time(gflops);
+        let chunks = cfg.progress_per_tile.max(1);
+        let window = cfg.window.min(cfg.tiles).max(1);
+        let mut template = Vec::new();
+        // Stage 1: local z-FFTs (not part of any tuned section).
+        for _ in 0..cfg.tiles {
+            template.push(Instr::Compute(stage));
+        }
+        // One tiled transpose + follow-up FFT stage.
+        let mut transpose = |op: usize, timer: usize| {
+            template.push(Instr::TimerStart(timer));
+            for t in 0..cfg.tiles {
+                if t >= window {
+                    template.push(Instr::Wait { op, slot: t % window });
+                    template.push(Instr::Compute(stage));
+                }
+                for _ in 0..chunks {
+                    template.push(Instr::Compute(stage / chunks as u64));
+                    template.push(Instr::Progress { op });
+                }
+                template.push(Instr::Start { op, slot: t % window });
+            }
+            for t in cfg.tiles.saturating_sub(window)..cfg.tiles {
+                template.push(Instr::Wait { op, slot: t % window });
+                template.push(Instr::Compute(stage));
+            }
+            template.push(Instr::TimerStop(timer));
+        };
+        transpose(row_op, row_timer);
+        transpose(col_op, col_timer);
+        PencilScript {
+            buf: VecDeque::new(),
+            iter: 0,
+            iters: cfg.iters,
+            template,
+        }
+    }
+}
+
+impl Script for PencilScript {
+    fn next(&mut self) -> Option<Instr> {
+        if self.buf.is_empty() {
+            if self.iter >= self.iters {
+                return None;
+            }
+            self.iter += 1;
+            self.buf.extend(self.template.iter().cloned());
+        }
+        self.buf.pop_front()
+    }
+}
+
+/// Result of one pencil-FFT run.
+#[derive(Debug, Clone)]
+pub struct PencilResult {
+    /// Winner per row communicator (index = row).
+    pub row_winners: Vec<Option<String>>,
+    /// Winner per column communicator (index = column).
+    pub col_winners: Vec<Option<String>>,
+    /// Total time of each row communicator's transpose section (seconds).
+    pub row_totals: Vec<f64>,
+    /// Total time of each column communicator's transpose section.
+    pub col_totals: Vec<f64>,
+}
+
+impl PencilResult {
+    /// Sum of all transpose-section times (the tuned portion of the run).
+    /// Note the sections of different communicators run *concurrently*;
+    /// use [`PencilResult::per_rank_transpose_time`] to compare against a
+    /// slab run.
+    pub fn transpose_total(&self) -> f64 {
+        self.row_totals.iter().sum::<f64>() + self.col_totals.iter().sum::<f64>()
+    }
+
+    /// Average transpose time experienced by one rank: every rank belongs
+    /// to exactly one row and one column communicator, so its tuned
+    /// sections cost the mean row total plus the mean column total.
+    pub fn per_rank_transpose_time(&self) -> f64 {
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        mean(&self.row_totals) + mean(&self.col_totals)
+    }
+}
+
+/// Run the pencil kernel; every row and column communicator tunes its own
+/// all-to-all under `logic` (use `SelectionLogic::Fixed(0)` for the
+/// LibNBC-style linear baseline).
+pub fn run_pencil(
+    platform: &Platform,
+    cfg: &PencilConfig,
+    logic: SelectionLogic,
+    noise: NoiseConfig,
+) -> PencilResult {
+    let p = cfg.nprocs();
+    let mut world = World::new(platform.clone(), p, cfg.placement, noise);
+    let mut session = TuningSession::new(p);
+    let tuner_cfg = TunerConfig {
+        logic,
+        reps: cfg.reps,
+        warmup: 1,
+        filter: FilterKind::default(),
+    };
+    // One op + subset timer per row communicator, likewise per column.
+    let mut row_ops = Vec::new();
+    let mut row_timers = Vec::new();
+    for r in 0..cfg.pr {
+        let comm = cfg.row_comm(r);
+        let op = session.add_op_on_comm(
+            &format!("row{r}-ialltoall"),
+            FunctionSet::ialltoall_default(CollSpec::new(cfg.pc, cfg.row_msg_bytes())),
+            tuner_cfg,
+            comm.clone(),
+        );
+        let timer = session.add_timer_subset(vec![op], &comm);
+        row_ops.push(op);
+        row_timers.push(timer);
+    }
+    let mut col_ops = Vec::new();
+    let mut col_timers = Vec::new();
+    for c in 0..cfg.pc {
+        let comm = cfg.col_comm(c);
+        let op = session.add_op_on_comm(
+            &format!("col{c}-ialltoall"),
+            FunctionSet::ialltoall_default(CollSpec::new(cfg.pr, cfg.col_msg_bytes())),
+            tuner_cfg,
+            comm.clone(),
+        );
+        let timer = session.add_timer_subset(vec![op], &comm);
+        col_ops.push(op);
+        col_timers.push(timer);
+    }
+    let scripts: Vec<Box<dyn Script>> = (0..p)
+        .map(|g| {
+            let (r, c) = (g / cfg.pc, g % cfg.pc);
+            Box::new(PencilScript::new(
+                cfg,
+                platform.gflops_per_core,
+                row_ops[r],
+                row_timers[r],
+                col_ops[c],
+                col_timers[c],
+            )) as Box<dyn Script>
+        })
+        .collect();
+    let mut runner = Runner::new(session, scripts);
+    world.run(&mut runner).expect("pencil kernel deadlocked");
+    let s = runner.session;
+    let winner_of = |op: usize| {
+        s.ops[op]
+            .tuner
+            .winner()
+            .map(|w| s.ops[op].fnset.functions[w].name.clone())
+    };
+    PencilResult {
+        row_winners: row_ops.iter().map(|&op| winner_of(op)).collect(),
+        col_winners: col_ops.iter().map(|&op| winner_of(op)).collect(),
+        row_totals: row_timers.iter().map(|&t| s.timers[t].total()).collect(),
+        col_totals: col_timers.iter().map(|&t| s.timers[t].total()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PencilConfig {
+        PencilConfig {
+            n: 64,
+            pr: 2,
+            pc: 4,
+            iters: 16,
+            tiles: 2,
+            window: 2,
+            progress_per_tile: 2,
+            reps: 2,
+            placement: Placement::Block,
+        }
+    }
+
+    #[test]
+    fn geometry_and_sizes() {
+        let cfg = small();
+        assert_eq!(cfg.nprocs(), 8);
+        assert_eq!(cfg.row_comm(1), vec![4, 5, 6, 7]);
+        assert_eq!(cfg.col_comm(2), vec![2, 6]);
+        // Row transpose splits across pc, column across pr.
+        assert!(cfg.row_msg_bytes() < cfg.col_msg_bytes());
+    }
+
+    #[test]
+    fn pencil_runs_and_all_comms_converge() {
+        let cfg = small();
+        let r = run_pencil(
+            &Platform::whale(),
+            &cfg,
+            SelectionLogic::BruteForce,
+            NoiseConfig::none(),
+        );
+        assert_eq!(r.row_winners.len(), 2);
+        assert_eq!(r.col_winners.len(), 4);
+        for w in r.row_winners.iter().chain(&r.col_winners) {
+            assert!(w.is_some(), "every communicator converges: {r:?}");
+        }
+        assert!(r.transpose_total() > 0.0);
+    }
+
+    #[test]
+    fn tuned_not_worse_than_fixed_linear_steady() {
+        let mut cfg = small();
+        cfg.iters = 24;
+        let fixed = run_pencil(
+            &Platform::whale(),
+            &cfg,
+            SelectionLogic::Fixed(0),
+            NoiseConfig::none(),
+        );
+        let tuned = run_pencil(
+            &Platform::whale(),
+            &cfg,
+            SelectionLogic::BruteForce,
+            NoiseConfig::none(),
+        );
+        // Totals include the learning phase; allow its overhead.
+        assert!(
+            tuned.transpose_total() <= fixed.transpose_total() * 1.4,
+            "tuned {} vs fixed {}",
+            tuned.transpose_total(),
+            fixed.transpose_total()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = small();
+        let a = run_pencil(&Platform::crill(), &cfg, SelectionLogic::BruteForce, NoiseConfig::light(3));
+        let b = run_pencil(&Platform::crill(), &cfg, SelectionLogic::BruteForce, NoiseConfig::light(3));
+        assert_eq!(a.row_totals, b.row_totals);
+        assert_eq!(a.col_winners, b.col_winners);
+    }
+}

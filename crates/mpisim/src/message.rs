@@ -1,0 +1,152 @@
+//! Message and receive-request state machines.
+
+use crate::types::{RankId, Tag};
+use simcore::SimTime;
+
+/// Wire protocol chosen for a message, by size and transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Payload is pushed immediately; buffered at the receiver if no
+    /// matching receive is posted yet. Progresses without CPU involvement.
+    Eager,
+    /// Request-to-send / clear-to-send handshake; the payload only moves
+    /// after both sides have entered the progress engine.
+    Rendezvous,
+}
+
+/// Sender-side lifecycle of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendState {
+    /// Posted; payload (eager) or RTS (rendezvous) injected.
+    Posted,
+    /// Rendezvous only: CTS has arrived at the sender but the sender has not
+    /// yet entered the progress engine to start the payload transfer.
+    CtsArrived(SimTime),
+    /// Rendezvous only: payload transfer started (CTS acted upon).
+    DataInFlight,
+    /// Local completion: the source buffer is reusable.
+    Drained(SimTime),
+}
+
+/// Receiver-side lifecycle of a message, *after* matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvState {
+    /// Posted, not yet matched to an incoming message.
+    Posted,
+    /// Matched to message `msg`, payload not yet fully delivered.
+    Matched,
+    /// Payload fully delivered at the given time.
+    Complete(SimTime),
+}
+
+/// One in-flight point-to-point message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    pub src: RankId,
+    pub dst: RankId,
+    pub tag: Tag,
+    pub bytes: usize,
+    pub protocol: Protocol,
+    /// Per-(src, dst) channel sequence number; envelopes are delivered to
+    /// the matching logic in this order (MPI non-overtaking).
+    pub seq: u64,
+    pub send_state: SendState,
+    /// Index of the matched receive request, once matched.
+    pub matched_recv: Option<usize>,
+    /// Eager: payload arrival time at the destination NIC (set when the
+    /// arrival event fires). Rendezvous: payload arrival after CTS.
+    pub data_arrival: Option<SimTime>,
+    /// Rendezvous: RTS arrival time at the receiver.
+    pub rts_arrival: Option<SimTime>,
+    /// Rendezvous: receiver answered RTS (CTS sent).
+    pub cts_sent: bool,
+}
+
+impl Message {
+    /// A freshly posted message.
+    pub fn new(src: RankId, dst: RankId, tag: Tag, bytes: usize, protocol: Protocol, seq: u64) -> Self {
+        Message {
+            src,
+            dst,
+            tag,
+            bytes,
+            protocol,
+            seq,
+            send_state: SendState::Posted,
+            matched_recv: None,
+            data_arrival: None,
+            rts_arrival: None,
+            cts_sent: false,
+        }
+    }
+
+    /// True once the sender may reuse its buffer.
+    pub fn send_drained(&self) -> Option<SimTime> {
+        match self.send_state {
+            SendState::Drained(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// One posted receive request.
+#[derive(Debug, Clone)]
+pub struct RecvReq {
+    pub rank: RankId,
+    pub src: RankId,
+    pub tag: Tag,
+    pub bytes: usize,
+    pub state: RecvState,
+    /// The matched message, if any.
+    pub msg: Option<usize>,
+}
+
+impl RecvReq {
+    /// A freshly posted receive.
+    pub fn new(rank: RankId, src: RankId, tag: Tag, bytes: usize) -> Self {
+        RecvReq {
+            rank,
+            src,
+            tag,
+            bytes,
+            state: RecvState::Posted,
+            msg: None,
+        }
+    }
+
+    /// Completion time, if delivered.
+    pub fn complete_at(&self) -> Option<SimTime> {
+        match self.state {
+            RecvState::Complete(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_lifecycle_defaults() {
+        let m = Message::new(0, 1, Tag(5), 100, Protocol::Eager, 0);
+        assert_eq!(m.send_state, SendState::Posted);
+        assert!(m.send_drained().is_none());
+        assert!(m.matched_recv.is_none());
+    }
+
+    #[test]
+    fn drained_reports_time() {
+        let mut m = Message::new(0, 1, Tag(5), 100, Protocol::Rendezvous, 0);
+        m.send_state = SendState::Drained(SimTime::from_micros(9));
+        assert_eq!(m.send_drained(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn recv_completion() {
+        let mut r = RecvReq::new(1, 0, Tag(5), 100);
+        assert!(r.complete_at().is_none());
+        r.state = RecvState::Complete(SimTime::from_nanos(77));
+        assert_eq!(r.complete_at(), Some(SimTime::from_nanos(77)));
+    }
+}

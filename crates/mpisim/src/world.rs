@@ -1,0 +1,1079 @@
+//! The discrete-event world: rank scheduling, point-to-point messaging and
+//! the progress engine.
+
+use crate::message::{Message, Protocol, RecvReq, RecvState, SendState};
+use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
+use netmodel::{NetworkState, Placement, Platform};
+use simcore::rng::NoiseModel;
+use simcore::{EventQueue, SimTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// What a rank does next, as decided by its [`RankBehavior`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Compute (application work) for the given duration. Compute noise is
+    /// applied by the world. While computing, eager messages still flow, but
+    /// the rank does not enter the progress engine.
+    Compute(SimTime),
+    /// Spend CPU time inside the library (posting messages, progress-call
+    /// overhead). No noise is applied. The behaviour is stepped again
+    /// immediately afterwards.
+    Busy(SimTime),
+    /// Block until *any* network event involving this rank fires, then step
+    /// again (this is how `wait` polls: each event re-runs the behaviour,
+    /// which re-checks completion).
+    Block,
+    /// This rank's program is finished.
+    Done,
+}
+
+/// A program driving every rank of the simulation.
+///
+/// `step` is called whenever rank `rank` is runnable; the implementation
+/// typically keeps per-rank program state and uses the [`World`] API
+/// (`isend` / `irecv` / `poll` / completion queries) to do message passing.
+pub trait RankBehavior {
+    /// Decide the next action for `rank` at its current local time
+    /// (`world.rank_now(rank)`).
+    fn step(&mut self, world: &mut World, rank: RankId) -> Step;
+}
+
+/// Why a simulation run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No pending events but some ranks have not finished: every remaining
+    /// rank is blocked on a message that can never arrive.
+    Deadlock {
+        /// Ranks still blocked.
+        blocked: Vec<RankId>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlock; blocked ranks: {blocked:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankStatus {
+    /// Wake event pending (computing or about to start).
+    Scheduled,
+    /// Waiting for a network event.
+    Blocked,
+    /// Program finished.
+    Done,
+}
+
+enum Event {
+    Wake(RankId),
+    Net { rank: RankId, kind: NetEvent },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    EagerArrived(usize),
+    RtsArrived(usize),
+    CtsArrived(usize),
+    DataArrived(usize),
+    SendDrained(usize),
+}
+
+/// What a rank was doing during a [`TraceSegment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Application compute phase.
+    Compute,
+    /// CPU inside the communication library.
+    Library,
+    /// Blocked in a wait.
+    Blocked,
+}
+
+impl SegmentKind {
+    /// Label used in trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Library => "library",
+            SegmentKind::Blocked => "blocked",
+        }
+    }
+}
+
+/// One interval of a rank's timeline (recorded when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// The rank.
+    pub rank: RankId,
+    /// What it was doing.
+    pub kind: SegmentKind,
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval end.
+    pub end: SimTime,
+}
+
+/// Where a rank's (virtual) time went, for overlap analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankAccounting {
+    /// Time spent in application compute phases.
+    pub compute: SimTime,
+    /// CPU time spent inside the communication library (posting, progress
+    /// calls, copies) — the non-overlappable communication cost.
+    pub library: SimTime,
+    /// Time spent blocked in waits — communication *exposed* to the
+    /// application.
+    pub blocked: SimTime,
+}
+
+impl RankAccounting {
+    /// Fraction of non-compute time (library + blocked) relative to the
+    /// total; 0 means perfect overlap.
+    pub fn exposed_fraction(&self) -> f64 {
+        let total = (self.compute + self.library + self.blocked).as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.library + self.blocked).as_secs_f64() / total
+    }
+}
+
+struct RankState {
+    now: SimTime,
+    status: RankStatus,
+    noise: NoiseModel,
+    acct: RankAccounting,
+    /// When the current blocked interval began, if blocked.
+    block_since: Option<SimTime>,
+    /// Next envelope sequence number expected per source rank (MPI
+    /// non-overtaking: envelopes are delivered to matching in send order).
+    env_next: HashMap<RankId, u64>,
+    /// Envelopes that arrived out of order, per source rank.
+    env_buf: HashMap<RankId, BTreeMap<u64, usize>>,
+    /// Posted, unmatched receive requests (ids into `recvs`), post order.
+    posted_recvs: Vec<usize>,
+    /// Unmatched arrived messages (eager payloads or rendezvous RTS).
+    unexpected: Vec<usize>,
+    /// Matched rendezvous messages awaiting a CTS from this rank (dst side).
+    pending_cts: Vec<usize>,
+    /// Rendezvous messages whose CTS arrived, awaiting payload injection
+    /// (src side).
+    pending_data_start: Vec<usize>,
+}
+
+/// The simulated machine: ranks, network, in-flight messages and the event
+/// queue.
+pub struct World {
+    net: NetworkState,
+    ranks: Vec<RankState>,
+    msgs: Vec<Message>,
+    recvs: Vec<RecvReq>,
+    events: EventQueue<Event>,
+    /// Per-(src, dst) channel send counters for envelope sequencing.
+    send_seq: HashMap<(RankId, RankId), u64>,
+    next_tag: u64,
+    polls: u64,
+    protocol_actions: u64,
+    /// Timeline segments, recorded only when tracing is enabled.
+    trace: Option<Vec<TraceSegment>>,
+}
+
+impl World {
+    /// Create a world of `nranks` ranks on `platform`.
+    pub fn new(platform: Platform, nranks: usize, placement: Placement, noise: NoiseConfig) -> Self {
+        let ranks = (0..nranks)
+            .map(|r| RankState {
+                now: SimTime::ZERO,
+                status: RankStatus::Scheduled,
+                noise: if noise.is_none() {
+                    NoiseModel::none()
+                } else {
+                    NoiseModel::for_rank(noise.seed, r, noise.jitter, noise.spike_prob, noise.spike_scale)
+                },
+                acct: RankAccounting::default(),
+                block_since: None,
+                env_next: HashMap::new(),
+                env_buf: HashMap::new(),
+                posted_recvs: Vec::new(),
+                unexpected: Vec::new(),
+                pending_cts: Vec::new(),
+                pending_data_start: Vec::new(),
+            })
+            .collect();
+        World {
+            net: NetworkState::new(platform, nranks, placement),
+            ranks,
+            msgs: Vec::new(),
+            recvs: Vec::new(),
+            events: EventQueue::new(),
+            send_seq: HashMap::new(),
+            next_tag: 0,
+            polls: 0,
+            protocol_actions: 0,
+            trace: None,
+        }
+    }
+
+    /// Start recording per-rank timeline segments (compute / library /
+    /// blocked intervals). Costs memory proportional to the number of
+    /// phases; off by default.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded timeline (empty unless [`World::enable_trace`] was
+    /// called before the run).
+    pub fn trace(&self) -> &[TraceSegment] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, rank: RankId, kind: SegmentKind, start: SimTime, end: SimTime) {
+        if end > start {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceSegment {
+                    rank,
+                    kind,
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+
+    /// Write the recorded timeline in the Chrome trace-event JSON format
+    /// (loadable in `chrome://tracing` or Perfetto; timestamps in
+    /// microseconds of *virtual* time).
+    pub fn write_chrome_trace(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(w, "[")?;
+        let segs = self.trace();
+        for (i, s) in segs.iter().enumerate() {
+            let comma = if i + 1 == segs.len() { "" } else { "," };
+            writeln!(
+                w,
+                "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}{}",
+                s.kind.label(),
+                s.rank,
+                s.start.as_micros_f64(),
+                (s.end - s.start).as_micros_f64(),
+                comma
+            )?;
+        }
+        writeln!(w, "]")
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The platform description.
+    pub fn platform(&self) -> &Platform {
+        self.net.platform()
+    }
+
+    /// The network state (topology queries, statistics).
+    pub fn network(&self) -> &NetworkState {
+        &self.net
+    }
+
+    /// Local clock of `rank`.
+    pub fn rank_now(&self, rank: RankId) -> SimTime {
+        self.ranks[rank].now
+    }
+
+    /// Allocate a fresh tag for a collective-operation instance. All ranks
+    /// creating operations in the same order observe the same tag sequence.
+    pub fn alloc_tag(&mut self) -> Tag {
+        let t = Tag(self.next_tag);
+        self.next_tag += 1;
+        t
+    }
+
+    /// Total progress-engine invocations so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Total rendezvous protocol actions (CTS sends + payload starts).
+    pub fn protocol_actions(&self) -> u64 {
+        self.protocol_actions
+    }
+
+    /// Time accounting for `rank` (compute / library / blocked).
+    pub fn accounting(&self, rank: RankId) -> RankAccounting {
+        self.ranks[rank].acct
+    }
+
+    /// Aggregate accounting over all ranks.
+    pub fn accounting_total(&self) -> RankAccounting {
+        let mut total = RankAccounting::default();
+        for r in &self.ranks {
+            total.compute += r.acct.compute;
+            total.library += r.acct.library;
+            total.blocked += r.acct.blocked;
+        }
+        total
+    }
+
+    /// CPU overhead for posting one send to `dst`.
+    pub fn o_send(&self, src: RankId, dst: RankId) -> SimTime {
+        self.net.params(src, dst).o_send
+    }
+
+    /// CPU overhead for posting one receive from `src`.
+    pub fn o_recv(&self, dst: RankId, src: RankId) -> SimTime {
+        self.net.params(dst, src).o_recv
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point API (used by the collective-schedule executor)
+    // ------------------------------------------------------------------
+
+    /// Post a non-blocking send from `src` to `dst` at local time `at`.
+    ///
+    /// The *caller* is responsible for charging `o_send` CPU time; `at`
+    /// should already include it.
+    pub fn isend(&mut self, src: RankId, dst: RankId, tag: Tag, bytes: usize, at: SimTime) -> SendHandle {
+        assert_ne!(src, dst, "self-sends are expressed as schedule copies");
+        let id = self.msgs.len();
+        let seq = {
+            let c = self.send_seq.entry((src, dst)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        if self.net.is_eager(src, dst, bytes) {
+            let plan = self.net.plan_transfer(at, src, dst, bytes);
+            self.msgs.push(Message::new(src, dst, tag, bytes, Protocol::Eager, seq));
+            self.events.push(
+                plan.src_drain,
+                Event::Net {
+                    rank: src,
+                    kind: NetEvent::SendDrained(id),
+                },
+            );
+            self.events.push(
+                plan.dst_drain,
+                Event::Net {
+                    rank: dst,
+                    kind: NetEvent::EagerArrived(id),
+                },
+            );
+        } else {
+            let rts = self.net.ctrl_arrival(at, src, dst);
+            self.msgs.push(Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq));
+            self.events.push(
+                rts,
+                Event::Net {
+                    rank: dst,
+                    kind: NetEvent::RtsArrived(id),
+                },
+            );
+        }
+        SendHandle(id)
+    }
+
+    /// Post a non-blocking receive on `rank` for a message from `src`.
+    pub fn irecv(&mut self, rank: RankId, src: RankId, tag: Tag, bytes: usize, at: SimTime) -> RecvHandle {
+        let rid = self.recvs.len();
+        self.recvs.push(RecvReq::new(rank, src, tag, bytes));
+        // Try to match an already-arrived (unexpected) message, FIFO.
+        let pos = self.ranks[rank]
+            .unexpected
+            .iter()
+            .position(|&m| self.msgs[m].src == src && self.msgs[m].tag == tag);
+        if let Some(pos) = pos {
+            let mid = self.ranks[rank].unexpected.remove(pos);
+            self.match_pair(mid, rid, at, true);
+        } else {
+            self.ranks[rank].posted_recvs.push(rid);
+        }
+        RecvHandle(rid)
+    }
+
+    /// Bind message `mid` to receive `rid`. `on_post` is true when matching
+    /// happens at receive-post time (the message was unexpected).
+    fn match_pair(&mut self, mid: usize, rid: usize, now: SimTime, on_post: bool) {
+        debug_assert_eq!(self.msgs[mid].bytes, self.recvs[rid].bytes, "size mismatch in match");
+        self.msgs[mid].matched_recv = Some(rid);
+        self.recvs[rid].msg = Some(mid);
+        self.recvs[rid].state = RecvState::Matched;
+        match self.msgs[mid].protocol {
+            Protocol::Eager => {
+                if let Some(arr) = self.msgs[mid].data_arrival {
+                    if on_post {
+                        // Payload already buffered: completion costs a copy
+                        // out of the bounce buffer, finishing slightly after
+                        // `now`. Schedule a delivery event so a subsequent
+                        // wait is woken when the copy is done.
+                        let src = self.msgs[mid].src;
+                        let dst = self.msgs[mid].dst;
+                        let copy = self.net.params(src, dst).unexpected_copy(self.msgs[mid].bytes);
+                        let done = now.max(arr) + copy;
+                        self.events.push(
+                            done,
+                            Event::Net {
+                                rank: dst,
+                                kind: NetEvent::DataArrived(mid),
+                            },
+                        );
+                    } else {
+                        self.recvs[rid].state = RecvState::Complete(arr);
+                    }
+                }
+                // else: completion set when EagerArrived fires.
+            }
+            Protocol::Rendezvous => {
+                // Receiver must answer the RTS from inside the library.
+                if self.msgs[mid].rts_arrival.is_some() && !self.msgs[mid].cts_sent {
+                    let dst = self.msgs[mid].dst;
+                    self.ranks[dst].pending_cts.push(mid);
+                }
+            }
+        }
+    }
+
+    /// Run the rendezvous protocol engine for `rank` at time `now`:
+    /// answer matched RTSs with CTSs, and start payload transfers for sends
+    /// whose CTS has arrived. Returns the number of protocol actions taken.
+    ///
+    /// This models one entry into the MPI library (`MPI_Test`-style); it is
+    /// invoked by explicit progress calls and continuously while blocked in
+    /// a wait.
+    pub fn poll(&mut self, rank: RankId, now: SimTime) -> usize {
+        self.polls += 1;
+        let mut actions = 0;
+        // Answer RTSs (receiver side).
+        let cts: Vec<usize> = std::mem::take(&mut self.ranks[rank].pending_cts);
+        for mid in cts {
+            if self.msgs[mid].cts_sent {
+                continue;
+            }
+            self.msgs[mid].cts_sent = true;
+            let src = self.msgs[mid].src;
+            let arr = self.net.ctrl_arrival(now, rank, src);
+            self.events.push(
+                arr,
+                Event::Net {
+                    rank: src,
+                    kind: NetEvent::CtsArrived(mid),
+                },
+            );
+            actions += 1;
+        }
+        // Start payloads (sender side).
+        let starts: Vec<usize> = std::mem::take(&mut self.ranks[rank].pending_data_start);
+        for mid in starts {
+            if !matches!(self.msgs[mid].send_state, SendState::CtsArrived(_)) {
+                continue;
+            }
+            let (src, dst, bytes) = (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
+            let plan = self.net.plan_transfer(now, src, dst, bytes);
+            self.msgs[mid].send_state = SendState::DataInFlight;
+            self.events.push(
+                plan.src_drain,
+                Event::Net {
+                    rank: src,
+                    kind: NetEvent::SendDrained(mid),
+                },
+            );
+            self.events.push(
+                plan.dst_drain,
+                Event::Net {
+                    rank: dst,
+                    kind: NetEvent::DataArrived(mid),
+                },
+            );
+            actions += 1;
+        }
+        self.protocol_actions += actions as u64;
+        actions
+    }
+
+    /// True once the sender of `h` may reuse its buffer (observed at `now`).
+    pub fn send_done(&self, h: SendHandle, now: SimTime) -> bool {
+        self.msgs[h.0].send_drained().is_some_and(|t| t <= now)
+    }
+
+    /// True once the payload of `h` has been fully delivered (observed at
+    /// `now`).
+    pub fn recv_done(&self, h: RecvHandle, now: SimTime) -> bool {
+        self.recvs[h.0].complete_at().is_some_and(|t| t <= now)
+    }
+
+    /// Completion time of a send, if it has drained.
+    pub fn send_complete_time(&self, h: SendHandle) -> Option<SimTime> {
+        self.msgs[h.0].send_drained()
+    }
+
+    /// Completion time of a receive, if delivered.
+    pub fn recv_complete_time(&self, h: RecvHandle) -> Option<SimTime> {
+        self.recvs[h.0].complete_at()
+    }
+
+    // ------------------------------------------------------------------
+    // Event application
+    // ------------------------------------------------------------------
+
+    /// Buffer an arrived envelope and deliver every in-order envelope on
+    /// its channel to the matching logic. MPI guarantees non-overtaking
+    /// per (source, communicator): a fast eager message must not match a
+    /// receive ahead of an earlier rendezvous message whose RTS is still
+    /// in flight, so delivery follows the sender's posting order.
+    fn enqueue_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
+        let src = self.msgs[mid].src;
+        let seq = self.msgs[mid].seq;
+        self.ranks[rank].env_buf.entry(src).or_default().insert(seq, mid);
+        loop {
+            let next = *self.ranks[rank].env_next.entry(src).or_insert(0);
+            let Some(&m) = self.ranks[rank].env_buf.get(&src).and_then(|b| b.get(&next)) else {
+                break;
+            };
+            self.ranks[rank].env_buf.get_mut(&src).expect("buf").remove(&next);
+            *self.ranks[rank].env_next.get_mut(&src).expect("next") += 1;
+            self.deliver_envelope(rank, m, t);
+        }
+    }
+
+    /// Run the matching logic for an (in-order) envelope.
+    fn deliver_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
+        match self.msgs[mid].protocol {
+            Protocol::Eager => {
+                if let Some(rid) = self.msgs[mid].matched_recv {
+                    // Pre-posted receive: payload lands in place.
+                    self.recvs[rid].state = RecvState::Complete(t);
+                } else {
+                    let pos = self.ranks[rank].posted_recvs.iter().position(|&r| {
+                        self.recvs[r].src == self.msgs[mid].src
+                            && self.recvs[r].tag == self.msgs[mid].tag
+                    });
+                    match pos {
+                        Some(p) => {
+                            let rid = self.ranks[rank].posted_recvs.remove(p);
+                            self.match_pair(mid, rid, t, false);
+                            self.recvs[rid].state = RecvState::Complete(t);
+                        }
+                        None => self.ranks[rank].unexpected.push(mid),
+                    }
+                }
+            }
+            Protocol::Rendezvous => {
+                let pos = self.ranks[rank].posted_recvs.iter().position(|&r| {
+                    self.recvs[r].src == self.msgs[mid].src
+                        && self.recvs[r].tag == self.msgs[mid].tag
+                });
+                match pos {
+                    Some(p) => {
+                        let rid = self.ranks[rank].posted_recvs.remove(p);
+                        self.match_pair(mid, rid, t, false);
+                    }
+                    None => self.ranks[rank].unexpected.push(mid),
+                }
+            }
+        }
+    }
+
+    fn apply_net(&mut self, rank: RankId, kind: NetEvent, t: SimTime) {
+        match kind {
+            NetEvent::EagerArrived(mid) => {
+                self.msgs[mid].data_arrival = Some(t);
+                self.enqueue_envelope(rank, mid, t);
+            }
+            NetEvent::RtsArrived(mid) => {
+                self.msgs[mid].rts_arrival = Some(t);
+                self.enqueue_envelope(rank, mid, t);
+            }
+            NetEvent::CtsArrived(mid) => {
+                self.msgs[mid].send_state = SendState::CtsArrived(t);
+                self.ranks[rank].pending_data_start.push(mid);
+            }
+            NetEvent::DataArrived(mid) => {
+                self.msgs[mid].data_arrival = Some(t);
+                let rid = self.msgs[mid]
+                    .matched_recv
+                    .expect("rendezvous payload for unmatched message");
+                self.recvs[rid].state = RecvState::Complete(t);
+            }
+            NetEvent::SendDrained(mid) => {
+                self.msgs[mid].send_state = SendState::Drained(t);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Run every rank's behaviour to completion. Returns the largest rank
+    /// local time (the makespan).
+    pub fn run(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
+        for r in 0..self.ranks.len() {
+            self.events.push(self.ranks[r].now, Event::Wake(r));
+            self.ranks[r].status = RankStatus::Scheduled;
+        }
+        let mut active = self.ranks.len();
+        while active > 0 {
+            let Some((t, ev)) = self.events.pop() else {
+                let blocked: Vec<RankId> = self
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.status == RankStatus::Blocked)
+                    .map(|(r, _)| r)
+                    .collect();
+                return Err(SimError::Deadlock { blocked });
+            };
+            match ev {
+                Event::Wake(r) => {
+                    self.ranks[r].now = self.ranks[r].now.max(t);
+                    self.step_rank(behavior, r, &mut active);
+                }
+                Event::Net { rank, kind } => {
+                    self.apply_net(rank, kind, t);
+                    if self.ranks[rank].status == RankStatus::Blocked {
+                        // A blocked rank is polling inside wait: react now.
+                        self.ranks[rank].now = self.ranks[rank].now.max(t);
+                        if let Some(since) = self.ranks[rank].block_since.take() {
+                            let until = self.ranks[rank].now;
+                            self.ranks[rank].acct.blocked += until.saturating_sub(since);
+                            self.record(rank, SegmentKind::Blocked, since, until);
+                        }
+                        self.step_rank(behavior, rank, &mut active);
+                    }
+                }
+            }
+        }
+        Ok(self
+            .ranks
+            .iter()
+            .map(|r| r.now)
+            .max()
+            .unwrap_or(SimTime::ZERO))
+    }
+
+    fn step_rank(&mut self, behavior: &mut dyn RankBehavior, r: RankId, active: &mut usize) {
+        loop {
+            match behavior.step(self, r) {
+                Step::Compute(d) => {
+                    let factor = self.ranks[r].noise.factor();
+                    let d = d.scale(factor);
+                    self.ranks[r].acct.compute += d;
+                    let wake = self.ranks[r].now + d;
+                    self.record(r, SegmentKind::Compute, self.ranks[r].now, wake);
+                    self.events.push(wake, Event::Wake(r));
+                    self.ranks[r].status = RankStatus::Scheduled;
+                    // Local clock advances when the wake event fires.
+                    self.ranks[r].now = wake;
+                    return;
+                }
+                Step::Busy(c) => {
+                    let start = self.ranks[r].now;
+                    self.ranks[r].now += c;
+                    self.ranks[r].acct.library += c;
+                    self.record(r, SegmentKind::Library, start, self.ranks[r].now);
+                    // Immediately step again.
+                }
+                Step::Block => {
+                    self.ranks[r].status = RankStatus::Blocked;
+                    if self.ranks[r].block_since.is_none() {
+                        self.ranks[r].block_since = Some(self.ranks[r].now);
+                    }
+                    return;
+                }
+                Step::Done => {
+                    if self.ranks[r].status != RankStatus::Done {
+                        self.ranks[r].status = RankStatus::Done;
+                        *active -= 1;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(nranks: usize) -> World {
+        World::new(Platform::whale(), nranks, Placement::RoundRobin, NoiseConfig::none())
+    }
+
+    /// A tiny per-rank script interpreter for tests.
+    enum Ins {
+        Compute(SimTime),
+        Send { dst: RankId, bytes: usize },
+        Recv { src: RankId, bytes: usize },
+        WaitAll,
+    }
+
+    struct Script {
+        prog: Vec<Vec<Ins>>,
+        pc: Vec<usize>,
+        sends: Vec<Vec<SendHandle>>,
+        recvs: Vec<Vec<RecvHandle>>,
+        tag: Tag,
+        finish: Vec<SimTime>,
+    }
+
+    impl Script {
+        fn new(prog: Vec<Vec<Ins>>) -> Self {
+            let n = prog.len();
+            Script {
+                prog,
+                pc: vec![0; n],
+                sends: vec![Vec::new(); n],
+                recvs: vec![Vec::new(); n],
+                tag: Tag(0),
+                finish: vec![SimTime::ZERO; n],
+            }
+        }
+    }
+
+    impl RankBehavior for Script {
+        fn step(&mut self, w: &mut World, r: RankId) -> Step {
+            loop {
+                let pc = self.pc[r];
+                if pc >= self.prog[r].len() {
+                    self.finish[r] = w.rank_now(r);
+                    return Step::Done;
+                }
+                match self.prog[r][pc] {
+                    Ins::Compute(d) => {
+                        self.pc[r] += 1;
+                        return Step::Compute(d);
+                    }
+                    Ins::Send { dst, bytes } => {
+                        self.pc[r] += 1;
+                        let at = w.rank_now(r) + w.o_send(r, dst);
+                        let h = w.isend(r, dst, self.tag, bytes, at);
+                        self.sends[r].push(h);
+                        return Step::Busy(w.o_send(r, dst));
+                    }
+                    Ins::Recv { src, bytes } => {
+                        self.pc[r] += 1;
+                        let at = w.rank_now(r) + w.o_recv(r, src);
+                        let h = w.irecv(r, src, self.tag, bytes, at);
+                        self.recvs[r].push(h);
+                        return Step::Busy(w.o_recv(r, src));
+                    }
+                    Ins::WaitAll => {
+                        let now = w.rank_now(r);
+                        w.poll(r, now);
+                        let done = self.sends[r].iter().all(|&h| w.send_done(h, now))
+                            && self.recvs[r].iter().all(|&h| w.recv_done(h, now));
+                        if done {
+                            self.pc[r] += 1;
+                            // go round the loop for the next instruction
+                        } else {
+                            return Step::Block;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_pingpong_completes() {
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: 1024 }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: 1024 }, Ins::WaitAll],
+        ]);
+        let makespan = w.run(&mut s).unwrap();
+        assert!(makespan > SimTime::ZERO);
+        // Receiver finishes after roughly o + G*s + L.
+        let expect = w.platform().inter.uncontended_oneway(1024);
+        let got = s.finish[1];
+        assert!(
+            got >= expect.scale(0.8) && got <= expect.scale(2.0),
+            "got {got}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_needs_both_sides() {
+        // 1 MB message (rendezvous on whale). Both ranks post then wait;
+        // wait polls continuously, so the handshake resolves inside it.
+        let mut w = world(2);
+        let mb = 1 << 20;
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: mb }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: mb }, Ins::WaitAll],
+        ]);
+        let makespan = w.run(&mut s).unwrap();
+        let min = w.platform().inter.serialize(mb);
+        assert!(makespan > min, "payload must at least serialize: {makespan} <= {min}");
+        assert!(w.protocol_actions() >= 2, "CTS + data start");
+    }
+
+    #[test]
+    fn rendezvous_stalls_while_receiver_computes() {
+        // The receiver computes for 50 ms before waiting; the sender waits
+        // immediately. The payload cannot start until the receiver's wait
+        // begins, so the sender is also stuck for ~50 ms. This is the
+        // progress problem at the heart of the paper.
+        let mb = 1 << 20;
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: mb }, Ins::WaitAll],
+            vec![
+                Ins::Recv { src: 0, bytes: mb },
+                Ins::Compute(SimTime::from_millis(50)),
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).unwrap();
+        assert!(
+            s.finish[0] >= SimTime::from_millis(50),
+            "sender should stall on the unanswered RTS: {}",
+            s.finish[0]
+        );
+    }
+
+    #[test]
+    fn eager_overlaps_with_compute() {
+        // Eager message sent while the receiver computes: payload is already
+        // buffered when the receiver finally posts+waits, so the receiver
+        // finishes just after its compute phase.
+        let bytes = 4096;
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes }, Ins::WaitAll],
+            vec![
+                Ins::Compute(SimTime::from_millis(10)),
+                Ins::Recv { src: 0, bytes },
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).unwrap();
+        let slack = SimTime::from_micros(100);
+        assert!(
+            s.finish[1] < SimTime::from_millis(10) + slack,
+            "eager payload should already be there: {}",
+            s.finish[1]
+        );
+    }
+
+    #[test]
+    fn unexpected_eager_pays_copy() {
+        // Same as above but compare with a pre-posted receive: the
+        // unexpected path must not be faster.
+        let bytes = 8192;
+        let mut w1 = world(2);
+        let mut pre = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes }, Ins::Compute(SimTime::from_millis(5)), Ins::WaitAll],
+        ]);
+        w1.run(&mut pre).unwrap();
+        let mut w2 = world(2);
+        let mut unexp = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes }, Ins::WaitAll],
+            vec![Ins::Compute(SimTime::from_millis(5)), Ins::Recv { src: 0, bytes }, Ins::WaitAll],
+        ]);
+        w2.run(&mut unexp).unwrap();
+        assert!(unexp.finish[1] >= pre.finish[1]);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Both ranks wait for a message that is never sent.
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![Ins::Recv { src: 1, bytes: 64 }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: 64 }, Ins::WaitAll],
+        ]);
+        match w.run(&mut s) {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec![0, 1]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_matching_two_messages_same_tag() {
+        // Two sends with the same tag must match the two receives in order;
+        // sizes confirm the pairing via the debug assertion in match_pair.
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![
+                Ins::Send { dst: 1, bytes: 100 },
+                Ins::Send { dst: 1, bytes: 100 },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv { src: 0, bytes: 100 },
+                Ins::Recv { src: 0, bytes: 100 },
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).unwrap();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_makespan() {
+        let run = |seed| {
+            let mut w = World::new(
+                Platform::whale(),
+                4,
+                Placement::RoundRobin,
+                NoiseConfig::light(seed),
+            );
+            let mut s = Script::new(
+                (0..4)
+                    .map(|r| {
+                        vec![
+                            Ins::Compute(SimTime::from_micros(100)),
+                            Ins::Send { dst: (r + 1) % 4, bytes: 2048 },
+                            Ins::Recv { src: (r + 3) % 4, bytes: 2048 },
+                            Ins::WaitAll,
+                        ]
+                    })
+                    .collect(),
+            );
+            w.run(&mut s).unwrap()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn non_overtaking_mixed_protocols() {
+        // Rank 0 sends a large rendezvous message, then a small eager one,
+        // same tag. The eager envelope physically arrives first (the RTS
+        // answer takes progress round-trips), but MPI non-overtaking
+        // requires recv #1 to match the rendezvous message and recv #2 the
+        // eager one — the size assertions in match_pair verify it.
+        let mut w = world(2);
+        let big = 1 << 20; // rendezvous on whale
+        let small = 64; // eager
+        let mut s = Script::new(vec![
+            vec![
+                Ins::Send { dst: 1, bytes: big },
+                Ins::Send { dst: 1, bytes: small },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv { src: 0, bytes: big },
+                Ins::Recv { src: 0, bytes: small },
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).expect("must match in send order");
+    }
+
+    #[test]
+    fn accounting_splits_time() {
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![
+                Ins::Compute(SimTime::from_millis(2)),
+                Ins::Send { dst: 1, bytes: 1 << 20 },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv { src: 0, bytes: 1 << 20 },
+                Ins::Compute(SimTime::from_millis(5)),
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).unwrap();
+        let a0 = w.accounting(0);
+        assert_eq!(a0.compute, SimTime::from_millis(2));
+        assert!(a0.library > SimTime::ZERO, "posting costs library time");
+        // Rank 0 stalls on the unanswered RTS while rank 1 computes 5 ms.
+        assert!(
+            a0.blocked >= SimTime::from_millis(2),
+            "sender must be blocked: {a0:?}"
+        );
+        let total = w.accounting_total();
+        assert_eq!(total.compute, SimTime::from_millis(7));
+        assert!(a0.exposed_fraction() > 0.3);
+    }
+
+    #[test]
+    fn trace_segments_match_accounting() {
+        let mut w = world(2);
+        w.enable_trace();
+        let mut s = Script::new(vec![
+            vec![
+                Ins::Compute(SimTime::from_millis(1)),
+                Ins::Send { dst: 1, bytes: 1 << 20 },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv { src: 0, bytes: 1 << 20 },
+                Ins::Compute(SimTime::from_millis(3)),
+                Ins::WaitAll,
+            ],
+        ]);
+        w.run(&mut s).unwrap();
+        // Per-rank sums of traced segments equal the accounting.
+        for r in 0..2 {
+            let acct = w.accounting(r);
+            let mut sums = [SimTime::ZERO; 3];
+            let mut last_end = SimTime::ZERO;
+            for seg in w.trace().iter().filter(|s| s.rank == r) {
+                assert!(seg.start >= last_end, "segments must not overlap");
+                last_end = seg.end;
+                let idx = match seg.kind {
+                    SegmentKind::Compute => 0,
+                    SegmentKind::Library => 1,
+                    SegmentKind::Blocked => 2,
+                };
+                sums[idx] += seg.end - seg.start;
+            }
+            assert_eq!(sums[0], acct.compute, "rank {r} compute");
+            assert_eq!(sums[1], acct.library, "rank {r} library");
+            assert_eq!(sums[2], acct.blocked, "rank {r} blocked");
+        }
+        // The Chrome export is valid-enough JSON: bracketed, one event per
+        // segment.
+        let mut buf = Vec::new();
+        w.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(
+            text.matches("\"ph\": \"X\"").count(),
+            w.trace().len()
+        );
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut w = world(2);
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: 64 }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: 64 }, Ins::WaitAll],
+        ]);
+        w.run(&mut s).unwrap();
+        assert!(w.trace().is_empty());
+    }
+
+    #[test]
+    fn tags_allocate_sequentially() {
+        let mut w = world(2);
+        assert_eq!(w.alloc_tag(), Tag(0));
+        assert_eq!(w.alloc_tag(), Tag(1));
+    }
+
+    #[test]
+    fn self_send_panics() {
+        let mut w = world(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.isend(0, 0, Tag(0), 10, SimTime::ZERO)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests: arbitrary communication patterns complete
+//! without deadlock and respect physical lower bounds.
+
+use mpisim::{NoiseConfig, RankBehavior, RankId, RecvHandle, SendHandle, Step, Tag, World};
+use netmodel::{Placement, Platform};
+use proptest::prelude::*;
+use simcore::SimTime;
+
+/// Behaviour executing a precomputed message matrix: each rank sends to a
+/// set of peers and receives whatever is addressed to it, then waits.
+struct Exchange {
+    /// sends[r] = list of (dst, bytes)
+    sends: Vec<Vec<(usize, usize)>>,
+    /// recvs[r] = list of (src, bytes) in the matching order
+    recvs: Vec<Vec<(usize, usize)>>,
+    posted: Vec<bool>,
+    shandles: Vec<Vec<SendHandle>>,
+    rhandles: Vec<Vec<RecvHandle>>,
+    finish: Vec<SimTime>,
+}
+
+impl Exchange {
+    fn new(n: usize, msgs: &[(usize, usize, usize)]) -> Exchange {
+        let mut sends = vec![Vec::new(); n];
+        let mut recvs = vec![Vec::new(); n];
+        for &(src, dst, bytes) in msgs {
+            sends[src].push((dst, bytes));
+            recvs[dst].push((src, bytes));
+        }
+        Exchange {
+            sends,
+            recvs,
+            posted: vec![false; n],
+            shandles: vec![Vec::new(); n],
+            rhandles: vec![Vec::new(); n],
+            finish: vec![SimTime::ZERO; n],
+        }
+    }
+}
+
+impl RankBehavior for Exchange {
+    fn step(&mut self, w: &mut World, r: RankId) -> Step {
+        if !self.posted[r] {
+            self.posted[r] = true;
+            let mut t = w.rank_now(r);
+            for &(dst, bytes) in &self.sends[r] {
+                t += w.o_send(r, dst);
+                let h = w.isend(r, dst, Tag(0), bytes, t);
+                self.shandles[r].push(h);
+            }
+            for &(src, bytes) in &self.recvs[r] {
+                t += w.o_recv(r, src);
+                let h = w.irecv(r, src, Tag(0), bytes, t);
+                self.rhandles[r].push(h);
+            }
+            return Step::Busy(t - w.rank_now(r));
+        }
+        let now = w.rank_now(r);
+        w.poll(r, now);
+        let done = self.shandles[r].iter().all(|&h| w.send_done(h, now))
+            && self.rhandles[r].iter().all(|&h| w.recv_done(h, now));
+        if done {
+            self.finish[r] = now;
+            Step::Done
+        } else {
+            Step::Block
+        }
+    }
+}
+
+/// Generate a random message list over `n` ranks. Messages between a given
+/// ordered pair use FIFO matching, so any multiset is valid as long as the
+/// per-pair send order equals the receive order — which `Exchange`
+/// guarantees by construction.
+fn msgs_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    prop::collection::vec(
+        (0..n, 0..n, 1usize..200_000).prop_filter_map("no self sends", move |(a, b, s)| {
+            if a == b {
+                None
+            } else {
+                Some((a, b, s))
+            }
+        }),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any acyclic-free random exchange completes (no deadlock) on every
+    /// platform, because all receives are pre-posted before waiting.
+    #[test]
+    fn random_exchanges_complete(
+        msgs in msgs_strategy(12),
+        platform_idx in 0usize..3,
+    ) {
+        let platform = match platform_idx {
+            0 => Platform::whale(),
+            1 => Platform::crill(),
+            _ => Platform::whale_tcp(),
+        };
+        let mut w = World::new(platform, 12, Placement::Block, NoiseConfig::none());
+        let mut b = Exchange::new(12, &msgs);
+        let makespan = w.run(&mut b);
+        prop_assert!(makespan.is_ok(), "deadlock on {msgs:?}");
+    }
+
+    /// Each receiver finishes no earlier than the pure serialization time
+    /// of its incoming bytes (a physical lower bound).
+    #[test]
+    fn completion_respects_bandwidth_bound(msgs in msgs_strategy(8)) {
+        let platform = Platform::whale();
+        let inter = platform.inter.clone();
+        let mut w = World::new(platform, 8, Placement::RoundRobin, NoiseConfig::none());
+        let mut b = Exchange::new(8, &msgs);
+        w.run(&mut b).expect("completes");
+        for r in 0..8 {
+            let incoming: usize = msgs.iter().filter(|&&(_, d, _)| d == r).map(|&(_, _, s)| s).sum();
+            if incoming > 0 {
+                let bound = inter.serialize(incoming);
+                prop_assert!(
+                    b.finish[r] >= bound,
+                    "rank {r}: finished {} < bandwidth bound {bound}",
+                    b.finish[r]
+                );
+            }
+        }
+    }
+
+    /// Simulated time is deterministic: the same exchange gives the same
+    /// makespan twice.
+    #[test]
+    fn exchange_deterministic(msgs in msgs_strategy(10)) {
+        let run = || {
+            let mut w = World::new(Platform::crill(), 10, Placement::Block, NoiseConfig::none());
+            let mut b = Exchange::new(10, &msgs);
+            w.run(&mut b).expect("completes")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Message and byte accounting matches the plan.
+    #[test]
+    fn network_accounting(msgs in msgs_strategy(6)) {
+        let mut w = World::new(Platform::whale(), 6, Placement::RoundRobin, NoiseConfig::none());
+        let mut b = Exchange::new(6, &msgs);
+        w.run(&mut b).expect("completes");
+        let total: u64 = msgs.iter().map(|&(_, _, s)| s as u64).sum();
+        // Every payload crosses the network exactly once (control messages
+        // are not counted as payload).
+        prop_assert_eq!(w.network().bytes_moved(), total);
+    }
+}

@@ -1,0 +1,142 @@
+//! All-gather schedule builders: linear, ring, and Bruck (dissemination).
+//!
+//! ADCL's function-set library also covers `Iallgather` (the paper converts
+//! the Open MPI `MPI_Allgather` implementations to LibNBC schedules). Block
+//! id `i` denotes rank `i`'s contribution.
+
+use crate::schedule::{Action, CollSpec, Round, Schedule};
+use mpisim::RankId;
+
+/// The all-gather algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllgatherAlgo {
+    /// One round: everyone sends its block to everyone.
+    Linear,
+    /// `p−1` rounds around a ring, forwarding the newest block.
+    Ring,
+    /// `⌈log₂ p⌉` rounds, doubling the gathered prefix each round.
+    Bruck,
+}
+
+impl AllgatherAlgo {
+    /// All implementations.
+    pub fn all() -> Vec<AllgatherAlgo> {
+        vec![AllgatherAlgo::Linear, AllgatherAlgo::Ring, AllgatherAlgo::Bruck]
+    }
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllgatherAlgo::Linear => "linear",
+            AllgatherAlgo::Ring => "ring",
+            AllgatherAlgo::Bruck => "bruck",
+        }
+    }
+}
+
+/// Build the all-gather schedule for `rank`. `spec.msg_bytes` is the size
+/// of each rank's contribution.
+pub fn build_allgather(algo: AllgatherAlgo, rank: RankId, spec: &CollSpec) -> Schedule {
+    let p = spec.nprocs;
+    let s = spec.msg_bytes;
+    let mut sched = Schedule::new();
+    if p <= 1 || s == 0 {
+        return sched;
+    }
+    match algo {
+        AllgatherAlgo::Linear => {
+            let mut round = Round::new();
+            round.0.push(Action::copy(s)); // own block into the result
+            for off in 1..p {
+                let to = (rank + off) % p;
+                let from = (rank + p - off) % p;
+                round.0.push(Action::send(to, s, vec![rank as u32]));
+                round.0.push(Action::recv(from, s));
+            }
+            sched.push_round(round);
+        }
+        AllgatherAlgo::Ring => {
+            sched.push_round(Round(vec![Action::copy(s)]));
+            let next = (rank + 1) % p;
+            let prev = (rank + p - 1) % p;
+            for k in 0..p - 1 {
+                // Forward the block gathered k rounds ago.
+                let fwd = (rank + p - k) % p;
+                sched.push_round(Round(vec![
+                    Action::send(next, s, vec![fwd as u32]),
+                    Action::recv(prev, s),
+                ]));
+            }
+        }
+        AllgatherAlgo::Bruck => {
+            sched.push_round(Round(vec![Action::copy(s)]));
+            // After round k the rank holds blocks {rank .. rank+2^(k+1)-1}.
+            let phases = usize::BITS - (p - 1).leading_zeros();
+            for k in 0..phases {
+                let bit = 1usize << k;
+                let cnt = bit.min(p - bit);
+                let to = (rank + p - bit) % p;
+                let from = (rank + bit) % p;
+                let blocks: Vec<u32> = (0..cnt).map(|i| ((rank + i) % p) as u32).collect();
+                sched.push_round(Round(vec![
+                    Action::send(to, cnt * s, blocks),
+                    Action::recv(from, cnt * s),
+                ]));
+            }
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_single_round() {
+        let sched = build_allgather(AllgatherAlgo::Linear, 0, &CollSpec::new(6, 10));
+        assert_eq!(sched.num_rounds(), 1);
+        assert_eq!(sched.bytes_sent(), 50);
+        assert_eq!(sched.bytes_received(), 50);
+    }
+
+    #[test]
+    fn ring_rounds_and_volume() {
+        let p = 7;
+        let sched = build_allgather(AllgatherAlgo::Ring, 3, &CollSpec::new(p, 10));
+        assert_eq!(sched.num_rounds(), p); // copy + p-1 exchanges
+        assert_eq!(sched.bytes_sent(), (p - 1) * 10);
+    }
+
+    #[test]
+    fn bruck_volumes_balance() {
+        for p in [2usize, 3, 5, 8, 13] {
+            for r in 0..p {
+                let sched = build_allgather(AllgatherAlgo::Bruck, r, &CollSpec::new(p, 16));
+                assert_eq!(sched.bytes_sent(), sched.bytes_received(), "p={p} r={r}");
+                // total gathered volume = (p-1)*s
+                assert_eq!(sched.bytes_received(), (p - 1) * 16);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate() {
+        for algo in AllgatherAlgo::all() {
+            assert_eq!(build_allgather(algo, 0, &CollSpec::new(1, 8)).num_rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn validates() {
+        for p in [2usize, 4, 9] {
+            for algo in AllgatherAlgo::all() {
+                for r in 0..p {
+                    build_allgather(algo, r, &CollSpec::new(p, 32))
+                        .validate(r, Some(32))
+                        .unwrap_or_else(|e| panic!("{algo:?} p={p} r={r}: {e}"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! All-to-all schedule builders: linear, pairwise exchange, and
+//! dissemination (Bruck).
+//!
+//! These are the three `Ialltoall` implementations of the paper's
+//! function-set. Their cost profiles differ sharply, which is exactly what
+//! the runtime tuner exploits:
+//!
+//! * **linear** — a single round posting all `p−1` sends and receives at
+//!   once. Minimum rounds (one progress call suffices), maximum NIC
+//!   contention (incast); great on InfiniBand with compute to overlap,
+//!   terrible on TCP (Fig. 3).
+//! * **pairwise** — `p−1` balanced rounds, one partner per round. Gentle on
+//!   the network, needs many progress calls to stream (Fig. 7).
+//! * **dissemination (Bruck)** — `⌈log₂ p⌉` rounds of aggregated blocks.
+//!   Fewest messages (latency-optimal, best for small payloads) but moves
+//!   `(p/2)·log₂ p` blocks in total (worst for large payloads, Fig. 4).
+//!
+//! Logical block ids encode `(src, dst)` pairs as `src * p + dst`; the
+//! verifier checks every rank ends up with every block addressed to it.
+
+use crate::schedule::{Action, CollSpec, Round, Schedule};
+use mpisim::RankId;
+
+/// The all-to-all algorithm (the paper's three implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlltoallAlgo {
+    /// One round, all pairs at once.
+    Linear,
+    /// `p−1` rounds, one send/receive partner per round.
+    Pairwise,
+    /// Bruck's algorithm: `⌈log₂ p⌉` rounds of aggregated blocks.
+    Dissemination,
+}
+
+impl AlltoallAlgo {
+    /// All three implementations.
+    pub fn all() -> Vec<AlltoallAlgo> {
+        vec![
+            AlltoallAlgo::Linear,
+            AlltoallAlgo::Pairwise,
+            AlltoallAlgo::Dissemination,
+        ]
+    }
+
+    /// Report name (paper terminology).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlltoallAlgo::Linear => "linear",
+            AlltoallAlgo::Pairwise => "pairwise",
+            AlltoallAlgo::Dissemination => "dissemination",
+        }
+    }
+}
+
+/// Logical block id for the payload travelling `src → dst`.
+pub fn block_id(src: RankId, dst: RankId, p: usize) -> u32 {
+    (src * p + dst) as u32
+}
+
+/// Build the all-to-all schedule for `rank`. `spec.msg_bytes` is the
+/// per-pair block size (the paper's "message length per process pair").
+pub fn build_alltoall(algo: AlltoallAlgo, rank: RankId, spec: &CollSpec) -> Schedule {
+    let p = spec.nprocs;
+    let s = spec.msg_bytes;
+    let mut sched = Schedule::new();
+    if p <= 1 || s == 0 {
+        return sched;
+    }
+    match algo {
+        AlltoallAlgo::Linear => {
+            let mut round = Round::new();
+            // Self-block: plain memcpy.
+            round.0.push(Action::copy(s));
+            for off in 1..p {
+                let peer = (rank + off) % p;
+                round.0.push(Action::send(peer, s, vec![block_id(rank, peer, p)]));
+                let from = (rank + p - off) % p;
+                round.0.push(Action::recv(from, s));
+            }
+            sched.push_round(round);
+        }
+        AlltoallAlgo::Pairwise => {
+            sched.push_round(Round(vec![Action::copy(s)]));
+            for k in 1..p {
+                let to = (rank + k) % p;
+                let from = (rank + p - k) % p;
+                sched.push_round(Round(vec![
+                    Action::send(to, s, vec![block_id(rank, to, p)]),
+                    Action::recv(from, s),
+                ]));
+            }
+        }
+        AlltoallAlgo::Dissemination => {
+            build_bruck(rank, p, s, &mut sched);
+        }
+    }
+    sched
+}
+
+/// Bruck's algorithm.
+///
+/// Position invariant (see the derivation in `DESIGN.md` / the module
+/// tests): before phase `k`, position `i` of rank `r` holds the block with
+/// `src = (r − (i mod 2^k)) mod p` and `dst = (r + i − (i mod 2^k)) mod p`.
+/// Phase `k` ships every position with bit `k` set to rank `(r + 2^k) mod p`
+/// and receives the same positions from `(r − 2^k) mod p`. After all phases
+/// every position holds a block destined for `r`.
+fn build_bruck(rank: RankId, p: usize, s: usize, sched: &mut Schedule) {
+    // Phase 1: local rotation of the send buffer (p blocks).
+    sched.push_round(Round(vec![Action::copy(p * s)]));
+    let phases = usize::BITS - (p - 1).leading_zeros(); // ceil(log2 p)
+    for k in 0..phases {
+        let bit = 1usize << k;
+        let to = (rank + bit) % p;
+        let from = (rank + p - bit) % p;
+        // Blocks at positions with bit k set, given the invariant above.
+        let mut blocks = Vec::new();
+        for i in 0..p {
+            if i & bit != 0 {
+                let low = i % bit; // i mod 2^k
+                let src = (rank + p - low) % p;
+                let dst = (rank + i - low) % p;
+                blocks.push(block_id(src, dst, p));
+            }
+        }
+        let cnt = blocks.len();
+        debug_assert!(cnt > 0, "phase with nothing to send (p={p}, k={k})");
+        // Pack, exchange, unpack.
+        sched.push_round(Round(vec![
+            Action::copy(cnt * s),
+            Action::send(to, cnt * s, blocks),
+            Action::recv(from, cnt * s),
+        ]));
+    }
+    // Phase 3: final local inverse rotation.
+    sched.push_round(Round(vec![Action::copy(p * s)]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ActionKind;
+
+    #[test]
+    fn linear_is_single_round() {
+        let sched = build_alltoall(AlltoallAlgo::Linear, 2, &CollSpec::new(8, 100));
+        assert_eq!(sched.num_rounds(), 1);
+        assert_eq!(sched.num_sends(), 7);
+        assert_eq!(sched.num_recvs(), 7);
+        assert_eq!(sched.bytes_sent(), 700);
+    }
+
+    #[test]
+    fn pairwise_round_structure() {
+        let p = 6;
+        let sched = build_alltoall(AlltoallAlgo::Pairwise, 1, &CollSpec::new(p, 10));
+        // copy round + p-1 exchange rounds
+        assert_eq!(sched.num_rounds(), p);
+        // each exchange round: exactly one send and one recv
+        for round in &sched.rounds[1..] {
+            let sends = round
+                .0
+                .iter()
+                .filter(|a| matches!(a.kind, ActionKind::Send { .. }))
+                .count();
+            let recvs = round
+                .0
+                .iter()
+                .filter(|a| matches!(a.kind, ActionKind::Recv { .. }))
+                .count();
+            assert_eq!((sends, recvs), (1, 1));
+        }
+    }
+
+    #[test]
+    fn pairwise_partners_distinct_per_round() {
+        let p = 5;
+        let sched = build_alltoall(AlltoallAlgo::Pairwise, 3, &CollSpec::new(p, 10));
+        let mut partners = Vec::new();
+        for round in &sched.rounds[1..] {
+            for a in &round.0 {
+                if let ActionKind::Send { peer, .. } = &a.kind {
+                    partners.push(*peer);
+                }
+            }
+        }
+        partners.sort_unstable();
+        partners.dedup();
+        assert_eq!(partners.len(), p - 1);
+    }
+
+    #[test]
+    fn bruck_round_count_logarithmic() {
+        for (p, phases) in [(2usize, 1usize), (4, 2), (5, 3), (8, 3), (16, 4), (33, 6)] {
+            let sched = build_alltoall(AlltoallAlgo::Dissemination, 0, &CollSpec::new(p, 8));
+            // rotation + phases + inverse rotation
+            assert_eq!(sched.num_rounds(), phases + 2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn bruck_total_volume_exceeds_linear() {
+        // Bruck trades volume for message count: total bytes sent must be
+        // >= the linear algorithm's (p-1)*s for p > 2.
+        let p = 16;
+        let s = 1000;
+        let bruck = build_alltoall(AlltoallAlgo::Dissemination, 0, &CollSpec::new(p, s));
+        let linear = build_alltoall(AlltoallAlgo::Linear, 0, &CollSpec::new(p, s));
+        assert!(bruck.bytes_sent() > linear.bytes_sent());
+        // and exactly (p/2) * log2(p) * s for power-of-two p
+        assert_eq!(bruck.bytes_sent(), (p / 2) * 4 * s);
+        // but far fewer messages
+        assert!(bruck.num_sends() < linear.num_sends());
+    }
+
+    #[test]
+    fn bruck_send_recv_volumes_balance() {
+        for p in [2usize, 3, 7, 12, 16] {
+            let specs = CollSpec::new(p, 64);
+            for r in 0..p {
+                let sched = build_alltoall(AlltoallAlgo::Dissemination, r, &specs);
+                assert_eq!(sched.bytes_sent(), sched.bytes_received(), "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        for algo in AlltoallAlgo::all() {
+            assert_eq!(build_alltoall(algo, 0, &CollSpec::new(1, 100)).num_rounds(), 0);
+            assert_eq!(build_alltoall(algo, 0, &CollSpec::new(4, 0)).num_rounds(), 0);
+        }
+    }
+
+    #[test]
+    fn schedules_validate_with_block_sizes() {
+        for p in [2usize, 3, 8, 10] {
+            let spec = CollSpec::new(p, 128);
+            for algo in AlltoallAlgo::all() {
+                for r in 0..p {
+                    build_alltoall(algo, r, &spec)
+                        .validate(r, Some(128))
+                        .unwrap_or_else(|e| panic!("{algo:?} p={p} r={r}: {e}"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Dissemination barrier schedule.
+//!
+//! `⌈log₂ p⌉` rounds; in round `k` each rank signals `(r + 2^k) mod p` and
+//! waits for a signal from `(r − 2^k) mod p`. After the last round every
+//! rank has (transitively) heard from every other rank.
+
+use crate::schedule::{Action, CollSpec, Round, Schedule};
+use mpisim::RankId;
+
+/// Size of a barrier signal message.
+pub const SIGNAL_BYTES: usize = 1;
+
+/// Build the dissemination-barrier schedule for `rank`.
+pub fn build_barrier(rank: RankId, spec: &CollSpec) -> Schedule {
+    let p = spec.nprocs;
+    let mut sched = Schedule::new();
+    if p <= 1 {
+        return sched;
+    }
+    let phases = usize::BITS - (p - 1).leading_zeros();
+    for k in 0..phases {
+        let bit = 1usize << k;
+        let to = (rank + bit) % p;
+        let from = (rank + p - bit) % p;
+        sched.push_round(Round(vec![
+            Action::send(to, SIGNAL_BYTES, Vec::new()),
+            Action::recv(from, SIGNAL_BYTES),
+        ]));
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_count_is_log2() {
+        for (p, rounds) in [(2usize, 1usize), (3, 2), (4, 2), (8, 3), (9, 4), (1000, 10)] {
+            let sched = build_barrier(0, &CollSpec::new(p, 0));
+            assert_eq!(sched.num_rounds(), rounds, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        assert_eq!(build_barrier(0, &CollSpec::new(1, 0)).num_rounds(), 0);
+    }
+
+    #[test]
+    fn validates() {
+        for p in [2usize, 7, 64] {
+            for r in 0..p {
+                build_barrier(r, &CollSpec::new(p, 0)).validate(r, None).unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Schedule execution against the simulated MPI world.
+//!
+//! [`ScheduleExec`] is the non-blocking state of one collective operation on
+//! one rank: a cursor into the schedule's rounds plus the point-to-point
+//! handles of the current round. Its round-advance rule encodes the
+//! LibNBC/progress semantics the paper revolves around:
+//!
+//! * posting a round costs CPU (`o_send`/`o_recv` per message, memcpy time
+//!   for pack/unpack actions) — this is the non-overlappable part,
+//! * a round *completes* when all its sends have drained and all its
+//!   receives have been delivered,
+//! * the next round is posted **only when the progress engine is invoked**
+//!   ([`ScheduleExec::try_progress`]) — between progress calls a completed
+//!   round just sits there, which is why multi-round algorithms need
+//!   frequent progress calls to overlap (paper §IV, Fig. 7).
+
+use crate::schedule::{ActionKind, Schedule};
+use mpisim::{RankId, RecvHandle, SendHandle, Tag, World};
+use simcore::SimTime;
+
+/// Execution state of one collective operation instance on one rank.
+#[derive(Debug)]
+pub struct ScheduleExec {
+    /// Global rank executing the schedule.
+    rank: RankId,
+    /// Communicator: maps the schedule's local peer indices to global
+    /// ranks. `None` means the schedule already uses global ranks.
+    comm: Option<std::rc::Rc<Vec<RankId>>>,
+    tag: Tag,
+    sched: Schedule,
+    /// Index of the next round to post.
+    next_round: usize,
+    /// Send handles of the currently outstanding round.
+    sends: Vec<SendHandle>,
+    /// Receive handles of the currently outstanding round.
+    recvs: Vec<RecvHandle>,
+    started: bool,
+}
+
+impl ScheduleExec {
+    /// Wrap a schedule for execution by `rank` using `tag`.
+    pub fn new(rank: RankId, tag: Tag, sched: Schedule) -> Self {
+        ScheduleExec {
+            rank,
+            comm: None,
+            tag,
+            sched,
+            next_round: 0,
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Wrap a schedule built against communicator-local ranks: the peers in
+    /// the schedule index into `comm`, which maps them to global ranks.
+    /// `rank` is the executing *global* rank and must appear in `comm`.
+    pub fn new_on_comm(rank: RankId, tag: Tag, sched: Schedule, comm: std::rc::Rc<Vec<RankId>>) -> Self {
+        assert!(comm.contains(&rank), "rank {rank} not in communicator");
+        ScheduleExec {
+            rank,
+            comm: Some(comm),
+            tag,
+            sched,
+            next_round: 0,
+            sends: Vec::new(),
+            recvs: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Translate a schedule-local peer index to a global rank.
+    fn global(&self, peer: RankId) -> RankId {
+        match &self.comm {
+            Some(c) => c[peer],
+            None => peer,
+        }
+    }
+
+    /// The rank executing this schedule.
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// The schedule being executed.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// Number of outstanding point-to-point actions in the current round
+    /// (drives the per-action progress-call overhead).
+    pub fn outstanding_actions(&self) -> usize {
+        self.sends.len() + self.recvs.len()
+    }
+
+    /// True once every round has been posted and completed.
+    pub fn is_done(&self, w: &World, now: SimTime) -> bool {
+        self.started && self.next_round >= self.sched.rounds.len() && self.round_complete(w, now)
+    }
+
+    /// True if `start` has been called.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    fn round_complete(&self, w: &World, now: SimTime) -> bool {
+        self.sends.iter().all(|&h| w.send_done(h, now))
+            && self.recvs.iter().all(|&h| w.recv_done(h, now))
+    }
+
+    /// Post the actions of round `self.next_round`, charging CPU time for
+    /// each. Returns the CPU time consumed; the caller must advance the
+    /// rank clock by it (e.g. via `Step::Busy`).
+    fn post_round(&mut self, w: &mut World, now: SimTime) -> SimTime {
+        self.sends.clear();
+        self.recvs.clear();
+        let round = self.sched.rounds[self.next_round].clone();
+        self.next_round += 1;
+        let mut t = now;
+        for a in &round.0 {
+            match &a.kind {
+                ActionKind::Send { peer, .. } => {
+                    let peer = self.global(*peer);
+                    t += w.o_send(self.rank, peer);
+                    let h = w.isend(self.rank, peer, self.tag, a.bytes, t);
+                    self.sends.push(h);
+                }
+                ActionKind::Recv { peer } => {
+                    let peer = self.global(*peer);
+                    t += w.o_recv(self.rank, peer);
+                    let h = w.irecv(self.rank, peer, self.tag, a.bytes, t);
+                    self.recvs.push(h);
+                }
+                ActionKind::Copy => {
+                    t += w.platform().intra.serialize(a.bytes);
+                }
+                ActionKind::Calc => {
+                    // Reduction arithmetic: modelled as two passes over the
+                    // data (load + combine/store).
+                    t += w.platform().intra.serialize(a.bytes).scale(2.0);
+                }
+            }
+        }
+        // Posting happens inside the library: flush protocol actions
+        // (answer RTSs for receives just posted, act on pending CTSs).
+        w.poll(self.rank, t);
+        t - now
+    }
+
+    /// Initiate the operation: post round 0. Returns the CPU cost.
+    ///
+    /// # Panics
+    /// Panics if called twice.
+    pub fn start(&mut self, w: &mut World, now: SimTime) -> SimTime {
+        assert!(!self.started, "schedule started twice");
+        self.started = true;
+        if self.sched.rounds.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.post_round(w, now)
+    }
+
+    /// One progress-engine visit at time `now`: run the rendezvous protocol
+    /// engine, then post as many follow-up rounds as have become ready.
+    /// Returns `(cpu_cost, done)`.
+    pub fn try_progress(&mut self, w: &mut World, now: SimTime) -> (SimTime, bool) {
+        assert!(self.started, "progress before start");
+        let mut cost = SimTime::ZERO;
+        w.poll(self.rank, now);
+        loop {
+            let t = now + cost;
+            if !self.round_complete(w, t) {
+                return (cost, false);
+            }
+            if self.next_round >= self.sched.rounds.len() {
+                return (cost, true);
+            }
+            cost += self.post_round(w, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alltoall::{build_alltoall, AlltoallAlgo};
+    use crate::barrier::build_barrier;
+    use crate::bcast::{build_bcast, BcastAlgo};
+    use crate::schedule::CollSpec;
+    use mpisim::{NoiseConfig, RankBehavior, Step};
+    use netmodel::{Placement, Platform};
+
+    /// Behaviour that starts one collective per rank and waits for it.
+    struct OneShot {
+        execs: Vec<Option<ScheduleExec>>,
+        started: Vec<bool>,
+        finish: Vec<SimTime>,
+    }
+
+    impl OneShot {
+        fn new(execs: Vec<ScheduleExec>) -> Self {
+            let n = execs.len();
+            OneShot {
+                execs: execs.into_iter().map(Some).collect(),
+                started: vec![false; n],
+                finish: vec![SimTime::ZERO; n],
+            }
+        }
+    }
+
+    impl RankBehavior for OneShot {
+        fn step(&mut self, w: &mut World, r: RankId) -> Step {
+            let Some(exec) = self.execs[r].as_mut() else {
+                return Step::Done;
+            };
+            let now = w.rank_now(r);
+            if !self.started[r] {
+                self.started[r] = true;
+                let cost = exec.start(w, now);
+                return Step::Busy(cost);
+            }
+            let (cost, done) = exec.try_progress(w, now);
+            if done {
+                self.finish[r] = w.rank_now(r) + cost;
+                self.execs[r] = None;
+                return Step::Done;
+            }
+            if cost > SimTime::ZERO {
+                return Step::Busy(cost);
+            }
+            Step::Block
+        }
+    }
+
+    fn run_collective(
+        platform: Platform,
+        nranks: usize,
+        build: impl Fn(usize) -> Schedule,
+    ) -> (SimTime, Vec<SimTime>) {
+        let mut w = World::new(platform, nranks, Placement::Block, NoiseConfig::none());
+        let tag = w.alloc_tag();
+        let execs = (0..nranks)
+            .map(|r| ScheduleExec::new(r, tag, build(r)))
+            .collect();
+        let mut b = OneShot::new(execs);
+        let makespan = w.run(&mut b).expect("no deadlock");
+        (makespan, b.finish)
+    }
+
+    #[test]
+    fn barrier_runs_to_completion() {
+        for p in [2usize, 5, 16, 64] {
+            let spec = CollSpec::new(p, 0);
+            let (makespan, _) =
+                run_collective(Platform::whale(), p, |r| build_barrier(r, &spec));
+            assert!(makespan > SimTime::ZERO, "p={p}");
+        }
+    }
+
+    #[test]
+    fn alltoall_all_algorithms_complete() {
+        for p in [2usize, 7, 16] {
+            for algo in AlltoallAlgo::all() {
+                let spec = CollSpec::new(p, 1024);
+                let (makespan, _) =
+                    run_collective(Platform::whale(), p, |r| build_alltoall(algo, r, &spec));
+                assert!(makespan > SimTime::ZERO, "{algo:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_large_rendezvous_completes() {
+        // 128 KiB per pair forces rendezvous on InfiniBand.
+        let p = 8;
+        let spec = CollSpec::new(p, 128 * 1024);
+        for algo in AlltoallAlgo::all() {
+            let (makespan, _) =
+                run_collective(Platform::whale(), p, |r| build_alltoall(algo, r, &spec));
+            let floor = Platform::whale().inter.serialize(128 * 1024);
+            assert!(makespan > floor, "{algo:?}: {makespan} <= {floor}");
+        }
+    }
+
+    #[test]
+    fn bcast_all_fanouts_complete() {
+        let p = 16;
+        for algo in BcastAlgo::all() {
+            for seg in [32 * 1024usize, 64 * 1024, 128 * 1024] {
+                let spec = CollSpec::new(p, 256 * 1024);
+                let (makespan, _) = run_collective(Platform::whale(), p, |r| {
+                    build_bcast(algo, seg, r, &spec)
+                });
+                assert!(makespan > SimTime::ZERO, "{algo:?} seg={seg}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_beats_chain_for_small_messages() {
+        // Latency-bound regime: binomial depth log2(p) vs chain depth p.
+        let p = 32;
+        let spec = CollSpec::new(p, 1024);
+        let (chain, _) = run_collective(Platform::whale(), p, |r| {
+            build_bcast(BcastAlgo::Chain, 32 * 1024, r, &spec)
+        });
+        let (binom, _) = run_collective(Platform::whale(), p, |r| {
+            build_bcast(BcastAlgo::Binomial, 32 * 1024, r, &spec)
+        });
+        assert!(binom < chain, "binomial {binom} vs chain {chain}");
+    }
+
+    #[test]
+    fn dissemination_beats_linear_small_messages_many_ranks() {
+        // Latency-bound: log2(p) rounds vs p-1 per-message overheads.
+        let p = 64;
+        let spec = CollSpec::new(p, 64);
+        let (lin, _) = run_collective(Platform::whale(), p, |r| {
+            build_alltoall(AlltoallAlgo::Linear, r, &spec)
+        });
+        let (diss, _) = run_collective(Platform::whale(), p, |r| {
+            build_alltoall(AlltoallAlgo::Dissemination, r, &spec)
+        });
+        assert!(diss < lin, "dissemination {diss} vs linear {lin}");
+    }
+
+    #[test]
+    fn linear_beats_dissemination_large_messages() {
+        // Bandwidth-bound: Bruck moves (p/2)*log2(p)*s bytes vs (p-1)*s.
+        let p = 16;
+        let spec = CollSpec::new(p, 128 * 1024);
+        let (lin, _) = run_collective(Platform::crill(), p, |r| {
+            build_alltoall(AlltoallAlgo::Linear, r, &spec)
+        });
+        let (diss, _) = run_collective(Platform::crill(), p, |r| {
+            build_alltoall(AlltoallAlgo::Dissemination, r, &spec)
+        });
+        assert!(lin < diss, "linear {lin} vs dissemination {diss}");
+    }
+
+    #[test]
+    fn start_twice_panics() {
+        let spec = CollSpec::new(2, 16);
+        let mut w = World::new(Platform::whale(), 2, Placement::Block, NoiseConfig::none());
+        let tag = w.alloc_tag();
+        let mut e = ScheduleExec::new(0, tag, build_barrier(0, &spec));
+        e.start(&mut w, SimTime::ZERO);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.start(&mut w, SimTime::ZERO)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_schedule_done_immediately() {
+        let mut w = World::new(Platform::whale(), 1, Placement::Block, NoiseConfig::none());
+        let tag = w.alloc_tag();
+        let mut e = ScheduleExec::new(0, tag, Schedule::new());
+        let cost = e.start(&mut w, SimTime::ZERO);
+        assert_eq!(cost, SimTime::ZERO);
+        assert!(e.is_done(&w, SimTime::ZERO));
+    }
+}

@@ -1,0 +1,319 @@
+//! The collective-operation schedule representation.
+//!
+//! A [`Schedule`] is local to one rank. It consists of [`Round`]s; all
+//! actions inside a round are independent and may proceed concurrently, and
+//! a round only begins once the previous round has completed locally (the
+//! LibNBC "barrier" semantics). Send actions carry the logical *block ids*
+//! they move, which the [`crate::verify`] module uses to prove collective
+//! semantics; the timing simulator only looks at byte counts.
+
+use mpisim::RankId;
+
+/// What an action does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Send `bytes` to `peer`, logically moving `blocks`.
+    Send {
+        /// Destination rank.
+        peer: RankId,
+        /// Logical data blocks carried (for semantic verification).
+        blocks: Vec<u32>,
+    },
+    /// Receive `bytes` from `peer`.
+    Recv {
+        /// Source rank.
+        peer: RankId,
+    },
+    /// Local memory copy of `bytes` (packing/unpacking, self-block moves).
+    Copy,
+    /// Local reduction arithmetic over `bytes`.
+    Calc,
+}
+
+/// One schedule action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// The operation.
+    pub kind: ActionKind,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl Action {
+    /// A send of `bytes` to `peer` carrying `blocks`.
+    pub fn send(peer: RankId, bytes: usize, blocks: Vec<u32>) -> Action {
+        Action {
+            kind: ActionKind::Send { peer, blocks },
+            bytes,
+        }
+    }
+
+    /// A receive of `bytes` from `peer`.
+    pub fn recv(peer: RankId, bytes: usize) -> Action {
+        Action {
+            kind: ActionKind::Recv { peer },
+            bytes,
+        }
+    }
+
+    /// A local copy of `bytes`.
+    pub fn copy(bytes: usize) -> Action {
+        Action {
+            kind: ActionKind::Copy,
+            bytes,
+        }
+    }
+
+    /// A local reduction over `bytes`.
+    pub fn calc(bytes: usize) -> Action {
+        Action {
+            kind: ActionKind::Calc,
+            bytes,
+        }
+    }
+}
+
+/// A set of independent actions separated from the next set by a local
+/// barrier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Round(pub Vec<Action>);
+
+impl Round {
+    /// Empty round (useful while building).
+    pub fn new() -> Round {
+        Round(Vec::new())
+    }
+
+    /// True if the round has no actions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A complete per-rank schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The rounds, executed in order.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// Empty schedule (a no-op operation).
+    pub fn new() -> Schedule {
+        Schedule { rounds: Vec::new() }
+    }
+
+    /// Append a round, skipping empty ones.
+    pub fn push_round(&mut self, round: Round) {
+        if !round.is_empty() {
+            self.rounds.push(round);
+        }
+    }
+
+    /// Number of rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total number of send actions.
+    pub fn num_sends(&self) -> usize {
+        self.iter_actions()
+            .filter(|a| matches!(a.kind, ActionKind::Send { .. }))
+            .count()
+    }
+
+    /// Total number of receive actions.
+    pub fn num_recvs(&self) -> usize {
+        self.iter_actions()
+            .filter(|a| matches!(a.kind, ActionKind::Recv { .. }))
+            .count()
+    }
+
+    /// Total bytes sent by this rank.
+    pub fn bytes_sent(&self) -> usize {
+        self.iter_actions()
+            .filter(|a| matches!(a.kind, ActionKind::Send { .. }))
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Total bytes received by this rank.
+    pub fn bytes_received(&self) -> usize {
+        self.iter_actions()
+            .filter(|a| matches!(a.kind, ActionKind::Recv { .. }))
+            .map(|a| a.bytes)
+            .sum()
+    }
+
+    /// Iterator over all actions in round order.
+    pub fn iter_actions(&self) -> impl Iterator<Item = &Action> {
+        self.rounds.iter().flat_map(|r| r.0.iter())
+    }
+
+    /// Render the schedule as a compact human-readable listing, one line
+    /// per round — a debugging aid for builder development:
+    ///
+    /// ```text
+    /// round 0: copy(1024)
+    /// round 1: send->3(1024) recv<-1(1024)
+    /// ```
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, round) in self.rounds.iter().enumerate() {
+            let _ = write!(out, "round {i}:");
+            for a in &round.0 {
+                match &a.kind {
+                    ActionKind::Send { peer, .. } => {
+                        let _ = write!(out, " send->{peer}({})", a.bytes);
+                    }
+                    ActionKind::Recv { peer } => {
+                        let _ = write!(out, " recv<-{peer}({})", a.bytes);
+                    }
+                    ActionKind::Copy => {
+                        let _ = write!(out, " copy({})", a.bytes);
+                    }
+                    ActionKind::Calc => {
+                        let _ = write!(out, " calc({})", a.bytes);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Basic well-formedness checks: no zero-byte sends/recvs, no
+    /// self-messages for `rank`, block annotations consistent with sizes
+    /// when `block_bytes` is known.
+    pub fn validate(&self, rank: RankId, block_bytes: Option<usize>) -> Result<(), String> {
+        for (ri, round) in self.rounds.iter().enumerate() {
+            for a in &round.0 {
+                match &a.kind {
+                    ActionKind::Send { peer, blocks } => {
+                        if *peer == rank {
+                            return Err(format!("round {ri}: send to self"));
+                        }
+                        if a.bytes == 0 {
+                            return Err(format!("round {ri}: zero-byte send"));
+                        }
+                        if let Some(bb) = block_bytes {
+                            if !blocks.is_empty() && blocks.len() * bb != a.bytes {
+                                return Err(format!(
+                                    "round {ri}: {} blocks x {bb} B != {} B",
+                                    blocks.len(),
+                                    a.bytes
+                                ));
+                            }
+                        }
+                    }
+                    ActionKind::Recv { peer } => {
+                        if *peer == rank {
+                            return Err(format!("round {ri}: recv from self"));
+                        }
+                        if a.bytes == 0 {
+                            return Err(format!("round {ri}: zero-byte recv"));
+                        }
+                    }
+                    ActionKind::Copy | ActionKind::Calc => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters describing one collective-operation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollSpec {
+    /// Number of participating ranks.
+    pub nprocs: usize,
+    /// Message size in bytes: the *full* payload for rooted operations
+    /// (bcast/reduce), or the per-process-pair block size for alltoall and
+    /// allgather (matching the paper's reporting convention).
+    pub msg_bytes: usize,
+    /// Root rank for rooted operations; ignored otherwise.
+    pub root: RankId,
+}
+
+impl CollSpec {
+    /// Convenience constructor with root 0.
+    pub fn new(nprocs: usize, msg_bytes: usize) -> CollSpec {
+        CollSpec {
+            nprocs,
+            msg_bytes,
+            root: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_round_skips_empty() {
+        let mut s = Schedule::new();
+        s.push_round(Round::new());
+        assert_eq!(s.num_rounds(), 0);
+        s.push_round(Round(vec![Action::copy(10)]));
+        assert_eq!(s.num_rounds(), 1);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut s = Schedule::new();
+        s.push_round(Round(vec![
+            Action::send(1, 100, vec![0]),
+            Action::recv(2, 50),
+        ]));
+        s.push_round(Round(vec![Action::send(3, 200, vec![1, 2])]));
+        assert_eq!(s.bytes_sent(), 300);
+        assert_eq!(s.bytes_received(), 50);
+        assert_eq!(s.num_sends(), 2);
+        assert_eq!(s.num_recvs(), 1);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut s = Schedule::new();
+        s.push_round(Round(vec![Action::copy(1024)]));
+        s.push_round(Round(vec![
+            Action::send(3, 1024, vec![0]),
+            Action::recv(1, 1024),
+            Action::calc(8),
+        ]));
+        let r = s.render();
+        assert_eq!(
+            r,
+            "round 0: copy(1024)\nround 1: send->3(1024) recv<-1(1024) calc(8)\n"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_send() {
+        let mut s = Schedule::new();
+        s.push_round(Round(vec![Action::send(0, 10, vec![])]));
+        assert!(s.validate(0, None).is_err());
+        assert!(s.validate(1, None).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_bytes() {
+        let mut s = Schedule::new();
+        s.push_round(Round(vec![Action::recv(1, 0)]));
+        assert!(s.validate(0, None).is_err());
+    }
+
+    #[test]
+    fn validate_checks_block_sizes() {
+        let mut s = Schedule::new();
+        s.push_round(Round(vec![Action::send(1, 100, vec![0, 1])]));
+        assert!(s.validate(0, Some(50)).is_ok());
+        assert!(s.validate(0, Some(60)).is_err());
+        // Unannotated sends pass regardless.
+        let mut s2 = Schedule::new();
+        s2.push_round(Round(vec![Action::send(1, 100, vec![])]));
+        assert!(s2.validate(0, Some(60)).is_ok());
+    }
+}

@@ -1,0 +1,356 @@
+//! Semantic verification of collective schedules.
+//!
+//! The timing simulator only cares about byte counts, so correctness of the
+//! schedule builders is proven separately here: schedules for *all* ranks
+//! are executed logically, moving block ids through FIFO channels under the
+//! exact round-barrier semantics of the executor. The verifier checks that
+//!
+//! * the global execution is deadlock-free (every rank finishes),
+//! * FIFO message sizes match between senders and receivers,
+//! * a rank only ever sends blocks it actually holds,
+//! * no message is left unconsumed,
+//!
+//! and collective-specific wrappers assert the operation's postcondition
+//! (every non-root got every segment; every rank got every block addressed
+//! to it; the root combined every contribution).
+
+use crate::schedule::{ActionKind, Schedule};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Result of a logical execution: the set of blocks each rank received.
+pub type ReceivedBlocks = Vec<HashSet<u32>>;
+
+/// FIFO channels keyed by `(src, dst)`: queued `(bytes, blocks)` messages.
+type Channels = HashMap<(usize, usize), VecDeque<(usize, Vec<u32>)>>;
+
+/// Execute one schedule per rank logically. `initial[r]` is the set of
+/// blocks rank `r` holds before the operation.
+pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<ReceivedBlocks, String> {
+    let p = scheds.len();
+    assert_eq!(initial.len(), p, "one initial block set per rank");
+    // FIFO channel per (src, dst): queue of (bytes, blocks).
+    let mut chans: Channels = HashMap::new();
+    let mut held: Vec<HashSet<u32>> = initial.to_vec();
+    let mut received: ReceivedBlocks = vec![HashSet::new(); p];
+    let mut round: Vec<usize> = vec![0; p];
+    let mut entered: Vec<bool> = vec![false; p];
+
+    // Push the sends of rank r's current round (round entry).
+    fn enter_round(
+        r: usize,
+        scheds: &[Schedule],
+        round: &[usize],
+        held: &[HashSet<u32>],
+        chans: &mut Channels,
+    ) -> Result<(), String> {
+        let Some(rd) = scheds[r].rounds.get(round[r]) else {
+            return Ok(());
+        };
+        for a in &rd.0 {
+            if let ActionKind::Send { peer, blocks } = &a.kind {
+                for b in blocks {
+                    if !held[r].contains(b) {
+                        return Err(format!(
+                            "rank {r} round {}: sends block {b} it does not hold",
+                            round[r]
+                        ));
+                    }
+                }
+                chans
+                    .entry((r, *peer))
+                    .or_default()
+                    .push_back((a.bytes, blocks.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    loop {
+        let mut progressed = false;
+        for r in 0..p {
+            loop {
+                if round[r] >= scheds[r].rounds.len() {
+                    break;
+                }
+                if !entered[r] {
+                    enter_round(r, scheds, &round, &held, &mut chans)?;
+                    entered[r] = true;
+                    progressed = true;
+                }
+                // Can the current round's receives all be satisfied?
+                let rd = &scheds[r].rounds[round[r]];
+                let mut needed: HashMap<usize, usize> = HashMap::new();
+                for a in &rd.0 {
+                    if let ActionKind::Recv { peer } = &a.kind {
+                        *needed.entry(*peer).or_default() += 1;
+                    }
+                }
+                let ready = needed.iter().all(|(&peer, &cnt)| {
+                    chans.get(&(peer, r)).map_or(0, |q| q.len()) >= cnt
+                });
+                if !ready {
+                    break;
+                }
+                // Pop the receives in action order, checking sizes.
+                for a in &rd.0 {
+                    if let ActionKind::Recv { peer } = &a.kind {
+                        let q = chans.get_mut(&(*peer, r)).expect("checked above");
+                        let (bytes, blocks) = q.pop_front().expect("checked above");
+                        if bytes != a.bytes {
+                            return Err(format!(
+                                "rank {r} round {}: recv expects {} B from {peer}, got {bytes} B",
+                                round[r], a.bytes
+                            ));
+                        }
+                        for b in blocks {
+                            held[r].insert(b);
+                            received[r].insert(b);
+                        }
+                    }
+                }
+                round[r] += 1;
+                entered[r] = false;
+                progressed = true;
+            }
+        }
+        let all_done = (0..p).all(|r| round[r] >= scheds[r].rounds.len());
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let stuck: Vec<usize> = (0..p).filter(|&r| round[r] < scheds[r].rounds.len()).collect();
+            return Err(format!("logical deadlock; stuck ranks {stuck:?}"));
+        }
+    }
+    for ((src, dst), q) in &chans {
+        if !q.is_empty() {
+            return Err(format!(
+                "{} unconsumed message(s) from {src} to {dst}",
+                q.len()
+            ));
+        }
+    }
+    Ok(received)
+}
+
+/// Verify a broadcast: every non-root rank must receive segments
+/// `0..nseg`; the root receives nothing.
+pub fn verify_bcast(scheds: &[Schedule], root: usize, nseg: usize) -> Result<(), String> {
+    let p = scheds.len();
+    let mut initial = vec![HashSet::new(); p];
+    initial[root] = (0..nseg as u32).collect();
+    let recv = execute(scheds, &initial)?;
+    for (r, got) in recv.iter().enumerate() {
+        if r == root {
+            if !got.is_empty() {
+                return Err(format!("root received {got:?}"));
+            }
+            continue;
+        }
+        for s in 0..nseg as u32 {
+            if !got.contains(&s) {
+                return Err(format!("rank {r} missing segment {s}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify an all-to-all with block ids `src * p + dst`: every rank `r`
+/// must receive block `(src, r)` for every `src != r`.
+pub fn verify_alltoall(scheds: &[Schedule]) -> Result<(), String> {
+    let p = scheds.len();
+    let initial: Vec<HashSet<u32>> = (0..p)
+        .map(|r| (0..p).map(|d| (r * p + d) as u32).collect())
+        .collect();
+    let recv = execute(scheds, &initial)?;
+    for (r, got) in recv.iter().enumerate() {
+        for src in 0..p {
+            if src == r {
+                continue;
+            }
+            let b = (src * p + r) as u32;
+            if !got.contains(&b) {
+                return Err(format!("rank {r} missing block from {src}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify an all-gather with block id = owner rank: every rank must
+/// receive every other rank's block.
+pub fn verify_allgather(scheds: &[Schedule]) -> Result<(), String> {
+    let p = scheds.len();
+    let initial: Vec<HashSet<u32>> = (0..p).map(|r| [r as u32].into_iter().collect()).collect();
+    let recv = execute(scheds, &initial)?;
+    for (r, got) in recv.iter().enumerate() {
+        for other in 0..p as u32 {
+            if other as usize == r {
+                continue;
+            }
+            if !got.contains(&other) {
+                return Err(format!("rank {r} missing block of {other}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a reduce with block id = contributing rank: the root must
+/// receive every other rank's contribution.
+pub fn verify_reduce(scheds: &[Schedule], root: usize) -> Result<(), String> {
+    let p = scheds.len();
+    let initial: Vec<HashSet<u32>> = (0..p).map(|r| [r as u32].into_iter().collect()).collect();
+    let recv = execute(scheds, &initial)?;
+    for r in 0..p as u32 {
+        if r as usize == root {
+            continue;
+        }
+        if !recv[root].contains(&r) {
+            return Err(format!("root missing contribution of rank {r}"));
+        }
+    }
+    Ok(())
+}
+
+/// Verify a barrier: only deadlock-freedom and channel consistency matter.
+pub fn verify_barrier(scheds: &[Schedule]) -> Result<(), String> {
+    let p = scheds.len();
+    let initial = vec![HashSet::new(); p];
+    execute(scheds, &initial).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allgather::{build_allgather, AllgatherAlgo};
+    use crate::alltoall::{build_alltoall, AlltoallAlgo};
+    use crate::barrier::build_barrier;
+    use crate::bcast::{build_bcast, BcastAlgo};
+    use crate::reduce::{build_reduce, ReduceAlgo};
+    use crate::schedule::{Action, CollSpec, Round, Schedule};
+
+    const SIZES: &[usize] = &[2, 3, 4, 5, 7, 8, 9, 16, 17, 32, 33, 64];
+
+    #[test]
+    fn all_bcast_variants_correct() {
+        for &p in SIZES {
+            for algo in BcastAlgo::all() {
+                for (bytes, seg) in [(100_000usize, 32 * 1024), (1000, 64 * 1024), (262_144, 65_536)]
+                {
+                    let spec = CollSpec::new(p, bytes);
+                    let scheds: Vec<Schedule> =
+                        (0..p).map(|r| build_bcast(algo, seg, r, &spec)).collect();
+                    let nseg = bytes.div_ceil(seg);
+                    verify_bcast(&scheds, 0, nseg)
+                        .unwrap_or_else(|e| panic!("{algo:?} p={p} bytes={bytes}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_nonzero_root_correct() {
+        for &p in &[4usize, 9] {
+            for algo in BcastAlgo::all() {
+                let spec = CollSpec {
+                    nprocs: p,
+                    msg_bytes: 10_000,
+                    root: p - 1,
+                };
+                let scheds: Vec<Schedule> =
+                    (0..p).map(|r| build_bcast(algo, 4096, r, &spec)).collect();
+                verify_bcast(&scheds, p - 1, 10_000usize.div_ceil(4096))
+                    .unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_alltoall_variants_correct() {
+        for &p in SIZES {
+            for algo in AlltoallAlgo::all() {
+                let spec = CollSpec::new(p, 128);
+                let scheds: Vec<Schedule> =
+                    (0..p).map(|r| build_alltoall(algo, r, &spec)).collect();
+                verify_alltoall(&scheds).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_allgather_variants_correct() {
+        for &p in SIZES {
+            for algo in AllgatherAlgo::all() {
+                let spec = CollSpec::new(p, 64);
+                let scheds: Vec<Schedule> =
+                    (0..p).map(|r| build_allgather(algo, r, &spec)).collect();
+                verify_allgather(&scheds).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_variants_correct() {
+        for &p in SIZES {
+            for algo in ReduceAlgo::all() {
+                let spec = CollSpec::new(p, 4096);
+                let scheds: Vec<Schedule> =
+                    (0..p).map(|r| build_reduce(algo, r, &spec)).collect();
+                verify_reduce(&scheds, 0).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_deadlock_free() {
+        for &p in SIZES {
+            let spec = CollSpec::new(p, 0);
+            let scheds: Vec<Schedule> = (0..p).map(|r| build_barrier(r, &spec)).collect();
+            verify_barrier(&scheds).unwrap_or_else(|e| panic!("p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        // Two ranks each waiting for the other before sending.
+        let mk = |peer: usize| {
+            let mut s = Schedule::new();
+            s.push_round(Round(vec![Action::recv(peer, 8)]));
+            s.push_round(Round(vec![Action::send(peer, 8, vec![])]));
+            s
+        };
+        let err = execute(&[mk(1), mk(0)], &[HashSet::new(), HashSet::new()]).unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn detects_size_mismatch() {
+        let mut s0 = Schedule::new();
+        s0.push_round(Round(vec![Action::send(1, 100, vec![])]));
+        let mut s1 = Schedule::new();
+        s1.push_round(Round(vec![Action::recv(0, 99)]));
+        let err = execute(&[s0, s1], &[HashSet::new(), HashSet::new()]).unwrap_err();
+        assert!(err.contains("recv expects"), "{err}");
+    }
+
+    #[test]
+    fn detects_phantom_block() {
+        let mut s0 = Schedule::new();
+        s0.push_round(Round(vec![Action::send(1, 8, vec![42])]));
+        let mut s1 = Schedule::new();
+        s1.push_round(Round(vec![Action::recv(0, 8)]));
+        let err = execute(&[s0, s1], &[HashSet::new(), HashSet::new()]).unwrap_err();
+        assert!(err.contains("does not hold"), "{err}");
+    }
+
+    #[test]
+    fn detects_unconsumed_message() {
+        let mut s0 = Schedule::new();
+        s0.push_round(Round(vec![Action::send(1, 8, vec![])]));
+        let s1 = Schedule::new();
+        let err = execute(&[s0, s1], &[HashSet::new(), HashSet::new()]).unwrap_err();
+        assert!(err.contains("unconsumed"), "{err}");
+    }
+}

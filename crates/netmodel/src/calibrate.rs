@@ -1,0 +1,153 @@
+//! Analytic calibration helpers: closed-form predictions of basic
+//! point-to-point metrics for a platform, used to sanity-check the
+//! simulator against the model and to document what each preset implies.
+//!
+//! These are *predictions from the parameters* (no simulation); the
+//! integration tests cross-check that the simulated world reproduces them
+//! in uncontended conditions.
+
+use crate::params::TransportParams;
+use crate::platforms::Platform;
+use simcore::SimTime;
+
+/// Predicted metrics for one transport at one message size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2pPrediction {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// One-way latency for this size (uncontended).
+    pub one_way: SimTime,
+    /// Half round-trip measured by a ping-pong (equals `one_way` in this
+    /// model).
+    pub half_rtt: SimTime,
+    /// Effective bandwidth in GB/s at this size.
+    pub bandwidth_gbps: f64,
+    /// True if this size ships eagerly.
+    pub eager: bool,
+}
+
+/// Predict ping-pong behaviour for `bytes` on a transport.
+///
+/// ```
+/// use netmodel::{calibrate, Platform};
+/// let whale = Platform::whale();
+/// let p = calibrate::predict(&whale.inter, 1024);
+/// assert!(p.eager);
+/// assert!(p.one_way > whale.inter.latency);
+/// ```
+pub fn predict(params: &TransportParams, bytes: usize) -> P2pPrediction {
+    let one_way = params.uncontended_oneway(bytes);
+    // Rendezvous adds the RTS/CTS round trip before the payload moves.
+    let one_way = if params.is_eager(bytes) {
+        one_way
+    } else {
+        one_way + params.latency * 2
+    };
+    let bw = if one_way.is_zero() {
+        0.0
+    } else {
+        bytes as f64 / one_way.as_secs_f64() / 1e9
+    };
+    P2pPrediction {
+        bytes,
+        one_way,
+        half_rtt: one_way,
+        bandwidth_gbps: bw,
+        eager: params.is_eager(bytes),
+    }
+}
+
+/// The standard calibration sweep sizes (1 B .. 4 MiB, powers of four).
+pub fn sweep_sizes() -> Vec<usize> {
+    (0..12).map(|i| 1usize << (2 * i)).collect()
+}
+
+/// Produce the calibration table for a platform's inter-node transport.
+pub fn calibration_table(platform: &Platform) -> Vec<P2pPrediction> {
+    sweep_sizes()
+        .into_iter()
+        .map(|s| predict(&platform.inter, s))
+        .collect()
+}
+
+/// Asymptotic (large-message) bandwidth of a transport in GB/s.
+pub fn peak_bandwidth_gbps(params: &TransportParams) -> f64 {
+    1.0 / params.gap_ns_per_byte
+}
+
+/// The message size at which half the peak bandwidth is reached (the
+/// classic `n_1/2` metric), derived from the model parameters.
+pub fn n_half(params: &TransportParams) -> usize {
+    // bytes*G = L + o_s + o_r  =>  n_1/2 = (L + o_s + o_r) / G
+    let overhead_ns = (params.latency + params.o_send + params.o_recv).as_nanos() as f64;
+    (overhead_ns / params.gap_ns_per_byte).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_components() {
+        let p = Platform::whale().inter;
+        let small = predict(&p, 1024);
+        assert!(small.eager);
+        assert_eq!(small.one_way, p.uncontended_oneway(1024));
+        let big = predict(&p, 1 << 20);
+        assert!(!big.eager);
+        assert_eq!(big.one_way, p.uncontended_oneway(1 << 20) + p.latency * 2);
+    }
+
+    #[test]
+    fn bandwidth_approaches_peak() {
+        let p = Platform::crill().inter;
+        let big = predict(&p, 16 << 20);
+        let peak = peak_bandwidth_gbps(&p);
+        assert!(
+            big.bandwidth_gbps > peak * 0.95,
+            "{} vs peak {}",
+            big.bandwidth_gbps,
+            peak
+        );
+        let tiny = predict(&p, 16);
+        assert!(tiny.bandwidth_gbps < peak * 0.05);
+    }
+
+    #[test]
+    fn n_half_sits_between_extremes() {
+        for name in Platform::preset_names() {
+            let p = Platform::by_name(name).unwrap();
+            let nh = n_half(&p.inter);
+            let at_nh = predict(&p.inter, nh);
+            let peak = peak_bandwidth_gbps(&p.inter);
+            // Within the eager regime the n_1/2 formula is exact up to
+            // rounding; rendezvous adds a bit more overhead.
+            if at_nh.eager {
+                assert!(
+                    (at_nh.bandwidth_gbps / (peak / 2.0) - 1.0).abs() < 0.05,
+                    "{name}: n_1/2={nh} gives {} of peak/2 {}",
+                    at_nh.bandwidth_gbps,
+                    peak / 2.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_bandwidth() {
+        let table = calibration_table(&Platform::whale());
+        for w in table.windows(2) {
+            assert!(w[0].bandwidth_gbps <= w[1].bandwidth_gbps + 1e-9);
+        }
+        assert_eq!(table.len(), 12);
+    }
+
+    #[test]
+    fn tcp_slower_than_ib_at_every_size() {
+        let ib = calibration_table(&Platform::whale());
+        let tcp = calibration_table(&Platform::whale_tcp());
+        for (a, b) in ib.iter().zip(&tcp) {
+            assert!(a.one_way < b.one_way, "{} B", a.bytes);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-transport LogGP-style parameters.
+
+use simcore::SimTime;
+
+/// Cost parameters for one transport (shared memory, InfiniBand, TCP/GigE,
+/// or a torus link).
+///
+/// The model follows LogGP (Culler et al.): a message of `s` bytes posted at
+/// time `t` costs the sender `o_send` CPU time, occupies the transmit engine
+/// for `s * G` (`G` = `gap_ns_per_byte`), crosses the wire in `L`
+/// (`latency`), then occupies the receive engine for `s * G` — inflated by
+/// an incast penalty when the receive engine is backlogged.
+#[derive(Debug, Clone)]
+pub struct TransportParams {
+    /// Human-readable transport name ("shm", "ib-ddr", "gige", "torus").
+    pub name: &'static str,
+    /// One-way wire latency `L`.
+    pub latency: SimTime,
+    /// Inverse bandwidth `G` in nanoseconds per byte (e.g. 1.5 GB/s ⇒ 0.667).
+    pub gap_ns_per_byte: f64,
+    /// CPU overhead for posting one send (not overlappable).
+    pub o_send: SimTime,
+    /// CPU overhead for posting one receive (not overlappable).
+    pub o_recv: SimTime,
+    /// Messages at most this many bytes use the eager protocol; larger ones
+    /// use rendezvous (RTS/CTS, which requires progress on both sides).
+    pub eager_threshold: usize,
+    /// Incast penalty slope: effective receive gap is multiplied by
+    /// `1 + incast_alpha * max(0, backlog - incast_free)`.
+    pub incast_alpha: f64,
+    /// Number of backlogged messages tolerated before the penalty applies.
+    pub incast_free: usize,
+    /// Upper bound on the congestion penalty factor (real networks
+    /// saturate; goodput does not degrade without limit).
+    pub incast_max: f64,
+    /// Extra cost per byte for copying an *unexpected* eager message out of
+    /// the bounce buffer once the receive is finally posted.
+    pub unexpected_copy_ns_per_byte: f64,
+}
+
+impl TransportParams {
+    /// Pure serialization time for `bytes` on this transport (no contention).
+    pub fn serialize(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.gap_ns_per_byte * 1e-9)
+    }
+
+    /// Serialization time inflated by the incast penalty for a given receive
+    /// backlog.
+    pub fn serialize_with_backlog(&self, bytes: usize, backlog: usize) -> SimTime {
+        let over = backlog.saturating_sub(self.incast_free) as f64;
+        let penalty = (1.0 + self.incast_alpha * over).min(self.incast_max);
+        self.serialize(bytes).scale(penalty)
+    }
+
+    /// True if `bytes` is sent eagerly on this transport.
+    pub fn is_eager(&self, bytes: usize) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Copy-out cost for an unexpected eager message of `bytes`.
+    pub fn unexpected_copy(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 * self.unexpected_copy_ns_per_byte * 1e-9)
+    }
+
+    /// Naive un-contended one-way time for `bytes` (used for calibration
+    /// sanity checks, not by the simulator itself).
+    pub fn uncontended_oneway(&self, bytes: usize) -> SimTime {
+        self.o_send + self.serialize(bytes) + self.latency + self.o_recv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> TransportParams {
+        TransportParams {
+            name: "test",
+            latency: SimTime::from_micros(3),
+            gap_ns_per_byte: 1.0,
+            o_send: SimTime::from_nanos(500),
+            o_recv: SimTime::from_nanos(400),
+            eager_threshold: 1024,
+            incast_alpha: 0.5,
+            incast_free: 2,
+            incast_max: 16.0,
+            unexpected_copy_ns_per_byte: 0.25,
+        }
+    }
+
+    #[test]
+    fn serialize_scales_linearly() {
+        let tp = p();
+        assert_eq!(tp.serialize(1000), SimTime::from_micros(1));
+        assert_eq!(tp.serialize(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn incast_penalty_applies_above_free_slots() {
+        let tp = p();
+        // backlog <= incast_free: no penalty
+        assert_eq!(tp.serialize_with_backlog(1000, 0), tp.serialize(1000));
+        assert_eq!(tp.serialize_with_backlog(1000, 2), tp.serialize(1000));
+        // backlog 4 -> 2 over -> x2
+        assert_eq!(
+            tp.serialize_with_backlog(1000, 4),
+            SimTime::from_micros(2)
+        );
+    }
+
+    #[test]
+    fn eager_threshold_boundary() {
+        let tp = p();
+        assert!(tp.is_eager(1024));
+        assert!(!tp.is_eager(1025));
+    }
+
+    #[test]
+    fn uncontended_oneway_adds_components() {
+        let tp = p();
+        let t = tp.uncontended_oneway(1000);
+        assert_eq!(
+            t,
+            SimTime::from_nanos(500) // o_send
+                + SimTime::from_micros(1) // 1000 B * 1 ns/B
+                + SimTime::from_micros(3) // L
+                + SimTime::from_nanos(400) // o_recv
+        );
+    }
+
+    #[test]
+    fn unexpected_copy_cost() {
+        let tp = p();
+        assert_eq!(tp.unexpected_copy(4000), SimTime::from_micros(1));
+    }
+}

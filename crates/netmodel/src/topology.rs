@@ -1,0 +1,173 @@
+//! Rank-to-node placement and torus geometry.
+
+/// How ranks are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fill each node's cores before moving to the next node (the common
+    /// batch-scheduler default and what the paper's clusters used).
+    Block,
+    /// Distribute ranks round-robin across nodes (one rank per node per
+    /// cycle); maximizes inter-node traffic for a given rank count.
+    RoundRobin,
+}
+
+/// Maps ranks onto a machine of `nodes × cores_per_node`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: usize,
+    cores_per_node: usize,
+    /// `rank -> node` index.
+    node_of: Vec<usize>,
+    /// 3-D torus dimensions, if the interconnect is a torus (BlueGene/P).
+    torus: Option<(usize, usize, usize)>,
+}
+
+impl Topology {
+    /// Build a placement of `nranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if the machine does not have enough cores, or if a node count
+    /// does not match the torus dimensions.
+    pub fn new(
+        nodes: usize,
+        cores_per_node: usize,
+        nranks: usize,
+        placement: Placement,
+        torus: Option<(usize, usize, usize)>,
+    ) -> Self {
+        assert!(nodes > 0 && cores_per_node > 0, "empty machine");
+        assert!(
+            nranks <= nodes * cores_per_node,
+            "{nranks} ranks do not fit on {nodes} nodes x {cores_per_node} cores"
+        );
+        if let Some((x, y, z)) = torus {
+            assert_eq!(x * y * z, nodes, "torus dims must cover all nodes");
+        }
+        let node_of = match placement {
+            Placement::Block => (0..nranks).map(|r| r / cores_per_node).collect(),
+            Placement::RoundRobin => (0..nranks).map(|r| r % nodes).collect(),
+        };
+        Topology {
+            nodes,
+            cores_per_node,
+            node_of,
+            torus,
+        }
+    }
+
+    /// Number of ranks placed.
+    pub fn nranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of[rank]
+    }
+
+    /// True if both ranks share a node (⇒ shared-memory transport).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// Number of ranks on the node hosting `rank`.
+    pub fn ranks_on_node(&self, node: usize) -> usize {
+        self.node_of.iter().filter(|&&n| n == node).count()
+    }
+
+    /// Torus hop count between two nodes (0 for non-torus machines or the
+    /// same node). Uses shortest wrap-around Manhattan distance.
+    pub fn hops(&self, node_a: usize, node_b: usize) -> usize {
+        if node_a == node_b {
+            return 0;
+        }
+        match self.torus {
+            None => 1, // flat switched network: one "hop"
+            Some(dims) => {
+                let a = Self::coords(node_a, dims);
+                let b = Self::coords(node_b, dims);
+                let d = |p: usize, q: usize, n: usize| {
+                    let diff = p.abs_diff(q);
+                    diff.min(n - diff)
+                };
+                d(a.0, b.0, dims.0) + d(a.1, b.1, dims.1) + d(a.2, b.2, dims.2)
+            }
+        }
+    }
+
+    fn coords(node: usize, (x, y, _z): (usize, usize, usize)) -> (usize, usize, usize) {
+        (node % x, (node / x) % y, node / (x * y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_fills_nodes() {
+        let t = Topology::new(4, 8, 32, Placement::Block, None);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(7), 0);
+        assert_eq!(t.node_of(8), 1);
+        assert_eq!(t.node_of(31), 3);
+        assert!(t.same_node(0, 7));
+        assert!(!t.same_node(7, 8));
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let t = Topology::new(4, 8, 8, Placement::RoundRobin, None);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(1), 1);
+        assert_eq!(t.node_of(4), 0);
+        assert_eq!(t.ranks_on_node(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn overfull_machine_rejected() {
+        Topology::new(2, 4, 9, Placement::Block, None);
+    }
+
+    #[test]
+    fn flat_network_hops() {
+        let t = Topology::new(4, 8, 32, Placement::Block, None);
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 3), 1);
+    }
+
+    #[test]
+    fn torus_hops_wrap() {
+        // 4x4x2 torus = 32 nodes
+        let t = Topology::new(32, 4, 128, Placement::Block, Some((4, 4, 2)));
+        assert_eq!(t.hops(0, 0), 0);
+        // node 1 = (1,0,0): 1 hop
+        assert_eq!(t.hops(0, 1), 1);
+        // node 3 = (3,0,0): wraps to 1 hop
+        assert_eq!(t.hops(0, 3), 1);
+        // node 2 = (2,0,0): 2 hops either way
+        assert_eq!(t.hops(0, 2), 2);
+        // node 16 = (0,0,1): 1 hop in z
+        assert_eq!(t.hops(0, 16), 1);
+        // farthest corner: (2,2,1) -> 2+2+1
+        let far = 2 + 2 * 4 + 16;
+        assert_eq!(t.hops(0, far), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus dims")]
+    fn bad_torus_dims_rejected() {
+        Topology::new(10, 4, 8, Placement::Block, Some((2, 2, 2)));
+    }
+}

@@ -1,0 +1,26 @@
+//! `simcore` — deterministic discrete-event simulation substrate.
+//!
+//! This crate provides the low-level building blocks used by the simulated
+//! cluster in which the ADCL auto-tuning runtime is evaluated:
+//!
+//! * [`SimTime`] — integer-nanosecond virtual time (exact, reproducible),
+//! * [`EventQueue`] — a monotone priority queue with stable FIFO tie-breaking,
+//! * [`FifoResource`] — a serializing resource (NIC link, memory bus) with
+//!   backlog accounting, used for contention/incast modelling,
+//! * [`stats`] — robust statistics (median, IQR outlier filtering, trimmed
+//!   means) used by the ADCL measurement filter,
+//! * [`rng`] — small deterministic PRNGs for noise injection and workload
+//!   generation.
+//!
+//! Nothing in this crate knows about MPI, networks or collectives; it is the
+//! bottom layer of the stack described in `DESIGN.md`.
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use resource::FifoResource;
+pub use time::SimTime;

@@ -1,0 +1,207 @@
+//! Small deterministic PRNGs for the simulator.
+//!
+//! The simulation needs *seedable, splittable, allocation-free* randomness:
+//! every rank gets its own stream (for compute-noise injection) derived from
+//! a master seed, and identical seeds must reproduce identical simulated
+//! timelines bit-for-bit. We use SplitMix64 — a tiny, well-studied generator
+//! that is more than adequate for noise modelling (we are not doing
+//! cryptography or high-dimensional Monte Carlo here).
+//!
+//! The heavier `rand` crate is still used by workload generators in the
+//! benchmark harness; this module is for the simulator's internal noise.
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derive an independent stream for substream `idx` (e.g. one per rank).
+    pub fn split(seed: u64, idx: u64) -> Self {
+        let mut base = SplitMix64::new(seed ^ idx.wrapping_mul(0x9E3779B97F4A7C15));
+        // Burn a few outputs so adjacent idx values decorrelate quickly.
+        base.next_u64();
+        base.next_u64();
+        base
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        // Multiply-shift method (Lemire); slight bias is irrelevant here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Approximately normal deviate with mean 0, stddev 1 (sum of 12
+    /// uniforms; fine for noise injection).
+    pub fn next_gauss(&mut self) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.next_f64();
+        }
+        acc - 6.0
+    }
+}
+
+/// A per-rank compute-noise model: multiplies compute durations by
+/// `1 + gauss()*jitter`, and occasionally (probability `spike_prob`) injects
+/// a large OS-noise spike of relative magnitude `spike_scale`.
+///
+/// This reproduces the measurement outliers that the paper reports as the
+/// cause of ADCL's occasional wrong decision, and exercises the statistical
+/// filter in the selection logic.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: SplitMix64,
+    /// Relative stddev of the multiplicative jitter (e.g. 0.01 = 1%).
+    pub jitter: f64,
+    /// Probability that a compute phase suffers an OS-noise spike.
+    pub spike_prob: f64,
+    /// Relative magnitude of a spike (e.g. 2.0 = 3x normal duration).
+    pub spike_scale: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model (factor always exactly 1).
+    pub fn none() -> Self {
+        NoiseModel {
+            rng: SplitMix64::new(0),
+            jitter: 0.0,
+            spike_prob: 0.0,
+            spike_scale: 0.0,
+        }
+    }
+
+    /// Noise stream for one rank derived from a master seed.
+    pub fn for_rank(seed: u64, rank: usize, jitter: f64, spike_prob: f64, spike_scale: f64) -> Self {
+        NoiseModel {
+            rng: SplitMix64::split(seed, rank as u64),
+            jitter,
+            spike_prob,
+            spike_scale,
+        }
+    }
+
+    /// True if this model never perturbs durations.
+    pub fn is_none(&self) -> bool {
+        self.jitter == 0.0 && self.spike_prob == 0.0
+    }
+
+    /// Sample a multiplicative factor (>= 0.5) for one compute phase.
+    pub fn factor(&mut self) -> f64 {
+        if self.is_none() {
+            return 1.0;
+        }
+        let mut f = 1.0 + self.rng.next_gauss() * self.jitter;
+        if self.spike_prob > 0.0 && self.rng.next_f64() < self.spike_prob {
+            f += self.spike_scale * (0.5 + self.rng.next_f64());
+        }
+        f.max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut a = SplitMix64::split(7, 0);
+        let mut b = SplitMix64::split(7, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = r.next_below(8) as usize;
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gauss_roughly_standard() {
+        let mut r = SplitMix64::new(13);
+        let xs: Vec<f64> = (0..20_000).map(|_| r.next_gauss()).collect();
+        let m = crate::stats::mean(&xs);
+        let s = crate::stats::stddev(&xs);
+        assert!(m.abs() < 0.05, "mean={m}");
+        assert!((s - 1.0).abs() < 0.05, "stddev={s}");
+    }
+
+    #[test]
+    fn noise_none_is_identity() {
+        let mut n = NoiseModel::none();
+        for _ in 0..10 {
+            assert_eq!(n.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn noise_factor_centered_near_one() {
+        let mut n = NoiseModel::for_rank(3, 0, 0.01, 0.0, 0.0);
+        let xs: Vec<f64> = (0..10_000).map(|_| n.factor()).collect();
+        let m = crate::stats::mean(&xs);
+        assert!((m - 1.0).abs() < 0.01, "mean factor {m}");
+    }
+
+    #[test]
+    fn spikes_occur_at_configured_rate() {
+        let mut n = NoiseModel::for_rank(5, 1, 0.0, 0.1, 2.0);
+        let spikes = (0..10_000).filter(|_| n.factor() > 1.5).count();
+        // ~10% +- slack
+        assert!((700..1300).contains(&spikes), "spikes={spikes}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Virtual time represented as integer nanoseconds.
+//!
+//! Using an integer representation (rather than `f64` seconds) keeps the
+//! simulation exactly reproducible: event ordering never depends on
+//! floating-point rounding, and times compare with total order.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic operators implement the usual timestamp/duration algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero timestamp (simulation epoch).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative inputs saturate to zero (durations cannot be negative).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional microseconds.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us * 1e-6)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (for reporting only; never used in event
+    /// ordering).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Time as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Saturating subtraction: `max(self - rhs, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Multiply a duration by a dimensionless `f64` factor (e.g. a noise
+    /// multiplier), rounding to the nearest nanosecond and saturating at zero.
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimTime {
+        if factor <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero time.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_nanos(1_000_000_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+        assert_eq!(SimTime::from_micros_f64(1.5), SimTime::from_nanos(1_500));
+    }
+
+    #[test]
+    fn negative_secs_saturate() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(4);
+        assert_eq!(a + b, SimTime::from_micros(14));
+        assert_eq!(a - b, SimTime::from_micros(6));
+        assert_eq!(a * 3, SimTime::from_micros(30));
+        assert_eq!(a / 2, SimTime::from_micros(5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        let t = SimTime::from_micros(100);
+        assert_eq!(t.scale(1.5), SimTime::from_micros(150));
+        assert_eq!(t.scale(0.0), SimTime::ZERO);
+        assert_eq!(t.scale(-2.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimTime::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: SimTime = (1..=4u64).map(SimTime::from_nanos).sum();
+        assert_eq!(total, SimTime::from_nanos(10));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use simcore::queue::EventQueue;
+use simcore::resource::FifoResource;
+use simcore::stats;
+use simcore::time::SimTime;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// insertion order.
+    #[test]
+    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Equal-time events pop in insertion (FIFO) order.
+    #[test]
+    fn event_queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    /// A FIFO resource never serves two jobs at once and never reorders.
+    #[test]
+    fn fifo_resource_serializes(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut r = FifoResource::new();
+        let mut arrivals: Vec<(u64, u64)> = jobs.clone();
+        arrivals.sort_by_key(|&(a, _)| a);
+        let mut prev_drain = SimTime::ZERO;
+        let mut total = SimTime::ZERO;
+        for (arrive, service) in arrivals {
+            let g = r.submit(SimTime::from_nanos(arrive), SimTime::from_nanos(service));
+            // starts only after the previous job drained and after arrival
+            prop_assert!(g.start >= prev_drain.min(g.start));
+            prop_assert!(g.start >= SimTime::from_nanos(arrive));
+            prop_assert!(g.drain >= prev_drain, "FIFO order violated");
+            prop_assert_eq!(g.drain, g.start + SimTime::from_nanos(service));
+            prev_drain = g.drain;
+            total += SimTime::from_nanos(service);
+        }
+        prop_assert_eq!(r.total_busy(), total);
+    }
+
+    /// IQR filtering returns a non-empty subset of the input.
+    #[test]
+    fn iqr_filter_subset(xs in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let kept = stats::iqr_filter(&xs, 1.5);
+        prop_assert!(!kept.is_empty());
+        prop_assert!(kept.len() <= xs.len());
+        for k in &kept {
+            prop_assert!(xs.contains(k));
+        }
+    }
+
+    /// The median always lies between the minimum and maximum.
+    #[test]
+    fn median_in_range(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let m = stats::median(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(0.0f64..1e6, 2..50), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(stats::quantile(&xs, lo) <= stats::quantile(&xs, hi) + 1e-9);
+    }
+
+    /// Welford matches batch statistics for arbitrary samples.
+    #[test]
+    fn welford_matches_batch(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut w = stats::Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert!((w.mean() - stats::mean(&xs)).abs() < 1e-6);
+        prop_assert!((w.variance() - stats::variance(&xs)).abs() < 1e-4);
+    }
+
+    /// SimTime scaling by 1.0 is the identity (within rounding).
+    #[test]
+    fn scale_identity(ns in 0u64..u64::MAX / 2) {
+        let t = SimTime::from_nanos(ns);
+        let diff = t.scale(1.0).as_nanos().abs_diff(ns);
+        // f64 has 53 bits of mantissa; large values round.
+        prop_assert!(diff as f64 <= ns as f64 * 1e-9 + 1.0);
+    }
+}

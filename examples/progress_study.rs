@@ -1,0 +1,68 @@
+//! Influence of the number of progress calls (paper Figs. 6 and 7,
+//! scaled down).
+//!
+//! Two effects are demonstrated:
+//!
+//! 1. more progress calls are not free — past the point of full overlap,
+//!    every extra call is pure overhead (Fig. 6), and
+//! 2. the number of progress calls changes *which algorithm is best*:
+//!    single-round algorithms (linear) need few calls, multi-round
+//!    algorithms (pairwise, dissemination) need many (Fig. 7).
+//!
+//! Run with: `cargo run --release --example progress_study`
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+
+fn main() {
+    let base = MicrobenchSpec {
+        platform: Platform::crill(),
+        nprocs: 32,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 128 * 1024,
+        iters: 20,
+        compute_total: SimTime::from_secs(2),
+        num_progress: 1,
+        noise: NoiseConfig::none(),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    };
+
+    println!(
+        "Ialltoall on crill, {} processes, {} KiB per pair",
+        base.nprocs,
+        base.msg_bytes / 1024
+    );
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>12}",
+        "progress", "linear", "pairwise", "dissemination", "best"
+    );
+    println!("{:-<64}", "");
+
+    for num_progress in [1usize, 2, 5, 10, 50, 200] {
+        let mut spec = base.clone();
+        spec.num_progress = num_progress;
+        let rows = spec.run_all_fixed();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0
+            .clone();
+        println!(
+            "{:<10} {:>9.1} ms {:>9.1} ms {:>11.1} ms {:>12}",
+            num_progress,
+            rows[0].1 * 1e3,
+            rows[1].1 * 1e3,
+            rows[2].1 * 1e3,
+            best
+        );
+    }
+
+    println!();
+    println!("Single-round algorithms overlap with one call; multi-round ones need");
+    println!("one call per round — and past full overlap, extra calls only add");
+    println!("progress-engine overhead.");
+}

@@ -1,0 +1,109 @@
+//! Auto-tuning a Cartesian halo exchange — ADCL's original use case.
+//!
+//! A Jacobi-style stencil on a periodic 4 × 4 process grid exchanges halos
+//! with four neighbours every iteration, overlapping the exchange with the
+//! interior update. Three exchange schedules compete (post-all /
+//! pairwise-dim / ordered); ADCL picks the winner at run time. The halo
+//! size is swept to show the choice is workload-dependent.
+//!
+//! Run with: `cargo run --release --example stencil_halo`
+
+use autonbc::prelude::*;
+
+fn run(platform: &Platform, gx: usize, gy: usize, halo_bytes: usize, logic: Option<SelectionLogic>) -> Vec<(String, f64)> {
+    let p = gx * gy;
+    let iters = 80;
+    let interior_compute = SimTime::from_micros(800);
+
+    let build_session = |logic: SelectionLogic| {
+        let mut world = World::new(platform.clone(), p, Placement::RoundRobin, NoiseConfig::light(17));
+        let mut session = TuningSession::new(p);
+        let fnset = FunctionSet::ineighbor_default(CollSpec::new(p, halo_bytes), gx, gy);
+        let op = session.add_op(
+            "ineighbor",
+            fnset,
+            TunerConfig {
+                logic,
+                // Streaming algorithms (pairwise) only reach their
+                // pipelined steady state after several consistent
+                // iterations; give the tuner enough samples to see it.
+                reps: 12,
+                warmup: 3,
+                filter: FilterKind::default(),
+            },
+        );
+        let timer = session.add_timer(vec![op]);
+        let mk = || {
+            let mut v = Vec::new();
+            for _ in 0..iters {
+                v.push(Instr::TimerStart(timer));
+                v.push(Instr::Start { op, slot: 0 });
+                // Interior update overlaps the halo exchange.
+                v.push(Instr::Compute(interior_compute / 2));
+                v.push(Instr::Progress { op });
+                v.push(Instr::Compute(interior_compute / 2));
+                v.push(Instr::Wait { op, slot: 0 });
+                // Boundary update needs the halos.
+                v.push(Instr::Compute(interior_compute / 8));
+                v.push(Instr::TimerStop(timer));
+            }
+            v
+        };
+        let scripts = VecScript::boxed((0..p).map(|_| mk()).collect());
+        let mut runner = Runner::new(session, scripts);
+        world.run(&mut runner).expect("stencil deadlocked");
+        runner.session
+    };
+
+    match logic {
+        Some(l) => {
+            let s = build_session(l);
+            let winner = s.ops[0]
+                .tuner
+                .winner()
+                .map(|w| s.ops[0].fnset.functions[w].name.clone())
+                .unwrap_or_else(|| "?".into());
+            vec![(format!("ADCL -> {winner}"), s.timers[0].total())]
+        }
+        None => (0..3)
+            .map(|i| {
+                let s = build_session(SelectionLogic::Fixed(i));
+                let name = s.ops[0].fnset.functions[i].name.clone();
+                (name, s.timers[0].total())
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let platform = Platform::whale();
+    let (gx, gy) = (4usize, 4usize);
+    println!(
+        "Jacobi halo exchange on {}: {}x{} periodic grid, 30 iterations",
+        platform.name, gx, gy
+    );
+    println!();
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>24}",
+        "halo bytes", "post-all", "pairwise", "ordered", "ADCL"
+    );
+    println!("{:-<78}", "");
+    for halo in [512usize, 8 * 1024, 64 * 1024, 512 * 1024] {
+        let fixed = run(&platform, gx, gy, halo, None);
+        let tuned = run(&platform, gx, gy, halo, Some(SelectionLogic::BruteForce));
+        println!(
+            "{:<14} {:>9.2} ms {:>9.2} ms {:>9.2} ms {:>16} {:>4.2} ms",
+            halo,
+            fixed[0].1 * 1e3,
+            fixed[1].1 * 1e3,
+            fixed[2].1 * 1e3,
+            tuned[0].0,
+            tuned[0].1 * 1e3,
+        );
+    }
+    println!();
+    println!("The exchange schedule that wins depends on the halo size: the");
+    println!("per-dimension exchange wins for small (eager) halos, while post-all");
+    println!("maximizes overlap once the halos are large rendezvous messages —");
+    println!("and ADCL discovers this per workload at run time.");
+}

@@ -1,0 +1,130 @@
+//! Integration tests: the simulated world reproduces the analytic
+//! calibration predictions of `netmodel::calibrate` in uncontended
+//! conditions — tying the discrete-event machinery to the closed-form
+//! LogGP model.
+
+use autonbc::prelude::*;
+use mpisim::{RankBehavior, RankId, RecvHandle, SendHandle, Step, Tag};
+use netmodel::calibrate;
+
+/// One uncontended message rank 0 → rank 1; both sides wait immediately.
+struct OneMessage {
+    bytes: usize,
+    sent: bool,
+    send: Option<SendHandle>,
+    recv: Option<RecvHandle>,
+    recv_done_at: SimTime,
+}
+
+impl RankBehavior for OneMessage {
+    fn step(&mut self, w: &mut World, r: RankId) -> Step {
+        if !self.sent {
+            self.sent = true;
+            // Post both sides at t=0 (+ the posting overheads the model
+            // already includes via o_send/o_recv in `at`).
+            let s = w.isend(0, 1, Tag(0), self.bytes, w.o_send(0, 1));
+            let rv = w.irecv(1, 0, Tag(0), self.bytes, w.o_recv(1, 0));
+            self.send = Some(s);
+            self.recv = Some(rv);
+            if r == 0 {
+                return Step::Busy(w.o_send(0, 1));
+            }
+            return Step::Busy(w.o_recv(1, 0));
+        }
+        let now = w.rank_now(r);
+        w.poll(r, now);
+        let done = match r {
+            0 => w.send_done(self.send.unwrap(), now),
+            _ => w.recv_done(self.recv.unwrap(), now),
+        };
+        if done {
+            if r == 1 {
+                self.recv_done_at = w.recv_complete_time(self.recv.unwrap()).unwrap();
+            }
+            Step::Done
+        } else {
+            Step::Block
+        }
+    }
+}
+
+/// Measure the simulated one-way time for `bytes` on `platform`
+/// (rank 0 and 1 on different nodes).
+fn simulate_oneway(platform: &Platform, bytes: usize) -> SimTime {
+    let mut w = World::new(platform.clone(), 2, Placement::RoundRobin, NoiseConfig::none());
+    let mut b = OneMessage {
+        bytes,
+        sent: false,
+        send: None,
+        recv: None,
+        recv_done_at: SimTime::ZERO,
+    };
+    w.run(&mut b).expect("single message completes");
+    b.recv_done_at
+}
+
+#[test]
+fn eager_oneway_matches_prediction() {
+    for name in ["whale", "crill", "whale-tcp"] {
+        let platform = Platform::by_name(name).unwrap();
+        for bytes in [64usize, 1024, 8 * 1024] {
+            if !platform.inter.is_eager(bytes) {
+                continue;
+            }
+            let predicted = calibrate::predict(&platform.inter, bytes).one_way;
+            let simulated = simulate_oneway(&platform, bytes);
+            // The analytic prediction counts o_send + serialize + L +
+            // o_recv; the simulation should agree within a few percent
+            // (it orders the components slightly differently).
+            let ratio = simulated.as_secs_f64() / predicted.as_secs_f64();
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "{name} {bytes} B: simulated {simulated} vs predicted {predicted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rendezvous_oneway_close_to_prediction() {
+    // Rendezvous adds handshake round trips; both sides poll continuously
+    // (blocked in wait), which is the best case the prediction models.
+    for name in ["whale", "crill"] {
+        let platform = Platform::by_name(name).unwrap();
+        for bytes in [64 * 1024usize, 1 << 20] {
+            assert!(!platform.inter.is_eager(bytes));
+            let predicted = calibrate::predict(&platform.inter, bytes).one_way;
+            let simulated = simulate_oneway(&platform, bytes);
+            let ratio = simulated.as_secs_f64() / predicted.as_secs_f64();
+            assert!(
+                (0.8..1.3).contains(&ratio),
+                "{name} {bytes} B: simulated {simulated} vs predicted {predicted} (x{ratio:.2})"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_bandwidth_approaches_peak() {
+    let platform = Platform::whale();
+    let bytes = 8 << 20;
+    let t = simulate_oneway(&platform, bytes);
+    let gbps = bytes as f64 / t.as_secs_f64() / 1e9;
+    let peak = calibrate::peak_bandwidth_gbps(&platform.inter);
+    assert!(
+        gbps > peak * 0.9,
+        "large-message bandwidth {gbps} GB/s should approach peak {peak}"
+    );
+}
+
+#[test]
+fn latency_dominates_small_messages() {
+    let platform = Platform::whale();
+    let t64 = simulate_oneway(&platform, 64);
+    let t1k = simulate_oneway(&platform, 1024);
+    // In the latency-bound regime, 16x the bytes costs < 1.5x the time.
+    assert!(
+        t1k.as_secs_f64() / t64.as_secs_f64() < 1.5,
+        "{t64} -> {t1k}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Integration tests: the §IV-A micro-benchmark across the full stack
+//! (netmodel → mpisim → nbc → adcl).
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+
+fn spec(platform: Platform, nprocs: usize, msg: usize) -> MicrobenchSpec {
+    MicrobenchSpec {
+        platform,
+        nprocs,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: msg,
+        iters: 24,
+        compute_total: SimTime::from_millis(48),
+        num_progress: 5,
+        noise: NoiseConfig::none(),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+#[test]
+fn loop_time_never_beats_compute_floor() {
+    for platform in [Platform::whale(), Platform::crill()] {
+        let s = spec(platform, 16, 1024);
+        for (name, total) in s.run_all_fixed() {
+            assert!(
+                total >= s.compute_total.as_secs_f64(),
+                "{name}: {total} < compute floor"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_messages_overlap_nearly_fully() {
+    // 1 KiB eager messages with plenty of compute: the loop should cost
+    // barely more than the compute itself for the best implementation.
+    let s = spec(Platform::whale(), 16, 1024);
+    let (name, best) = s.oracle();
+    let floor = s.compute_total.as_secs_f64();
+    assert!(
+        best < floor * 1.25,
+        "best impl {name} should mostly overlap: {best} vs floor {floor}"
+    );
+}
+
+#[test]
+fn rendezvous_without_progress_calls_exposes_communication() {
+    // Large messages and a single progress call: overlap is poor, the loop
+    // takes clearly longer than with many progress calls.
+    let mut few = spec(Platform::whale(), 16, 256 * 1024);
+    few.compute_total = SimTime::from_millis(200);
+    few.num_progress = 1;
+    let mut many = few.clone();
+    many.num_progress = 20;
+    let (_, t_few) = few.oracle();
+    let (_, t_many) = many.oracle();
+    assert!(
+        t_few > t_many,
+        "more progress calls must help rendezvous overlap: {t_few} vs {t_many}"
+    );
+}
+
+#[test]
+fn excessive_progress_calls_cost_time() {
+    // Past full overlap, additional progress calls are pure overhead
+    // (paper Fig. 6).
+    let mut some = spec(Platform::whale(), 8, 1024);
+    some.num_progress = 5;
+    let mut excessive = some.clone();
+    excessive.num_progress = 2000;
+    let t_some = some.run(SelectionLogic::Fixed(0)).total;
+    let t_exc = excessive.run(SelectionLogic::Fixed(0)).total;
+    assert!(
+        t_exc > t_some,
+        "2000 progress calls should cost more than 5: {t_exc} vs {t_some}"
+    );
+}
+
+#[test]
+fn adcl_brute_force_picks_near_oracle_on_each_platform() {
+    for platform in [Platform::whale(), Platform::whale_tcp(), Platform::crill()] {
+        let name = platform.name.clone();
+        let mut s = spec(platform, 16, 32 * 1024);
+        if name == "whale-tcp" {
+            s.compute_total = SimTime::from_secs(2);
+        }
+        let rows = s.run_all_fixed();
+        let tuned = s.run(SelectionLogic::BruteForce);
+        let winner = tuned.winner.expect("converged");
+        let winner_time = rows.iter().find(|(n, _)| *n == winner).unwrap().1;
+        let best = rows.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+        // The paper's correctness criterion: the chosen implementation is
+        // within 5% of the best; allow 10% for the simulated substrate.
+        assert!(
+            winner_time <= best * 1.10,
+            "{name}: winner {winner} at {winner_time}, best {best}"
+        );
+    }
+}
+
+#[test]
+fn ibcast_heuristic_converges_faster_than_brute_force() {
+    let mut s = spec(Platform::whale(), 16, 2 * 1024 * 1024);
+    s.op = CollectiveOp::Ibcast;
+    s.iters = 70;
+    s.reps = 2;
+    s.compute_total = SimTime::from_millis(700);
+    let brute = s.run(SelectionLogic::BruteForce);
+    let heur = s.run(SelectionLogic::AttributeHeuristic);
+    let b = brute.converged_at.expect("brute converged");
+    let h = heur.converged_at.expect("heuristic converged");
+    assert!(h < b, "heuristic {h} should converge before brute force {b}");
+    // 21 functions x 2 reps for brute force, plus at most a few
+    // provisional iterations while lagging ranks report.
+    assert!((42..=45).contains(&b), "brute force converged at {b}");
+}
+
+#[test]
+fn factorial_design_converges_fastest() {
+    let mut s = spec(Platform::whale(), 16, 512 * 1024);
+    s.op = CollectiveOp::Ibcast;
+    s.iters = 60;
+    s.reps = 2;
+    s.compute_total = SimTime::from_millis(600);
+    let fact = s.run(SelectionLogic::TwoKFactorial);
+    let heur = s.run(SelectionLogic::AttributeHeuristic);
+    let f = fact.converged_at.expect("factorial converged");
+    let h = heur.converged_at.expect("heuristic converged");
+    // 2 attributes -> at most 4 corners x 2 reps = 8 learning iterations
+    // (plus the decision lag of a couple of provisional iterations).
+    assert!(f <= 11, "factorial learning took {f}");
+    assert!(f <= h);
+}
+
+#[test]
+fn extended_set_can_choose_blocking_when_overlap_is_useless() {
+    // No compute at all: overlapping buys nothing, so blocking variants
+    // (which skip progress-engine overhead) are legitimate winners. The
+    // tuned result must not be worse than the plain non-blocking set.
+    let mut s = spec(Platform::whale(), 16, 64 * 1024);
+    s.iters = 40;
+    s.compute_total = SimTime::from_micros(40); // ~1 us per iteration
+    s.op = CollectiveOp::IalltoallExtended;
+    let ext = s.run(SelectionLogic::BruteForce);
+    let mut plain = s.clone();
+    plain.op = CollectiveOp::Ialltoall;
+    let nb = plain.run(SelectionLogic::BruteForce);
+    assert!(
+        ext.post_learning <= nb.post_learning * 1.15,
+        "extended {0} vs non-blocking {1}",
+        ext.post_learning,
+        nb.post_learning
+    );
+}

@@ -1,0 +1,184 @@
+//! Integration tests: correctness of the runtime selection logic under
+//! realistic conditions — the scaled-down analogue of the paper's
+//! verification-run study (§IV-A), including its correct-decision-rate
+//! criterion.
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+
+/// A decision counts as correct if the chosen implementation is within 5%
+/// of the best fixed implementation (the paper's definition).
+fn decision_is_correct(spec: &MicrobenchSpec, logic: SelectionLogic) -> bool {
+    let rows = spec.run_all_fixed();
+    let best = rows.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+    let tuned = spec.run(logic);
+    let Some(winner) = tuned.winner else {
+        return false;
+    };
+    let winner_time = rows.iter().find(|(n, _)| *n == winner).unwrap().1;
+    winner_time <= best * 1.05
+}
+
+fn scenarios() -> Vec<MicrobenchSpec> {
+    let mut v = Vec::new();
+    for platform in [Platform::whale(), Platform::crill()] {
+        for nprocs in [8usize, 24] {
+            for msg in [1024usize, 128 * 1024] {
+                v.push(MicrobenchSpec {
+                    platform: platform.clone(),
+                    nprocs,
+                    op: CollectiveOp::Ialltoall,
+                    msg_bytes: msg,
+                    iters: 30,
+                    compute_total: SimTime::from_millis(60),
+                    num_progress: 5,
+                    noise: NoiseConfig::light(13),
+                    reps: 5,
+                    placement: Placement::Block,
+                    imbalance: Imbalance::None,
+                });
+            }
+        }
+    }
+    v
+}
+
+#[test]
+fn brute_force_verification_rate() {
+    // Paper: 90% correct decisions over 324 runs. We run a scaled-down
+    // sweep under light noise and require at least 7 of 8 correct.
+    let scenarios = scenarios();
+    let n = scenarios.len();
+    let correct = scenarios
+        .iter()
+        .filter(|s| decision_is_correct(s, SelectionLogic::BruteForce))
+        .count();
+    assert!(
+        correct * 8 >= n * 7,
+        "brute force correct in only {correct}/{n} scenarios"
+    );
+}
+
+#[test]
+fn heuristic_verification_rate() {
+    // Paper: 92% for the attribute heuristic. The alltoall set has a
+    // single attribute, so the heuristic degenerates to brute force there;
+    // this still validates the full code path under noise.
+    let scenarios = scenarios();
+    let n = scenarios.len();
+    let correct = scenarios
+        .iter()
+        .filter(|s| decision_is_correct(s, SelectionLogic::AttributeHeuristic))
+        .count();
+    assert!(
+        correct * 8 >= n * 7,
+        "heuristic correct in only {correct}/{n} scenarios"
+    );
+}
+
+#[test]
+fn selection_robust_to_heavy_noise() {
+    // Under heavy OS-noise injection, the IQR filter must still find a
+    // near-best implementation most of the time.
+    let mut s = MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: 16,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 1024,
+        iters: 40,
+        compute_total: SimTime::from_millis(80),
+        num_progress: 5,
+        noise: NoiseConfig::heavy(99),
+        reps: 8,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    };
+    let rows = s.run_all_fixed();
+    let best = rows.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+    let mut hits = 0;
+    for seed in 0..5 {
+        s.noise = NoiseConfig::heavy(seed);
+        let tuned = s.run(SelectionLogic::BruteForce);
+        if let Some(w) = tuned.winner {
+            let t = rows.iter().find(|(n, _)| *n == w).unwrap().1;
+            if t <= best * 1.10 {
+                hits += 1;
+            }
+        }
+    }
+    assert!(hits >= 3, "only {hits}/5 noisy runs picked a near-best impl");
+}
+
+#[test]
+fn learning_cost_is_bounded() {
+    // The ADCL run is slower than the oracle only by the learning phase;
+    // afterwards the per-iteration cost matches the winner's.
+    let s = MicrobenchSpec {
+        platform: Platform::crill(),
+        nprocs: 32,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 128 * 1024,
+        iters: 40,
+        compute_total: SimTime::from_millis(400),
+        num_progress: 5,
+        noise: NoiseConfig::none(),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    };
+    let tuned = s.run(SelectionLogic::BruteForce);
+    let learn_end = tuned.converged_at.unwrap();
+    assert!((9..=12).contains(&learn_end), "3 fns x 3 reps + lag, got {learn_end}");
+    let steady: f64 =
+        tuned.history[learn_end..].iter().sum::<f64>() / (s.iters - learn_end) as f64;
+    let (_, oracle_total) = s.oracle();
+    let oracle_rate = oracle_total / s.iters as f64;
+    assert!(
+        steady <= oracle_rate * 1.05,
+        "steady-state {steady} vs oracle rate {oracle_rate}"
+    );
+}
+
+#[test]
+fn history_store_skips_learning_phase() {
+    // Historic learning (§IV-B): a second run that knows the winner pays
+    // no learning cost at all.
+    let s = MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: 16,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 128 * 1024,
+        iters: 24,
+        compute_total: SimTime::from_millis(120),
+        num_progress: 5,
+        noise: NoiseConfig::none(),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    };
+    // First execution: learn and store.
+    let first = s.run(SelectionLogic::BruteForce);
+    let winner = first.winner.clone().unwrap();
+    let mut store = HistoryStore::new();
+    let key = HistoryKey {
+        op: "ialltoall".into(),
+        platform: s.platform.name.clone(),
+        nprocs: s.nprocs,
+        msg_bytes: s.msg_bytes,
+    };
+    store.put(key.clone(), &winner, 0.0);
+    // Second execution: look up and pin.
+    let text = store.to_string_repr();
+    let reloaded = HistoryStore::from_string_repr(&text);
+    let stored = reloaded.get(&key).expect("stored decision").winner.clone();
+    let fnset = FunctionSet::ialltoall_default(CollSpec::new(s.nprocs, s.msg_bytes));
+    let idx = fnset.index_of(&stored).expect("known function");
+    let second = s.run(SelectionLogic::Fixed(idx));
+    assert!(
+        second.total <= first.total,
+        "reusing history ({}) must not be slower: {} vs {}",
+        stored,
+        second.total,
+        first.total
+    );
+}
