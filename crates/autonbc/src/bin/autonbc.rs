@@ -85,7 +85,10 @@ fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
 }
 
 fn cmd_platforms() {
-    println!("{:<12} {:>6} {:>6} {:>5}  interconnect", "name", "nodes", "cores", "nics");
+    println!(
+        "{:<12} {:>6} {:>6} {:>5}  interconnect",
+        "name", "nodes", "cores", "nics"
+    );
     for name in Platform::preset_names() {
         let p = Platform::by_name(name).unwrap();
         println!(
@@ -134,7 +137,10 @@ fn cmd_tune(flags: HashMap<String, String>) {
         nprocs: get(&flags, "procs").parse().unwrap_or_else(|_| usage()),
         op,
         msg_bytes: parse_size(get(&flags, "msg")),
-        iters: flags.get("iters").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(50),
+        iters: flags
+            .get("iters")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(50),
         compute_total: flags
             .get("compute")
             .map(|s| parse_duration(s))
@@ -147,7 +153,10 @@ fn cmd_tune(flags: HashMap<String, String>) {
             .get("noise")
             .map(|s| NoiseConfig::light(s.parse().unwrap_or_else(|_| usage())))
             .unwrap_or(NoiseConfig::none()),
-        reps: flags.get("reps").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(5),
+        reps: flags
+            .get("reps")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(5),
         placement: if flags.contains_key("roundrobin") {
             Placement::RoundRobin
         } else {
@@ -183,10 +192,15 @@ fn cmd_tune(flags: HashMap<String, String>) {
     }
     let out = spec.run(logic);
     println!("\n{} tuning:", out.strategy);
-    println!("  winner        : {}", out.winner.unwrap_or_else(|| "(not converged)".into()));
+    println!(
+        "  winner        : {}",
+        out.winner.unwrap_or_else(|| "(not converged)".into())
+    );
     println!(
         "  converged at  : {}",
-        out.converged_at.map(|c| c.to_string()).unwrap_or_else(|| "-".into())
+        out.converged_at
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into())
     );
     println!("  total         : {:>10.3} ms", out.total * 1e3);
     println!("  post-learning : {:>10.3} ms", out.post_learning * 1e3);
@@ -243,8 +257,14 @@ fn cmd_fft(flags: HashMap<String, String>) {
     let platform = Platform::by_name(get(&flags, "platform")).unwrap_or_else(|| usage());
     let procs: usize = get(&flags, "procs").parse().unwrap_or_else(|_| usage());
     let cfg = FftKernelConfig {
-        n: flags.get("grid").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(256),
-        iters: flags.get("iters").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(40),
+        n: flags
+            .get("grid")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(256),
+        iters: flags
+            .get("iters")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(40),
         ..FftKernelConfig::default()
     };
     let mode = match flags.get("mode").map(|s| s.as_str()).unwrap_or("adcl") {

@@ -9,8 +9,8 @@
 use adcl::filter::FilterKind;
 use adcl::function::FunctionSet;
 use adcl::microbench::{Imbalance, MicroBenchConfig, MicroBenchScript};
-use adcl::runner::{Runner, Script};
 use adcl::runner::TuningSession;
+use adcl::runner::{Runner, Script};
 use adcl::strategy::SelectionLogic;
 use adcl::tuner::TunerConfig;
 use mpisim::{NoiseConfig, World};
@@ -142,7 +142,12 @@ impl MicrobenchSpec {
     /// Run the benchmark with an explicit function-set (e.g. a pinned
     /// baseline).
     pub fn run_with_fnset(&self, fnset: FunctionSet, logic: SelectionLogic) -> MicrobenchOutcome {
-        let mut world = World::new(self.platform.clone(), self.nprocs, self.placement, self.noise);
+        let mut world = World::new(
+            self.platform.clone(),
+            self.nprocs,
+            self.placement,
+            self.noise,
+        );
         let mut session = TuningSession::new(self.nprocs);
         let op = session.add_op(
             self.op.name(),
@@ -185,13 +190,27 @@ impl MicrobenchSpec {
     /// function-set with the selection logic bypassed. Returns
     /// `(name, total_seconds)` per implementation, in function-set order.
     pub fn run_all_fixed(&self) -> Vec<(String, f64)> {
-        let fnset = self.op.fnset(self.coll_spec());
-        (0..fnset.len())
-            .map(|i| {
-                let out = self.run(SelectionLogic::Fixed(i));
-                (fnset.functions[i].name.clone(), out.total)
-            })
-            .collect()
+        self.run_all_fixed_jobs(1)
+    }
+
+    /// Parallel [`MicrobenchSpec::run_all_fixed`]: each fixed run is an
+    /// independent simulation, so they fan out over `jobs` worker threads
+    /// (`simcore::par::par_map`). The output is bit-identical to the serial
+    /// method for every `jobs` value — results merge in input order and
+    /// each simulation owns its world and noise streams.
+    pub fn run_all_fixed_jobs(&self, jobs: usize) -> Vec<(String, f64)> {
+        let names: Vec<String> = {
+            // Function sets hold `Rc` builders, so build one locally for
+            // the names and let every worker build its own for the runs.
+            let fnset = self.op.fnset(self.coll_spec());
+            (0..fnset.len())
+                .map(|i| fnset.functions[i].name.clone())
+                .collect()
+        };
+        let idx: Vec<usize> = (0..names.len()).collect();
+        let totals =
+            simcore::par::par_map(jobs, &idx, |_, &i| self.run(SelectionLogic::Fixed(i)).total);
+        names.into_iter().zip(totals).collect()
     }
 
     /// The implementation a fully informed oracle would pick: the name and

@@ -1,112 +1,121 @@
 //! Property-based tests over the full stack: arbitrary benchmark
 //! scenarios complete, respect invariants, and reproduce deterministically.
+//! Runs on the in-tree `simcore::check` harness (no external crates).
 
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;
-use proptest::prelude::*;
+use simcore::check::{run_cases, Gen};
 
-fn op_strategy() -> impl Strategy<Value = CollectiveOp> {
-    prop_oneof![
-        Just(CollectiveOp::Ialltoall),
-        Just(CollectiveOp::Iallgather),
-        Just(CollectiveOp::Ireduce),
-        Just(CollectiveOp::Iallreduce),
-        Just(CollectiveOp::Igather),
-        Just(CollectiveOp::Iscatter),
-    ]
+fn gen_op(g: &mut Gen) -> CollectiveOp {
+    g.choose(&[
+        CollectiveOp::Ialltoall,
+        CollectiveOp::Iallgather,
+        CollectiveOp::Ireduce,
+        CollectiveOp::Iallreduce,
+        CollectiveOp::Igather,
+        CollectiveOp::Iscatter,
+    ])
 }
 
-fn platform_strategy() -> impl Strategy<Value = Platform> {
-    (0usize..3).prop_map(|i| match i {
+fn gen_platform(g: &mut Gen) -> Platform {
+    match g.usize_in(0, 3) {
         0 => Platform::whale(),
         1 => Platform::crill(),
         _ => Platform::bluegene_p(),
-    })
+    }
 }
 
-fn spec_strategy() -> impl Strategy<Value = MicrobenchSpec> {
-    (
-        platform_strategy(),
-        op_strategy(),
-        2usize..12,          // nprocs
-        6u32..18,            // msg = 2^e bytes
-        4usize..12,          // iters
-        1usize..6,           // num_progress
-        0u64..1000,          // noise seed (0 => none)
-    )
-        .prop_map(|(platform, op, nprocs, msg_exp, iters, num_progress, seed)| {
-            MicrobenchSpec {
-                platform,
-                nprocs,
-                op,
-                msg_bytes: 1usize << msg_exp,
-                iters,
-                compute_total: SimTime::from_micros(300 * iters as u64),
-                num_progress,
-                noise: if seed == 0 {
-                    NoiseConfig::none()
-                } else {
-                    NoiseConfig::light(seed)
-                },
-                reps: 2,
-                placement: if seed % 2 == 0 {
-                    Placement::Block
-                } else {
-                    Placement::RoundRobin
-                },
-                imbalance: Imbalance::None,
-            }
-        })
+fn gen_spec(g: &mut Gen) -> MicrobenchSpec {
+    let platform = gen_platform(g);
+    let op = gen_op(g);
+    let nprocs = g.usize_in(2, 12);
+    let msg_exp = g.u64_in(6, 18) as u32;
+    let iters = g.usize_in(4, 12);
+    let num_progress = g.usize_in(1, 6);
+    let seed = g.u64_in(0, 1000);
+    MicrobenchSpec {
+        platform,
+        nprocs,
+        op,
+        msg_bytes: 1usize << msg_exp,
+        iters,
+        compute_total: SimTime::from_micros(300 * iters as u64),
+        num_progress,
+        noise: if seed == 0 {
+            NoiseConfig::none()
+        } else {
+            NoiseConfig::light(seed)
+        },
+        reps: 2,
+        placement: if seed.is_multiple_of(2) {
+            Placement::Block
+        } else {
+            Placement::RoundRobin
+        },
+        imbalance: Imbalance::None,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Any scenario completes without deadlock, measures every iteration,
-    /// and never beats its compute floor.
-    #[test]
-    fn any_scenario_completes(spec in spec_strategy()) {
+/// Any scenario completes without deadlock, measures every iteration,
+/// and never beats its compute floor.
+#[test]
+fn any_scenario_completes() {
+    run_cases("any_scenario_completes", 40, |g| {
+        let spec = gen_spec(g);
         let out = spec.run(SelectionLogic::BruteForce);
-        prop_assert_eq!(out.history.len(), spec.iters);
-        prop_assert!(out.total >= spec.compute_total.as_secs_f64() * 0.99,
-            "total {} below compute floor {}", out.total, spec.compute_total.as_secs_f64());
-        prop_assert!(out.post_learning <= out.total + 1e-12);
+        assert_eq!(out.history.len(), spec.iters);
+        assert!(
+            out.total >= spec.compute_total.as_secs_f64() * 0.99,
+            "total {} below compute floor {}",
+            out.total,
+            spec.compute_total.as_secs_f64()
+        );
+        assert!(out.post_learning <= out.total + 1e-12);
         // Accounting is self-consistent.
         let a = out.accounting;
-        prop_assert!(a.compute.as_secs_f64() > 0.0);
-        prop_assert!((0.0..=1.0).contains(&a.exposed_fraction()));
-    }
+        assert!(a.compute.as_secs_f64() > 0.0);
+        assert!((0.0..=1.0).contains(&a.exposed_fraction()));
+    });
+}
 
-    /// Every iteration's measured time is positive and no larger than the
-    /// whole run.
-    #[test]
-    fn iteration_times_sane(spec in spec_strategy()) {
+/// Every iteration's measured time is positive and no larger than the
+/// whole run.
+#[test]
+fn iteration_times_sane() {
+    run_cases("iteration_times_sane", 40, |g| {
+        let spec = gen_spec(g);
         let out = spec.run(SelectionLogic::Fixed(0));
         for &h in &out.history {
-            prop_assert!(h > 0.0);
-            prop_assert!(h <= out.total + 1e-12);
+            assert!(h > 0.0);
+            assert!(h <= out.total + 1e-12);
         }
-        prop_assert!((out.history.iter().sum::<f64>() - out.total).abs() < 1e-9);
-    }
+        assert!((out.history.iter().sum::<f64>() - out.total).abs() < 1e-9);
+    });
+}
 
-    /// Determinism across the whole stack for arbitrary scenarios.
-    #[test]
-    fn scenarios_deterministic(spec in spec_strategy()) {
+/// Determinism across the whole stack for arbitrary scenarios.
+#[test]
+fn scenarios_deterministic() {
+    run_cases("scenarios_deterministic", 40, |g| {
+        let spec = gen_spec(g);
         let a = spec.run(SelectionLogic::BruteForce);
         let b = spec.run(SelectionLogic::BruteForce);
-        prop_assert_eq!(a.history, b.history);
-        prop_assert_eq!(a.winner, b.winner);
-    }
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.winner, b.winner);
+    });
+}
 
-    /// The heuristic and brute force agree with each other's oracle on
-    /// noiseless single-attribute sets (they test the same functions).
-    #[test]
-    fn logics_agree_noiseless(mut spec in spec_strategy()) {
+/// The heuristic and brute force agree with each other's oracle on
+/// noiseless single-attribute sets (they test the same functions).
+#[test]
+fn logics_agree_noiseless() {
+    run_cases("logics_agree_noiseless", 40, |g| {
+        let mut spec = gen_spec(g);
         spec.noise = NoiseConfig::none();
         spec.iters = 16;
         spec.op = CollectiveOp::Ialltoall;
         let b = spec.run(SelectionLogic::BruteForce);
         let h = spec.run(SelectionLogic::AttributeHeuristic);
-        prop_assert_eq!(b.winner, h.winner);
-    }
+        assert_eq!(b.winner, h.winner);
+    });
 }

@@ -1,7 +1,8 @@
-//! Criterion benchmarks for schedule construction and simulated
-//! collective execution across algorithms and scales.
+//! Benchmarks for schedule construction and simulated collective
+//! execution across algorithms and scales, on the in-tree
+//! `bench::harness` (no external crates; run with `cargo bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use nbc::alltoall::{build_alltoall, AlltoallAlgo};
 use nbc::bcast::{build_bcast, BcastAlgo};
 use nbc::schedule::CollSpec;
@@ -16,23 +17,20 @@ use mpisim::{NoiseConfig, World};
 use netmodel::{Placement, Platform};
 use simcore::SimTime;
 
-fn bench_schedule_builders(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule_build");
+fn bench_schedule_builders(h: &mut Harness) {
+    let mut g = h.group("schedule_build");
     for p in [64usize, 1024] {
         let spec = CollSpec::new(p, 128 * 1024);
-        g.bench_with_input(BenchmarkId::new("alltoall_all", p), &p, |b, _| {
-            b.iter(|| {
-                for algo in AlltoallAlgo::all() {
-                    black_box(build_alltoall(algo, p / 2, &spec));
-                }
-            })
+        g.bench(&format!("alltoall_all/{p}"), move || {
+            for algo in AlltoallAlgo::all() {
+                black_box(build_alltoall(algo, p / 2, &spec));
+            }
         });
-        g.bench_with_input(BenchmarkId::new("bcast_binomial_seg32k", p), &p, |b, _| {
-            let spec = CollSpec::new(p, 2 * 1024 * 1024);
-            b.iter(|| black_box(build_bcast(BcastAlgo::Binomial, 32 * 1024, p / 2, &spec)))
+        let bspec = CollSpec::new(p, 2 * 1024 * 1024);
+        g.bench(&format!("bcast_binomial_seg32k/{p}"), move || {
+            black_box(build_bcast(BcastAlgo::Binomial, 32 * 1024, p / 2, &bspec))
         });
     }
-    g.finish();
 }
 
 /// One full simulated micro-benchmark loop (the unit of every figure).
@@ -62,18 +60,18 @@ fn run_loop(platform: Platform, nprocs: usize, msg: usize, iters: usize) -> f64 
     runner.session.timers[timer].total()
 }
 
-fn bench_simulated_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulated_loop");
+fn bench_simulated_collectives(h: &mut Harness) {
+    let mut g = h.group("simulated_loop");
     g.sample_size(10);
     for (p, msg) in [(16usize, 1024usize), (64, 1024), (16, 128 * 1024)] {
-        g.bench_with_input(
-            BenchmarkId::new("whale_linear", format!("p{p}_m{msg}")),
-            &(p, msg),
-            |b, &(p, msg)| b.iter(|| black_box(run_loop(Platform::whale(), p, msg, 5))),
-        );
+        g.bench(&format!("whale_linear/p{p}_m{msg}"), move || {
+            black_box(run_loop(Platform::whale(), p, msg, 5))
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_schedule_builders, bench_simulated_collectives);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_schedule_builders(&mut h);
+    bench_simulated_collectives(&mut h);
+}

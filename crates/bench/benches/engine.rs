@@ -1,44 +1,40 @@
-//! Criterion benchmarks for the simulation substrate: event queue,
-//! contention resources, and the point-to-point layer.
+//! Benchmarks for the simulation substrate: event queue, contention
+//! resources, and the point-to-point layer. Uses the in-tree
+//! `bench::harness` (no external crates; run with `cargo bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use mpisim::{NoiseConfig, RankBehavior, RankId, Step, Tag, World};
 use netmodel::{Placement, Platform};
 use simcore::{EventQueue, FifoResource, SimTime};
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_event_queue(h: &mut Harness) {
+    let mut g = h.group("event_queue");
     for n in [1_000usize, 100_000] {
-        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                for i in 0..n as u64 {
-                    // Pseudo-random but monotone-safe times.
-                    q.push(SimTime::from_nanos(i ^ (((i << 7) % 1_000_000) + i)), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                black_box(acc)
-            })
+        g.bench(&format!("push_pop/{n}"), move || {
+            let mut q = EventQueue::new();
+            for i in 0..n as u64 {
+                // Pseudo-random but monotone-safe times.
+                q.push(SimTime::from_nanos(i ^ (((i << 7) % 1_000_000) + i)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
         });
     }
-    g.finish();
 }
 
-fn bench_fifo_resource(c: &mut Criterion) {
-    c.bench_function("fifo_resource_submit_100k", |b| {
-        b.iter(|| {
-            let mut r = FifoResource::new();
-            let mut t = SimTime::ZERO;
-            for i in 0..100_000u64 {
-                t += SimTime::from_nanos(i % 97);
-                black_box(r.submit(t, SimTime::from_nanos(50)));
-            }
-            r.next_free()
-        })
+fn bench_fifo_resource(h: &mut Harness) {
+    h.group("fifo_resource").bench("submit_100k", || {
+        let mut r = FifoResource::new();
+        let mut t = SimTime::ZERO;
+        for i in 0..100_000u64 {
+            t += SimTime::from_nanos(i % 97);
+            black_box(r.submit(t, SimTime::from_nanos(50)));
+        }
+        r.next_free()
     });
 }
 
@@ -66,7 +62,8 @@ impl RankBehavior for Ring {
             _ => {
                 let now = w.rank_now(r);
                 w.poll(r, now);
-                if w.send_done(self.sends[r].unwrap(), now) && w.recv_done(self.recvs[r].unwrap(), now)
+                if w.send_done(self.sends[r].unwrap(), now)
+                    && w.recv_done(self.recvs[r].unwrap(), now)
                 {
                     Step::Done
                 } else {
@@ -77,25 +74,31 @@ impl RankBehavior for Ring {
     }
 }
 
-fn bench_p2p_ring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("p2p_ring");
+fn bench_p2p_ring(h: &mut Harness) {
+    let mut g = h.group("p2p_ring");
     g.sample_size(20);
     for nranks in [16usize, 128] {
-        g.bench_with_input(BenchmarkId::new("whale", nranks), &nranks, |b, &n| {
-            b.iter(|| {
-                let mut w = World::new(Platform::whale(), n, Placement::Block, NoiseConfig::none());
-                let mut ring = Ring {
-                    bytes: 4096,
-                    state: vec![0; n],
-                    sends: vec![None; n],
-                    recvs: vec![None; n],
-                };
-                w.run(&mut ring).expect("ring completes")
-            })
+        g.bench(&format!("whale/{nranks}"), move || {
+            let mut w = World::new(
+                Platform::whale(),
+                nranks,
+                Placement::Block,
+                NoiseConfig::none(),
+            );
+            let mut ring = Ring {
+                bytes: 4096,
+                state: vec![0; nranks],
+                sends: vec![None; nranks],
+                recvs: vec![None; nranks],
+            };
+            w.run(&mut ring).expect("ring completes")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_fifo_resource, bench_p2p_ring);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_event_queue(&mut h);
+    bench_fifo_resource(&mut h);
+    bench_p2p_ring(&mut h);
+}

@@ -1,6 +1,7 @@
-//! Criterion benchmarks for the numerical FFT library.
+//! Benchmarks for the numerical FFT library, on the in-tree
+//! `bench::harness` (no external crates; run with `cargo bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use fft3d::complex::Complex64;
 use fft3d::fft1d::fft;
 use fft3d::multi::{fft_3d, Grid3};
@@ -15,55 +16,42 @@ fn input(n: usize) -> Vec<Complex64> {
         .collect()
 }
 
-fn bench_fft1d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft1d");
+fn bench_fft1d(h: &mut Harness) {
+    let mut g = h.group("fft1d");
     for n in [256usize, 4096, 65_536] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, &n| {
-            let data = input(n);
-            b.iter(|| {
-                let mut d = data.clone();
-                fft(&mut d);
-                black_box(d[0])
-            })
+        let data = input(n);
+        g.bench(&format!("radix2/{n}"), move || {
+            let mut d = data.clone();
+            fft(&mut d);
+            black_box(d[0])
         });
     }
     // Non-power-of-two goes through Bluestein.
     for n in [1000usize, 4725] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, &n| {
-            let data = input(n);
-            b.iter(|| {
-                let mut d = data.clone();
-                fft(&mut d);
-                black_box(d[0])
-            })
+        let data = input(n);
+        g.bench(&format!("bluestein/{n}"), move || {
+            let mut d = data.clone();
+            fft(&mut d);
+            black_box(d[0])
         });
     }
-    g.finish();
 }
 
-fn bench_fft3d(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft3d");
+fn bench_fft3d(h: &mut Harness) {
+    let mut g = h.group("fft3d");
     g.sample_size(10);
     for (n, threads) in [(32usize, 1usize), (32, 4), (64, 1), (64, 4)] {
-        g.bench_with_input(
-            BenchmarkId::new(format!("n{n}"), format!("t{threads}")),
-            &(n, threads),
-            |b, &(n, threads)| {
-                let grid = Grid3::from_fn(n, n, n, |x, y, z| {
-                    Complex64::new((x + y) as f64, z as f64)
-                });
-                b.iter(|| {
-                    let mut g2 = grid.clone();
-                    fft_3d(&mut g2, threads);
-                    black_box(g2.data[0])
-                })
-            },
-        );
+        let grid = Grid3::from_fn(n, n, n, |x, y, z| Complex64::new((x + y) as f64, z as f64));
+        g.bench(&format!("n{n}/t{threads}"), move || {
+            let mut g2 = grid.clone();
+            fft_3d(&mut g2, threads);
+            black_box(g2.data[0])
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fft1d, bench_fft3d);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fft1d(&mut h);
+    bench_fft3d(&mut h);
+}

@@ -1,11 +1,12 @@
-//! Criterion benchmarks of the paper's experiments themselves, at
-//! miniature scale: each group corresponds to a figure and measures the
+//! Benchmarks of the paper's experiments themselves, at miniature
+//! scale: each group corresponds to a figure and measures the
 //! wall-clock cost of regenerating a single data point of it. Run the
-//! `fig*` binaries for the full tables.
+//! `fig*` binaries for the full tables. Uses the in-tree
+//! `bench::harness` (no external crates; run with `cargo bench`).
 
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use fft3d::patterns::run_fft_kernel;
 use std::hint::black_box;
 
@@ -25,47 +26,44 @@ fn mini_spec(platform: Platform, msg: usize) -> MicrobenchSpec {
     }
 }
 
-fn bench_fig2_verification_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_verification");
+fn bench_fig2_verification_point(h: &mut Harness) {
+    let mut g = h.group("fig2_verification");
     g.sample_size(10);
-    g.bench_function("whale_8p_128k_adcl", |b| {
-        let spec = mini_spec(Platform::whale(), 128 * 1024);
-        b.iter(|| black_box(spec.run(SelectionLogic::BruteForce).total))
+    let spec = mini_spec(Platform::whale(), 128 * 1024);
+    g.bench("whale_8p_128k_adcl", move || {
+        black_box(spec.run(SelectionLogic::BruteForce).total)
     });
-    g.finish();
 }
 
-fn bench_fig3_network_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_network");
+fn bench_fig3_network_point(h: &mut Harness) {
+    let mut g = h.group("fig3_network");
     g.sample_size(10);
     for name in ["whale", "whale-tcp"] {
-        g.bench_with_input(BenchmarkId::new("linear_fixed", name), &name, |b, name| {
-            let mut spec = mini_spec(Platform::by_name(name).unwrap(), 128 * 1024);
-            if *name == "whale-tcp" {
-                spec.compute_total = SimTime::from_millis(400);
-            }
-            b.iter(|| black_box(spec.run(SelectionLogic::Fixed(0)).total))
+        let mut spec = mini_spec(Platform::by_name(name).unwrap(), 128 * 1024);
+        if name == "whale-tcp" {
+            spec.compute_total = SimTime::from_millis(400);
+        }
+        g.bench(&format!("linear_fixed/{name}"), move || {
+            black_box(spec.run(SelectionLogic::Fixed(0)).total)
         });
     }
-    g.finish();
 }
 
-fn bench_fig6_progress_sweep_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_progress");
+fn bench_fig6_progress_sweep_point(h: &mut Harness) {
+    let mut g = h.group("fig6_progress");
     g.sample_size(10);
     for np in [1usize, 100] {
-        g.bench_with_input(BenchmarkId::new("ibcast_1k", np), &np, |b, &np| {
-            let mut spec = mini_spec(Platform::whale(), 1024);
-            spec.op = CollectiveOp::Ibcast;
-            spec.num_progress = np;
-            b.iter(|| black_box(spec.run(SelectionLogic::Fixed(0)).total))
+        let mut spec = mini_spec(Platform::whale(), 1024);
+        spec.op = CollectiveOp::Ibcast;
+        spec.num_progress = np;
+        g.bench(&format!("ibcast_1k/{np}"), move || {
+            black_box(spec.run(SelectionLogic::Fixed(0)).total)
         });
     }
-    g.finish();
 }
 
-fn bench_fig9_fft_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_fft");
+fn bench_fig9_fft_point(h: &mut Harness) {
+    let mut g = h.group("fig9_fft");
     g.sample_size(10);
     let cfg = FftKernelConfig {
         n: 64,
@@ -77,34 +75,26 @@ fn bench_fig9_fft_point(c: &mut Criterion) {
         placement: Placement::Block,
     };
     for mode in [FftMode::LibNbc, FftMode::Adcl(SelectionLogic::BruteForce)] {
-        g.bench_with_input(
-            BenchmarkId::new("windowtiled_8p", mode.name()),
-            &mode,
-            |b, &mode| {
-                b.iter(|| {
-                    black_box(
-                        run_fft_kernel(
-                            &Platform::crill(),
-                            8,
-                            &cfg,
-                            FftPattern::WindowTiled,
-                            mode,
-                            NoiseConfig::none(),
-                        )
-                        .total_time,
-                    )
-                })
-            },
-        );
+        g.bench(&format!("windowtiled_8p/{}", mode.name()), move || {
+            black_box(
+                run_fft_kernel(
+                    &Platform::crill(),
+                    8,
+                    &cfg,
+                    FftPattern::WindowTiled,
+                    mode,
+                    NoiseConfig::none(),
+                )
+                .total_time,
+            )
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig2_verification_point,
-    bench_fig3_network_point,
-    bench_fig6_progress_sweep_point,
-    bench_fig9_fft_point
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_fig2_verification_point(&mut h);
+    bench_fig3_network_point(&mut h);
+    bench_fig6_progress_sweep_point(&mut h);
+    bench_fig9_fft_point(&mut h);
+}

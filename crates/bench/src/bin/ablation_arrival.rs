@@ -48,10 +48,15 @@ fn main() {
     ];
 
     println!();
-    println!(
-        "Ialltoall on whale, {p} procs, 128 KiB per pair, 5 progress calls"
-    );
-    let mut t = Table::new(&["arrival pattern", "linear", "pairwise", "dissemination", "best", "ADCL pick"]);
+    println!("Ialltoall on whale, {p} procs, 128 KiB per pair, 5 progress calls");
+    let mut t = Table::new(&[
+        "arrival pattern",
+        "linear",
+        "pairwise",
+        "dissemination",
+        "best",
+        "ADCL pick",
+    ]);
     for (label, imbalance) in patterns {
         let mut s = base.clone();
         s.imbalance = imbalance;

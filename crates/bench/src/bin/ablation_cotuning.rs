@@ -15,7 +15,13 @@ struct Outcome {
     winners: Vec<String>,
 }
 
-fn run(p: usize, iters: usize, msg: usize, logic_a: SelectionLogic, logic_b: SelectionLogic) -> Outcome {
+fn run(
+    p: usize,
+    iters: usize,
+    msg: usize,
+    logic_a: SelectionLogic,
+    logic_b: SelectionLogic,
+) -> Outcome {
     let mut world = World::new(Platform::whale(), p, Placement::Block, NoiseConfig::none());
     let mut session = TuningSession::new(p);
     let cfg = |logic| TunerConfig {
@@ -87,7 +93,13 @@ fn main() {
     let mut t = Table::new(&["configuration", "total", "alltoall impl", "allgather impl"]);
 
     // LibNBC-style: both fixed at linear.
-    let fixed = run(p, iters, msg, SelectionLogic::Fixed(0), SelectionLogic::Fixed(0));
+    let fixed = run(
+        p,
+        iters,
+        msg,
+        SelectionLogic::Fixed(0),
+        SelectionLogic::Fixed(0),
+    );
     t.row(vec![
         "fixed linear+linear".into(),
         fmt_secs(fixed.total),
@@ -96,7 +108,13 @@ fn main() {
     ]);
 
     // Co-tuned: both brute force under the shared timer.
-    let co = run(p, iters, msg, SelectionLogic::BruteForce, SelectionLogic::BruteForce);
+    let co = run(
+        p,
+        iters,
+        msg,
+        SelectionLogic::BruteForce,
+        SelectionLogic::BruteForce,
+    );
     t.row(vec![
         "co-tuned (ADCL)".into(),
         fmt_secs(co.total),
@@ -108,7 +126,13 @@ fn main() {
     let mut best = (f64::INFINITY, 0usize, 0usize);
     for a in 0..3 {
         for b in 0..3 {
-            let o = run(p, iters, msg, SelectionLogic::Fixed(a), SelectionLogic::Fixed(b));
+            let o = run(
+                p,
+                iters,
+                msg,
+                SelectionLogic::Fixed(a),
+                SelectionLogic::Fixed(b),
+            );
             if o.total < best.0 {
                 best = (o.total, a, b);
             }

@@ -7,9 +7,9 @@
 //! (ADCL's default here), trimmed mean, and median.
 
 use autonbc::adcl::filter::FilterKind;
-use autonbc::adcl::runner::{Runner, Script};
-use autonbc::adcl::runner::TuningSession;
 use autonbc::adcl::microbench::MicroBenchScript;
+use autonbc::adcl::runner::TuningSession;
+use autonbc::adcl::runner::{Runner, Script};
 use autonbc::adcl::tuner::TunerConfig;
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;

@@ -23,8 +23,16 @@ fn main() {
     let iters = args.pick(20, 200);
 
     println!();
-    println!("{p} processes, {} KiB per pair, linear algorithm", msg / 1024);
-    let mut t = Table::new(&["eager threshold", "1 progress call", "20 progress calls", "ratio"]);
+    println!(
+        "{p} processes, {} KiB per pair, linear algorithm",
+        msg / 1024
+    );
+    let mut t = Table::new(&[
+        "eager threshold",
+        "1 progress call",
+        "20 progress calls",
+        "ratio",
+    ]);
     for threshold in [4 * 1024usize, 16 * 1024, 64 * 1024, 256 * 1024] {
         let mut platform = Platform::whale();
         platform.inter.eager_threshold = threshold;
@@ -47,7 +55,11 @@ fn main() {
             format!(
                 "{} KiB ({})",
                 threshold / 1024,
-                if msg <= threshold { "eager" } else { "rendezvous" }
+                if msg <= threshold {
+                    "eager"
+                } else {
+                    "rendezvous"
+                }
             ),
             fmt_secs(one),
             fmt_secs(many),

@@ -67,7 +67,9 @@ fn main() {
             .unwrap_or(f64::NAN);
         t.row(vec![
             name.into(),
-            out.converged_at.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            out.converged_at
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             winner,
             format!("{:+.1}%", (wt / best - 1.0) * 100.0),
             fmt_secs(out.total),

@@ -14,7 +14,10 @@ use simcore::SimTime;
 
 fn main() {
     let args = Args::parse();
-    banner("Fig. 3", "Ialltoall: whale (InfiniBand) vs whale-tcp (GigE)");
+    banner(
+        "Fig. 3",
+        "Ialltoall: whale (InfiniBand) vs whale-tcp (GigE)",
+    );
     let p = args.pick(16, 32);
     let iters = args.pick(20, 1000);
 
@@ -36,7 +39,13 @@ fn main() {
     );
     let ib_rows = ib.run_all_fixed();
     let tcp_rows = tcp.run_all_fixed();
-    let mut t = Table::new(&["implementation", "whale (IB)", "whale-tcp", "IB rank", "TCP rank"]);
+    let mut t = Table::new(&[
+        "implementation",
+        "whale (IB)",
+        "whale-tcp",
+        "IB rank",
+        "TCP rank",
+    ]);
     let rank_of = |rows: &[(String, f64)], name: &str| {
         let mut sorted: Vec<&(String, f64)> = rows.iter().collect();
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());

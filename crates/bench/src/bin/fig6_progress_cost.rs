@@ -14,7 +14,10 @@ use bench::{banner, base_spec, fmt_secs, Args, Table};
 
 fn main() {
     let args = Args::parse();
-    banner("Fig. 6", "Ibcast on whale: execution time vs progress calls");
+    banner(
+        "Fig. 6",
+        "Ibcast on whale: execution time vs progress calls",
+    );
     let p = args.pick(16, 32);
     let iters = args.pick(200, 10_000);
 

@@ -16,7 +16,10 @@ use simcore::SimTime;
 
 fn main() {
     let args = Args::parse();
-    banner("Fig. 7", "Ialltoall on crill, 128 KiB: optimal algorithm vs progress calls");
+    banner(
+        "Fig. 7",
+        "Ialltoall on crill, 128 KiB: optimal algorithm vs progress calls",
+    );
     let p = args.pick(32, 32);
     let iters = args.pick(20, 1000);
 
@@ -29,7 +32,10 @@ fn main() {
     spec.compute_total = args.pick(SimTime::from_secs(2), SimTime::from_secs(100));
 
     println!();
-    println!("{p} processes, 128 KiB per pair, {} compute", spec.compute_total);
+    println!(
+        "{p} processes, 128 KiB per pair, {} compute",
+        spec.compute_total
+    );
     let mut t = Table::new(&["progress", "linear", "pairwise", "dissemination", "best"]);
     for num_progress in [1usize, 2, 5, 10, 50, 100] {
         let mut s = spec.clone();

@@ -1,0 +1,151 @@
+//! Perf trajectory of the simulation engine itself.
+//!
+//! Measures wall-clock and simulator-event throughput of representative
+//! workloads (the building blocks of every figure binary), both serial
+//! and through the parallel sweep engine, and writes the results to
+//! `BENCH_engine.json` so engine performance can be tracked across
+//! commits. Run via `scripts/verify.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_trajectory [--quick] [--jobs N]
+//! ```
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use bench::perf::PerfReport;
+use bench::{banner, Args};
+use fft3d::patterns::run_fft_kernel;
+use std::hint::black_box;
+
+fn micro_spec(args: &Args) -> MicrobenchSpec {
+    let iters = args.pick3(10, 30, 60);
+    MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: args.pick3(8, 16, 32),
+        op: CollectiveOp::Ibcast,
+        msg_bytes: 256 * 1024,
+        iters,
+        compute_total: SimTime::from_millis(iters as u64),
+        num_progress: 5,
+        noise: NoiseConfig::light(2015),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+fn fft_cfg(args: &Args) -> FftKernelConfig {
+    FftKernelConfig {
+        n: args.pick3(48, 96, 192),
+        planes_per_rank: 4,
+        iters: args.pick3(6, 12, 40),
+        tile: 2,
+        progress_per_tile: 2,
+        reps: 2,
+        placement: Placement::Block,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let jobs = args.effective_jobs();
+    banner(
+        "BENCH_engine",
+        "engine perf trajectory: events/sec, serial vs parallel sweep",
+    );
+    println!(
+        "worker threads: {jobs} (host reports {})",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut report = PerfReport::new();
+
+    // 1. Event-queue hot loop (no simulation: measures the packed-key heap).
+    let e = report.measure("event_queue_push_pop", 1, || {
+        let mut q = simcore::EventQueue::with_capacity(1024);
+        let mut acc = 0u64;
+        for round in 0..200u64 {
+            // Times must stay ahead of the queue's watermark (popping
+            // advances "now"), so each round occupies its own window.
+            let base = round * 4096;
+            for i in 0..1024u64 {
+                q.push(simcore::SimTime::from_nanos(base + (i * 7919) % 4096), i);
+            }
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        black_box(acc);
+    });
+    println!("event_queue_push_pop : {:.3} s", e.wall_secs);
+
+    // 2. Verification sweep point: every Ibcast implementation, fixed.
+    // Serial baseline first, then through the sweep engine.
+    let spec = micro_spec(&args);
+    let e1 = report.measure("ibcast_all_fixed", 1, || {
+        black_box(spec.run_all_fixed_jobs(1));
+    });
+    println!(
+        "ibcast_all_fixed @1  : {:.3} s, {} events, {:.0} ev/s",
+        e1.wall_secs, e1.sim_events, e1.events_per_sec
+    );
+    if jobs > 1 {
+        let ej = report.measure("ibcast_all_fixed", jobs, || {
+            black_box(spec.run_all_fixed_jobs(jobs));
+        });
+        println!(
+            "ibcast_all_fixed @{jobs} : {:.3} s, {:.0} ev/s  (speedup {:.2}x)",
+            ej.wall_secs,
+            ej.events_per_sec,
+            report.speedup("ibcast_all_fixed").unwrap_or(0.0)
+        );
+    }
+
+    // 3. FFT kernel point: the §IV-B unit of work (one pattern, two modes).
+    let cfg = fft_cfg(&args);
+    let procs = args.pick3(8, 8, 16);
+    let run_pair = |jobs: usize| {
+        let work = [FftMode::LibNbc, FftMode::Adcl(SelectionLogic::BruteForce)];
+        black_box(simcore::par::par_map(jobs, &work, |_, &mode| {
+            run_fft_kernel(
+                &Platform::crill(),
+                procs,
+                &cfg,
+                FftPattern::WindowTiled,
+                mode,
+                NoiseConfig::none(),
+            )
+            .total_time
+        }));
+    };
+    let e1 = report.measure("fft_windowtiled_pair", 1, || run_pair(1));
+    println!(
+        "fft_windowtiled @1   : {:.3} s, {} events, {:.0} ev/s",
+        e1.wall_secs, e1.sim_events, e1.events_per_sec
+    );
+    if jobs > 1 {
+        let j = jobs.min(2);
+        let ej = report.measure("fft_windowtiled_pair", j, || run_pair(j));
+        println!(
+            "fft_windowtiled @{j}   : {:.3} s, {:.0} ev/s  (speedup {:.2}x)",
+            ej.wall_secs,
+            ej.events_per_sec,
+            report.speedup("fft_windowtiled_pair").unwrap_or(0.0)
+        );
+    }
+
+    let (hits, misses) = nbc::cache::stats();
+    println!();
+    println!(
+        "schedule cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+        if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+
+    let path = "BENCH_engine.json";
+    report.write(path).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

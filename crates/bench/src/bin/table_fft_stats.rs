@@ -5,11 +5,70 @@
 //!
 //! This binary sweeps platforms × process counts × patterns × grid sizes,
 //! compares ADCL against LibNBC on each, and prints the win rate and the
-//! best observed improvement.
+//! best observed improvement. Scenarios are independent simulations and
+//! fan out over the sweep engine (`--jobs N`); output is identical for
+//! every worker count.
 
 use autonbc::prelude::*;
 use bench::{banner, Args, Table};
 use fft3d::patterns::run_fft_kernel;
+
+/// One sweep point: platform × process count × grid × pattern.
+struct Scenario {
+    platform_name: &'static str,
+    platform: Platform,
+    procs: usize,
+    n: usize,
+    pattern: FftPattern,
+    cfg: FftKernelConfig,
+    iters: usize,
+}
+
+/// The comparison data extracted from one executed scenario.
+struct Outcome {
+    nbc_time: f64,
+    adcl_time: f64,
+    improvement: f64,
+    steady_impr: f64,
+    steady_win: bool,
+}
+
+fn run_scenario(sc: &Scenario) -> Outcome {
+    let noise = NoiseConfig::light((sc.procs * sc.n) as u64);
+    let nbc = run_fft_kernel(
+        &sc.platform,
+        sc.procs,
+        &sc.cfg,
+        sc.pattern,
+        FftMode::LibNbc,
+        noise,
+    );
+    let adcl_r = run_fft_kernel(
+        &sc.platform,
+        sc.procs,
+        &sc.cfg,
+        sc.pattern,
+        FftMode::Adcl(SelectionLogic::BruteForce),
+        noise,
+    );
+    let improvement = 1.0 - adcl_r.total_time / nbc.total_time;
+    // Steady-state comparison: learning phase excluded (for long-running
+    // applications it is amortized).
+    let learn = adcl_r.converged_at.unwrap_or(0);
+    let steady_rate = if sc.iters > learn {
+        adcl_r.post_learning_time / (sc.iters - learn) as f64
+    } else {
+        f64::INFINITY
+    };
+    let nbc_rate = nbc.total_time / sc.iters as f64;
+    Outcome {
+        nbc_time: nbc.total_time,
+        adcl_time: adcl_r.total_time,
+        improvement,
+        steady_impr: 1.0 - steady_rate / nbc_rate,
+        steady_win: steady_rate <= nbc_rate * 1.005,
+    }
+}
 
 fn main() {
     let args = Args::parse();
@@ -20,10 +79,46 @@ fn main() {
     // Paper-scale process counts are where LibNBC's fixed linear algorithm
     // stops being optimal; below ~64 processes linear simply wins and the
     // sweep degenerates.
-    let platforms = ["whale", "crill"];
-    let procs = args.pick(vec![64usize, 96], vec![160usize, 358, 500]);
-    let grids = args.pick(vec![192usize, 256], vec![256usize, 320]);
-    let iters = args.pick(40, 350);
+    let platforms = args.pick3(
+        vec!["whale"],
+        vec!["whale", "crill"],
+        vec!["whale", "crill"],
+    );
+    let procs = args.pick3(vec![64usize], vec![64usize, 96], vec![160usize, 358, 500]);
+    let grids = args.pick3(vec![192usize], vec![192usize, 256], vec![256usize, 320]);
+    let iters = args.pick3(25, 40, 350);
+
+    let mut scenarios = Vec::new();
+    for platform_name in platforms {
+        let platform = Platform::by_name(platform_name).unwrap();
+        for &p in &procs {
+            for &n in &grids {
+                for pattern in FftPattern::all() {
+                    scenarios.push(Scenario {
+                        platform_name,
+                        platform: platform.clone(),
+                        procs: p,
+                        n,
+                        pattern,
+                        cfg: FftKernelConfig {
+                            n,
+                            planes_per_rank: 8,
+                            iters,
+                            tile: 4,
+                            progress_per_tile: 2,
+                            reps: 3,
+                            placement: Placement::Block,
+                        },
+                        iters,
+                    });
+                }
+            }
+        }
+    }
+
+    // Scenario-level fan-out; input-order merge keeps the table invariant
+    // under --jobs.
+    let outcomes = simcore::par::par_map(bench::jobs(), &scenarios, |_, sc| run_scenario(sc));
 
     let mut table = Table::new(&["scenario", "libnbc", "adcl", "improvement", "steady-state"]);
     let mut wins = 0usize;
@@ -31,62 +126,30 @@ fn main() {
     let mut steady_wins = 0usize;
     let mut total = 0usize;
     let mut best_improvement = 0.0f64;
-
-    for platform_name in platforms {
-        let platform = Platform::by_name(platform_name).unwrap();
-        for &p in &procs {
-            for &n in &grids {
-                for pattern in FftPattern::all() {
-                    let cfg = FftKernelConfig {
-                        n,
-                        planes_per_rank: 8,
-                        iters,
-                        tile: 4,
-                        progress_per_tile: 2,
-                        reps: 3,
-                        placement: Placement::Block,
-                    };
-                    let noise = NoiseConfig::light((p * n) as u64);
-                    let nbc = run_fft_kernel(&platform, p, &cfg, pattern, FftMode::LibNbc, noise);
-                    let adcl_r = run_fft_kernel(
-                        &platform,
-                        p,
-                        &cfg,
-                        pattern,
-                        FftMode::Adcl(SelectionLogic::BruteForce),
-                        noise,
-                    );
-                    total += 1;
-                    let improvement = 1.0 - adcl_r.total_time / nbc.total_time;
-                    if adcl_r.total_time <= nbc.total_time {
-                        wins += 1;
-                    } else if improvement > -0.02 {
-                        on_par += 1;
-                    }
-                    // Steady-state comparison: learning phase excluded
-                    // (for long-running applications it is amortized).
-                    let learn = adcl_r.converged_at.unwrap_or(0);
-                    let steady_rate = if iters > learn {
-                        adcl_r.post_learning_time / (iters - learn) as f64
-                    } else {
-                        f64::INFINITY
-                    };
-                    let nbc_rate = nbc.total_time / iters as f64;
-                    let steady_impr = 1.0 - steady_rate / nbc_rate;
-                    if steady_rate <= nbc_rate * 1.005 {
-                        steady_wins += 1;
-                    }
-                    best_improvement = best_improvement.max(improvement);
-                    table.row(vec![
-                        format!("{platform_name} p={p} n={n} {}", pattern.name()),
-                        format!("{:.3} s", nbc.total_time),
-                        format!("{:.3} s", adcl_r.total_time),
-                        format!("{:+.1}%", improvement * 100.0),
-                        format!("{:+.1}%", steady_impr * 100.0),
-                    ]);
-                }
-            }
+    for (sc, o) in scenarios.iter().zip(&outcomes) {
+        total += 1;
+        if o.adcl_time <= o.nbc_time {
+            wins += 1;
+        } else if o.improvement > -0.02 {
+            on_par += 1;
         }
+        if o.steady_win {
+            steady_wins += 1;
+        }
+        best_improvement = best_improvement.max(o.improvement);
+        table.row(vec![
+            format!(
+                "{} p={} n={} {}",
+                sc.platform_name,
+                sc.procs,
+                sc.n,
+                sc.pattern.name()
+            ),
+            format!("{:.3} s", o.nbc_time),
+            format!("{:.3} s", o.adcl_time),
+            format!("{:+.1}%", o.improvement * 100.0),
+            format!("{:+.1}%", o.steady_impr * 100.0),
+        ]);
     }
 
     println!();

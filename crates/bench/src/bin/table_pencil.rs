@@ -9,8 +9,8 @@
 
 use autonbc::prelude::*;
 use bench::{banner, fmt_secs, Args, Table};
-use fft3d::pencil::{run_pencil, PencilConfig};
 use fft3d::patterns::run_fft_kernel;
+use fft3d::pencil::{run_pencil, PencilConfig};
 
 fn main() {
     let args = Args::parse();
@@ -77,9 +77,7 @@ fn main() {
     );
 
     println!();
-    println!(
-        "whale, {p} procs ({pr}x{pc} grid for pencil), n={n}, {iters} iterations"
-    );
+    println!("whale, {p} procs ({pr}x{pc} grid for pencil), n={n}, {iters} iterations");
     let mut t = Table::new(&["configuration", "tuned section total", "notes"]);
     t.row(vec![
         "slab, libnbc linear".into(),

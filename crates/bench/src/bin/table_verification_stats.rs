@@ -7,7 +7,9 @@
 //! This binary sweeps platforms × process counts × message lengths ×
 //! progress-call counts for both Ialltoall and Ibcast, judges every ADCL
 //! decision against the fixed-implementation oracle, and prints the
-//! correct-decision rates.
+//! correct-decision rates. Scenarios are independent simulations and fan
+//! out over the sweep engine (`--jobs N`); output is identical for every
+//! worker count.
 
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;
@@ -28,35 +30,55 @@ impl Sweep {
     }
 }
 
-fn main() {
-    let args = Args::parse();
-    banner(
-        "Table (§IV-A)",
-        "verification sweep: correct-decision rate per selection logic",
+/// One sweep point, fully described so scenarios can run on any worker.
+struct Scenario {
+    label: String,
+    spec: MicrobenchSpec,
+}
+
+/// Everything the summary needs from one executed scenario.
+struct Outcome {
+    best_name: String,
+    /// Per selection logic: (winner label, correct decision?).
+    decisions: Vec<(String, bool)>,
+}
+
+const LOGICS: [SelectionLogic; 2] = [
+    SelectionLogic::BruteForce,
+    SelectionLogic::AttributeHeuristic,
+];
+
+fn scenarios(args: &Args) -> Vec<Scenario> {
+    let procs = args.pick3(vec![8usize], vec![8usize, 16], vec![32usize, 128]);
+    let iters = args.pick3(25, 40, 200);
+    let platforms = args.pick3(
+        vec!["whale"],
+        vec!["whale", "crill", "whale-tcp"],
+        vec!["whale", "crill", "whale-tcp"],
     );
-    let procs = args.pick(vec![8usize, 16], vec![32usize, 128]);
-    let iters = args.pick(40, 200);
-    let platforms = ["whale", "crill", "whale-tcp"];
+    let ops = args.pick3(
+        vec![
+            (CollectiveOp::Ialltoall, 1024usize),
+            (CollectiveOp::Ialltoall, 128 * 1024),
+        ],
+        vec![
+            (CollectiveOp::Ialltoall, 1024usize),
+            (CollectiveOp::Ialltoall, 128 * 1024),
+            (CollectiveOp::Ibcast, 2 * 1024 * 1024),
+        ],
+        vec![
+            (CollectiveOp::Ialltoall, 1024usize),
+            (CollectiveOp::Ialltoall, 128 * 1024),
+            (CollectiveOp::Ibcast, 2 * 1024 * 1024),
+        ],
+    );
 
-    let mut sweeps = [
-        ("brute force", SelectionLogic::BruteForce, Sweep { total: 0, correct: 0 }),
-        (
-            "attribute heuristic",
-            SelectionLogic::AttributeHeuristic,
-            Sweep { total: 0, correct: 0 },
-        ),
-    ];
-    let mut detail = Table::new(&["scenario", "oracle best", "brute force", "heuristic"]);
-
-    for platform_name in platforms {
+    let mut out = Vec::new();
+    for platform_name in &platforms {
         let platform = Platform::by_name(platform_name).unwrap();
         for &p in &procs {
-            for (op, msg) in [
-                (CollectiveOp::Ialltoall, 1024usize),
-                (CollectiveOp::Ialltoall, 128 * 1024),
-                (CollectiveOp::Ibcast, 2 * 1024 * 1024),
-            ] {
-                let slow = platform_name == "whale-tcp";
+            for &(op, msg) in &ops {
+                let slow = *platform_name == "whale-tcp";
                 // Brute force over the 21-function Ibcast set needs
                 // 21 x reps learning iterations plus slack.
                 let op_iters = if op == CollectiveOp::Ibcast {
@@ -64,64 +86,109 @@ fn main() {
                 } else {
                     iters
                 };
-                let spec = MicrobenchSpec {
-                    platform: platform.clone(),
-                    nprocs: p,
-                    op,
-                    msg_bytes: msg,
-                    iters: op_iters,
-                    compute_total: if slow {
-                        SimTime::from_secs(4)
-                    } else {
-                        SimTime::from_millis(2 * op_iters as u64)
+                out.push(Scenario {
+                    label: format!("{} p={p} {} {}B", platform_name, op.name(), msg),
+                    spec: MicrobenchSpec {
+                        platform: platform.clone(),
+                        nprocs: p,
+                        op,
+                        msg_bytes: msg,
+                        iters: op_iters,
+                        compute_total: if slow {
+                            SimTime::from_secs(4)
+                        } else {
+                            SimTime::from_millis(2 * op_iters as u64)
+                        },
+                        num_progress: 5,
+                        noise: NoiseConfig::light(p as u64 * 31 + msg as u64),
+                        reps: 4,
+                        placement: Placement::Block,
+                        imbalance: Imbalance::None,
                     },
-                    num_progress: 5,
-                    noise: NoiseConfig::light(p as u64 * 31 + msg as u64),
-                    reps: 4,
-                    placement: Placement::Block,
-                    imbalance: Imbalance::None,
-                };
-                let rows = spec.run_all_fixed();
-                let best = rows.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
-                let best_name = rows
-                    .iter()
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .unwrap()
-                    .0
-                    .clone();
-                let mut cells = vec![
-                    format!("{} p={p} {} {}B", platform_name, op.name(), msg),
-                    best_name,
-                ];
-                for (_, logic, sweep) in sweeps.iter_mut() {
-                    let out = spec.run(*logic);
-                    let ok = out
-                        .winner
-                        .as_ref()
-                        .map(|w| {
-                            let t = rows.iter().find(|(n, _)| n == w).unwrap().1;
-                            t <= best * 1.05
-                        })
-                        .unwrap_or(false);
-                    sweep.total += 1;
-                    if ok {
-                        sweep.correct += 1;
-                    }
-                    cells.push(format!(
-                        "{}{}",
-                        out.winner.unwrap_or_else(|| "?".into()),
-                        if ok { " [ok]" } else { " [X]" }
-                    ));
-                }
-                detail.row(cells);
+                });
             }
         }
+    }
+    out
+}
+
+fn run_scenario(sc: &Scenario) -> Outcome {
+    let rows = sc.spec.run_all_fixed();
+    let best = rows.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min);
+    let best_name = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0
+        .clone();
+    let decisions = LOGICS
+        .iter()
+        .map(|&logic| {
+            let out = sc.spec.run(logic);
+            let ok = out
+                .winner
+                .as_ref()
+                .map(|w| {
+                    let t = rows.iter().find(|(n, _)| n == w).unwrap().1;
+                    t <= best * 1.05
+                })
+                .unwrap_or(false);
+            (out.winner.unwrap_or_else(|| "?".into()), ok)
+        })
+        .collect();
+    Outcome {
+        best_name,
+        decisions,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    banner(
+        "Table (§IV-A)",
+        "verification sweep: correct-decision rate per selection logic",
+    );
+
+    let scenarios = scenarios(&args);
+    // Scenario-level fan-out: each worker runs whole scenarios serially
+    // (the fixed runs inside share the scenario's schedule-cache entries),
+    // and the merge is in input order, so the printed table is invariant
+    // under --jobs.
+    let outcomes = simcore::par::par_map(bench::jobs(), &scenarios, |_, sc| run_scenario(sc));
+
+    let mut sweeps = [
+        (
+            "brute force",
+            Sweep {
+                total: 0,
+                correct: 0,
+            },
+        ),
+        (
+            "attribute heuristic",
+            Sweep {
+                total: 0,
+                correct: 0,
+            },
+        ),
+    ];
+    let mut detail = Table::new(&["scenario", "oracle best", "brute force", "heuristic"]);
+    for (sc, outcome) in scenarios.iter().zip(&outcomes) {
+        let mut cells = vec![sc.label.clone(), outcome.best_name.clone()];
+        for ((winner, ok), (_, sweep)) in outcome.decisions.iter().zip(sweeps.iter_mut()) {
+            sweep.total += 1;
+            if *ok {
+                sweep.correct += 1;
+            }
+            cells.push(format!("{winner}{}", if *ok { " [ok]" } else { " [X]" }));
+        }
+        detail.row(cells);
     }
 
     println!();
     detail.print();
     println!();
-    for (name, _, sweep) in &sweeps {
+    for (name, sweep) in &sweeps {
         println!(
             "{name:<22}: {}/{} correct decisions = {:.0}%  (paper: {}%)",
             sweep.correct,

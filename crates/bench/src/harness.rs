@@ -1,0 +1,139 @@
+//! Minimal wall-clock micro-benchmark harness (offline replacement for
+//! criterion).
+//!
+//! Bench targets keep `harness = false` and drive this instead. Behaviour
+//! mirrors the part of criterion we used:
+//!
+//! * `cargo bench` passes `--bench`, which selects *measure* mode:
+//!   each benchmark is calibrated so a sample takes a few milliseconds,
+//!   then timed over several samples, reporting median ns/iter.
+//! * Under `cargo test` (no `--bench` argument) every benchmark runs for
+//!   a single iteration as a smoke test, so the test suite stays fast.
+//! * A positional argument filters benchmarks by substring, like
+//!   `cargo bench -- event_queue`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness; create once per bench target.
+pub struct Harness {
+    filter: Option<String>,
+    measure: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+impl Harness {
+    /// Parse `cargo bench`/`cargo test` style arguments.
+    pub fn from_args() -> Harness {
+        let mut filter = None;
+        let mut measure = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                // `cargo test` may pass harness flags; ignore anything
+                // flag-like and keep the first positional as the filter.
+                s if s.starts_with('-') => {}
+                s => {
+                    if filter.is_none() {
+                        filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        Harness { filter, measure }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            samples: 25,
+        }
+    }
+}
+
+/// A named group; mirrors criterion's `benchmark_group`.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: usize,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (measure mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Run one benchmark. `f` is a full iteration; its return value is
+    /// black-boxed so the work is not optimized away.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(flt) = &self.harness.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        if !self.harness.measure {
+            // Smoke mode (cargo test): one iteration, no timing output.
+            black_box(f());
+            println!("{full}: ok (smoke)");
+            return self;
+        }
+
+        // Calibrate: how many iterations make a sample >= ~5 ms?
+        let once = time_iters(&mut f, 1);
+        let target = Duration::from_millis(5);
+        let iters_per_sample = if once >= target {
+            1
+        } else {
+            let per_iter = once.as_nanos().max(1);
+            ((target.as_nanos() / per_iter) as usize).clamp(1, 1_000_000)
+        };
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let d = time_iters(&mut f, iters_per_sample);
+                d.as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let best = per_iter_ns[0];
+        println!(
+            "{full:56} {:>14}/iter (best {:>12}, {} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(best),
+            self.samples,
+            iters_per_sample
+        );
+        self
+    }
+}
+
+fn time_iters<R>(f: &mut impl FnMut() -> R, iters: usize) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}

@@ -7,39 +7,100 @@
 //! completes in seconds; pass `--full` to use the paper-scale process
 //! counts (slower, same shape).
 
+pub mod harness;
+pub mod perf;
+
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count for the current process, set once by
+/// [`Args::parse`] and read by the sweep helpers ([`verification_table`],
+/// [`fft_table`]). Defaults to 1 (serial) so library users who never parse
+/// arguments get the serial baseline.
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the process-wide worker count used by the sweep helpers.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide worker count (1 unless [`set_jobs`] raised it).
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed).max(1)
+}
 
 /// Command-line options common to all figure binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct Args {
-    /// Run at paper-scale process counts instead of the quick defaults.
+    /// Run at paper-scale process counts instead of the standard defaults.
     pub full: bool,
+    /// Run a minimal smoke-sized sweep (used by `scripts/verify.sh` and
+    /// the jobs-invariance tests; fast even at `--jobs 1`).
+    pub quick: bool,
+    /// Requested worker threads; 0 means auto (`NBC_JOBS` env var, then
+    /// the host's available parallelism).
+    pub jobs: usize,
 }
 
 impl Args {
-    /// Parse from `std::env::args` (only `--full` and `--help` are
-    /// recognized).
+    /// Parse from `std::env::args`. Recognized: `--full`, `--quick`,
+    /// `--jobs N` (also `--jobs=N`; `0` = auto) and `--help`. Also
+    /// publishes the resolved worker count via [`set_jobs`].
     pub fn parse() -> Args {
         let mut full = false;
-        for a in std::env::args().skip(1) {
+        let mut quick = false;
+        let mut jobs: Option<usize> = None;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => full = true,
+                "--quick" => quick = true,
+                "--jobs" => {
+                    let v = it.next().unwrap_or_else(|| {
+                        eprintln!("--jobs needs a value (0 = auto)");
+                        std::process::exit(2);
+                    });
+                    jobs = Some(parse_jobs(&v));
+                }
                 "--help" | "-h" => {
-                    println!("usage: <figure-binary> [--full]");
-                    println!("  --full   paper-scale process counts (slower)");
+                    println!("usage: <figure-binary> [--full | --quick] [--jobs N]");
+                    println!("  --full     paper-scale process counts (slower)");
+                    println!("  --quick    minimal smoke-sized sweep (fast)");
+                    println!("  --jobs N   worker threads for the sweep (0 = auto)");
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("unknown argument {other}; supported: --full");
-                    std::process::exit(2);
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        jobs = Some(parse_jobs(v));
+                    } else {
+                        eprintln!("unknown argument {other}; supported: --full --quick --jobs N");
+                        std::process::exit(2);
+                    }
                 }
             }
         }
-        Args { full }
+        if full && quick {
+            eprintln!("--full and --quick are mutually exclusive");
+            std::process::exit(2);
+        }
+        let args = Args {
+            full,
+            quick,
+            jobs: jobs.unwrap_or(0),
+        };
+        set_jobs(args.effective_jobs());
+        args
     }
 
-    /// Pick between the scaled-down and the paper-scale value.
+    /// The resolved worker count (explicit `--jobs`, then `NBC_JOBS`,
+    /// then the host's available parallelism).
+    pub fn effective_jobs(&self) -> usize {
+        simcore::par::effective_jobs(Some(self.jobs))
+    }
+
+    /// Pick between the scaled-down and the paper-scale value (`--quick`
+    /// also selects the scaled-down one).
     pub fn pick<T>(&self, quick: T, full: T) -> T {
         if self.full {
             full
@@ -47,6 +108,25 @@ impl Args {
             quick
         }
     }
+
+    /// Three-way pick: the smoke-sized (`--quick`), standard, or
+    /// paper-scale (`--full`) value.
+    pub fn pick3<T>(&self, quick: T, standard: T, full: T) -> T {
+        if self.full {
+            full
+        } else if self.quick {
+            quick
+        } else {
+            standard
+        }
+    }
+}
+
+fn parse_jobs(v: &str) -> usize {
+    v.trim().parse().unwrap_or_else(|_| {
+        eprintln!("--jobs expects a non-negative integer, got {v:?}");
+        std::process::exit(2);
+    })
 }
 
 /// Print a figure banner.
@@ -130,7 +210,7 @@ pub fn verification_table(spec: &MicrobenchSpec, label: &str) {
         spec.num_progress,
     );
     let mut t = Table::new(&["implementation", "total", "vs best"]);
-    let rows = spec.run_all_fixed();
+    let rows = spec.run_all_fixed_jobs(jobs());
     let best = rows.iter().map(|(_, x)| *x).fold(f64::INFINITY, f64::min);
     for (name, total) in &rows {
         t.row(vec![
@@ -139,8 +219,12 @@ pub fn verification_table(spec: &MicrobenchSpec, label: &str) {
             format!("{:+.1}%", (total / best - 1.0) * 100.0),
         ]);
     }
-    for logic in [SelectionLogic::BruteForce, SelectionLogic::AttributeHeuristic] {
-        let out = spec.run(logic);
+    let logics = [
+        SelectionLogic::BruteForce,
+        SelectionLogic::AttributeHeuristic,
+    ];
+    let outs = simcore::par::par_map(jobs(), &logics, |_, &logic| spec.run(logic));
+    for (logic, out) in logics.iter().zip(outs) {
         let name = match logic {
             SelectionLogic::BruteForce => "ADCL (brute force)",
             SelectionLogic::AttributeHeuristic => "ADCL (heuristic)",
@@ -199,19 +283,29 @@ pub fn fft_table(
     headers.push("adcl winner".into());
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&hdr_refs);
+    // Every (pattern, mode) kernel run is an independent simulation: fan
+    // them out across the sweep engine, then assemble rows in input order.
+    let work: Vec<(FftPattern, FftMode)> = FftPattern::all()
+        .into_iter()
+        .flat_map(|p| modes.iter().map(move |&m| (p, m)))
+        .collect();
+    let runs = simcore::par::par_map(jobs(), &work, |_, &(pattern, mode)| {
+        fft3d::patterns::run_fft_kernel(
+            platform,
+            procs,
+            cfg,
+            pattern,
+            mode,
+            NoiseConfig::light(procs as u64),
+        )
+    });
     let mut results = Vec::new();
+    let mut it = work.iter().zip(runs);
     for pattern in FftPattern::all() {
         let mut cells = vec![pattern.name().to_string()];
         let mut winner = String::new();
-        for &mode in modes {
-            let r = fft3d::patterns::run_fft_kernel(
-                platform,
-                procs,
-                cfg,
-                pattern,
-                mode,
-                NoiseConfig::light(procs as u64),
-            );
+        for _ in modes {
+            let (&(_, mode), r) = it.next().expect("one run per (pattern, mode)");
             cells.push(fmt_secs(r.total_time));
             if matches!(mode, FftMode::Adcl(_) | FftMode::AdclExtended(_)) {
                 winner = r.winner.clone().unwrap_or_else(|| "?".into());
@@ -245,9 +339,35 @@ mod tests {
 
     #[test]
     fn args_pick() {
-        let a = Args { full: false };
+        let a = Args {
+            full: false,
+            quick: false,
+            jobs: 0,
+        };
         assert_eq!(a.pick(1, 2), 1);
-        let a = Args { full: true };
+        assert_eq!(a.pick3(0, 1, 2), 1);
+        let a = Args {
+            full: true,
+            quick: false,
+            jobs: 0,
+        };
         assert_eq!(a.pick(1, 2), 2);
+        assert_eq!(a.pick3(0, 1, 2), 2);
+        let a = Args {
+            full: false,
+            quick: true,
+            jobs: 0,
+        };
+        assert_eq!(a.pick(1, 2), 1);
+        assert_eq!(a.pick3(0, 1, 2), 0);
+    }
+
+    #[test]
+    fn jobs_setting_floor_is_one() {
+        set_jobs(0);
+        assert_eq!(jobs(), 1);
+        set_jobs(4);
+        assert_eq!(jobs(), 4);
+        set_jobs(1);
     }
 }

@@ -1,0 +1,186 @@
+//! Self-timing harness for the sweep engine: measures wall-clock and
+//! simulator-event throughput of representative workloads and writes the
+//! perf trajectory to `BENCH_engine.json` at the repository root.
+//!
+//! The metrics:
+//!
+//! * `wall_secs` — wall-clock of the measured closure,
+//! * `sim_events` — discrete events applied by every `mpisim::World::run`
+//!   during the closure (via [`mpisim::sim_events_total`]), the natural
+//!   unit of simulator work (independent of host speed),
+//! * `events_per_sec` — the throughput figure tracked across commits,
+//! * schedule-cache hits/misses over the whole measurement session
+//!   (from [`nbc::cache::stats`]).
+//!
+//! JSON is written by hand — the workspace is dependency-free by design.
+
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Workload name (stable across commits; used as the JSON key).
+    pub name: String,
+    /// Worker threads used (1 = serial baseline).
+    pub jobs: usize,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Simulator events applied during the measurement.
+    pub sim_events: u64,
+    /// `sim_events / wall_secs`.
+    pub events_per_sec: f64,
+}
+
+/// A perf measurement session accumulating [`PerfEntry`] rows.
+#[derive(Debug, Default)]
+pub struct PerfReport {
+    entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// Empty report; also resets the schedule-cache counters so the final
+    /// hit ratio describes exactly this session.
+    pub fn new() -> PerfReport {
+        nbc::cache::reset_stats();
+        PerfReport {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Time `body`, attributing all simulator events it triggers.
+    /// Returns the entry (also kept in the report).
+    pub fn measure(&mut self, name: &str, jobs: usize, body: impl FnOnce()) -> PerfEntry {
+        let ev0 = mpisim::sim_events_total();
+        let t0 = Instant::now();
+        body();
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let sim_events = mpisim::sim_events_total() - ev0;
+        let entry = PerfEntry {
+            name: name.to_string(),
+            jobs,
+            wall_secs,
+            sim_events,
+            events_per_sec: if wall_secs > 0.0 {
+                sim_events as f64 / wall_secs
+            } else {
+                0.0
+            },
+        };
+        self.entries.push(entry.clone());
+        entry
+    }
+
+    /// Measured entries, in measurement order.
+    pub fn entries(&self) -> &[PerfEntry] {
+        &self.entries
+    }
+
+    /// Speedup of the last entry named `name` at `jobs` threads relative
+    /// to the same workload at 1 thread, if both were measured.
+    pub fn speedup(&self, name: &str) -> Option<f64> {
+        let serial = self
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.name == name && e.jobs == 1)?;
+        let par = self
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.name == name && e.jobs > 1)?;
+        if par.wall_secs > 0.0 {
+            Some(serial.wall_secs / par.wall_secs)
+        } else {
+            None
+        }
+    }
+
+    /// Render the report as a JSON document (schedule-cache stats are
+    /// sampled at render time).
+    pub fn to_json(&self) -> String {
+        let (hits, misses) = nbc::cache::stats();
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v1\",\n");
+        s.push_str(&format!(
+            "  \"host_threads\": {},\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ));
+        s.push_str(&format!(
+            "  \"schedule_cache\": {{\"hits\": {hits}, \"misses\": {misses}}},\n"
+        ));
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \"sim_events\": {}, \"events_per_sec\": {:.1}}}{}\n",
+                json_str(&e.name),
+                e.jobs,
+                e.wall_secs,
+                e.sim_events,
+                e.events_per_sec,
+                comma
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the JSON report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_entry() {
+        let mut r = PerfReport::new();
+        let e = r.measure("noop", 1, || {});
+        assert_eq!(e.name, "noop");
+        assert_eq!(r.entries().len(), 1);
+        assert!(e.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn speedup_needs_both_rows() {
+        let mut r = PerfReport::new();
+        r.measure("w", 1, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        assert!(r.speedup("w").is_none());
+        r.measure("w", 4, || {});
+        assert!(r.speedup("w").is_some());
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let mut r = PerfReport::new();
+        r.measure("a\"b", 1, || {});
+        let j = r.to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\"entries\""));
+        assert!(j.contains("adcl-bench-engine-v1"));
+    }
+}

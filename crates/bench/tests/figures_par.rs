@@ -1,0 +1,31 @@
+//! The figure binaries must print byte-identical output no matter how
+//! many sweep workers they use — the acceptance bar for the parallel
+//! sweep engine.
+
+use std::process::Command;
+
+fn run(bin: &str, jobs: &str) -> Vec<u8> {
+    let out = Command::new(bin)
+        .args(["--quick", "--jobs", jobs])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} --quick --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn table_verification_stats_invariant_under_jobs() {
+    let bin = env!("CARGO_BIN_EXE_table_verification_stats");
+    let serial = run(bin, "1");
+    let par = run(bin, "8");
+    assert!(
+        serial == par,
+        "output differs between --jobs 1 and --jobs 8:\n--- jobs 1 ---\n{}\n--- jobs 8 ---\n{}",
+        String::from_utf8_lossy(&serial),
+        String::from_utf8_lossy(&par)
+    );
+}

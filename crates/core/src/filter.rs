@@ -104,7 +104,10 @@ mod tests {
         // must still rank it first, while the raw mean would not.
         let f0 = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 20.0];
         let f1 = vec![2.0; 9];
-        assert_eq!(FilterKind::Iqr(1.5).argmin(&[f0.clone(), f1.clone()]), Some(0));
+        assert_eq!(
+            FilterKind::Iqr(1.5).argmin(&[f0.clone(), f1.clone()]),
+            Some(0)
+        );
         assert_eq!(FilterKind::None.argmin(&[f0, f1]), Some(1));
     }
 }

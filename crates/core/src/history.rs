@@ -204,7 +204,10 @@ mod tests {
         s.put(key("ialltoall", 16), "dissemination", 3.0e-5);
         s.save(&path).unwrap();
         let back = HistoryStore::load(&path).unwrap();
-        assert_eq!(back.get(&key("ialltoall", 16)).unwrap().winner, "dissemination");
+        assert_eq!(
+            back.get(&key("ialltoall", 16)).unwrap().winner,
+            "dissemination"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

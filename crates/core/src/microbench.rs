@@ -135,7 +135,12 @@ impl MicroBenchScript {
     }
 
     /// Build one boxed script per rank.
-    pub fn per_rank(cfg: MicroBenchConfig, op: usize, timer: usize, nranks: usize) -> Vec<Box<dyn Script>> {
+    pub fn per_rank(
+        cfg: MicroBenchConfig,
+        op: usize,
+        timer: usize,
+        nranks: usize,
+    ) -> Vec<Box<dyn Script>> {
         Self::per_rank_imbalanced(cfg, op, timer, nranks, Imbalance::None)
     }
 
@@ -149,8 +154,12 @@ impl MicroBenchScript {
     ) -> Vec<Box<dyn Script>> {
         (0..nranks)
             .map(|r| {
-                Box::new(Self::with_scale(cfg, op, timer, imbalance.factor(r, nranks)))
-                    as Box<dyn Script>
+                Box::new(Self::with_scale(
+                    cfg,
+                    op,
+                    timer,
+                    imbalance.factor(r, nranks),
+                )) as Box<dyn Script>
             })
             .collect()
     }
@@ -250,7 +259,10 @@ mod tests {
             })
             .sum();
         assert_eq!(total, SimTime::from_secs(1));
-        let progresses = v.iter().filter(|i| matches!(i, Instr::Progress { .. })).count();
+        let progresses = v
+            .iter()
+            .filter(|i| matches!(i, Instr::Progress { .. }))
+            .count();
         assert_eq!(progresses, 40);
         let waits = v.iter().filter(|i| matches!(i, Instr::Wait { .. })).count();
         assert_eq!(waits, 10);
@@ -266,7 +278,10 @@ mod tests {
         // mean preserved over all ranks
         let mean: f64 = (0..5).map(|r| ramp.factor(r, 5)).sum::<f64>() / 5.0;
         assert!((mean - 1.0).abs() < 1e-12);
-        let strag = Imbalance::Straggler { rank: 2, factor: 3.0 };
+        let strag = Imbalance::Straggler {
+            rank: 2,
+            factor: 3.0,
+        };
         assert_eq!(strag.factor(2, 8), 3.0);
         assert_eq!(strag.factor(3, 8), 1.0);
     }

@@ -141,7 +141,11 @@ impl TunedOp {
         let cost = exec.start(w, now);
         let blocking = func.blocking;
         let prev = st.instances.insert(slot, Instance { exec });
-        assert!(prev.is_none(), "op {}: slot {slot} already in use", self.name);
+        assert!(
+            prev.is_none(),
+            "op {}: slot {slot} already in use",
+            self.name
+        );
         (cost, blocking)
     }
 
@@ -271,7 +275,8 @@ impl TuningSession {
             assert!(op < self.ops.len(), "timer refers to unknown op {op}");
             self.ops[op].timer = Some(id);
         }
-        self.timers.push(Timer::new_subset(self.nranks, members, ops));
+        self.timers
+            .push(Timer::new_subset(self.nranks, members, ops));
         id
     }
 
@@ -496,12 +501,13 @@ mod tests {
         v
     }
 
-    fn run_session(
-        nranks: usize,
-        logic: SelectionLogic,
-        iters: usize,
-    ) -> (TuningSession, SimTime) {
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+    fn run_session(nranks: usize, logic: SelectionLogic, iters: usize) -> (TuningSession, SimTime) {
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let fnset = FunctionSet::ialltoall_default(CollSpec::new(nranks, 1024));
         let cfg = TunerConfig {
@@ -562,10 +568,7 @@ mod tests {
             let (fixed, _) = run_session(8, SelectionLogic::Fixed(f), 30);
             scores.push(fixed.timers[0].total_from(10));
         }
-        let best = scores
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = scores.iter().cloned().fold(f64::INFINITY, f64::min);
         let worst = scores.iter().cloned().fold(0.0f64, f64::max);
         let winner_score = scores[winner];
         assert!(
@@ -577,7 +580,12 @@ mod tests {
     #[test]
     fn blocking_function_completes_inside_start() {
         let nranks = 4;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let fnset = FunctionSet::ialltoall_extended(CollSpec::new(nranks, 2048));
         let blocking_idx = fnset.index_of("linear-blocking").unwrap();
@@ -606,7 +614,12 @@ mod tests {
     fn multiple_outstanding_instances() {
         // Window of 2 concurrent alltoalls per iteration.
         let nranks = 4;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let fnset = FunctionSet::ialltoall_default(CollSpec::new(nranks, 512));
         let op = session.add_op(
@@ -657,10 +670,7 @@ mod tests {
             },
         );
         let scripts = VecScript::boxed(vec![
-            vec![
-                Instr::Start { op, slot: 0 },
-                Instr::Start { op, slot: 0 },
-            ],
+            vec![Instr::Start { op, slot: 0 }, Instr::Start { op, slot: 0 }],
             vec![],
         ]);
         let mut runner = Runner::new(session, scripts);
@@ -686,7 +696,12 @@ mod tests {
         // No timer: the op's own start counter drives the tuner, so the
         // brute-force learning still cycles functions.
         let nranks = 4;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let fnset = FunctionSet::ialltoall_default(CollSpec::new(nranks, 256));
         let op = session.add_op(
@@ -719,7 +734,12 @@ mod tests {
     fn ibcast_runs_through_runner() {
         // A rooted, segmented operation through the full runtime.
         let nranks = 8;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let fnset = FunctionSet::ibcast_default(CollSpec::new(nranks, 256 * 1024));
         let op = session.add_op(
@@ -749,7 +769,12 @@ mod tests {
         // all-to-all with different message sizes; the winners may differ
         // and the runs do not interfere.
         let nranks = 8;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let comm_a: Vec<usize> = (0..4).collect();
         let comm_b: Vec<usize> = (4..8).collect();
@@ -848,7 +873,12 @@ mod tests {
     #[test]
     fn cotuning_two_ops_sequentially() {
         let nranks = 4;
-        let mut w = World::new(Platform::whale(), nranks, Placement::Block, NoiseConfig::none());
+        let mut w = World::new(
+            Platform::whale(),
+            nranks,
+            Placement::Block,
+            NoiseConfig::none(),
+        );
         let mut session = TuningSession::new(nranks);
         let cfg = TunerConfig {
             logic: SelectionLogic::BruteForce,

@@ -490,7 +490,11 @@ mod tests {
 
     /// Drive a strategy against a synthetic cost oracle until convergence;
     /// returns (winner, iterations spent learning).
-    fn drive(strategy: &mut dyn Strategy, n: usize, mut cost: impl FnMut(usize) -> f64) -> (usize, usize) {
+    fn drive(
+        strategy: &mut dyn Strategy,
+        n: usize,
+        mut cost: impl FnMut(usize) -> f64,
+    ) -> (usize, usize) {
         let mut samples: Vec<Vec<f64>> = vec![Vec::new(); n];
         let mut iters = 0;
         loop {
@@ -587,11 +591,18 @@ mod tests {
         let attrs = AttributeSet::from_functions(&["fanout", "segsize"], &vecs);
         let vecs2 = vecs.clone();
         let cost = move |f: usize| (vecs2[f][0] as f64 - 3.0).abs() + (vecs2[f][1] as f64) * 0.001;
-        let mut h =
-            SelectionLogic::AttributeHeuristic.build(21, &vecs, &attrs, 5, 5, FilterKind::default());
+        let mut h = SelectionLogic::AttributeHeuristic.build(
+            21,
+            &vecs,
+            &attrs,
+            5,
+            5,
+            FilterKind::default(),
+        );
         let (w, h_iters) = drive(h.as_mut(), 21, &cost);
         assert_eq!(vecs[w], vec![3, 32]);
-        let mut b = SelectionLogic::BruteForce.build(21, &vecs, &attrs, 5, 5, FilterKind::default());
+        let mut b =
+            SelectionLogic::BruteForce.build(21, &vecs, &attrs, 5, 5, FilterKind::default());
         let (wb, b_iters) = drive(b.as_mut(), 21, &cost);
         assert_eq!(vecs[wb], vec![3, 32]);
         assert!(
@@ -627,7 +638,8 @@ mod tests {
     #[test]
     fn best_so_far_before_convergence() {
         let (vecs, attrs) = grid_attrs();
-        let mut s = SelectionLogic::BruteForce.build(6, &vecs, &attrs, 10, 10, FilterKind::default());
+        let mut s =
+            SelectionLogic::BruteForce.build(6, &vecs, &attrs, 10, 10, FilterKind::default());
         let mut samples: Vec<Vec<f64>> = vec![Vec::new(); 6];
         // Measure two functions only.
         let f = s.next_assignment(&samples);

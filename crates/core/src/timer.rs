@@ -109,7 +109,10 @@ impl Timer {
     /// # Panics
     /// Panics if the rank already has an open window.
     pub fn start(&mut self, rank: usize, now: SimTime) {
-        assert!(self.is_member(rank), "rank {rank} is not a member of this timer");
+        assert!(
+            self.is_member(rank),
+            "rank {rank} is not a member of this timer"
+        );
         assert!(
             self.open[rank].is_none(),
             "rank {rank}: timer started twice without stop"

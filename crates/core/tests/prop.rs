@@ -1,4 +1,5 @@
-//! Property-based tests for the selection machinery.
+//! Property-based tests for the selection machinery, on the in-tree
+//! `simcore::check` harness (no external crates).
 
 use adcl::attr::AttributeSet;
 use adcl::filter::FilterKind;
@@ -6,7 +7,7 @@ use adcl::function::FunctionSet;
 use adcl::strategy::SelectionLogic;
 use adcl::tuner::{Tuner, TunerConfig};
 use nbc::schedule::CollSpec;
-use proptest::prelude::*;
+use simcore::check::run_cases;
 use simcore::rng::SplitMix64;
 
 /// Drive a tuner with a synthetic cost oracle plus bounded noise until it
@@ -32,152 +33,202 @@ fn ibcast_set() -> FunctionSet {
     FunctionSet::ibcast_default(CollSpec::new(8, 1 << 20))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// With separation larger than the noise band, brute force always
-    /// commits to the true minimum.
-    #[test]
-    fn brute_force_finds_min_under_bounded_noise(
-        seed in 0u64..1_000_000,
-        best in 0usize..3,
-        reps in 3usize..10,
-    ) {
+/// With separation larger than the noise band, brute force always
+/// commits to the true minimum.
+#[test]
+fn brute_force_finds_min_under_bounded_noise() {
+    run_cases("brute_force_finds_min_under_bounded_noise", 64, |g| {
+        let seed = g.u64_in(0, 1_000_000);
+        let best = g.usize_in(0, 3);
+        let reps = g.usize_in(3, 10);
         let fnset = alltoall_set();
         let mut costs = vec![2.0; 3];
         costs[best] = 1.0;
-        let mut tuner = Tuner::new(&fnset, TunerConfig {
-            logic: SelectionLogic::BruteForce,
-            reps,
-            warmup: 1,
-            filter: FilterKind::Iqr(1.5),
-        });
+        let mut tuner = Tuner::new(
+            &fnset,
+            TunerConfig {
+                logic: SelectionLogic::BruteForce,
+                reps,
+                warmup: 1,
+                filter: FilterKind::Iqr(1.5),
+            },
+        );
         let w = drive(&mut tuner, &costs, 0.10, seed);
-        prop_assert_eq!(w, Some(best));
-    }
+        assert_eq!(w, Some(best));
+    });
+}
 
-    /// The heuristic finds the optimum of any separable cost over the
-    /// 21-function Ibcast attribute grid.
-    #[test]
-    fn heuristic_solves_separable_costs(
-        seed in 0u64..1_000_000,
-        fan_best in 0usize..7,
-        seg_best in 0usize..3,
-    ) {
+/// The heuristic finds the optimum of any separable cost over the
+/// 21-function Ibcast attribute grid.
+#[test]
+fn heuristic_solves_separable_costs() {
+    run_cases("heuristic_solves_separable_costs", 64, |g| {
+        let seed = g.u64_in(0, 1_000_000);
+        let fan_best = g.usize_in(0, 7);
+        let seg_best = g.usize_in(0, 3);
         let fnset = ibcast_set();
         let attrs = fnset.attribute_set();
         let fan_val = attrs.attrs[0].values[fan_best];
         let seg_val = attrs.attrs[1].values[seg_best];
-        let costs: Vec<f64> = fnset.functions.iter().map(|f| {
-            let fan_rank = attrs.attrs[0].values.iter().position(|&v| v == f.attrs[0]).unwrap() as f64;
-            let fan_target = fan_best as f64;
-            let seg_rank = attrs.attrs[1].values.iter().position(|&v| v == f.attrs[1]).unwrap() as f64;
-            let seg_target = seg_best as f64;
-            1.0 + (fan_rank - fan_target).abs() + 0.3 * (seg_rank - seg_target).abs()
-        }).collect();
-        let mut tuner = Tuner::new(&fnset, TunerConfig {
-            logic: SelectionLogic::AttributeHeuristic,
-            reps: 4,
-            warmup: 1,
-            filter: FilterKind::Iqr(1.5),
-        });
+        let costs: Vec<f64> = fnset
+            .functions
+            .iter()
+            .map(|f| {
+                let fan_rank = attrs.attrs[0]
+                    .values
+                    .iter()
+                    .position(|&v| v == f.attrs[0])
+                    .unwrap() as f64;
+                let fan_target = fan_best as f64;
+                let seg_rank = attrs.attrs[1]
+                    .values
+                    .iter()
+                    .position(|&v| v == f.attrs[1])
+                    .unwrap() as f64;
+                let seg_target = seg_best as f64;
+                1.0 + (fan_rank - fan_target).abs() + 0.3 * (seg_rank - seg_target).abs()
+            })
+            .collect();
+        let mut tuner = Tuner::new(
+            &fnset,
+            TunerConfig {
+                logic: SelectionLogic::AttributeHeuristic,
+                reps: 4,
+                warmup: 1,
+                filter: FilterKind::Iqr(1.5),
+            },
+        );
         let w = drive(&mut tuner, &costs, 0.03, seed).expect("converges");
         let wf = &fnset.functions[w];
-        prop_assert_eq!(wf.attrs[0], fan_val, "fanout");
-        prop_assert_eq!(wf.attrs[1], seg_val, "segsize");
-    }
+        assert_eq!(wf.attrs[0], fan_val, "fanout");
+        assert_eq!(wf.attrs[1], seg_val, "segsize");
+    });
+}
 
-    /// The heuristic never needs more learning iterations than brute force.
-    #[test]
-    fn heuristic_cheaper_than_brute_force(seed in 0u64..1_000_000) {
+/// The heuristic never needs more learning iterations than brute force.
+#[test]
+fn heuristic_cheaper_than_brute_force() {
+    run_cases("heuristic_cheaper_than_brute_force", 64, |g| {
+        let seed = g.u64_in(0, 1_000_000);
         let fnset = ibcast_set();
-        let costs: Vec<f64> = (0..fnset.len()).map(|i| 1.0 + (i % 5) as f64 * 0.3).collect();
-        let mk = |logic| Tuner::new(&fnset, TunerConfig {
-            logic, reps: 3, warmup: 1, filter: FilterKind::Iqr(1.5),
-        });
+        let costs: Vec<f64> = (0..fnset.len())
+            .map(|i| 1.0 + (i % 5) as f64 * 0.3)
+            .collect();
+        let mk = |logic| {
+            Tuner::new(
+                &fnset,
+                TunerConfig {
+                    logic,
+                    reps: 3,
+                    warmup: 1,
+                    filter: FilterKind::Iqr(1.5),
+                },
+            )
+        };
         let mut h = mk(SelectionLogic::AttributeHeuristic);
         drive(&mut h, &costs, 0.01, seed);
         let mut b = mk(SelectionLogic::BruteForce);
         drive(&mut b, &costs, 0.01, seed);
-        prop_assert!(h.converged_at().unwrap() <= b.converged_at().unwrap());
-    }
+        assert!(h.converged_at().unwrap() <= b.converged_at().unwrap());
+    });
+}
 
-    /// Warm-up discards never change the winner in noiseless conditions.
-    #[test]
-    fn warmup_invariant_in_noiseless_runs(warmup in 0usize..3, best in 0usize..3) {
+/// Warm-up discards never change the winner in noiseless conditions.
+#[test]
+fn warmup_invariant_in_noiseless_runs() {
+    run_cases("warmup_invariant_in_noiseless_runs", 64, |g| {
+        let warmup = g.usize_in(0, 3);
+        let best = g.usize_in(0, 3);
         let fnset = alltoall_set();
         let mut costs = vec![5.0; 3];
         costs[best] = 3.0;
-        let mut tuner = Tuner::new(&fnset, TunerConfig {
-            logic: SelectionLogic::BruteForce,
-            reps: 4,
-            warmup,
-            filter: FilterKind::default(),
-        });
+        let mut tuner = Tuner::new(
+            &fnset,
+            TunerConfig {
+                logic: SelectionLogic::BruteForce,
+                reps: 4,
+                warmup,
+                filter: FilterKind::default(),
+            },
+        );
         let w = drive(&mut tuner, &costs, 0.0, 0);
-        prop_assert_eq!(w, Some(best));
-    }
+        assert_eq!(w, Some(best));
+    });
+}
 
-    /// Assignments are memoized: re-querying any prefix returns identical
-    /// choices regardless of interleaved records.
-    #[test]
-    fn assignment_memoization(seed in 0u64..1_000_000, queries in prop::collection::vec(0usize..40, 1..30)) {
+/// Assignments are memoized: re-querying any prefix returns identical
+/// choices regardless of interleaved records.
+#[test]
+fn assignment_memoization() {
+    run_cases("assignment_memoization", 64, |g| {
+        let seed = g.u64_in(0, 1_000_000);
+        let queries = g.vec(1, 30, |g| g.usize_in(0, 40));
         let fnset = alltoall_set();
-        let mut tuner = Tuner::new(&fnset, TunerConfig {
-            logic: SelectionLogic::BruteForce,
-            reps: 3,
-            warmup: 1,
-            filter: FilterKind::default(),
-        });
+        let mut tuner = Tuner::new(
+            &fnset,
+            TunerConfig {
+                logic: SelectionLogic::BruteForce,
+                reps: 3,
+                warmup: 1,
+                filter: FilterKind::default(),
+            },
+        );
         let mut rng = SplitMix64::new(seed);
         let mut first_seen: Vec<Option<usize>> = vec![None; 64];
         for &q in &queries {
             let f = tuner.function_for_iter(q);
             match first_seen[q] {
                 None => first_seen[q] = Some(f),
-                Some(prev) => prop_assert_eq!(prev, f, "assignment changed for iter {}", q),
+                Some(prev) => assert_eq!(prev, f, "assignment changed for iter {q}"),
             }
             // Interleave some records.
             tuner.record(q, 1.0 + rng.next_f64());
         }
-    }
+    });
+}
 
-    /// Attribute sets derived from any function grid have sorted, deduped
-    /// domains covering every function's values.
-    #[test]
-    fn attribute_domains_cover(vals in prop::collection::vec((0i64..10, 0i64..4), 1..40)) {
+/// Attribute sets derived from any function grid have sorted, deduped
+/// domains covering every function's values.
+#[test]
+fn attribute_domains_cover() {
+    run_cases("attribute_domains_cover", 64, |g| {
+        let vals = g.vec(1, 40, |g| (g.u64_in(0, 10) as i64, g.u64_in(0, 4) as i64));
         let vecs: Vec<Vec<i64>> = vals.iter().map(|&(a, b)| vec![a, b]).collect();
         let set = AttributeSet::from_functions(&["a", "b"], &vecs);
         for v in &vecs {
-            prop_assert!(set.attrs[0].values.contains(&v[0]));
-            prop_assert!(set.attrs[1].values.contains(&v[1]));
+            assert!(set.attrs[0].values.contains(&v[0]));
+            assert!(set.attrs[1].values.contains(&v[1]));
         }
         for a in &set.attrs {
             let mut sorted = a.values.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(&sorted, &a.values);
+            assert_eq!(&sorted, &a.values);
         }
-    }
+    });
+}
 
-    /// The filter's argmin is invariant under sample-set permutation.
-    #[test]
-    fn filter_argmin_permutation_invariant(
-        sets in prop::collection::vec(prop::collection::vec(0.1f64..100.0, 1..20), 1..6),
-        seed in 0u64..1000,
-    ) {
+/// The filter's argmin is invariant under sample-set permutation.
+#[test]
+fn filter_argmin_permutation_invariant() {
+    run_cases("filter_argmin_permutation_invariant", 64, |g| {
+        let sets = g.vec(1, 6, |g| g.vec(1, 20, |g| g.f64_in(0.1, 100.0)));
+        let seed = g.u64_in(0, 1000);
         let filter = FilterKind::Iqr(1.5);
         let a = filter.argmin(&sets);
         let mut rng = SplitMix64::new(seed);
-        let shuffled: Vec<Vec<f64>> = sets.iter().map(|s| {
-            let mut s2 = s.clone();
-            // Fisher-Yates
-            for i in (1..s2.len()).rev() {
-                let j = rng.next_below(i as u64 + 1) as usize;
-                s2.swap(i, j);
-            }
-            s2
-        }).collect();
-        prop_assert_eq!(a, filter.argmin(&shuffled));
-    }
+        let shuffled: Vec<Vec<f64>> = sets
+            .iter()
+            .map(|s| {
+                let mut s2 = s.clone();
+                // Fisher-Yates
+                for i in (1..s2.len()).rev() {
+                    let j = rng.next_below(i as u64 + 1) as usize;
+                    s2.swap(i, j);
+                }
+                s2
+            })
+            .collect();
+        assert_eq!(a, filter.argmin(&shuffled));
+    });
 }

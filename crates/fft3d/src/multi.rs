@@ -34,7 +34,12 @@ impl Grid3 {
     }
 
     /// Build from a function of the coordinates.
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> Complex64) -> Grid3 {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> Complex64,
+    ) -> Grid3 {
         let mut g = Grid3::zeros(nx, ny, nz);
         for z in 0..nz {
             for y in 0..ny {
@@ -130,7 +135,8 @@ pub fn ifft_3d(g: &mut Grid3, threads: usize) {
 }
 
 /// Apply `f` to every z-plane, fanning planes out over `threads` workers
-/// using crossbeam's scoped threads.
+/// using `std::thread::scope` (no external crates needed for scoped
+/// borrows since Rust 1.63).
 fn plane_pass(g: &mut Grid3, threads: usize, f: impl Fn(&mut [Complex64]) + Sync) {
     let plane_len = g.nx * g.ny;
     let planes: Vec<&mut [Complex64]> = g.data.chunks_exact_mut(plane_len).collect();
@@ -146,16 +152,15 @@ fn plane_pass(g: &mut Grid3, threads: usize, f: impl Fn(&mut [Complex64]) + Sync
     for (i, p) in planes.into_iter().enumerate() {
         buckets[i % nworkers].push(p);
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for bucket in buckets {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 for p in bucket {
                     f(p);
                 }
             });
         }
-    })
-    .expect("fft worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -174,7 +179,10 @@ mod tests {
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     /// Naive 3-D DFT for small grids.
@@ -252,7 +260,10 @@ mod tests {
         for threads in [2usize, 4, 7] {
             let mut par = g.clone();
             fft_3d(&mut par, threads);
-            assert!(max_err(&par.data, &serial.data) < 1e-12, "threads={threads}");
+            assert!(
+                max_err(&par.data, &serial.data) < 1e-12,
+                "threads={threads}"
+            );
         }
     }
 

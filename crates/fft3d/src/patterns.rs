@@ -326,7 +326,9 @@ pub fn run_fft_kernel(
     let s = runner.session;
     let tuner = &s.ops[op].tuner;
     let converged = tuner.converged_at();
-    let winner = tuner.winner().map(|w| s.ops[op].fnset.functions[w].name.clone());
+    let winner = tuner
+        .winner()
+        .map(|w| s.ops[op].fnset.functions[w].name.clone());
     FftRunResult {
         pattern: pattern.name(),
         mode: mode.name(),
@@ -360,7 +362,9 @@ mod tests {
         let cfg = small_cfg();
         assert_eq!(cfg.ntiles(FftPattern::Pipelined), 4);
         assert_eq!(cfg.ntiles(FftPattern::Tiled), 2);
-        assert!(cfg.tile_msg_bytes(FftPattern::Tiled, 8) > cfg.tile_msg_bytes(FftPattern::Pipelined, 8));
+        assert!(
+            cfg.tile_msg_bytes(FftPattern::Tiled, 8) > cfg.tile_msg_bytes(FftPattern::Pipelined, 8)
+        );
     }
 
     #[test]

@@ -134,17 +134,26 @@ impl PencilScript {
             template.push(Instr::TimerStart(timer));
             for t in 0..cfg.tiles {
                 if t >= window {
-                    template.push(Instr::Wait { op, slot: t % window });
+                    template.push(Instr::Wait {
+                        op,
+                        slot: t % window,
+                    });
                     template.push(Instr::Compute(stage));
                 }
                 for _ in 0..chunks {
                     template.push(Instr::Compute(stage / chunks as u64));
                     template.push(Instr::Progress { op });
                 }
-                template.push(Instr::Start { op, slot: t % window });
+                template.push(Instr::Start {
+                    op,
+                    slot: t % window,
+                });
             }
             for t in cfg.tiles.saturating_sub(window)..cfg.tiles {
-                template.push(Instr::Wait { op, slot: t % window });
+                template.push(Instr::Wait {
+                    op,
+                    slot: t % window,
+                });
                 template.push(Instr::Compute(stage));
             }
             template.push(Instr::TimerStop(timer));
@@ -354,8 +363,18 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = small();
-        let a = run_pencil(&Platform::crill(), &cfg, SelectionLogic::BruteForce, NoiseConfig::light(3));
-        let b = run_pencil(&Platform::crill(), &cfg, SelectionLogic::BruteForce, NoiseConfig::light(3));
+        let a = run_pencil(
+            &Platform::crill(),
+            &cfg,
+            SelectionLogic::BruteForce,
+            NoiseConfig::light(3),
+        );
+        let b = run_pencil(
+            &Platform::crill(),
+            &cfg,
+            SelectionLogic::BruteForce,
+            NoiseConfig::light(3),
+        );
         assert_eq!(a.row_totals, b.row_totals);
         assert_eq!(a.col_winners, b.col_winners);
     }

@@ -1,91 +1,120 @@
-//! Property-based tests for the numerical FFT and the kernel cost model.
+//! Property-based tests for the numerical FFT and the kernel cost model,
+//! on the in-tree `simcore::check` harness (no external crates).
 
 use fft3d::complex::Complex64;
 use fft3d::cost::{fft_flops, Fft3dCost};
 use fft3d::fft1d::{dft_naive, fft, ifft};
 use fft3d::multi::{fft_3d, ifft_3d, Grid3};
 use fft3d::patterns::{FftKernelConfig, FftPattern};
-use proptest::prelude::*;
+use simcore::check::{run_cases, Gen};
 
-fn signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex64::new(re, im)),
-        n..=n,
-    )
+fn signal(g: &mut Gen, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| Complex64::new(g.f64_in(-100.0, 100.0), g.f64_in(-100.0, 100.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// fft followed by ifft is the identity, for any length (radix-2 and
-    /// Bluestein paths).
-    #[test]
-    fn roundtrip(n in 1usize..300, seed in 0u64..1_000_000) {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((state >> 11) as f64) / (1u64 << 53) as f64 * 200.0 - 100.0
-        };
-        let sig: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+/// fft followed by ifft is the identity, for any length (radix-2 and
+/// Bluestein paths).
+#[test]
+fn roundtrip() {
+    run_cases("roundtrip", 48, |g| {
+        let n = g.usize_in(1, 300);
+        let sig = signal(g, n);
         let mut x = sig.clone();
         fft(&mut x);
         ifft(&mut x);
-        let err = x.iter().zip(&sig).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&sig)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         let scale = sig.iter().map(|c| c.abs()).fold(1.0, f64::max);
-        prop_assert!(err < 1e-8 * scale * n as f64, "n={n} err={err}");
-    }
+        assert!(err < 1e-8 * scale * n as f64, "n={n} err={err}");
+    });
+}
 
-    /// FFT matches the naive DFT for arbitrary lengths.
-    #[test]
-    fn matches_dft(sig in (2usize..64).prop_flat_map(signal)) {
+/// FFT matches the naive DFT for arbitrary lengths.
+#[test]
+fn matches_dft() {
+    run_cases("matches_dft", 48, |g| {
+        let n = g.usize_in(2, 64);
+        let sig = signal(g, n);
         let expect = dft_naive(&sig);
         let mut got = sig.clone();
         fft(&mut got);
-        let err = got.iter().zip(&expect).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        let err = got
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
         let scale = expect.iter().map(|c| c.abs()).fold(1.0, f64::max);
-        prop_assert!(err < 1e-9 * scale * sig.len() as f64);
-    }
+        assert!(err < 1e-9 * scale * sig.len() as f64);
+    });
+}
 
-    /// Parseval: energy is conserved up to the 1/n convention.
-    #[test]
-    fn parseval(sig in (2usize..128).prop_flat_map(signal)) {
-        let n = sig.len() as f64;
+/// Parseval: energy is conserved up to the 1/n convention.
+#[test]
+fn parseval() {
+    run_cases("parseval", 48, |g| {
+        let n = g.usize_in(2, 128);
+        let sig = signal(g, n);
+        let nf = sig.len() as f64;
         let time: f64 = sig.iter().map(|c| c.norm_sqr()).sum();
         let mut freq = sig.clone();
         fft(&mut freq);
-        let fsum: f64 = freq.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
-        prop_assert!((time - fsum).abs() <= 1e-8 * time.max(1.0));
-    }
+        let fsum: f64 = freq.iter().map(|c| c.norm_sqr()).sum::<f64>() / nf;
+        assert!((time - fsum).abs() <= 1e-8 * time.max(1.0));
+    });
+}
 
-    /// 3-D round trip on arbitrary (small) grids, serial and threaded.
-    #[test]
-    fn roundtrip_3d(nx in 1usize..9, ny in 1usize..9, nz in 1usize..9, threads in 1usize..4) {
-        let g = Grid3::from_fn(nx, ny, nz, |x, y, z| {
-            Complex64::new((x * 7 + y * 3 + z) as f64 * 0.25 - 1.0, (x + y + z) as f64 * 0.5)
+/// 3-D round trip on arbitrary (small) grids, serial and threaded.
+#[test]
+fn roundtrip_3d() {
+    run_cases("roundtrip_3d", 48, |g| {
+        let nx = g.usize_in(1, 9);
+        let ny = g.usize_in(1, 9);
+        let nz = g.usize_in(1, 9);
+        let threads = g.usize_in(1, 4);
+        let grid = Grid3::from_fn(nx, ny, nz, |x, y, z| {
+            Complex64::new(
+                (x * 7 + y * 3 + z) as f64 * 0.25 - 1.0,
+                (x + y + z) as f64 * 0.5,
+            )
         });
-        let mut t = g.clone();
+        let mut t = grid.clone();
         fft_3d(&mut t, threads);
         ifft_3d(&mut t, threads);
-        let err = t.data.iter().zip(&g.data).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
-        prop_assert!(err < 1e-8, "grid {nx}x{ny}x{nz}: {err}");
-    }
+        let err = t
+            .data
+            .iter()
+            .zip(&grid.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-8, "grid {nx}x{ny}x{nz}: {err}");
+    });
+}
 
-    /// FFT flop counts are monotone in n.
-    #[test]
-    fn flops_monotone(a in 2usize..100_000, b in 2usize..100_000) {
+/// FFT flop counts are monotone in n.
+#[test]
+fn flops_monotone() {
+    run_cases("flops_monotone", 128, |g| {
+        let a = g.usize_in(2, 100_000);
+        let b = g.usize_in(2, 100_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(fft_flops(lo) <= fft_flops(hi));
-    }
+        assert!(fft_flops(lo) <= fft_flops(hi));
+    });
+}
 
-    /// Kernel tile accounting: tiles cover all planes, message sizes are
-    /// positive and proportional to tile size.
-    #[test]
-    fn kernel_tiling_consistent(
-        n in 16usize..512,
-        planes in 1usize..64,
-        tile in 1usize..16,
-        p in 2usize..512,
-    ) {
+/// Kernel tile accounting: tiles cover all planes, message sizes are
+/// positive and proportional to tile size.
+#[test]
+fn kernel_tiling_consistent() {
+    run_cases("kernel_tiling_consistent", 128, |g| {
+        let n = g.usize_in(16, 512);
+        let planes = g.usize_in(1, 64);
+        let tile = g.usize_in(1, 16);
+        let p = g.usize_in(2, 512);
         let cfg = FftKernelConfig {
             n,
             planes_per_rank: planes,
@@ -99,18 +128,25 @@ proptest! {
             let ntiles = cfg.ntiles(pattern);
             let (_, tp) = pattern.window_tile(cfg.tile);
             let tp = tp.min(planes).max(1);
-            prop_assert!(ntiles * tp >= planes, "{pattern:?}: tiles must cover planes");
-            prop_assert!(cfg.tile_msg_bytes(pattern, p) >= 1);
+            assert!(
+                ntiles * tp >= planes,
+                "{pattern:?}: tiles must cover planes"
+            );
+            assert!(cfg.tile_msg_bytes(pattern, p) >= 1);
         }
-    }
+    });
+}
 
-    /// Cost model scales: twice the planes, twice the 2-D time.
-    #[test]
-    fn cost_linear_in_planes(n in 8usize..256, p in 2usize..128) {
+/// Cost model scales: twice the planes, twice the 2-D time.
+#[test]
+fn cost_linear_in_planes() {
+    run_cases("cost_linear_in_planes", 128, |g| {
+        let n = g.usize_in(8, 256);
+        let p = g.usize_in(2, 128);
         let c = Fft3dCost { n, p, gflops: 2.0 };
         let one = c.planes_2d_time(1);
         let four = c.planes_2d_time(4);
         // Each value rounds to whole nanoseconds independently.
-        prop_assert!(four.as_nanos().abs_diff(one.as_nanos() * 4) <= 4);
-    }
+        assert!(four.as_nanos().abs_diff(one.as_nanos() * 4) <= 4);
+    });
 }

@@ -29,4 +29,6 @@ pub mod world;
 
 pub use message::{Protocol, RecvState, SendState};
 pub use types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
-pub use world::{RankAccounting, RankBehavior, SegmentKind, Step, TraceSegment, World};
+pub use world::{
+    sim_events_total, RankAccounting, RankBehavior, SegmentKind, Step, TraceSegment, World,
+};

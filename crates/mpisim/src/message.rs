@@ -64,7 +64,14 @@ pub struct Message {
 
 impl Message {
     /// A freshly posted message.
-    pub fn new(src: RankId, dst: RankId, tag: Tag, bytes: usize, protocol: Protocol, seq: u64) -> Self {
+    pub fn new(
+        src: RankId,
+        dst: RankId,
+        tag: Tag,
+        bytes: usize,
+        protocol: Protocol,
+        seq: u64,
+    ) -> Self {
         Message {
             src,
             dst,

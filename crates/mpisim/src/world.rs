@@ -6,7 +6,19 @@ use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 use netmodel::{NetworkState, Placement, Platform};
 use simcore::rng::NoiseModel;
 use simcore::{EventQueue, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of simulator events applied by every [`World::run`]
+/// that has finished (successfully or in deadlock). The parallel sweep
+/// engine's perf harness reads this to report events/second across worker
+/// threads.
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulator events processed by completed runs in this process.
+pub fn sim_events_total() -> u64 {
+    SIM_EVENTS.load(Ordering::Relaxed)
+}
 
 /// What a rank does next, as decided by its [`RankBehavior`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,9 +166,12 @@ struct RankState {
     block_since: Option<SimTime>,
     /// Next envelope sequence number expected per source rank (MPI
     /// non-overtaking: envelopes are delivered to matching in send order).
-    env_next: HashMap<RankId, u64>,
-    /// Envelopes that arrived out of order, per source rank.
-    env_buf: HashMap<RankId, BTreeMap<u64, usize>>,
+    /// Indexed by source rank — a flat vector, not a map, because every
+    /// channel is touched on the hot path of every delivery.
+    env_next: Vec<u64>,
+    /// Envelopes that arrived out of order, per source rank (indexed by
+    /// source). The inner map is almost always empty or tiny.
+    env_buf: Vec<BTreeMap<u64, usize>>,
     /// Posted, unmatched receive requests (ids into `recvs`), post order.
     posted_recvs: Vec<usize>,
     /// Unmatched arrived messages (eager payloads or rendezvous RTS).
@@ -176,8 +191,13 @@ pub struct World {
     msgs: Vec<Message>,
     recvs: Vec<RecvReq>,
     events: EventQueue<Event>,
-    /// Per-(src, dst) channel send counters for envelope sequencing.
-    send_seq: HashMap<(RankId, RankId), u64>,
+    /// Per-(src, dst) channel send counters for envelope sequencing, flat
+    /// row-major (`src * nranks + dst`).
+    send_seq: Vec<u64>,
+    /// Scratch buffers reused across [`World::poll`] calls so the progress
+    /// engine does not allocate per invocation.
+    scratch_cts: Vec<usize>,
+    scratch_starts: Vec<usize>,
     next_tag: u64,
     polls: u64,
     protocol_actions: u64,
@@ -187,7 +207,12 @@ pub struct World {
 
 impl World {
     /// Create a world of `nranks` ranks on `platform`.
-    pub fn new(platform: Platform, nranks: usize, placement: Placement, noise: NoiseConfig) -> Self {
+    pub fn new(
+        platform: Platform,
+        nranks: usize,
+        placement: Placement,
+        noise: NoiseConfig,
+    ) -> Self {
         let ranks = (0..nranks)
             .map(|r| RankState {
                 now: SimTime::ZERO,
@@ -195,12 +220,18 @@ impl World {
                 noise: if noise.is_none() {
                     NoiseModel::none()
                 } else {
-                    NoiseModel::for_rank(noise.seed, r, noise.jitter, noise.spike_prob, noise.spike_scale)
+                    NoiseModel::for_rank(
+                        noise.seed,
+                        r,
+                        noise.jitter,
+                        noise.spike_prob,
+                        noise.spike_scale,
+                    )
                 },
                 acct: RankAccounting::default(),
                 block_since: None,
-                env_next: HashMap::new(),
-                env_buf: HashMap::new(),
+                env_next: vec![0; nranks],
+                env_buf: vec![BTreeMap::new(); nranks],
                 posted_recvs: Vec::new(),
                 unexpected: Vec::new(),
                 pending_cts: Vec::new(),
@@ -210,10 +241,12 @@ impl World {
         World {
             net: NetworkState::new(platform, nranks, placement),
             ranks,
-            msgs: Vec::new(),
-            recvs: Vec::new(),
-            events: EventQueue::new(),
-            send_seq: HashMap::new(),
+            msgs: Vec::with_capacity(nranks * 8),
+            recvs: Vec::with_capacity(nranks * 8),
+            events: EventQueue::with_capacity(nranks * 4),
+            send_seq: vec![0; nranks * nranks],
+            scratch_cts: Vec::new(),
+            scratch_starts: Vec::new(),
             next_tag: 0,
             polls: 0,
             protocol_actions: 0,
@@ -342,18 +375,26 @@ impl World {
     ///
     /// The *caller* is responsible for charging `o_send` CPU time; `at`
     /// should already include it.
-    pub fn isend(&mut self, src: RankId, dst: RankId, tag: Tag, bytes: usize, at: SimTime) -> SendHandle {
+    pub fn isend(
+        &mut self,
+        src: RankId,
+        dst: RankId,
+        tag: Tag,
+        bytes: usize,
+        at: SimTime,
+    ) -> SendHandle {
         assert_ne!(src, dst, "self-sends are expressed as schedule copies");
         let id = self.msgs.len();
         let seq = {
-            let c = self.send_seq.entry((src, dst)).or_insert(0);
+            let c = &mut self.send_seq[src * self.ranks.len() + dst];
             let s = *c;
             *c += 1;
             s
         };
         if self.net.is_eager(src, dst, bytes) {
             let plan = self.net.plan_transfer(at, src, dst, bytes);
-            self.msgs.push(Message::new(src, dst, tag, bytes, Protocol::Eager, seq));
+            self.msgs
+                .push(Message::new(src, dst, tag, bytes, Protocol::Eager, seq));
             self.events.push(
                 plan.src_drain,
                 Event::Net {
@@ -370,7 +411,14 @@ impl World {
             );
         } else {
             let rts = self.net.ctrl_arrival(at, src, dst);
-            self.msgs.push(Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq));
+            self.msgs.push(Message::new(
+                src,
+                dst,
+                tag,
+                bytes,
+                Protocol::Rendezvous,
+                seq,
+            ));
             self.events.push(
                 rts,
                 Event::Net {
@@ -383,7 +431,14 @@ impl World {
     }
 
     /// Post a non-blocking receive on `rank` for a message from `src`.
-    pub fn irecv(&mut self, rank: RankId, src: RankId, tag: Tag, bytes: usize, at: SimTime) -> RecvHandle {
+    pub fn irecv(
+        &mut self,
+        rank: RankId,
+        src: RankId,
+        tag: Tag,
+        bytes: usize,
+        at: SimTime,
+    ) -> RecvHandle {
         let rid = self.recvs.len();
         self.recvs.push(RecvReq::new(rank, src, tag, bytes));
         // Try to match an already-arrived (unexpected) message, FIFO.
@@ -403,7 +458,10 @@ impl World {
     /// Bind message `mid` to receive `rid`. `on_post` is true when matching
     /// happens at receive-post time (the message was unexpected).
     fn match_pair(&mut self, mid: usize, rid: usize, now: SimTime, on_post: bool) {
-        debug_assert_eq!(self.msgs[mid].bytes, self.recvs[rid].bytes, "size mismatch in match");
+        debug_assert_eq!(
+            self.msgs[mid].bytes, self.recvs[rid].bytes,
+            "size mismatch in match"
+        );
         self.msgs[mid].matched_recv = Some(rid);
         self.recvs[rid].msg = Some(mid);
         self.recvs[rid].state = RecvState::Matched;
@@ -417,7 +475,10 @@ impl World {
                         // wait is woken when the copy is done.
                         let src = self.msgs[mid].src;
                         let dst = self.msgs[mid].dst;
-                        let copy = self.net.params(src, dst).unexpected_copy(self.msgs[mid].bytes);
+                        let copy = self
+                            .net
+                            .params(src, dst)
+                            .unexpected_copy(self.msgs[mid].bytes);
                         let done = now.max(arr) + copy;
                         self.events.push(
                             done,
@@ -452,9 +513,12 @@ impl World {
     pub fn poll(&mut self, rank: RankId, now: SimTime) -> usize {
         self.polls += 1;
         let mut actions = 0;
-        // Answer RTSs (receiver side).
-        let cts: Vec<usize> = std::mem::take(&mut self.ranks[rank].pending_cts);
-        for mid in cts {
+        // Answer RTSs (receiver side). The pending list is swapped with a
+        // reusable scratch buffer so a poll-heavy run does not allocate a
+        // fresh vector per progress call.
+        let mut cts = std::mem::take(&mut self.scratch_cts);
+        std::mem::swap(&mut cts, &mut self.ranks[rank].pending_cts);
+        for &mid in &cts {
             if self.msgs[mid].cts_sent {
                 continue;
             }
@@ -470,9 +534,12 @@ impl World {
             );
             actions += 1;
         }
+        cts.clear();
+        self.scratch_cts = cts;
         // Start payloads (sender side).
-        let starts: Vec<usize> = std::mem::take(&mut self.ranks[rank].pending_data_start);
-        for mid in starts {
+        let mut starts = std::mem::take(&mut self.scratch_starts);
+        std::mem::swap(&mut starts, &mut self.ranks[rank].pending_data_start);
+        for &mid in &starts {
             if !matches!(self.msgs[mid].send_state, SendState::CtsArrived(_)) {
                 continue;
             }
@@ -495,6 +562,8 @@ impl World {
             );
             actions += 1;
         }
+        starts.clear();
+        self.scratch_starts = starts;
         self.protocol_actions += actions as u64;
         actions
     }
@@ -532,14 +601,13 @@ impl World {
     fn enqueue_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
         let src = self.msgs[mid].src;
         let seq = self.msgs[mid].seq;
-        self.ranks[rank].env_buf.entry(src).or_default().insert(seq, mid);
+        self.ranks[rank].env_buf[src].insert(seq, mid);
         loop {
-            let next = *self.ranks[rank].env_next.entry(src).or_insert(0);
-            let Some(&m) = self.ranks[rank].env_buf.get(&src).and_then(|b| b.get(&next)) else {
+            let next = self.ranks[rank].env_next[src];
+            let Some(m) = self.ranks[rank].env_buf[src].remove(&next) else {
                 break;
             };
-            self.ranks[rank].env_buf.get_mut(&src).expect("buf").remove(&next);
-            *self.ranks[rank].env_next.get_mut(&src).expect("next") += 1;
+            self.ranks[rank].env_next[src] = next + 1;
             self.deliver_envelope(rank, m, t);
         }
     }
@@ -616,6 +684,13 @@ impl World {
     /// Run every rank's behaviour to completion. Returns the largest rank
     /// local time (the makespan).
     pub fn run(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
+        let popped_at_start = self.events.popped();
+        let out = self.run_inner(behavior);
+        SIM_EVENTS.fetch_add(self.events.popped() - popped_at_start, Ordering::Relaxed);
+        out
+    }
+
+    fn run_inner(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
         for r in 0..self.ranks.len() {
             self.events.push(self.ranks[r].now, Event::Wake(r));
             self.ranks[r].status = RankStatus::Scheduled;
@@ -706,7 +781,12 @@ mod tests {
     use super::*;
 
     fn world(nranks: usize) -> World {
-        World::new(Platform::whale(), nranks, Placement::RoundRobin, NoiseConfig::none())
+        World::new(
+            Platform::whale(),
+            nranks,
+            Placement::RoundRobin,
+            NoiseConfig::none(),
+        )
     }
 
     /// A tiny per-rank script interpreter for tests.
@@ -788,8 +868,20 @@ mod tests {
     fn eager_pingpong_completes() {
         let mut w = world(2);
         let mut s = Script::new(vec![
-            vec![Ins::Send { dst: 1, bytes: 1024 }, Ins::WaitAll],
-            vec![Ins::Recv { src: 0, bytes: 1024 }, Ins::WaitAll],
+            vec![
+                Ins::Send {
+                    dst: 1,
+                    bytes: 1024,
+                },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv {
+                    src: 0,
+                    bytes: 1024,
+                },
+                Ins::WaitAll,
+            ],
         ]);
         let makespan = w.run(&mut s).unwrap();
         assert!(makespan > SimTime::ZERO);
@@ -814,7 +906,10 @@ mod tests {
         ]);
         let makespan = w.run(&mut s).unwrap();
         let min = w.platform().inter.serialize(mb);
-        assert!(makespan > min, "payload must at least serialize: {makespan} <= {min}");
+        assert!(
+            makespan > min,
+            "payload must at least serialize: {makespan} <= {min}"
+        );
         assert!(w.protocol_actions() >= 2, "CTS + data start");
     }
 
@@ -874,13 +969,21 @@ mod tests {
         let mut w1 = world(2);
         let mut pre = Script::new(vec![
             vec![Ins::Send { dst: 1, bytes }, Ins::WaitAll],
-            vec![Ins::Recv { src: 0, bytes }, Ins::Compute(SimTime::from_millis(5)), Ins::WaitAll],
+            vec![
+                Ins::Recv { src: 0, bytes },
+                Ins::Compute(SimTime::from_millis(5)),
+                Ins::WaitAll,
+            ],
         ]);
         w1.run(&mut pre).unwrap();
         let mut w2 = world(2);
         let mut unexp = Script::new(vec![
             vec![Ins::Send { dst: 1, bytes }, Ins::WaitAll],
-            vec![Ins::Compute(SimTime::from_millis(5)), Ins::Recv { src: 0, bytes }, Ins::WaitAll],
+            vec![
+                Ins::Compute(SimTime::from_millis(5)),
+                Ins::Recv { src: 0, bytes },
+                Ins::WaitAll,
+            ],
         ]);
         w2.run(&mut unexp).unwrap();
         assert!(unexp.finish[1] >= pre.finish[1]);
@@ -934,8 +1037,14 @@ mod tests {
                     .map(|r| {
                         vec![
                             Ins::Compute(SimTime::from_micros(100)),
-                            Ins::Send { dst: (r + 1) % 4, bytes: 2048 },
-                            Ins::Recv { src: (r + 3) % 4, bytes: 2048 },
+                            Ins::Send {
+                                dst: (r + 1) % 4,
+                                bytes: 2048,
+                            },
+                            Ins::Recv {
+                                src: (r + 3) % 4,
+                                bytes: 2048,
+                            },
                             Ins::WaitAll,
                         ]
                     })
@@ -960,12 +1069,18 @@ mod tests {
         let mut s = Script::new(vec![
             vec![
                 Ins::Send { dst: 1, bytes: big },
-                Ins::Send { dst: 1, bytes: small },
+                Ins::Send {
+                    dst: 1,
+                    bytes: small,
+                },
                 Ins::WaitAll,
             ],
             vec![
                 Ins::Recv { src: 0, bytes: big },
-                Ins::Recv { src: 0, bytes: small },
+                Ins::Recv {
+                    src: 0,
+                    bytes: small,
+                },
                 Ins::WaitAll,
             ],
         ]);
@@ -978,11 +1093,17 @@ mod tests {
         let mut s = Script::new(vec![
             vec![
                 Ins::Compute(SimTime::from_millis(2)),
-                Ins::Send { dst: 1, bytes: 1 << 20 },
+                Ins::Send {
+                    dst: 1,
+                    bytes: 1 << 20,
+                },
                 Ins::WaitAll,
             ],
             vec![
-                Ins::Recv { src: 0, bytes: 1 << 20 },
+                Ins::Recv {
+                    src: 0,
+                    bytes: 1 << 20,
+                },
                 Ins::Compute(SimTime::from_millis(5)),
                 Ins::WaitAll,
             ],
@@ -1008,11 +1129,17 @@ mod tests {
         let mut s = Script::new(vec![
             vec![
                 Ins::Compute(SimTime::from_millis(1)),
-                Ins::Send { dst: 1, bytes: 1 << 20 },
+                Ins::Send {
+                    dst: 1,
+                    bytes: 1 << 20,
+                },
                 Ins::WaitAll,
             ],
             vec![
-                Ins::Recv { src: 0, bytes: 1 << 20 },
+                Ins::Recv {
+                    src: 0,
+                    bytes: 1 << 20,
+                },
                 Ins::Compute(SimTime::from_millis(3)),
                 Ins::WaitAll,
             ],
@@ -1044,10 +1171,7 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("[\n"));
         assert!(text.trim_end().ends_with(']'));
-        assert_eq!(
-            text.matches("\"ph\": \"X\"").count(),
-            w.trace().len()
-        );
+        assert_eq!(text.matches("\"ph\": \"X\"").count(), w.trace().len());
     }
 
     #[test]

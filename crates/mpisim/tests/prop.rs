@@ -1,9 +1,10 @@
 //! Property-based tests: arbitrary communication patterns complete
-//! without deadlock and respect physical lower bounds.
+//! without deadlock and respect physical lower bounds. Runs on the
+//! in-tree `simcore::check` harness (no external crates).
 
 use mpisim::{NoiseConfig, RankBehavior, RankId, RecvHandle, SendHandle, Step, Tag, World};
 use netmodel::{Placement, Platform};
-use proptest::prelude::*;
+use simcore::check::{run_cases, Gen};
 use simcore::SimTime;
 
 /// Behaviour executing a precomputed message matrix: each rank sends to a
@@ -72,30 +73,27 @@ impl RankBehavior for Exchange {
 /// ordered pair use FIFO matching, so any multiset is valid as long as the
 /// per-pair send order equals the receive order — which `Exchange`
 /// guarantees by construction.
-fn msgs_strategy(n: usize) -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
-    prop::collection::vec(
-        (0..n, 0..n, 1usize..200_000).prop_filter_map("no self sends", move |(a, b, s)| {
-            if a == b {
-                None
-            } else {
-                Some((a, b, s))
-            }
-        }),
-        0..60,
-    )
+fn gen_msgs(g: &mut Gen, n: usize) -> Vec<(usize, usize, usize)> {
+    let count = g.usize_in(0, 60);
+    let mut msgs = Vec::with_capacity(count);
+    while msgs.len() < count {
+        let a = g.usize_in(0, n);
+        let b = g.usize_in(0, n);
+        if a == b {
+            continue; // no self sends
+        }
+        msgs.push((a, b, g.usize_in(1, 200_000)));
+    }
+    msgs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any acyclic-free random exchange completes (no deadlock) on every
-    /// platform, because all receives are pre-posted before waiting.
-    #[test]
-    fn random_exchanges_complete(
-        msgs in msgs_strategy(12),
-        platform_idx in 0usize..3,
-    ) {
-        let platform = match platform_idx {
+/// Any acyclic-free random exchange completes (no deadlock) on every
+/// platform, because all receives are pre-posted before waiting.
+#[test]
+fn random_exchanges_complete() {
+    run_cases("random_exchanges_complete", 48, |g| {
+        let msgs = gen_msgs(g, 12);
+        let platform = match g.usize_in(0, 3) {
             0 => Platform::whale(),
             1 => Platform::crill(),
             _ => Platform::whale_tcp(),
@@ -103,52 +101,70 @@ proptest! {
         let mut w = World::new(platform, 12, Placement::Block, NoiseConfig::none());
         let mut b = Exchange::new(12, &msgs);
         let makespan = w.run(&mut b);
-        prop_assert!(makespan.is_ok(), "deadlock on {msgs:?}");
-    }
+        assert!(makespan.is_ok(), "deadlock on {msgs:?}");
+    });
+}
 
-    /// Each receiver finishes no earlier than the pure serialization time
-    /// of its incoming bytes (a physical lower bound).
-    #[test]
-    fn completion_respects_bandwidth_bound(msgs in msgs_strategy(8)) {
+/// Each receiver finishes no earlier than the pure serialization time
+/// of its incoming bytes (a physical lower bound).
+#[test]
+fn completion_respects_bandwidth_bound() {
+    run_cases("completion_respects_bandwidth_bound", 48, |g| {
+        let msgs = gen_msgs(g, 8);
         let platform = Platform::whale();
         let inter = platform.inter.clone();
         let mut w = World::new(platform, 8, Placement::RoundRobin, NoiseConfig::none());
         let mut b = Exchange::new(8, &msgs);
         w.run(&mut b).expect("completes");
         for r in 0..8 {
-            let incoming: usize = msgs.iter().filter(|&&(_, d, _)| d == r).map(|&(_, _, s)| s).sum();
+            let incoming: usize = msgs
+                .iter()
+                .filter(|&&(_, d, _)| d == r)
+                .map(|&(_, _, s)| s)
+                .sum();
             if incoming > 0 {
                 let bound = inter.serialize(incoming);
-                prop_assert!(
+                assert!(
                     b.finish[r] >= bound,
                     "rank {r}: finished {} < bandwidth bound {bound}",
                     b.finish[r]
                 );
             }
         }
-    }
+    });
+}
 
-    /// Simulated time is deterministic: the same exchange gives the same
-    /// makespan twice.
-    #[test]
-    fn exchange_deterministic(msgs in msgs_strategy(10)) {
+/// Simulated time is deterministic: the same exchange gives the same
+/// makespan twice.
+#[test]
+fn exchange_deterministic() {
+    run_cases("exchange_deterministic", 48, |g| {
+        let msgs = gen_msgs(g, 10);
         let run = || {
             let mut w = World::new(Platform::crill(), 10, Placement::Block, NoiseConfig::none());
             let mut b = Exchange::new(10, &msgs);
             w.run(&mut b).expect("completes")
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// Message and byte accounting matches the plan.
-    #[test]
-    fn network_accounting(msgs in msgs_strategy(6)) {
-        let mut w = World::new(Platform::whale(), 6, Placement::RoundRobin, NoiseConfig::none());
+/// Message and byte accounting matches the plan.
+#[test]
+fn network_accounting() {
+    run_cases("network_accounting", 48, |g| {
+        let msgs = gen_msgs(g, 6);
+        let mut w = World::new(
+            Platform::whale(),
+            6,
+            Placement::RoundRobin,
+            NoiseConfig::none(),
+        );
         let mut b = Exchange::new(6, &msgs);
         w.run(&mut b).expect("completes");
         let total: u64 = msgs.iter().map(|&(_, _, s)| s as u64).sum();
         // Every payload crosses the network exactly once (control messages
         // are not counted as payload).
-        prop_assert_eq!(w.network().bytes_moved(), total);
-    }
+        assert_eq!(w.network().bytes_moved(), total);
+    });
 }

@@ -21,7 +21,11 @@ pub enum AllgatherAlgo {
 impl AllgatherAlgo {
     /// All implementations.
     pub fn all() -> Vec<AllgatherAlgo> {
-        vec![AllgatherAlgo::Linear, AllgatherAlgo::Ring, AllgatherAlgo::Bruck]
+        vec![
+            AllgatherAlgo::Linear,
+            AllgatherAlgo::Ring,
+            AllgatherAlgo::Bruck,
+        ]
     }
 
     /// Report name.
@@ -123,7 +127,10 @@ mod tests {
     #[test]
     fn degenerate() {
         for algo in AllgatherAlgo::all() {
-            assert_eq!(build_allgather(algo, 0, &CollSpec::new(1, 8)).num_rounds(), 0);
+            assert_eq!(
+                build_allgather(algo, 0, &CollSpec::new(1, 8)).num_rounds(),
+                0
+            );
         }
     }
 

@@ -155,10 +155,11 @@ fn build_reduce_bcast(rank: RankId, spec: &CollSpec, sched: &mut Schedule) {
         sched.push_round(Round(vec![Action::recv(c, bytes), Action::calc(bytes)]));
     }
     if let Some(par) = parent {
-        let contrib: Vec<u32> = crate::reduce::subtree(crate::reduce::ReduceAlgo::Binomial, rank, spec)
-            .iter()
-            .map(|&r| r as u32)
-            .collect();
+        let contrib: Vec<u32> =
+            crate::reduce::subtree(crate::reduce::ReduceAlgo::Binomial, rank, spec)
+                .iter()
+                .map(|&r| r as u32)
+                .collect();
         sched.push_round(Round(vec![Action::send(par, bytes, contrib)]));
     }
     // Broadcast phase: root now holds everything. Annotate the broadcast
@@ -193,8 +194,7 @@ mod tests {
         for (r, s) in scheds.iter().enumerate() {
             s.validate(r, None)?;
         }
-        let initial: Vec<HashSet<u32>> =
-            (0..p).map(|r| [r as u32].into_iter().collect()).collect();
+        let initial: Vec<HashSet<u32>> = (0..p).map(|r| [r as u32].into_iter().collect()).collect();
         let recv = verify::execute(&scheds, &initial)?;
         for (r, got) in recv.iter().enumerate() {
             for c in 0..p as u32 {
@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn degenerate() {
         for algo in AllreduceAlgo::all() {
-            assert_eq!(build_allreduce(algo, 0, &CollSpec::new(1, 64)).num_rounds(), 0);
+            assert_eq!(
+                build_allreduce(algo, 0, &CollSpec::new(1, 64)).num_rounds(),
+                0
+            );
         }
     }
 }

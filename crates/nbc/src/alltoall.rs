@@ -73,7 +73,9 @@ pub fn build_alltoall(algo: AlltoallAlgo, rank: RankId, spec: &CollSpec) -> Sche
             round.0.push(Action::copy(s));
             for off in 1..p {
                 let peer = (rank + off) % p;
-                round.0.push(Action::send(peer, s, vec![block_id(rank, peer, p)]));
+                round
+                    .0
+                    .push(Action::send(peer, s, vec![block_id(rank, peer, p)]));
                 let from = (rank + p - off) % p;
                 round.0.push(Action::recv(from, s));
             }
@@ -227,8 +229,14 @@ mod tests {
     #[test]
     fn degenerate_cases() {
         for algo in AlltoallAlgo::all() {
-            assert_eq!(build_alltoall(algo, 0, &CollSpec::new(1, 100)).num_rounds(), 0);
-            assert_eq!(build_alltoall(algo, 0, &CollSpec::new(4, 0)).num_rounds(), 0);
+            assert_eq!(
+                build_alltoall(algo, 0, &CollSpec::new(1, 100)).num_rounds(),
+                0
+            );
+            assert_eq!(
+                build_alltoall(algo, 0, &CollSpec::new(4, 0)).num_rounds(),
+                0
+            );
         }
     }
 

@@ -51,7 +51,9 @@ mod tests {
     fn validates() {
         for p in [2usize, 7, 64] {
             for r in 0..p {
-                build_barrier(r, &CollSpec::new(p, 0)).validate(r, None).unwrap();
+                build_barrier(r, &CollSpec::new(p, 0))
+                    .validate(r, None)
+                    .unwrap();
             }
         }
     }

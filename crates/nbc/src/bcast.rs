@@ -224,7 +224,10 @@ mod tests {
     fn binomial_links() {
         let s = spec(8, 100);
         // vrank 0 children: 4, 2, 1 (largest first after reverse)
-        assert_eq!(tree_links(BcastAlgo::Binomial, 0, &s), (None, vec![4, 2, 1]));
+        assert_eq!(
+            tree_links(BcastAlgo::Binomial, 0, &s),
+            (None, vec![4, 2, 1])
+        );
         assert_eq!(tree_links(BcastAlgo::Binomial, 1, &s), (Some(0), vec![]));
         assert_eq!(tree_links(BcastAlgo::Binomial, 6, &s), (Some(4), vec![7]));
     }
@@ -286,7 +289,10 @@ mod tests {
     #[test]
     fn single_process_is_noop() {
         let s = spec(1, 1000);
-        assert_eq!(build_bcast(BcastAlgo::Binomial, 1024, 0, &s).num_rounds(), 0);
+        assert_eq!(
+            build_bcast(BcastAlgo::Binomial, 1024, 0, &s).num_rounds(),
+            0
+        );
     }
 
     #[test]

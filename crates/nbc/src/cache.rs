@@ -1,0 +1,300 @@
+//! Global schedule cache.
+//!
+//! Schedules are pure functions of `(collective, algorithm, nranks,
+//! msg_bytes, segsize, root, rank)` — yet the tuning runtime used to
+//! rebuild them for every rank on every iteration of every simulated run,
+//! and a verification sweep repeats the same few hundred shapes thousands
+//! of times. This cache interns built schedules as `Arc<Schedule>` so a
+//! given shape is constructed once per process and then shared across
+//! ranks, iterations, runs and sweep worker threads.
+//!
+//! The map is sharded to keep lock hold times negligible when the parallel
+//! sweep engine (`simcore::par`) runs many simulations at once. Hit/miss
+//! counters feed the perf harness (`BENCH_engine.json`).
+//!
+//! Correctness: entries are immutable once inserted, and the key captures
+//! every input of the builders, so a cached schedule is structurally
+//! identical to a fresh build (regression-tested in
+//! `tests/integration_par.rs`).
+
+use crate::allgather::{build_allgather, AllgatherAlgo};
+use crate::allreduce::{build_allreduce, AllreduceAlgo};
+use crate::alltoall::{build_alltoall, AlltoallAlgo};
+use crate::barrier::build_barrier;
+use crate::bcast::{build_bcast, BcastAlgo};
+use crate::gather::{build_gather, build_scatter, GatherAlgo};
+use crate::neighbor::{build_neighbor, Cart2d, NeighborAlgo};
+use crate::reduce::{build_reduce, ReduceAlgo};
+use crate::schedule::{CollSpec, Schedule};
+use mpisim::RankId;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: every input that influences a builder's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    /// Collective family (one code per `cached_*` entry point).
+    coll: u8,
+    /// Algorithm code within the family (tree fan-outs are folded in).
+    algo: u32,
+    /// Segment size in bytes (0 where not applicable).
+    seg: u64,
+    nprocs: u64,
+    msg_bytes: u64,
+    root: u64,
+    rank: u64,
+    /// Extra structure parameter (e.g. the y-extent of a neighbor grid).
+    extra: u64,
+}
+
+const SHARDS: usize = 16;
+
+struct ScheduleCache {
+    shards: Vec<Mutex<HashMap<Key, Arc<Schedule>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn cache() -> &'static ScheduleCache {
+    static CACHE: OnceLock<ScheduleCache> = OnceLock::new();
+    CACHE.get_or_init(|| ScheduleCache {
+        shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
+    let c = cache();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    let shard = &c.shards[(h.finish() as usize) % SHARDS];
+    if let Some(found) = shard.lock().unwrap().get(&key) {
+        c.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(found);
+    }
+    // Build outside the lock: schedule construction can be expensive at
+    // large scale, and two threads racing on the same key just means one
+    // redundant build whose result loses the insert race.
+    c.misses.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(build());
+    Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+}
+
+/// `(hits, misses)` since process start (or the last [`reset_stats`]).
+pub fn stats() -> (u64, u64) {
+    let c = cache();
+    (
+        c.hits.load(Ordering::Relaxed),
+        c.misses.load(Ordering::Relaxed),
+    )
+}
+
+/// Reset the hit/miss counters (the cached entries stay).
+pub fn reset_stats() {
+    let c = cache();
+    c.hits.store(0, Ordering::Relaxed);
+    c.misses.store(0, Ordering::Relaxed);
+}
+
+/// Number of distinct schedules currently interned.
+pub fn len() -> usize {
+    cache().shards.iter().map(|s| s.lock().unwrap().len()).sum()
+}
+
+/// Drop every cached schedule (for tests and memory-bounded sweeps).
+pub fn clear() {
+    for s in &cache().shards {
+        s.lock().unwrap().clear();
+    }
+}
+
+fn base_key(coll: u8, algo: u32, seg: u64, rank: RankId, spec: &CollSpec) -> Key {
+    Key {
+        coll,
+        algo,
+        seg,
+        nprocs: spec.nprocs as u64,
+        msg_bytes: spec.msg_bytes as u64,
+        root: spec.root as u64,
+        rank: rank as u64,
+        extra: 0,
+    }
+}
+
+/// Cached [`build_bcast`].
+pub fn cached_bcast(algo: BcastAlgo, seg: usize, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        BcastAlgo::Linear => 0,
+        BcastAlgo::Chain => 1,
+        BcastAlgo::Binomial => 2,
+        BcastAlgo::Tree(k) => 100 + k as u32,
+    };
+    get_or_build(base_key(1, code, seg as u64, rank, spec), || {
+        build_bcast(algo, seg, rank, spec)
+    })
+}
+
+/// Cached [`build_alltoall`].
+pub fn cached_alltoall(algo: AlltoallAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        AlltoallAlgo::Linear => 0,
+        AlltoallAlgo::Pairwise => 1,
+        AlltoallAlgo::Dissemination => 2,
+    };
+    get_or_build(base_key(2, code, 0, rank, spec), || {
+        build_alltoall(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_allgather`].
+pub fn cached_allgather(algo: AllgatherAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        AllgatherAlgo::Linear => 0,
+        AllgatherAlgo::Ring => 1,
+        AllgatherAlgo::Bruck => 2,
+    };
+    get_or_build(base_key(3, code, 0, rank, spec), || {
+        build_allgather(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_reduce`].
+pub fn cached_reduce(algo: ReduceAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        ReduceAlgo::Binomial => 0,
+        ReduceAlgo::Chain => 1,
+        ReduceAlgo::Linear => 2,
+    };
+    get_or_build(base_key(4, code, 0, rank, spec), || {
+        build_reduce(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_allreduce`].
+pub fn cached_allreduce(algo: AllreduceAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        AllreduceAlgo::RecursiveDoubling => 0,
+        AllreduceAlgo::Ring => 1,
+        AllreduceAlgo::ReduceBcast => 2,
+    };
+    get_or_build(base_key(5, code, 0, rank, spec), || {
+        build_allreduce(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_gather`].
+pub fn cached_gather(algo: GatherAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        GatherAlgo::Linear => 0,
+        GatherAlgo::Binomial => 1,
+    };
+    get_or_build(base_key(6, code, 0, rank, spec), || {
+        build_gather(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_scatter`].
+pub fn cached_scatter(algo: GatherAlgo, rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    let code = match algo {
+        GatherAlgo::Linear => 0,
+        GatherAlgo::Binomial => 1,
+    };
+    get_or_build(base_key(7, code, 0, rank, spec), || {
+        build_scatter(algo, rank, spec)
+    })
+}
+
+/// Cached [`build_barrier`].
+pub fn cached_barrier(rank: RankId, spec: &CollSpec) -> Arc<Schedule> {
+    get_or_build(base_key(8, 0, 0, rank, spec), || build_barrier(rank, spec))
+}
+
+/// Cached [`build_neighbor`].
+pub fn cached_neighbor(
+    algo: NeighborAlgo,
+    grid: Cart2d,
+    rank: RankId,
+    msg_bytes: usize,
+) -> Arc<Schedule> {
+    let code = match algo {
+        NeighborAlgo::PostAll => 0,
+        NeighborAlgo::PairwiseDim => 1,
+        NeighborAlgo::Ordered => 2,
+    };
+    let key = Key {
+        coll: 9,
+        algo: code,
+        seg: 0,
+        nprocs: grid.gx as u64,
+        msg_bytes: msg_bytes as u64,
+        root: 0,
+        rank: rank as u64,
+        extra: grid.gy as u64,
+    };
+    get_or_build(key, || build_neighbor(algo, grid, rank, msg_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let spec = CollSpec::new(6, 4096);
+        let a = cached_alltoall(AlltoallAlgo::Pairwise, 3, &spec);
+        let b = cached_alltoall(AlltoallAlgo::Pairwise, 3, &spec);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_schedules() {
+        let spec = CollSpec::new(6, 4096);
+        let a = cached_alltoall(AlltoallAlgo::Pairwise, 0, &spec);
+        let b = cached_alltoall(AlltoallAlgo::Pairwise, 1, &spec);
+        assert!(!Arc::ptr_eq(&a, &b));
+        let c = cached_alltoall(AlltoallAlgo::Linear, 0, &spec);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cached_matches_fresh_build() {
+        let spec = CollSpec {
+            nprocs: 9,
+            msg_bytes: 300_000,
+            root: 4,
+        };
+        for algo in BcastAlgo::all() {
+            for rank in 0..spec.nprocs {
+                let cached = cached_bcast(algo, 64 * 1024, rank, &spec);
+                let fresh = build_bcast(algo, 64 * 1024, rank, &spec);
+                assert_eq!(cached.render(), fresh.render(), "{algo:?} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_fanout_distinguished() {
+        let spec = CollSpec::new(12, 1 << 20);
+        let t2 = cached_bcast(BcastAlgo::Tree(2), 32 * 1024, 0, &spec);
+        let t3 = cached_bcast(BcastAlgo::Tree(3), 32 * 1024, 0, &spec);
+        assert_ne!(t2.render(), t3.render());
+    }
+
+    #[test]
+    fn stats_count() {
+        // Use a shape no other test uses so counters are attributable.
+        let spec = CollSpec::new(31, 777);
+        reset_stats();
+        let (h0, m0) = stats();
+        assert_eq!((h0, m0), (0, 0));
+        let _ = cached_barrier(17, &spec);
+        let _ = cached_barrier(17, &spec);
+        let (h, m) = stats();
+        // Other tests may run concurrently; at minimum our miss + hit landed.
+        assert!(m >= 1, "misses {m}");
+        assert!(h >= 1, "hits {h}");
+    }
+}

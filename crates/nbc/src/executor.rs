@@ -17,6 +17,7 @@
 use crate::schedule::{ActionKind, Schedule};
 use mpisim::{RankId, RecvHandle, SendHandle, Tag, World};
 use simcore::SimTime;
+use std::sync::Arc;
 
 /// Execution state of one collective operation instance on one rank.
 #[derive(Debug)]
@@ -27,7 +28,10 @@ pub struct ScheduleExec {
     /// ranks. `None` means the schedule already uses global ranks.
     comm: Option<std::rc::Rc<Vec<RankId>>>,
     tag: Tag,
-    sched: Schedule,
+    /// The schedule, shared: the same built schedule is reused across
+    /// ranks, iterations and (via `nbc::cache`) whole sweeps without
+    /// copying any rounds.
+    sched: Arc<Schedule>,
     /// Index of the next round to post.
     next_round: usize,
     /// Send handles of the currently outstanding round.
@@ -38,13 +42,15 @@ pub struct ScheduleExec {
 }
 
 impl ScheduleExec {
-    /// Wrap a schedule for execution by `rank` using `tag`.
-    pub fn new(rank: RankId, tag: Tag, sched: Schedule) -> Self {
+    /// Wrap a schedule for execution by `rank` using `tag`. Accepts either
+    /// an owned `Schedule` or a shared `Arc<Schedule>` (e.g. from the
+    /// schedule cache).
+    pub fn new(rank: RankId, tag: Tag, sched: impl Into<Arc<Schedule>>) -> Self {
         ScheduleExec {
             rank,
             comm: None,
             tag,
-            sched,
+            sched: sched.into(),
             next_round: 0,
             sends: Vec::new(),
             recvs: Vec::new(),
@@ -55,13 +61,18 @@ impl ScheduleExec {
     /// Wrap a schedule built against communicator-local ranks: the peers in
     /// the schedule index into `comm`, which maps them to global ranks.
     /// `rank` is the executing *global* rank and must appear in `comm`.
-    pub fn new_on_comm(rank: RankId, tag: Tag, sched: Schedule, comm: std::rc::Rc<Vec<RankId>>) -> Self {
+    pub fn new_on_comm(
+        rank: RankId,
+        tag: Tag,
+        sched: impl Into<Arc<Schedule>>,
+        comm: std::rc::Rc<Vec<RankId>>,
+    ) -> Self {
         assert!(comm.contains(&rank), "rank {rank} not in communicator");
         ScheduleExec {
             rank,
             comm: Some(comm),
             tag,
-            sched,
+            sched: sched.into(),
             next_round: 0,
             sends: Vec::new(),
             recvs: Vec::new(),
@@ -114,7 +125,11 @@ impl ScheduleExec {
     fn post_round(&mut self, w: &mut World, now: SimTime) -> SimTime {
         self.sends.clear();
         self.recvs.clear();
-        let round = self.sched.rounds[self.next_round].clone();
+        // Clone the Arc (pointer bump), not the round: `self.sched` can't be
+        // borrowed across the `self.sends`/`self.recvs` pushes below, but the
+        // shared schedule itself is immutable.
+        let sched = Arc::clone(&self.sched);
+        let round = &sched.rounds[self.next_round];
         self.next_round += 1;
         let mut t = now;
         for a in &round.0 {
@@ -251,8 +266,7 @@ mod tests {
     fn barrier_runs_to_completion() {
         for p in [2usize, 5, 16, 64] {
             let spec = CollSpec::new(p, 0);
-            let (makespan, _) =
-                run_collective(Platform::whale(), p, |r| build_barrier(r, &spec));
+            let (makespan, _) = run_collective(Platform::whale(), p, |r| build_barrier(r, &spec));
             assert!(makespan > SimTime::ZERO, "p={p}");
         }
     }
@@ -288,9 +302,8 @@ mod tests {
         for algo in BcastAlgo::all() {
             for seg in [32 * 1024usize, 64 * 1024, 128 * 1024] {
                 let spec = CollSpec::new(p, 256 * 1024);
-                let (makespan, _) = run_collective(Platform::whale(), p, |r| {
-                    build_bcast(algo, seg, r, &spec)
-                });
+                let (makespan, _) =
+                    run_collective(Platform::whale(), p, |r| build_bcast(algo, seg, r, &spec));
                 assert!(makespan > SimTime::ZERO, "{algo:?} seg={seg}");
             }
         }

@@ -71,7 +71,10 @@ pub fn build_gather(algo: GatherAlgo, rank: RankId, spec: &CollSpec) -> Schedule
         sched.push_round(round);
     }
     if let Some(par) = parent {
-        let blocks: Vec<u32> = subtree(algo, rank, spec).iter().map(|&r| r as u32).collect();
+        let blocks: Vec<u32> = subtree(algo, rank, spec)
+            .iter()
+            .map(|&r| r as u32)
+            .collect();
         let bytes = blocks.len() * s;
         sched.push_round(Round(vec![Action::send(par, bytes, blocks)]));
     } else {
@@ -125,8 +128,7 @@ mod tests {
         for (r, sc) in scheds.iter().enumerate() {
             sc.validate(r, Some(128))?;
         }
-        let initial: Vec<HashSet<u32>> =
-            (0..p).map(|r| [r as u32].into_iter().collect()).collect();
+        let initial: Vec<HashSet<u32>> = (0..p).map(|r| [r as u32].into_iter().collect()).collect();
         let recv = verify::execute(&scheds, &initial)?;
         for b in 0..p as u32 {
             if b as usize != root && !recv[root].contains(&b) {
@@ -187,7 +189,7 @@ mod tests {
         let bin_root = build_gather(GatherAlgo::Binomial, 0, &spec);
         assert_eq!(lin_root.num_recvs(), 31);
         assert_eq!(bin_root.num_recvs(), 5); // log2(32) children
-        // Same total volume reaches the root either way.
+                                             // Same total volume reaches the root either way.
         assert_eq!(lin_root.bytes_received(), bin_root.bytes_received());
     }
 

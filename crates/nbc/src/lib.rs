@@ -21,13 +21,17 @@
 //!   its collective and is deadlock-free,
 //! * the simulator executor ([`executor`]) that runs a schedule against a
 //!   [`mpisim::World`], enforcing the round-barrier/progress semantics that
-//!   make non-blocking collectives hard to overlap.
+//!   make non-blocking collectives hard to overlap,
+//! * a global schedule cache ([`cache`]) interning built schedules as
+//!   `Arc<Schedule>` so identical shapes are constructed once and shared
+//!   across ranks, iterations and sweep worker threads.
 
 pub mod allgather;
 pub mod allreduce;
 pub mod alltoall;
 pub mod barrier;
 pub mod bcast;
+pub mod cache;
 pub mod executor;
 pub mod gather;
 pub mod neighbor;
@@ -38,8 +42,8 @@ pub mod verify;
 pub use allgather::AllgatherAlgo;
 pub use allreduce::AllreduceAlgo;
 pub use alltoall::AlltoallAlgo;
-pub use gather::GatherAlgo;
-pub use neighbor::{Cart2d, NeighborAlgo};
 pub use bcast::BcastAlgo;
 pub use executor::ScheduleExec;
+pub use gather::GatherAlgo;
+pub use neighbor::{Cart2d, NeighborAlgo};
 pub use schedule::{Action, ActionKind, CollSpec, Round, Schedule};

@@ -164,9 +164,7 @@ mod tests {
 
     fn verify_halo(grid: Cart2d, algo: NeighborAlgo) -> Result<(), String> {
         let p = grid.size();
-        let scheds: Vec<Schedule> = (0..p)
-            .map(|r| build_neighbor(algo, grid, r, 256))
-            .collect();
+        let scheds: Vec<Schedule> = (0..p).map(|r| build_neighbor(algo, grid, r, 256)).collect();
         for (r, s) in scheds.iter().enumerate() {
             s.validate(r, Some(256))?;
         }
@@ -211,9 +209,18 @@ mod tests {
     #[test]
     fn round_structure() {
         let grid = Cart2d { gx: 4, gy: 4 };
-        assert_eq!(build_neighbor(NeighborAlgo::PostAll, grid, 5, 64).num_rounds(), 1);
-        assert_eq!(build_neighbor(NeighborAlgo::PairwiseDim, grid, 5, 64).num_rounds(), 2);
-        assert_eq!(build_neighbor(NeighborAlgo::Ordered, grid, 5, 64).num_rounds(), 4);
+        assert_eq!(
+            build_neighbor(NeighborAlgo::PostAll, grid, 5, 64).num_rounds(),
+            1
+        );
+        assert_eq!(
+            build_neighbor(NeighborAlgo::PairwiseDim, grid, 5, 64).num_rounds(),
+            2
+        );
+        assert_eq!(
+            build_neighbor(NeighborAlgo::Ordered, grid, 5, 64).num_rounds(),
+            4
+        );
     }
 
     #[test]

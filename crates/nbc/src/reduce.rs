@@ -72,7 +72,10 @@ pub fn build_reduce(algo: ReduceAlgo, rank: RankId, spec: &CollSpec) -> Schedule
         sched.push_round(Round(vec![Action::recv(c, bytes), Action::calc(bytes)]));
     }
     if let Some(par) = parent {
-        let mut contrib: Vec<u32> = subtree(algo, rank, spec).iter().map(|&r| r as u32).collect();
+        let mut contrib: Vec<u32> = subtree(algo, rank, spec)
+            .iter()
+            .map(|&r| r as u32)
+            .collect();
         contrib.sort_unstable();
         sched.push_round(Round(vec![Action::send(par, bytes, contrib)]));
     }

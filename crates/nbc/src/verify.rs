@@ -85,9 +85,9 @@ pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<Received
                         *needed.entry(*peer).or_default() += 1;
                     }
                 }
-                let ready = needed.iter().all(|(&peer, &cnt)| {
-                    chans.get(&(peer, r)).map_or(0, |q| q.len()) >= cnt
-                });
+                let ready = needed
+                    .iter()
+                    .all(|(&peer, &cnt)| chans.get(&(peer, r)).map_or(0, |q| q.len()) >= cnt);
                 if !ready {
                     break;
                 }
@@ -118,7 +118,9 @@ pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<Received
             break;
         }
         if !progressed {
-            let stuck: Vec<usize> = (0..p).filter(|&r| round[r] < scheds[r].rounds.len()).collect();
+            let stuck: Vec<usize> = (0..p)
+                .filter(|&r| round[r] < scheds[r].rounds.len())
+                .collect();
             return Err(format!("logical deadlock; stuck ranks {stuck:?}"));
         }
     }
@@ -237,8 +239,11 @@ mod tests {
     fn all_bcast_variants_correct() {
         for &p in SIZES {
             for algo in BcastAlgo::all() {
-                for (bytes, seg) in [(100_000usize, 32 * 1024), (1000, 64 * 1024), (262_144, 65_536)]
-                {
+                for (bytes, seg) in [
+                    (100_000usize, 32 * 1024),
+                    (1000, 64 * 1024),
+                    (262_144, 65_536),
+                ] {
                     let spec = CollSpec::new(p, bytes);
                     let scheds: Vec<Schedule> =
                         (0..p).map(|r| build_bcast(algo, seg, r, &spec)).collect();
@@ -296,8 +301,7 @@ mod tests {
         for &p in SIZES {
             for algo in ReduceAlgo::all() {
                 let spec = CollSpec::new(p, 4096);
-                let scheds: Vec<Schedule> =
-                    (0..p).map(|r| build_reduce(algo, r, &spec)).collect();
+                let scheds: Vec<Schedule> = (0..p).map(|r| build_reduce(algo, r, &spec)).collect();
                 verify_reduce(&scheds, 0).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
             }
         }

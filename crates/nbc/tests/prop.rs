@@ -1,6 +1,7 @@
 //! Property-based tests: every schedule builder implements its collective
 //! semantics for arbitrary process counts and message sizes, and produces
-//! structurally sound schedules.
+//! structurally sound schedules. Runs on the in-tree `simcore::check`
+//! harness (no external crates).
 
 use nbc::allgather::{build_allgather, AllgatherAlgo};
 use nbc::alltoall::{build_alltoall, AlltoallAlgo};
@@ -9,141 +10,150 @@ use nbc::bcast::{build_bcast, BcastAlgo};
 use nbc::reduce::{build_reduce, ReduceAlgo};
 use nbc::schedule::{CollSpec, Schedule};
 use nbc::verify;
-use proptest::prelude::*;
+use simcore::check::{run_cases, Gen};
 
-fn bcast_algo() -> impl Strategy<Value = BcastAlgo> {
-    prop_oneof![
-        Just(BcastAlgo::Linear),
-        Just(BcastAlgo::Chain),
-        (2usize..=5).prop_map(BcastAlgo::Tree),
-        Just(BcastAlgo::Binomial),
-    ]
+fn bcast_algo(g: &mut Gen) -> BcastAlgo {
+    match g.usize_in(0, 4) {
+        0 => BcastAlgo::Linear,
+        1 => BcastAlgo::Chain,
+        2 => BcastAlgo::Tree(g.usize_in(2, 6)),
+        _ => BcastAlgo::Binomial,
+    }
 }
 
-fn alltoall_algo() -> impl Strategy<Value = AlltoallAlgo> {
-    prop_oneof![
-        Just(AlltoallAlgo::Linear),
-        Just(AlltoallAlgo::Pairwise),
-        Just(AlltoallAlgo::Dissemination),
-    ]
+fn alltoall_algo(g: &mut Gen) -> AlltoallAlgo {
+    g.choose(&[
+        AlltoallAlgo::Linear,
+        AlltoallAlgo::Pairwise,
+        AlltoallAlgo::Dissemination,
+    ])
 }
 
-fn allgather_algo() -> impl Strategy<Value = AllgatherAlgo> {
-    prop_oneof![
-        Just(AllgatherAlgo::Linear),
-        Just(AllgatherAlgo::Ring),
-        Just(AllgatherAlgo::Bruck),
-    ]
+fn allgather_algo(g: &mut Gen) -> AllgatherAlgo {
+    g.choose(&[
+        AllgatherAlgo::Linear,
+        AllgatherAlgo::Ring,
+        AllgatherAlgo::Bruck,
+    ])
 }
 
-fn reduce_algo() -> impl Strategy<Value = ReduceAlgo> {
-    prop_oneof![
-        Just(ReduceAlgo::Binomial),
-        Just(ReduceAlgo::Chain),
-        Just(ReduceAlgo::Linear),
-    ]
+fn reduce_algo(g: &mut Gen) -> ReduceAlgo {
+    g.choose(&[ReduceAlgo::Binomial, ReduceAlgo::Chain, ReduceAlgo::Linear])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Broadcast delivers every segment to every non-root rank, for any
-    /// tree shape, process count, payload and root.
-    #[test]
-    fn bcast_semantics(
-        algo in bcast_algo(),
-        p in 2usize..40,
-        bytes in 1usize..300_000,
-        seg_kib in prop_oneof![Just(32usize), Just(64), Just(128)],
-        root_sel in 0usize..40,
-    ) {
-        let root = root_sel % p;
-        let spec = CollSpec { nprocs: p, msg_bytes: bytes, root };
-        let seg = seg_kib * 1024;
+/// Broadcast delivers every segment to every non-root rank, for any
+/// tree shape, process count, payload and root.
+#[test]
+fn bcast_semantics() {
+    run_cases("bcast_semantics", 64, |g| {
+        let algo = bcast_algo(g);
+        let p = g.usize_in(2, 40);
+        let bytes = g.usize_in(1, 300_000);
+        let seg = g.choose(&[32usize, 64, 128]) * 1024;
+        let root = g.usize_in(0, 40) % p;
+        let spec = CollSpec {
+            nprocs: p,
+            msg_bytes: bytes,
+            root,
+        };
         let scheds: Vec<Schedule> = (0..p).map(|r| build_bcast(algo, seg, r, &spec)).collect();
         for (r, s) in scheds.iter().enumerate() {
-            prop_assert!(s.validate(r, None).is_ok());
+            assert!(s.validate(r, None).is_ok());
         }
         let nseg = bytes.div_ceil(seg);
-        verify::verify_bcast(&scheds, root, nseg)
-            .map_err(|e| TestCaseError::fail(format!("{algo:?} p={p}: {e}")))?;
-    }
+        verify::verify_bcast(&scheds, root, nseg).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+    });
+}
 
-    /// All-to-all delivers block (src, dst) to dst for every pair.
-    #[test]
-    fn alltoall_semantics(
-        algo in alltoall_algo(),
-        p in 2usize..48,
-        bytes in 1usize..100_000,
-    ) {
+/// All-to-all delivers block (src, dst) to dst for every pair.
+#[test]
+fn alltoall_semantics() {
+    run_cases("alltoall_semantics", 64, |g| {
+        let algo = alltoall_algo(g);
+        let p = g.usize_in(2, 48);
+        let bytes = g.usize_in(1, 100_000);
         let spec = CollSpec::new(p, bytes);
         let scheds: Vec<Schedule> = (0..p).map(|r| build_alltoall(algo, r, &spec)).collect();
         for (r, s) in scheds.iter().enumerate() {
-            prop_assert!(s.validate(r, Some(bytes)).is_ok());
+            assert!(s.validate(r, Some(bytes)).is_ok());
         }
-        verify::verify_alltoall(&scheds)
-            .map_err(|e| TestCaseError::fail(format!("{algo:?} p={p}: {e}")))?;
-    }
+        verify::verify_alltoall(&scheds).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+    });
+}
 
-    /// All-to-all send and receive volumes balance per rank.
-    #[test]
-    fn alltoall_volume_balance(algo in alltoall_algo(), p in 2usize..48, bytes in 1usize..10_000) {
+/// All-to-all send and receive volumes balance per rank.
+#[test]
+fn alltoall_volume_balance() {
+    run_cases("alltoall_volume_balance", 64, |g| {
+        let algo = alltoall_algo(g);
+        let p = g.usize_in(2, 48);
+        let bytes = g.usize_in(1, 10_000);
         let spec = CollSpec::new(p, bytes);
         for r in 0..p {
             let s = build_alltoall(algo, r, &spec);
-            prop_assert_eq!(s.bytes_sent(), s.bytes_received(), "{:?} p={} r={}", algo, p, r);
+            assert_eq!(s.bytes_sent(), s.bytes_received(), "{algo:?} p={p} r={r}");
         }
-    }
+    });
+}
 
-    /// All-gather delivers every rank's block to every rank.
-    #[test]
-    fn allgather_semantics(
-        algo in allgather_algo(),
-        p in 2usize..48,
-        bytes in 1usize..50_000,
-    ) {
+/// All-gather delivers every rank's block to every rank.
+#[test]
+fn allgather_semantics() {
+    run_cases("allgather_semantics", 64, |g| {
+        let algo = allgather_algo(g);
+        let p = g.usize_in(2, 48);
+        let bytes = g.usize_in(1, 50_000);
         let spec = CollSpec::new(p, bytes);
         let scheds: Vec<Schedule> = (0..p).map(|r| build_allgather(algo, r, &spec)).collect();
-        verify::verify_allgather(&scheds)
-            .map_err(|e| TestCaseError::fail(format!("{algo:?} p={p}: {e}")))?;
-    }
+        verify::verify_allgather(&scheds).unwrap_or_else(|e| panic!("{algo:?} p={p}: {e}"));
+    });
+}
 
-    /// Reduce combines every rank's contribution exactly once at the root.
-    #[test]
-    fn reduce_semantics(
-        algo in reduce_algo(),
-        p in 2usize..40,
-        bytes in 1usize..100_000,
-        root_sel in 0usize..40,
-    ) {
-        let root = root_sel % p;
-        let spec = CollSpec { nprocs: p, msg_bytes: bytes, root };
+/// Reduce combines every rank's contribution exactly once at the root.
+#[test]
+fn reduce_semantics() {
+    run_cases("reduce_semantics", 64, |g| {
+        let algo = reduce_algo(g);
+        let p = g.usize_in(2, 40);
+        let bytes = g.usize_in(1, 100_000);
+        let root = g.usize_in(0, 40) % p;
+        let spec = CollSpec {
+            nprocs: p,
+            msg_bytes: bytes,
+            root,
+        };
         let scheds: Vec<Schedule> = (0..p).map(|r| build_reduce(algo, r, &spec)).collect();
         verify::verify_reduce(&scheds, root)
-            .map_err(|e| TestCaseError::fail(format!("{algo:?} p={p} root={root}: {e}")))?;
-    }
+            .unwrap_or_else(|e| panic!("{algo:?} p={p} root={root}: {e}"));
+    });
+}
 
-    /// Dissemination barriers are deadlock-free and balanced at any size.
-    #[test]
-    fn barrier_semantics(p in 2usize..200) {
+/// Dissemination barriers are deadlock-free and balanced at any size.
+#[test]
+fn barrier_semantics() {
+    run_cases("barrier_semantics", 64, |g| {
+        let p = g.usize_in(2, 200);
         let spec = CollSpec::new(p, 0);
         let scheds: Vec<Schedule> = (0..p).map(|r| build_barrier(r, &spec)).collect();
-        verify::verify_barrier(&scheds)
-            .map_err(|e| TestCaseError::fail(format!("p={p}: {e}")))?;
-    }
+        verify::verify_barrier(&scheds).unwrap_or_else(|e| panic!("p={p}: {e}"));
+    });
+}
 
-    /// Bruck's total traffic is exactly `s * sum(popcount-weighted blocks)`
-    /// and rounds are logarithmic.
-    #[test]
-    fn bruck_structure(p in 2usize..128, bytes in 1usize..4096) {
+/// Bruck's total traffic is exactly `s * sum(popcount-weighted blocks)`
+/// and rounds are logarithmic.
+#[test]
+fn bruck_structure() {
+    run_cases("bruck_structure", 64, |g| {
+        let p = g.usize_in(2, 128);
+        let bytes = g.usize_in(1, 4096);
         let spec = CollSpec::new(p, bytes);
         let s = build_alltoall(AlltoallAlgo::Dissemination, 0, &spec);
         let phases = (usize::BITS - (p - 1).leading_zeros()) as usize;
-        prop_assert_eq!(s.num_rounds(), phases + 2);
+        assert_eq!(s.num_rounds(), phases + 2);
         // Total bytes = sum over phases of (#positions with bit k set) * s.
         let expect: usize = (0..phases)
             .map(|k| (0..p).filter(|i| i >> k & 1 == 1).count() * bytes)
             .sum();
-        prop_assert_eq!(s.bytes_sent(), expect);
-    }
+        assert_eq!(s.bytes_sent(), expect);
+    });
 }

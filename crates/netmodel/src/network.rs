@@ -110,7 +110,13 @@ impl NetworkState {
 
     /// Plan the movement of `bytes` of payload from `src` to `dst`, with the
     /// source ready to inject at `now`. Reserves NIC/bus capacity.
-    pub fn plan_transfer(&mut self, now: SimTime, src: usize, dst: usize, bytes: usize) -> TransferPlan {
+    pub fn plan_transfer(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> TransferPlan {
         self.bytes_moved += bytes as u64;
         self.messages += 1;
         if self.topo.same_node(src, dst) {
@@ -245,9 +251,7 @@ mod tests {
             last = last.max(p.dst_drain);
         }
         // Compare with the uncongested serial sum of services.
-        let serial: SimTime = (1..32)
-            .map(|_| n.platform().inter.serialize(50_000))
-            .sum();
+        let serial: SimTime = (1..32).map(|_| n.platform().inter.serialize(50_000)).sum();
         assert!(
             last > serial,
             "incast should be worse than plain serialization: {last} <= {serial}"

@@ -102,10 +102,7 @@ mod tests {
         assert_eq!(tp.serialize_with_backlog(1000, 0), tp.serialize(1000));
         assert_eq!(tp.serialize_with_backlog(1000, 2), tp.serialize(1000));
         // backlog 4 -> 2 over -> x2
-        assert_eq!(
-            tp.serialize_with_backlog(1000, 4),
-            SimTime::from_micros(2)
-        );
+        assert_eq!(tp.serialize_with_backlog(1000, 4), SimTime::from_micros(2));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Minimal deterministic property-test harness.
+//!
+//! The repo must build and test with no network access, so instead of an
+//! external property-testing crate this module provides the 10% we need:
+//! a seedable value generator ([`Gen`]) over [`SplitMix64`](crate::rng::SplitMix64)
+//! and a case runner ([`run_cases`]) that replays each property many times
+//! with independent derived seeds and, on failure, reports the case index
+//! and seed so the exact input can be replayed in isolation.
+//!
+//! There is no shrinking; cases are small by construction, and the printed
+//! `(case, seed)` pair is enough to reproduce a failure deterministically.
+
+use crate::rng::SplitMix64;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A deterministic generator of arbitrary test values.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// Generator seeded directly (use [`run_cases`] in tests instead).
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Raw 64-bit output.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "u64_in: empty range {lo}..{hi}");
+        lo + self.rng.next_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn choose<T: Copy>(&mut self, xs: &[T]) -> T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        xs[self.usize_in(0, xs.len())]
+    }
+
+    /// A vector whose length is uniform in `[len_lo, len_hi)` with elements
+    /// drawn from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len_lo, len_hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Run `cases` independent instances of a property.
+///
+/// Each case gets its own [`Gen`] seeded from `SplitMix64::split(master, case)`,
+/// where the master seed is a stable hash of `name` — so every property has
+/// its own reproducible stream and renaming a test (intentionally) reseeds
+/// it. A panic inside `body` is augmented with the case index and seed
+/// before being propagated, so `run_cases("p", 1, |g| ...)` with a
+/// hand-seeded `Gen` can replay any reported failure.
+pub fn run_cases(name: &str, cases: usize, mut body: impl FnMut(&mut Gen)) {
+    let master = master_seed(name);
+    for case in 0..cases {
+        let mut g = Gen {
+            rng: SplitMix64::split(master, case as u64),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut g)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (master seed {master:#x}, replay with SplitMix64::split({master:#x}, {case}))"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Stable FNV-1a hash of the property name, mixed with a fixed tag so the
+/// stream differs from any other use of SplitMix64 in the codebase.
+fn master_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ 0xadc1_0000_0000_0001
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic_per_case() {
+        let mut first = Vec::new();
+        run_cases("self_test", 5, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        run_cases("self_test", 5, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+        // Cases are independent streams, not repeats of each other.
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        run_cases("ranges", 200, |g| {
+            let u = g.u64_in(10, 20);
+            assert!((10..20).contains(&u));
+            let s = g.usize_in(0, 3);
+            assert!(s < 3);
+            let f = g.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let v = g.vec(1, 5, |g| g.bool());
+            assert!((1..5).contains(&v.len()));
+            assert_eq!(g.choose(&[7]), 7);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        run_cases("always_fails", 3, |_| panic!("boom"));
+    }
+}

@@ -10,11 +10,18 @@
 //! * [`stats`] — robust statistics (median, IQR outlier filtering, trimmed
 //!   means) used by the ADCL measurement filter,
 //! * [`rng`] — small deterministic PRNGs for noise injection and workload
-//!   generation.
+//!   generation,
+//! * [`par`] — a dependency-free parallel sweep engine (`std::thread::scope`
+//!   with a chunked work queue) that runs independent simulations on many
+//!   cores while keeping output bit-identical to a serial run,
+//! * [`check`] — a tiny deterministic property-test harness so the test
+//!   suite needs no external crates.
 //!
 //! Nothing in this crate knows about MPI, networks or collectives; it is the
 //! bottom layer of the stack described in `DESIGN.md`.
 
+pub mod check;
+pub mod par;
 pub mod queue;
 pub mod resource;
 pub mod rng;

@@ -1,0 +1,191 @@
+//! Dependency-free parallel sweep engine.
+//!
+//! The experiment surface of this repo is thousands of *independent*
+//! deterministic simulations (every figure binary, the §IV-A verification
+//! sweep, the §IV-B FFT sweep). Each simulation owns its `World` and derives
+//! its own seed from the scenario parameters, so they can run on any number
+//! of OS threads as long as results are merged back in input order — which
+//! is exactly what [`par_map`] guarantees. There is no rayon here (the
+//! build environment is offline): workers are `std::thread::scope` threads
+//! pulling chunks off a shared atomic cursor.
+//!
+//! Determinism contract: `par_map(jobs, items, f)` returns bit-identical
+//! output for every `jobs` value, including 1, provided `f(i, &items[i])`
+//! itself is deterministic and does not depend on global mutable state.
+//! Simulations satisfy this by construction (integer-nanosecond virtual
+//! time, per-simulation seeds from [`derive_seed`]).
+
+use crate::rng::SplitMix64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// Resolve a requested worker count to an actual one.
+///
+/// Priority: an explicit positive request (e.g. `--jobs N`), then the
+/// `NBC_JOBS` environment variable, then `std::thread::available_parallelism`.
+/// `Some(0)` and `None` both mean "auto".
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("NBC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derive an independent simulation seed for work item `idx` from a master
+/// seed. Two levels of SplitMix64 mixing keep adjacent indices decorrelated
+/// and make the result independent of how the sweep is partitioned across
+/// threads.
+pub fn derive_seed(master: u64, idx: u64) -> u64 {
+    SplitMix64::split(master, idx).next_u64()
+}
+
+/// Map `f` over `items` on `jobs` worker threads, returning results in
+/// input order.
+///
+/// Work is distributed through a chunked atomic cursor: each worker claims
+/// a contiguous run of indices at a time (chunk size scales with
+/// `len / (jobs * 4)`, floor 1) so cheap items amortize the cursor traffic
+/// while the tail still load-balances. Results travel back over a channel
+/// tagged with their index and are reassembled into input order, so the
+/// output is invariant under `jobs`.
+///
+/// `jobs <= 1` (or a single item) short-circuits to a plain serial loop on
+/// the calling thread — no threads are spawned, which keeps `--jobs 1` a
+/// true serial baseline for the perf harness.
+///
+/// A panic in `f` propagates to the caller (via scope join) rather than
+/// deadlocking the collector.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let chunk = (n / (jobs * 4)).max(1);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    // A closed channel means the collector is gone (caller
+                    // panicked); just stop working.
+                    if tx.send((i, f(i, item))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    // All workers have joined (and any panic has propagated), so the
+    // channel now holds exactly one result per index.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        debug_assert!(slots[i].is_none(), "duplicate result for index {i}");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| o.unwrap_or_else(|| panic!("missing result for index {i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_for_any_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(1, &items, |i, &x| x * 3 + i as u64);
+        for jobs in [2, 3, 8, 64, 1000] {
+            let par = par_map(jobs, &items, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn preserves_input_order_not_completion_order() {
+        // Make early items slow so later items finish first.
+        let items: Vec<usize> = (0..16).collect();
+        let out = par_map(4, &items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        par_map(4, &items, |_, &x| {
+            if x == 5 {
+                panic!("worker failure");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_indices() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(7, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+        // And is independent of any other master seed's stream.
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(effective_jobs(Some(5)), 5);
+        std::env::set_var("NBC_JOBS", "3");
+        assert_eq!(effective_jobs(None), 3);
+        assert_eq!(effective_jobs(Some(0)), 3);
+        std::env::set_var("NBC_JOBS", "not a number");
+        assert!(effective_jobs(None) >= 1);
+        std::env::remove_var("NBC_JOBS");
+        assert!(effective_jobs(None) >= 1);
+    }
+}

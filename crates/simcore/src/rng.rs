@@ -7,8 +7,9 @@
 //! that is more than adequate for noise modelling (we are not doing
 //! cryptography or high-dimensional Monte Carlo here).
 //!
-//! The heavier `rand` crate is still used by workload generators in the
-//! benchmark harness; this module is for the simulator's internal noise.
+//! This module (plus [`crate::check`] for test-input generation) is the
+//! only source of randomness in the workspace — there are no external RNG
+//! dependencies, which keeps builds hermetic and timelines reproducible.
 
 /// SplitMix64 PRNG (Steele, Lea & Flood 2014).
 #[derive(Debug, Clone)]
@@ -94,7 +95,13 @@ impl NoiseModel {
     }
 
     /// Noise stream for one rank derived from a master seed.
-    pub fn for_rank(seed: u64, rank: usize, jitter: f64, spike_prob: f64, spike_scale: f64) -> Self {
+    pub fn for_rank(
+        seed: u64,
+        rank: usize,
+        jitter: f64,
+        spike_prob: f64,
+        spike_scale: f64,
+    ) -> Self {
         NoiseModel {
             rng: SplitMix64::split(seed, rank as u64),
             jitter,

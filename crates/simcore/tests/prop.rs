@@ -1,16 +1,18 @@
-//! Property-based tests for the simulation substrate.
+//! Property-based tests for the simulation substrate, on the in-tree
+//! `simcore::check` harness (no external crates).
 
-use proptest::prelude::*;
+use simcore::check::run_cases;
 use simcore::queue::EventQueue;
 use simcore::resource::FifoResource;
 use simcore::stats;
 use simcore::time::SimTime;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, regardless of the
-    /// insertion order.
-    #[test]
-    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always pop in non-decreasing time order, regardless of the
+/// insertion order.
+#[test]
+fn event_queue_sorted() {
+    run_cases("event_queue_sorted", 256, |g| {
+        let times = g.vec(1, 200, |g| g.u64_in(0, 1_000_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -18,92 +20,114 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut popped = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
-    }
+        assert_eq!(popped, times.len());
+    });
+}
 
-    /// Equal-time events pop in insertion (FIFO) order.
-    #[test]
-    fn event_queue_fifo_on_ties(n in 1usize..100, t in 0u64..1000) {
+/// Equal-time events pop in insertion (FIFO) order.
+#[test]
+fn event_queue_fifo_on_ties() {
+    run_cases("event_queue_fifo_on_ties", 256, |g| {
+        let n = g.usize_in(1, 100);
+        let t = g.u64_in(0, 1000);
         let mut q = EventQueue::new();
         for i in 0..n {
             q.push(SimTime::from_nanos(t), i);
         }
         for i in 0..n {
-            prop_assert_eq!(q.pop().unwrap().1, i);
+            assert_eq!(q.pop().unwrap().1, i);
         }
-    }
+    });
+}
 
-    /// A FIFO resource never serves two jobs at once and never reorders.
-    #[test]
-    fn fifo_resource_serializes(
-        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
-    ) {
+/// A FIFO resource never serves two jobs at once and never reorders.
+#[test]
+fn fifo_resource_serializes() {
+    run_cases("fifo_resource_serializes", 256, |g| {
+        let jobs = g.vec(1, 100, |g| (g.u64_in(0, 10_000), g.u64_in(1, 500)));
         let mut r = FifoResource::new();
         let mut arrivals: Vec<(u64, u64)> = jobs.clone();
         arrivals.sort_by_key(|&(a, _)| a);
         let mut prev_drain = SimTime::ZERO;
         let mut total = SimTime::ZERO;
         for (arrive, service) in arrivals {
-            let g = r.submit(SimTime::from_nanos(arrive), SimTime::from_nanos(service));
+            let grant = r.submit(SimTime::from_nanos(arrive), SimTime::from_nanos(service));
             // starts only after the previous job drained and after arrival
-            prop_assert!(g.start >= prev_drain.min(g.start));
-            prop_assert!(g.start >= SimTime::from_nanos(arrive));
-            prop_assert!(g.drain >= prev_drain, "FIFO order violated");
-            prop_assert_eq!(g.drain, g.start + SimTime::from_nanos(service));
-            prev_drain = g.drain;
+            assert!(grant.start >= prev_drain.min(grant.start));
+            assert!(grant.start >= SimTime::from_nanos(arrive));
+            assert!(grant.drain >= prev_drain, "FIFO order violated");
+            assert_eq!(grant.drain, grant.start + SimTime::from_nanos(service));
+            prev_drain = grant.drain;
             total += SimTime::from_nanos(service);
         }
-        prop_assert_eq!(r.total_busy(), total);
-    }
+        assert_eq!(r.total_busy(), total);
+    });
+}
 
-    /// IQR filtering returns a non-empty subset of the input.
-    #[test]
-    fn iqr_filter_subset(xs in prop::collection::vec(0.0f64..1e6, 1..100)) {
+/// IQR filtering returns a non-empty subset of the input.
+#[test]
+fn iqr_filter_subset() {
+    run_cases("iqr_filter_subset", 256, |g| {
+        let xs = g.vec(1, 100, |g| g.f64_in(0.0, 1e6));
         let kept = stats::iqr_filter(&xs, 1.5);
-        prop_assert!(!kept.is_empty());
-        prop_assert!(kept.len() <= xs.len());
+        assert!(!kept.is_empty());
+        assert!(kept.len() <= xs.len());
         for k in &kept {
-            prop_assert!(xs.contains(k));
+            assert!(xs.contains(k));
         }
-    }
+    });
+}
 
-    /// The median always lies between the minimum and maximum.
-    #[test]
-    fn median_in_range(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+/// The median always lies between the minimum and maximum.
+#[test]
+fn median_in_range() {
+    run_cases("median_in_range", 256, |g| {
+        let xs = g.vec(1, 100, |g| g.f64_in(-1e9, 1e9));
         let m = stats::median(&xs);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo && m <= hi);
-    }
+        assert!(m >= lo && m <= hi);
+    });
+}
 
-    /// Quantiles are monotone in q.
-    #[test]
-    fn quantiles_monotone(xs in prop::collection::vec(0.0f64..1e6, 2..50), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+/// Quantiles are monotone in q.
+#[test]
+fn quantiles_monotone() {
+    run_cases("quantiles_monotone", 256, |g| {
+        let xs = g.vec(2, 50, |g| g.f64_in(0.0, 1e6));
+        let a = g.unit_f64();
+        let b = g.unit_f64();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(stats::quantile(&xs, lo) <= stats::quantile(&xs, hi) + 1e-9);
-    }
+        assert!(stats::quantile(&xs, lo) <= stats::quantile(&xs, hi) + 1e-9);
+    });
+}
 
-    /// Welford matches batch statistics for arbitrary samples.
-    #[test]
-    fn welford_matches_batch(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+/// Welford matches batch statistics for arbitrary samples.
+#[test]
+fn welford_matches_batch() {
+    run_cases("welford_matches_batch", 256, |g| {
+        let xs = g.vec(2, 200, |g| g.f64_in(-1e3, 1e3));
         let mut w = stats::Welford::new();
         for &x in &xs {
             w.push(x);
         }
-        prop_assert!((w.mean() - stats::mean(&xs)).abs() < 1e-6);
-        prop_assert!((w.variance() - stats::variance(&xs)).abs() < 1e-4);
-    }
+        assert!((w.mean() - stats::mean(&xs)).abs() < 1e-6);
+        assert!((w.variance() - stats::variance(&xs)).abs() < 1e-4);
+    });
+}
 
-    /// SimTime scaling by 1.0 is the identity (within rounding).
-    #[test]
-    fn scale_identity(ns in 0u64..u64::MAX / 2) {
+/// SimTime scaling by 1.0 is the identity (within rounding).
+#[test]
+fn scale_identity() {
+    run_cases("scale_identity", 256, |g| {
+        let ns = g.u64_in(0, u64::MAX / 2);
         let t = SimTime::from_nanos(ns);
         let diff = t.scale(1.0).as_nanos().abs_diff(ns);
         // f64 has 53 bits of mantissa; large values round.
-        prop_assert!(diff as f64 <= ns as f64 * 1e-9 + 1.0);
-    }
+        assert!(diff as f64 <= ns as f64 * 1e-9 + 1.0);
+    });
 }

@@ -58,7 +58,14 @@ fn main() {
 
     let platform = Platform::whale();
     for pattern in FftPattern::all() {
-        let nbc = run_fft_kernel(&platform, p, &cfg, pattern, FftMode::LibNbc, NoiseConfig::none());
+        let nbc = run_fft_kernel(
+            &platform,
+            p,
+            &cfg,
+            pattern,
+            FftMode::LibNbc,
+            NoiseConfig::none(),
+        );
         let mpi = run_fft_kernel(
             &platform,
             p,

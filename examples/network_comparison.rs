@@ -32,7 +32,10 @@ fn main() {
         base.msg_bytes / 1024
     );
     println!();
-    println!("{:<16} {:>14} {:>14}", "implementation", "whale (IB)", "whale-tcp");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "implementation", "whale (IB)", "whale-tcp"
+    );
     println!("{:-<46}", "");
 
     let ib_rows = base.run_all_fixed();

@@ -28,7 +28,10 @@ fn main() {
     println!("platform          : {}", spec.platform.name);
     println!("processes         : {}", spec.nprocs);
     println!("message per pair  : {} B", spec.msg_bytes);
-    println!("compute per iter  : {}", spec.bench_config().compute_per_iter());
+    println!(
+        "compute per iter  : {}",
+        spec.bench_config().compute_per_iter()
+    );
     println!();
 
     println!("-- verification runs (selection logic bypassed) --");
@@ -51,10 +54,7 @@ fn main() {
         tuned.converged_at.unwrap_or(0)
     );
     println!("  total           : {:>9.3} ms", tuned.total * 1e3);
-    println!(
-        "  post-learning   : {:>9.3} ms",
-        tuned.post_learning * 1e3
-    );
+    println!("  post-learning   : {:>9.3} ms", tuned.post_learning * 1e3);
     println!();
     if tuned.winner.as_deref() == Some(best_name.as_str()) {
         println!("ADCL picked the oracle-best implementation ({best_name}).");

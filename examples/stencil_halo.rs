@@ -10,13 +10,24 @@
 
 use autonbc::prelude::*;
 
-fn run(platform: &Platform, gx: usize, gy: usize, halo_bytes: usize, logic: Option<SelectionLogic>) -> Vec<(String, f64)> {
+fn run(
+    platform: &Platform,
+    gx: usize,
+    gy: usize,
+    halo_bytes: usize,
+    logic: Option<SelectionLogic>,
+) -> Vec<(String, f64)> {
     let p = gx * gy;
     let iters = 80;
     let interior_compute = SimTime::from_micros(800);
 
     let build_session = |logic: SelectionLogic| {
-        let mut world = World::new(platform.clone(), p, Placement::RoundRobin, NoiseConfig::light(17));
+        let mut world = World::new(
+            platform.clone(),
+            p,
+            Placement::RoundRobin,
+            NoiseConfig::light(17),
+        );
         let mut session = TuningSession::new(p);
         let fnset = FunctionSet::ineighbor_default(CollSpec::new(p, halo_bytes), gx, gy);
         let op = session.add_op(

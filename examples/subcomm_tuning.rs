@@ -19,7 +19,12 @@ struct GroupResult {
 
 fn run(split_msgs: [usize; 2]) -> [GroupResult; 2] {
     let nranks = 16;
-    let mut world = World::new(Platform::whale(), nranks, Placement::RoundRobin, NoiseConfig::none());
+    let mut world = World::new(
+        Platform::whale(),
+        nranks,
+        Placement::RoundRobin,
+        NoiseConfig::none(),
+    );
     let mut session = TuningSession::new(nranks);
     let comms: [Vec<usize>; 2] = [(0..8).collect(), (8..16).collect()];
     let iters = 30;
@@ -97,7 +102,10 @@ fn main() {
     println!();
     let [a, b] = run([1024, 256 * 1024]);
     for (label, g) in [("group A (1 KiB)", &a), ("group B (256 KiB)", &b)] {
-        println!("{label}: winner = {}, section total = {:.2} ms", g.winner, g.total_ms);
+        println!(
+            "{label}: winner = {}, section total = {:.2} ms",
+            g.winner, g.total_ms
+        );
         for (name, score) in &g.per_impl {
             println!("    measured {name:<16} {score:>8.3} ms/iter");
         }
@@ -107,6 +115,9 @@ fn main() {
         println!("The two groups picked different implementations — per-request");
         println!("tuning adapts each communicator to its own workload.");
     } else {
-        println!("Both groups picked {}; margins at this scale are small.", a.winner);
+        println!(
+            "Both groups picked {}; margins at this scale are small.",
+            a.winner
+        );
     }
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full verification pass: formatting, lints, build, tests, the smoke-sized
+# figure suite (serial vs parallel must be byte-identical), and a refresh
+# of the engine perf trajectory (BENCH_engine.json).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== quick figure suite: --jobs 1 vs --jobs 8 must be byte-identical"
+for bin in table_verification_stats table_fft_stats; do
+    s1=$(./target/release/"$bin" --quick --jobs 1)
+    s8=$(./target/release/"$bin" --quick --jobs 8)
+    if [ "$s1" != "$s8" ]; then
+        echo "FAIL: $bin output differs between --jobs 1 and --jobs 8" >&2
+        diff <(printf '%s\n' "$s1") <(printf '%s\n' "$s8") >&2 || true
+        exit 1
+    fi
+    echo "   $bin: identical ($(printf '%s' "$s1" | wc -c) bytes)"
+done
+
+echo "== refresh BENCH_engine.json"
+./target/release/perf_trajectory --quick
+
+echo "verify: OK"

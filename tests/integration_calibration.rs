@@ -51,7 +51,12 @@ impl RankBehavior for OneMessage {
 /// Measure the simulated one-way time for `bytes` on `platform`
 /// (rank 0 and 1 on different nodes).
 fn simulate_oneway(platform: &Platform, bytes: usize) -> SimTime {
-    let mut w = World::new(platform.clone(), 2, Placement::RoundRobin, NoiseConfig::none());
+    let mut w = World::new(
+        platform.clone(),
+        2,
+        Placement::RoundRobin,
+        NoiseConfig::none(),
+    );
     let mut b = OneMessage {
         bytes,
         sent: false,

@@ -39,7 +39,14 @@ fn adcl_not_worse_than_libnbc_steady_state() {
     let platform = Platform::whale();
     let c = cfg();
     for pattern in FftPattern::all() {
-        let nbc = run_fft_kernel(&platform, 16, &c, pattern, FftMode::LibNbc, NoiseConfig::none());
+        let nbc = run_fft_kernel(
+            &platform,
+            16,
+            &c,
+            pattern,
+            FftMode::LibNbc,
+            NoiseConfig::none(),
+        );
         let tuned = run_fft_kernel(
             &platform,
             16,
@@ -67,7 +74,14 @@ fn overlap_pays_when_there_is_compute() {
     let c = cfg();
     let mut wins = 0;
     for pattern in FftPattern::all() {
-        let nb = run_fft_kernel(&platform, 16, &c, pattern, FftMode::LibNbc, NoiseConfig::none());
+        let nb = run_fft_kernel(
+            &platform,
+            16,
+            &c,
+            pattern,
+            FftMode::LibNbc,
+            NoiseConfig::none(),
+        );
         let bl = run_fft_kernel(
             &platform,
             16,
@@ -104,7 +118,14 @@ fn extended_function_set_decides_blocking_vs_nonblocking() {
         NoiseConfig::none(),
     );
     let winner = ext.winner.clone().expect("converged");
-    let nb = run_fft_kernel(&platform, 16, &c, pattern, FftMode::LibNbc, NoiseConfig::none());
+    let nb = run_fft_kernel(
+        &platform,
+        16,
+        &c,
+        pattern,
+        FftMode::LibNbc,
+        NoiseConfig::none(),
+    );
     let bl = run_fft_kernel(
         &platform,
         16,

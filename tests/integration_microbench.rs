@@ -112,7 +112,10 @@ fn ibcast_heuristic_converges_faster_than_brute_force() {
     let heur = s.run(SelectionLogic::AttributeHeuristic);
     let b = brute.converged_at.expect("brute converged");
     let h = heur.converged_at.expect("heuristic converged");
-    assert!(h < b, "heuristic {h} should converge before brute force {b}");
+    assert!(
+        h < b,
+        "heuristic {h} should converge before brute force {b}"
+    );
     // 21 functions x 2 reps for brute force, plus at most a few
     // provisional iterations while lagging ranks report.
     assert!((42..=45).contains(&b), "brute force converged at {b}");

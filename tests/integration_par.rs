@@ -1,0 +1,107 @@
+//! Integration tests for the parallel sweep engine: sweeps executed on
+//! worker threads produce bit-identical results to the serial baseline,
+//! and the global schedule cache never changes simulated outcomes.
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use nbc::bcast::{build_bcast, BcastAlgo};
+use nbc::cache;
+use nbc::schedule::CollSpec;
+
+fn spec(op: CollectiveOp, msg_bytes: usize) -> MicrobenchSpec {
+    MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: 8,
+        op,
+        msg_bytes,
+        iters: 15,
+        compute_total: SimTime::from_millis(15),
+        num_progress: 4,
+        noise: NoiseConfig::light(77),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+#[test]
+fn fixed_sweep_invariant_under_jobs() {
+    let s = spec(CollectiveOp::Ialltoall, 32 * 1024);
+    let serial = s.run_all_fixed_jobs(1);
+    for jobs in [2, 4, 8] {
+        let par = s.run_all_fixed_jobs(jobs);
+        assert_eq!(serial.len(), par.len(), "jobs={jobs}");
+        for ((n1, t1), (n2, t2)) in serial.iter().zip(&par) {
+            assert_eq!(n1, n2, "jobs={jobs}");
+            // Bit-identical, not approximately equal: the simulations are
+            // integer-time and own their seeds, so threading must not
+            // perturb them at all.
+            assert_eq!(t1.to_bits(), t2.to_bits(), "jobs={jobs} impl {n1}");
+        }
+    }
+}
+
+#[test]
+fn tuned_runs_invariant_under_parallel_fanout() {
+    // Whole tuned runs (learning phase included) fanned out across
+    // threads match the same runs executed one by one.
+    let specs = [
+        spec(CollectiveOp::Ialltoall, 1024),
+        spec(CollectiveOp::Iallgather, 4096),
+        spec(CollectiveOp::Ireduce, 64 * 1024),
+    ];
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|s| s.run(SelectionLogic::BruteForce))
+        .collect();
+    let par = simcore::par::par_map(3, &specs, |_, s| s.run(SelectionLogic::BruteForce));
+    for (a, b) in serial.iter().zip(&par) {
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.converged_at, b.converged_at);
+    }
+}
+
+#[test]
+fn par_map_merges_in_input_order() {
+    let items: Vec<usize> = (0..32).collect();
+    let out = simcore::par::par_map(4, &items, |i, &x| {
+        assert_eq!(i, x);
+        x * 10
+    });
+    assert_eq!(out, items.iter().map(|x| x * 10).collect::<Vec<_>>());
+}
+
+#[test]
+fn schedule_cache_matches_fresh_builds_end_to_end() {
+    // The runtime routes every builder through the cache; a cached
+    // schedule must render identically to a fresh build for shapes the
+    // microbenchmark actually uses.
+    let s = spec(CollectiveOp::Ibcast, 256 * 1024);
+    let _ = s.run(SelectionLogic::Fixed(0));
+    let coll = CollSpec::new(s.nprocs, s.msg_bytes);
+    for algo in BcastAlgo::all() {
+        for seg in [32 * 1024, 64 * 1024, 128 * 1024] {
+            for rank in 0..s.nprocs {
+                let cached = cache::cached_bcast(algo, seg, rank, &coll);
+                let fresh = build_bcast(algo, seg, rank, &coll);
+                assert_eq!(
+                    cached.render(),
+                    fresh.render(),
+                    "{algo:?} seg={seg} rank={rank}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_run_equals_cold_run() {
+    // A run against a warm cache must time out identically to the first
+    // (cache-cold) run of the same scenario.
+    let s = spec(CollectiveOp::Iallreduce, 16 * 1024);
+    let cold = s.run(SelectionLogic::BruteForce);
+    let warm = s.run(SelectionLogic::BruteForce);
+    assert_eq!(cold.history, warm.history);
+    assert_eq!(cold.winner, warm.winner);
+}

@@ -106,7 +106,10 @@ fn selection_robust_to_heavy_noise() {
             }
         }
     }
-    assert!(hits >= 3, "only {hits}/5 noisy runs picked a near-best impl");
+    assert!(
+        hits >= 3,
+        "only {hits}/5 noisy runs picked a near-best impl"
+    );
 }
 
 #[test]
@@ -128,9 +131,11 @@ fn learning_cost_is_bounded() {
     };
     let tuned = s.run(SelectionLogic::BruteForce);
     let learn_end = tuned.converged_at.unwrap();
-    assert!((9..=12).contains(&learn_end), "3 fns x 3 reps + lag, got {learn_end}");
-    let steady: f64 =
-        tuned.history[learn_end..].iter().sum::<f64>() / (s.iters - learn_end) as f64;
+    assert!(
+        (9..=12).contains(&learn_end),
+        "3 fns x 3 reps + lag, got {learn_end}"
+    );
+    let steady: f64 = tuned.history[learn_end..].iter().sum::<f64>() / (s.iters - learn_end) as f64;
     let (_, oracle_total) = s.oracle();
     let oracle_rate = oracle_total / s.iters as f64;
     assert!(
