@@ -116,6 +116,9 @@ pub struct MicrobenchOutcome {
     /// Aggregate time accounting across ranks (compute / library /
     /// blocked) — `blocked + library` is the exposed communication cost.
     pub accounting: mpisim::RankAccounting,
+    /// Discrete events this run's world processed; a memo replay credits
+    /// this many avoided events to `adcl::simmemo`.
+    pub sim_events: u64,
 }
 
 impl MicrobenchSpec {
@@ -170,6 +173,7 @@ impl MicrobenchSpec {
         let mut runner = Runner::new(session, scripts);
         world.run(&mut runner).expect("microbenchmark deadlocked");
         let accounting = world.accounting_total();
+        let sim_events = world.events_processed();
         let s = runner.session;
         let tuner = &s.ops[op].tuner;
         let converged = tuner.converged_at();
@@ -183,7 +187,44 @@ impl MicrobenchSpec {
             history: s.timers[timer].history().to_vec(),
             strategy: tuner.strategy_name(),
             accounting,
+            sim_events,
         }
+    }
+
+    /// Fingerprint covering every input that can influence this spec's
+    /// outcome under `logic`: platform preset, collective, process count,
+    /// message length, loop shape, noise seeds, placement, imbalance, and
+    /// the selection logic itself. The simulation is a pure function of
+    /// this string (see `adcl::simmemo`), so two specs with equal keys
+    /// produce bit-identical outcomes.
+    pub fn memo_key(&self, logic: SelectionLogic) -> String {
+        format!(
+            "ub/{plat}/{op}/p{np}/m{mb}/i{it}/c{ct}/g{npg}/{ns:?}/r{reps}/{pl:?}/{imb:?}/{logic:?}",
+            plat = self.platform.name,
+            op = self.op.name(),
+            np = self.nprocs,
+            mb = self.msg_bytes,
+            it = self.iters,
+            ct = self.compute_total,
+            npg = self.num_progress,
+            ns = self.noise,
+            reps = self.reps,
+            pl = self.placement,
+            imb = self.imbalance,
+        )
+    }
+
+    /// Memoized [`MicrobenchSpec::run`]: consult `adcl::simmemo` before
+    /// simulating. On a replay the run's event count is credited to the
+    /// memo's replayed-events counter (the work a fresh run would have
+    /// done). With memoization disabled this is exactly `run`.
+    pub fn run_memo(&self, logic: SelectionLogic) -> std::sync::Arc<MicrobenchOutcome> {
+        let key = self.memo_key(logic);
+        let (out, replayed) = adcl::simmemo::get_or_run(&key, || self.run(logic));
+        if replayed {
+            adcl::simmemo::credit_replay(out.sim_events);
+        }
+        out
     }
 
     /// The verification runs: execute every implementation of the
@@ -208,8 +249,9 @@ impl MicrobenchSpec {
                 .collect()
         };
         let idx: Vec<usize> = (0..names.len()).collect();
-        let totals =
-            simcore::par::par_map(jobs, &idx, |_, &i| self.run(SelectionLogic::Fixed(i)).total);
+        let totals = simcore::par::par_map(jobs, &idx, |_, &i| {
+            self.run_memo(SelectionLogic::Fixed(i)).total
+        });
         names.into_iter().zip(totals).collect()
     }
 
@@ -285,6 +327,50 @@ mod tests {
             tuned_rate <= oracle_rate * 1.10,
             "tuned {tuned_rate} vs oracle {oracle_rate} ({oracle_name})"
         );
+    }
+
+    #[test]
+    fn memo_key_distinguishes_every_field() {
+        let base = spec();
+        let k0 = base.memo_key(SelectionLogic::Fixed(0));
+        let mut variants = Vec::new();
+        let mut s = base.clone();
+        s.nprocs = 16;
+        variants.push(s.memo_key(SelectionLogic::Fixed(0)));
+        let mut s = base.clone();
+        s.msg_bytes = 2048;
+        variants.push(s.memo_key(SelectionLogic::Fixed(0)));
+        let mut s = base.clone();
+        s.noise = NoiseConfig::light(7);
+        variants.push(s.memo_key(SelectionLogic::Fixed(0)));
+        let mut s = base.clone();
+        s.placement = Placement::RoundRobin;
+        variants.push(s.memo_key(SelectionLogic::Fixed(0)));
+        let mut s = base.clone();
+        s.platform = Platform::crill();
+        variants.push(s.memo_key(SelectionLogic::Fixed(0)));
+        variants.push(base.memo_key(SelectionLogic::Fixed(1)));
+        variants.push(base.memo_key(SelectionLogic::BruteForce));
+        for v in &variants {
+            assert_ne!(&k0, v, "memo key failed to capture a varied field");
+        }
+        // And the key is stable for an identical spec.
+        assert_eq!(k0, base.clone().memo_key(SelectionLogic::Fixed(0)));
+    }
+
+    #[test]
+    fn memoized_run_replays_identically() {
+        let s = spec();
+        let fresh = s.run(SelectionLogic::Fixed(1));
+        adcl::simmemo::set_enabled(true);
+        let a = s.run_memo(SelectionLogic::Fixed(1));
+        let b = s.run_memo(SelectionLogic::Fixed(1));
+        adcl::simmemo::clear_enabled_override();
+        assert_eq!(a.total, fresh.total);
+        assert_eq!(a.history, fresh.history);
+        assert!(a.sim_events > 0);
+        // The replay is the same shared outcome, not a re-simulation.
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
     }
 
     #[test]

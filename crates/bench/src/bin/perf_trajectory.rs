@@ -9,6 +9,11 @@
 //! ```text
 //! cargo run --release -p bench --bin perf_trajectory [--quick] [--jobs N]
 //! ```
+//!
+//! The large-message sweep is measured twice: raw (memoization disabled —
+//! every simulation runs fresh, isolating engine throughput) and memoized
+//! (repeated passes over the sweep replay cached outcomes, the mode the
+//! figure binaries run in; `events_per_sec` then counts replayed events).
 
 use autonbc::driver::{CollectiveOp, MicrobenchSpec};
 use autonbc::prelude::*;
@@ -17,20 +22,37 @@ use bench::{banner, Args};
 use fft3d::patterns::run_fft_kernel;
 use std::hint::black_box;
 
-fn micro_spec(args: &Args) -> MicrobenchSpec {
+/// The large-message sweep: every Ibcast implementation, fixed selection,
+/// across several message sizes (all >= 256 KiB, the rendezvous regime the
+/// payload engine targets).
+fn sweep_specs(args: &Args) -> Vec<MicrobenchSpec> {
+    let sizes: &[usize] = if args.quick {
+        &[256 * 1024]
+    } else {
+        &[256 * 1024, 512 * 1024, 1024 * 1024]
+    };
     let iters = args.pick3(10, 30, 60);
-    MicrobenchSpec {
-        platform: Platform::whale(),
-        nprocs: args.pick3(8, 16, 32),
-        op: CollectiveOp::Ibcast,
-        msg_bytes: 256 * 1024,
-        iters,
-        compute_total: SimTime::from_millis(iters as u64),
-        num_progress: 5,
-        noise: NoiseConfig::light(2015),
-        reps: 3,
-        placement: Placement::Block,
-        imbalance: Imbalance::None,
+    sizes
+        .iter()
+        .map(|&msg_bytes| MicrobenchSpec {
+            platform: Platform::whale(),
+            nprocs: args.pick3(8, 16, 32),
+            op: CollectiveOp::Ibcast,
+            msg_bytes,
+            iters,
+            compute_total: SimTime::from_millis(iters as u64),
+            num_progress: 5,
+            noise: NoiseConfig::light(2015),
+            reps: 3,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        })
+        .collect()
+}
+
+fn run_sweep(specs: &[MicrobenchSpec], jobs: usize) {
+    for spec in specs {
+        black_box(spec.run_all_fixed_jobs(jobs));
     }
 }
 
@@ -79,19 +101,28 @@ fn main() {
     });
     println!("event_queue_push_pop : {:.3} s", e.wall_secs);
 
-    // 2. Verification sweep point: every Ibcast implementation, fixed.
-    // Serial baseline first, then through the sweep engine.
-    let spec = micro_spec(&args);
-    let e1 = report.measure("ibcast_all_fixed", 1, || {
-        black_box(spec.run_all_fixed_jobs(1));
-    });
+    // 2. Verification sweep: every Ibcast implementation, fixed selection,
+    // multiple large message sizes. Raw engine throughput first — memo
+    // disabled so every simulation runs fresh. Serial baseline, then the
+    // parallel sweep engine.
+    // Each workload is sampled a few times and the fastest pass is kept
+    // (the workloads are deterministic, so only wall-clock varies): the
+    // quick-sized runs finish in milliseconds and a single sample on a
+    // shared host is too noisy for the verify.sh regression guard.
+    const SAMPLES: usize = 3;
+    let specs = sweep_specs(&args);
+    adcl::simmemo::set_enabled(false);
+    let e1 = report.measure_best_of("ibcast_all_fixed", 1, SAMPLES, || run_sweep(&specs, 1));
     println!(
-        "ibcast_all_fixed @1  : {:.3} s, {} events, {:.0} ev/s",
-        e1.wall_secs, e1.sim_events, e1.events_per_sec
+        "ibcast_all_fixed @1  : {:.3} s, {} events, {:.0} ev/s ({} sweep points)",
+        e1.wall_secs,
+        e1.sim_events,
+        e1.events_per_sec,
+        specs.len()
     );
     if jobs > 1 {
-        let ej = report.measure("ibcast_all_fixed", jobs, || {
-            black_box(spec.run_all_fixed_jobs(jobs));
+        let ej = report.measure_best_of("ibcast_all_fixed", jobs, SAMPLES, || {
+            run_sweep(&specs, jobs)
         });
         println!(
             "ibcast_all_fixed @{jobs} : {:.3} s, {:.0} ev/s  (speedup {:.2}x)",
@@ -100,6 +131,27 @@ fn main() {
             report.speedup("ibcast_all_fixed").unwrap_or(0.0)
         );
     }
+
+    // 2b. The same sweep, memoized: repeated passes replay cached outcomes
+    // instead of re-simulating (deterministic runs are pure functions of
+    // their fingerprint). Pass 1 primes the cache; passes 2..n replay.
+    // `events_per_sec` counts replayed events, so this row shows the
+    // effective throughput the figure binaries see on re-runs.
+    adcl::simmemo::set_enabled(true);
+    const MEMO_PASSES: usize = 4;
+    let em = report.measure_best_of("ibcast_sweep_memoized", 1, SAMPLES, || {
+        // Start every sample from a cold cache so each one measures the
+        // same prime-then-replay composition.
+        adcl::simmemo::clear();
+        for _ in 0..MEMO_PASSES {
+            run_sweep(&specs, 1);
+        }
+    });
+    println!(
+        "ibcast_sweep_memoized: {:.3} s, {} fresh + {} replayed events, {:.0} ev/s effective",
+        em.wall_secs, em.sim_events, em.replayed_events, em.events_per_sec
+    );
+    adcl::simmemo::clear_enabled_override();
 
     // 3. FFT kernel point: the §IV-B unit of work (one pattern, two modes).
     let cfg = fft_cfg(&args);
@@ -118,14 +170,14 @@ fn main() {
             .total_time
         }));
     };
-    let e1 = report.measure("fft_windowtiled_pair", 1, || run_pair(1));
+    let e1 = report.measure_best_of("fft_windowtiled_pair", 1, SAMPLES, || run_pair(1));
     println!(
         "fft_windowtiled @1   : {:.3} s, {} events, {:.0} ev/s",
         e1.wall_secs, e1.sim_events, e1.events_per_sec
     );
     if jobs > 1 {
         let j = jobs.min(2);
-        let ej = report.measure("fft_windowtiled_pair", j, || run_pair(j));
+        let ej = report.measure_best_of("fft_windowtiled_pair", j, SAMPLES, || run_pair(j));
         println!(
             "fft_windowtiled @{j}   : {:.3} s, {:.0} ev/s  (speedup {:.2}x)",
             ej.wall_secs,
@@ -135,6 +187,7 @@ fn main() {
     }
 
     let (hits, misses) = nbc::cache::stats();
+    let memo = adcl::simmemo::stats();
     println!();
     println!(
         "schedule cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
@@ -143,6 +196,17 @@ fn main() {
         } else {
             0.0
         }
+    );
+    println!(
+        "sim memo      : {} hits / {} misses ({:.1}% hit rate), {} events replayed",
+        memo.hits,
+        memo.misses,
+        memo.hit_rate() * 100.0,
+        memo.replayed_events
+    );
+    println!(
+        "payload allocs: {} (pool misses + naive copies)",
+        simcore::stats::payload_allocs()
     );
 
     let path = "BENCH_engine.json";

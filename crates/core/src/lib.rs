@@ -35,6 +35,7 @@ pub mod function;
 pub mod history;
 pub mod microbench;
 pub mod runner;
+pub mod simmemo;
 pub mod strategy;
 pub mod timer;
 pub mod tuner;

@@ -1,0 +1,306 @@
+//! Deterministic simulation-result memoization.
+//!
+//! Every simulation in this workspace is a pure function of its
+//! configuration: `SimTime` is integer nanoseconds, noise is driven by
+//! seeds derived from the spec, and rank scheduling is fixed by the
+//! deterministic event queue. Running the same (platform, collective,
+//! algorithm, nranks, msglen, segsize, seed) twice therefore produces the
+//! same outcome bit for bit — so the second run can be *replayed* from a
+//! cache instead of re-simulated.
+//!
+//! [`get_or_run`] is the single entry point: callers build a fingerprint
+//! string covering every input that can influence the outcome (see
+//! `autonbc::driver::memo_key`) and pass a closure that runs the
+//! simulation on a miss. Results are stored as `Arc<dyn Any>` so one
+//! process-wide cache serves any outcome type; a downcast mismatch is
+//! treated as a miss and overwritten.
+//!
+//! Soundness caveats (see DESIGN.md "Simulator memory model"): memoization
+//! must be bypassed for runs that mutate global state as a side effect, or
+//! whose inputs are not fully captured by the fingerprint — e.g.
+//! fault-injection experiments or externally perturbed runs. Callers opt
+//! out per-run by not routing through [`get_or_run`], or globally via
+//! [`set_enabled`] / `NBC_MEMO=off`.
+//!
+//! The cache is sharded 16 ways (same shape as `nbc::cache`) so parallel
+//! sweeps do not serialize on one lock; the closure runs *outside* the
+//! shard lock, and a lost insert race just adopts the winner's value.
+
+use std::any::Any;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const NSHARDS: usize = 16;
+
+type Shard = Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>;
+
+struct Memo {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    replayed_events: AtomicU64,
+}
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Memo {
+        shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        replayed_events: AtomicU64::new(0),
+    })
+}
+
+fn shard_of(key: &str) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % NSHARDS
+}
+
+/// Hit/miss counters plus the number of simulation events credited to
+/// replays (events a cache hit avoided re-simulating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub replayed_events: u64,
+}
+
+impl MemoStats {
+    /// Hit rate in [0, 1]; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Process-wide enable override: 0 = unset (consult `NBC_MEMO`),
+/// 1 = forced off, 2 = forced on.
+static ENABLED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static ENABLED_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Programmatically force memoization on or off (takes precedence over
+/// `NBC_MEMO`). Tests use this because the environment is read once.
+pub fn set_enabled(on: bool) {
+    ENABLED_OVERRIDE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Drop a [`set_enabled`] override, reverting to the environment default.
+pub fn clear_enabled_override() {
+    ENABLED_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// True when [`get_or_run`] consults the cache: the programmatic override
+/// if set, else `NBC_MEMO` (`off`/`0` disables), else on.
+pub fn enabled() -> bool {
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENABLED_ENV.get_or_init(|| {
+            !matches!(
+                std::env::var("NBC_MEMO").ok().as_deref(),
+                Some("off") | Some("0")
+            )
+        }),
+    }
+}
+
+/// Look up `key`; on a miss (or a type mismatch) run `run` outside the
+/// lock and cache its result. Returns the shared outcome and whether it
+/// was a replay (`true` = served from cache without running `run`).
+///
+/// When memoization is disabled the closure always runs and nothing is
+/// cached or counted.
+pub fn get_or_run<T, F>(key: &str, run: F) -> (Arc<T>, bool)
+where
+    T: Any + Send + Sync,
+    F: FnOnce() -> T,
+{
+    if !enabled() {
+        return (Arc::new(run()), false);
+    }
+    let m = memo();
+    let shard = &m.shards[shard_of(key)];
+    if let Some(found) = shard.lock().unwrap().get(key) {
+        if let Ok(typed) = Arc::clone(found).downcast::<T>() {
+            m.hits.fetch_add(1, Ordering::Relaxed);
+            return (typed, true);
+        }
+        // Same key, different outcome type: a fingerprint collision across
+        // call sites. Treat as a miss and overwrite below.
+    }
+    m.misses.fetch_add(1, Ordering::Relaxed);
+    let fresh: Arc<T> = Arc::new(run());
+    let mut g = shard.lock().unwrap();
+    match g.get(key) {
+        // Lost an insert race to an identically-keyed run: adopt the
+        // winner (results are deterministic, so the values are equal).
+        Some(existing) => {
+            if let Ok(typed) = Arc::clone(existing).downcast::<T>() {
+                return (typed, false);
+            }
+            g.insert(key.to_owned(), fresh.clone());
+            (fresh, false)
+        }
+        None => {
+            g.insert(key.to_owned(), fresh.clone());
+            (fresh, false)
+        }
+    }
+}
+
+/// Credit `events` simulation events to the replay counter: a cache hit
+/// stood in for a run that would have processed this many events. The perf
+/// harness folds this into effective events/sec.
+pub fn credit_replay(events: u64) {
+    memo().replayed_events.fetch_add(events, Ordering::Relaxed);
+}
+
+/// Current counters.
+pub fn stats() -> MemoStats {
+    let m = memo();
+    MemoStats {
+        hits: m.hits.load(Ordering::Relaxed),
+        misses: m.misses.load(Ordering::Relaxed),
+        replayed_events: m.replayed_events.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the counters (entries are kept).
+pub fn reset_stats() {
+    let m = memo();
+    m.hits.store(0, Ordering::Relaxed);
+    m.misses.store(0, Ordering::Relaxed);
+    m.replayed_events.store(0, Ordering::Relaxed);
+}
+
+/// Number of memoized outcomes.
+pub fn len() -> usize {
+    memo().shards.iter().map(|s| s.lock().unwrap().len()).sum()
+}
+
+/// Drop every memoized outcome (counters are kept).
+pub fn clear() {
+    for s in &memo().shards {
+        s.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The cache and the enable override are process-global; tests that
+    /// toggle them must not interleave.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_memo_on<R>(f: impl FnOnce() -> R) -> R {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(true);
+        clear();
+        reset_stats();
+        let r = f();
+        clear_enabled_override();
+        r
+    }
+
+    #[test]
+    fn second_lookup_is_a_replay() {
+        with_memo_on(|| {
+            let mut runs = 0;
+            let (a, replay_a) = get_or_run("k/test/1", || {
+                runs += 1;
+                42u64
+            });
+            let (b, replay_b) = get_or_run("k/test/1", || {
+                runs += 1;
+                42u64
+            });
+            assert_eq!(runs, 1, "closure must run once");
+            assert_eq!(*a, *b);
+            assert!(!replay_a);
+            assert!(replay_b);
+            let s = stats();
+            assert_eq!((s.hits, s.misses), (1, 1));
+            assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        with_memo_on(|| {
+            // Fingerprints differing in exactly one field must hit distinct
+            // entries — this is the memo-key collision test: a key that
+            // dropped any of these fields would alias them.
+            let keys = [
+                "whale/ibcast/binomial/p16/m262144/s32768/seed2015",
+                "whale/ibcast/binomial/p16/m262144/s32768/seed2016",
+                "whale/ibcast/binomial/p16/m262144/s65536/seed2015",
+                "whale/ibcast/binomial/p16/m524288/s32768/seed2015",
+                "whale/ibcast/binomial/p32/m262144/s32768/seed2015",
+                "whale/ibcast/chain/p16/m262144/s32768/seed2015",
+                "whale/ialltoall/binomial/p16/m262144/s32768/seed2015",
+                "crill/ibcast/binomial/p16/m262144/s32768/seed2015",
+            ];
+            for (i, k) in keys.iter().enumerate() {
+                let (v, _) = get_or_run(k, || i as u64);
+                assert_eq!(*v, i as u64);
+            }
+            assert_eq!(len(), keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                let (v, replay) = get_or_run(k, || u64::MAX);
+                assert_eq!(*v, i as u64, "key {k} aliased another entry");
+                assert!(replay);
+            }
+        });
+    }
+
+    #[test]
+    fn type_mismatch_is_a_miss() {
+        with_memo_on(|| {
+            let (_, _) = get_or_run("k/typed", || 7u64);
+            // Same key, different type: must not panic, must re-run.
+            let (v, replay) = get_or_run("k/typed", || "seven".to_owned());
+            assert_eq!(&*v, "seven");
+            assert!(!replay);
+        });
+    }
+
+    #[test]
+    fn disabled_cache_always_runs() {
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(false);
+        let before = stats();
+        let mut runs = 0;
+        for _ in 0..3 {
+            let (v, replay) = get_or_run("k/disabled", || {
+                runs += 1;
+                1u8
+            });
+            assert_eq!(*v, 1);
+            assert!(!replay);
+        }
+        assert_eq!(runs, 3);
+        let after = stats();
+        assert_eq!(before, after, "disabled runs must not touch counters");
+        clear_enabled_override();
+    }
+
+    #[test]
+    fn replay_crediting_accumulates() {
+        with_memo_on(|| {
+            let before = stats().replayed_events;
+            credit_replay(100);
+            credit_replay(23);
+            assert_eq!(stats().replayed_events, before + 123);
+        });
+    }
+}

@@ -66,18 +66,27 @@ impl Grid3 {
 
 /// 2-D FFT of an `nx × ny` plane stored row-major (`x` fastest).
 pub fn fft_2d(data: &mut [Complex64], nx: usize, ny: usize) {
+    fft_2d_scratch(data, nx, ny, &mut Vec::new());
+}
+
+/// [`fft_2d`] with a caller-provided column scratch buffer, so a pass over
+/// many planes (one 3-D transform) reuses one allocation per worker
+/// instead of allocating a fresh column per plane.
+pub fn fft_2d_scratch(data: &mut [Complex64], nx: usize, ny: usize, scratch: &mut Vec<Complex64>) {
     assert_eq!(data.len(), nx * ny);
     // Rows (x direction).
     for row in data.chunks_exact_mut(nx) {
         fft(row);
     }
     // Columns (y direction): gather, transform, scatter.
-    let mut col = vec![Complex64::ZERO; ny];
+    scratch.clear();
+    scratch.resize(ny, Complex64::ZERO);
+    let col = &mut scratch[..];
     for x in 0..nx {
         for y in 0..ny {
             col[y] = data[x + nx * y];
         }
-        fft(&mut col);
+        fft(col);
         for y in 0..ny {
             data[x + nx * y] = col[y];
         }
@@ -108,7 +117,9 @@ fn z_pass(g: &mut Grid3, inverse: bool) {
 /// (1 = serial).
 pub fn fft_3d(g: &mut Grid3, threads: usize) {
     let (nx, ny) = (g.nx, g.ny);
-    plane_pass(g, threads, |plane| fft_2d(plane, nx, ny));
+    plane_pass(g, threads, |plane, scratch| {
+        fft_2d_scratch(plane, nx, ny, scratch)
+    });
     z_pass(g, false);
 }
 
@@ -116,17 +127,19 @@ pub fn fft_3d(g: &mut Grid3, threads: usize) {
 pub fn ifft_3d(g: &mut Grid3, threads: usize) {
     let (nx, ny) = (g.nx, g.ny);
     z_pass(g, true);
-    plane_pass(g, threads, move |plane| {
+    plane_pass(g, threads, move |plane, scratch| {
         // Inverse 2-D: rows then columns with ifft.
         for row in plane.chunks_exact_mut(nx) {
             ifft(row);
         }
-        let mut col = vec![Complex64::ZERO; ny];
+        scratch.clear();
+        scratch.resize(ny, Complex64::ZERO);
+        let col = &mut scratch[..];
         for x in 0..nx {
             for y in 0..ny {
                 col[y] = plane[x + nx * y];
             }
-            ifft(&mut col);
+            ifft(col);
             for y in 0..ny {
                 plane[x + nx * y] = col[y];
             }
@@ -136,13 +149,20 @@ pub fn ifft_3d(g: &mut Grid3, threads: usize) {
 
 /// Apply `f` to every z-plane, fanning planes out over `threads` workers
 /// using `std::thread::scope` (no external crates needed for scoped
-/// borrows since Rust 1.63).
-fn plane_pass(g: &mut Grid3, threads: usize, f: impl Fn(&mut [Complex64]) + Sync) {
+/// borrows since Rust 1.63). Each worker owns one scratch vector passed to
+/// every invocation of `f`, so the column gather inside the 2-D transforms
+/// costs one allocation per worker, not one per plane.
+fn plane_pass(
+    g: &mut Grid3,
+    threads: usize,
+    f: impl Fn(&mut [Complex64], &mut Vec<Complex64>) + Sync,
+) {
     let plane_len = g.nx * g.ny;
     let planes: Vec<&mut [Complex64]> = g.data.chunks_exact_mut(plane_len).collect();
     if threads <= 1 || planes.len() <= 1 {
+        let mut scratch = Vec::new();
         for p in planes {
-            f(p);
+            f(p, &mut scratch);
         }
         return;
     }
@@ -155,8 +175,9 @@ fn plane_pass(g: &mut Grid3, threads: usize, f: impl Fn(&mut [Complex64]) + Sync
     std::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(|| {
+                let mut scratch = Vec::new();
                 for p in bucket {
-                    f(p);
+                    f(p, &mut scratch);
                 }
             });
         }

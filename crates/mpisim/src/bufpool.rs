@@ -1,0 +1,361 @@
+//! Rank-local payload buffer pool: reusable, `Arc`-backed message buffers.
+//!
+//! Before this module existed the simulator moved no payload bytes at all —
+//! and the obvious way to add them (a fresh `Vec<u8>` per message, copied at
+//! every hop) would put an O(msglen) allocate+copy on the hot path of every
+//! simulated send, dwarfing the event-processing cost for the paper's
+//! megabyte-scale sweeps. Instead, payloads are carried as [`Payload`]
+//! handles (`Arc<PooledBuf>`):
+//!
+//! * a sender *acquires* a buffer from its world's [`BufPool`], fills it,
+//!   and *shares* it into an immutable handle;
+//! * the handle rides on the in-flight message — eager delivery, rendezvous
+//!   payload injection and executor round staging all move the handle
+//!   (a pointer bump), never the bytes;
+//! * fan-out is free: one staged buffer can back many concurrent messages
+//!   (`Arc::clone`), which is exactly what tree broadcasts do;
+//! * when the last handle drops, the slab returns to its home pool's
+//!   size-class shelf and is reused by a later acquire — steady-state
+//!   simulations allocate O(pool depth) buffers total, not O(messages).
+//!
+//! Buffers are grouped in power-of-two size classes (minimum
+//! [`MIN_CLASS_BYTES`]); an acquire pops a free slab of the right class or,
+//! on a miss, heap-allocates one and records it via
+//! [`simcore::stats::record_payload_alloc`] so the perf harness can report
+//! `allocs_per_event`. Reused slabs are *not* zeroed: the content of a
+//! freshly acquired buffer is unspecified, the acquirer must write what it
+//! needs. The pool is internally synchronized (mutexed shelves behind an
+//! `Arc`), so handles may drop on any thread of a parallel sweep.
+//!
+//! Soundness of reuse: a slab is only ever shelved by the *last* owner's
+//! drop (`Arc` guarantees exclusivity at that point), and acquires hand out
+//! each shelved slab at most once — two live buffers can therefore never
+//! alias, which `no_aliasing_across_in_flight_buffers` below locks in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Smallest buffer class, in bytes. Acquires below this size are rounded up.
+pub const MIN_CLASS_BYTES: usize = 64;
+
+/// Number of power-of-two size classes; the largest class holds slabs of
+/// `MIN_CLASS_BYTES << (NCLASSES - 1)` bytes (128 GiB — effectively
+/// unbounded for simulation payloads). Larger requests fall back to
+/// unpooled one-shot allocations.
+const NCLASSES: usize = 32;
+
+/// Size class for a requested length: smallest power-of-two capacity (at
+/// least [`MIN_CLASS_BYTES`]) that fits `len`.
+fn class_of(len: usize) -> usize {
+    let cap = len.max(MIN_CLASS_BYTES).next_power_of_two();
+    (cap / MIN_CLASS_BYTES).trailing_zeros() as usize
+}
+
+fn class_capacity(class: usize) -> usize {
+    MIN_CLASS_BYTES << class
+}
+
+struct PoolInner {
+    /// Free slabs per size class. Every slab on shelf `c` has length
+    /// exactly `class_capacity(c)`.
+    shelves: Vec<Mutex<Vec<Box<[u8]>>>>,
+    acquires: AtomicU64,
+    reuses: AtomicU64,
+    allocs: AtomicU64,
+    recycles: AtomicU64,
+}
+
+/// Counter snapshot of one pool (see [`BufPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufPoolStats {
+    /// Total `acquire` calls.
+    pub acquires: u64,
+    /// Acquires satisfied from a shelf (no heap allocation).
+    pub reuses: u64,
+    /// Acquires that had to heap-allocate (pool misses).
+    pub allocs: u64,
+    /// Slabs returned to a shelf by a last-handle drop.
+    pub recycles: u64,
+}
+
+/// A pool of reusable payload slabs. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufPool")
+            .field("free", &self.free_slabs())
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                shelves: (0..NCLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+                acquires: AtomicU64::new(0),
+                reuses: AtomicU64::new(0),
+                allocs: AtomicU64::new(0),
+                recycles: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Acquire a writable buffer of logical length `len`. Pops a free slab
+    /// of `len`'s size class if one exists; otherwise heap-allocates one
+    /// (recorded as a payload allocation). The buffer's content is
+    /// **unspecified** — the caller fills what it cares about.
+    pub fn acquire(&self, len: usize) -> PooledBuf {
+        self.inner.acquires.fetch_add(1, Ordering::Relaxed);
+        let class = class_of(len);
+        if class >= NCLASSES {
+            // Absurdly large request: one-shot allocation, no recycling.
+            self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+            return PooledBuf::unpooled(len);
+        }
+        let reused = self.inner.shelves[class].lock().unwrap().pop();
+        let buf = match reused {
+            Some(slab) => {
+                debug_assert_eq!(slab.len(), class_capacity(class));
+                self.inner.reuses.fetch_add(1, Ordering::Relaxed);
+                slab
+            }
+            None => {
+                self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+                simcore::stats::record_payload_alloc();
+                vec![0u8; class_capacity(class)].into_boxed_slice()
+            }
+        };
+        PooledBuf {
+            buf,
+            len,
+            home: Some(Arc::downgrade(&self.inner)),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufPoolStats {
+        BufPoolStats {
+            acquires: self.inner.acquires.load(Ordering::Relaxed),
+            reuses: self.inner.reuses.load(Ordering::Relaxed),
+            allocs: self.inner.allocs.load(Ordering::Relaxed),
+            recycles: self.inner.recycles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of free slabs currently shelved (all classes).
+    pub fn free_slabs(&self) -> usize {
+        self.inner
+            .shelves
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum()
+    }
+}
+
+/// A payload buffer leased from a [`BufPool`] (or standalone, see
+/// [`PooledBuf::unpooled`]). Mutable while exclusively owned; call
+/// [`PooledBuf::share`] to freeze it into an immutable [`Payload`] handle
+/// for attaching to messages. Dropping the last handle recycles the slab
+/// into its home pool.
+pub struct PooledBuf {
+    /// The slab; its length is the class capacity (≥ `len`).
+    buf: Box<[u8]>,
+    /// Logical payload length.
+    len: usize,
+    /// Home pool for recycling; `None` for unpooled buffers (and after the
+    /// slab has been returned).
+    home: Option<Weak<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// A standalone buffer that is heap-allocated now and freed (not
+    /// recycled) on drop — the "naive" per-message allocation the pool
+    /// replaces. Also counted as a payload allocation.
+    pub fn unpooled(len: usize) -> PooledBuf {
+        simcore::stats::record_payload_alloc();
+        PooledBuf {
+            buf: vec![0u8; len.max(1)].into_boxed_slice(),
+            len,
+            home: None,
+        }
+    }
+
+    /// Logical payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if this buffer recycles into a pool when the last handle drops.
+    pub fn is_pooled(&self) -> bool {
+        self.home.is_some()
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+
+    /// The payload bytes, writable (only before [`PooledBuf::share`]).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf[..self.len]
+    }
+
+    /// Freeze into an immutable, cloneable handle for in-flight messages.
+    pub fn share(self) -> Payload {
+        Arc::new(self)
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.len)
+            .field("capacity", &self.buf.len())
+            .field("pooled", &self.home.is_some())
+            .finish()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let Some(home) = self.home.take() else {
+            return;
+        };
+        // The pool may already be gone (world dropped before a stray
+        // handle); then the slab is simply freed.
+        let Some(inner) = home.upgrade() else {
+            return;
+        };
+        let slab = std::mem::take(&mut self.buf);
+        // Slab length is exactly its class capacity, so the class can be
+        // recovered from it.
+        let class = class_of(slab.len());
+        debug_assert_eq!(class_capacity(class), slab.len());
+        inner.shelves[class].lock().unwrap().push(slab);
+        inner.recycles.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An immutable, shareable payload handle. Cloning is a pointer bump; the
+/// backing slab recycles into its pool when the last clone drops.
+pub type Payload = Arc<PooledBuf>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up() {
+        assert_eq!(class_of(0), 0);
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(64), 0);
+        assert_eq!(class_of(65), 1);
+        assert_eq!(class_of(128), 1);
+        assert_eq!(class_of(256 * 1024), class_of(200 * 1024));
+        assert!(class_capacity(class_of(300)) >= 300);
+    }
+
+    #[test]
+    fn no_aliasing_across_in_flight_buffers() {
+        // Two concurrently live buffers must have distinct backing memory,
+        // even though they share a size class.
+        let pool = BufPool::new();
+        let mut a = pool.acquire(1024);
+        let mut b = pool.acquire(1024);
+        a.as_mut_slice().fill(0xAA);
+        b.as_mut_slice().fill(0xBB);
+        assert!(a.as_slice().iter().all(|&x| x == 0xAA));
+        assert!(b.as_slice().iter().all(|&x| x == 0xBB));
+        // Shared handles keep the exclusivity: cloning the handle must not
+        // return the slab while any clone is alive.
+        let pa = a.share();
+        let pa2 = Arc::clone(&pa);
+        drop(pa);
+        assert_eq!(pool.free_slabs(), 0, "clone still alive");
+        drop(pa2);
+        assert_eq!(pool.free_slabs(), 1, "last clone recycles");
+    }
+
+    #[test]
+    fn recycle_and_reuse_same_slab() {
+        let pool = BufPool::new();
+        let mut a = pool.acquire(4096);
+        a.as_mut_slice().fill(7);
+        let ptr_a = a.as_slice().as_ptr() as usize;
+        drop(a);
+        assert_eq!(pool.free_slabs(), 1);
+        let b = pool.acquire(3000); // same class (4096)
+        assert_eq!(
+            b.as_slice().as_ptr() as usize,
+            ptr_a,
+            "reuse must hand back the shelved slab"
+        );
+        let s = pool.stats();
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.recycles, 1);
+    }
+
+    #[test]
+    fn reuse_content_is_whatever_was_left() {
+        // Contract check: reused slabs are not zeroed.
+        let pool = BufPool::new();
+        let mut a = pool.acquire(64);
+        a.as_mut_slice().fill(0x5A);
+        drop(a);
+        let b = pool.acquire(64);
+        assert!(b.as_slice().iter().all(|&x| x == 0x5A));
+    }
+
+    #[test]
+    fn miss_records_global_alloc() {
+        let before = simcore::stats::payload_allocs();
+        let pool = BufPool::new();
+        let _a = pool.acquire(128);
+        assert!(simcore::stats::payload_allocs() > before);
+    }
+
+    #[test]
+    fn unpooled_buffers_do_not_recycle() {
+        let b = PooledBuf::unpooled(512);
+        assert!(!b.is_pooled());
+        assert_eq!(b.len(), 512);
+        drop(b); // must not panic; nothing to shelve
+    }
+
+    #[test]
+    fn pool_drop_before_handle_is_safe() {
+        let pool = BufPool::new();
+        let buf = pool.acquire(256).share();
+        drop(pool);
+        drop(buf); // weak home upgrade fails; slab is freed
+    }
+
+    #[test]
+    fn zero_length_payload_supported() {
+        let pool = BufPool::new();
+        let b = pool.acquire(0);
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice().len(), 0);
+    }
+}

@@ -23,10 +23,12 @@
 //! ([`RankBehavior`]) that returns what the rank does next (compute, spend
 //! CPU in the library, block on the network, or finish).
 
+pub mod bufpool;
 pub mod message;
 pub mod types;
 pub mod world;
 
+pub use bufpool::{BufPool, BufPoolStats, Payload, PooledBuf};
 pub use message::{Protocol, RecvState, SendState};
 pub use types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 pub use world::{

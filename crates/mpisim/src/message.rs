@@ -1,5 +1,6 @@
 //! Message and receive-request state machines.
 
+use crate::bufpool::Payload;
 use crate::types::{RankId, Tag};
 use simcore::SimTime;
 
@@ -60,6 +61,11 @@ pub struct Message {
     pub rts_arrival: Option<SimTime>,
     /// Rendezvous: receiver answered RTS (CTS sent).
     pub cts_sent: bool,
+    /// The payload handle riding on this message, if the sender staged
+    /// one. Moving it (eager delivery, rendezvous injection) is O(1); it
+    /// transfers to the matched receive at completion. Timing never depends
+    /// on it — `bytes` alone drives the network model.
+    pub payload: Option<Payload>,
 }
 
 impl Message {
@@ -84,6 +90,7 @@ impl Message {
             data_arrival: None,
             rts_arrival: None,
             cts_sent: false,
+            payload: None,
         }
     }
 
@@ -106,6 +113,9 @@ pub struct RecvReq {
     pub state: RecvState,
     /// The matched message, if any.
     pub msg: Option<usize>,
+    /// Delivered payload handle, moved off the message at completion;
+    /// collected by the executor via `World::take_recv_payload`.
+    pub payload: Option<Payload>,
 }
 
 impl RecvReq {
@@ -118,6 +128,7 @@ impl RecvReq {
             bytes,
             state: RecvState::Posted,
             msg: None,
+            payload: None,
         }
     }
 

@@ -1,6 +1,7 @@
 //! The discrete-event world: rank scheduling, point-to-point messaging and
 //! the progress engine.
 
+use crate::bufpool::{BufPool, Payload};
 use crate::message::{Message, Protocol, RecvReq, RecvState, SendState};
 use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 use netmodel::{NetworkState, Placement, Platform};
@@ -203,6 +204,10 @@ pub struct World {
     protocol_actions: u64,
     /// Timeline segments, recorded only when tracing is enabled.
     trace: Option<Vec<TraceSegment>>,
+    /// Payload buffer pool shared by every rank of this world (worlds are
+    /// single-threaded, so one pool per world is "rank-local" in the sense
+    /// that matters: no cross-simulation contention).
+    pool: BufPool,
 }
 
 impl World {
@@ -251,7 +256,20 @@ impl World {
             polls: 0,
             protocol_actions: 0,
             trace: None,
+            pool: BufPool::new(),
         }
+    }
+
+    /// A handle to this world's payload buffer pool (cheap clone).
+    pub fn payload_pool(&self) -> BufPool {
+        self.pool.clone()
+    }
+
+    /// Events applied by this world so far (the per-run analogue of the
+    /// process-wide [`sim_events_total`] — exact even when other worlds run
+    /// concurrently on other threads).
+    pub fn events_processed(&self) -> u64 {
+        self.events.popped()
     }
 
     /// Start recording per-rank timeline segments (compute / library /
@@ -383,6 +401,23 @@ impl World {
         bytes: usize,
         at: SimTime,
     ) -> SendHandle {
+        self.isend_payload(src, dst, tag, bytes, at, None)
+    }
+
+    /// [`World::isend`] carrying a payload handle. The handle rides on the
+    /// in-flight message — eager delivery and rendezvous injection move it,
+    /// never copy it — and transfers to the matched receive at completion
+    /// ([`World::take_recv_payload`]). Timing is identical with or without
+    /// a payload: only `bytes` feeds the network model.
+    pub fn isend_payload(
+        &mut self,
+        src: RankId,
+        dst: RankId,
+        tag: Tag,
+        bytes: usize,
+        at: SimTime,
+        payload: Option<Payload>,
+    ) -> SendHandle {
         assert_ne!(src, dst, "self-sends are expressed as schedule copies");
         let id = self.msgs.len();
         let seq = {
@@ -393,8 +428,9 @@ impl World {
         };
         if self.net.is_eager(src, dst, bytes) {
             let plan = self.net.plan_transfer(at, src, dst, bytes);
-            self.msgs
-                .push(Message::new(src, dst, tag, bytes, Protocol::Eager, seq));
+            let mut m = Message::new(src, dst, tag, bytes, Protocol::Eager, seq);
+            m.payload = payload;
+            self.msgs.push(m);
             self.events.push(
                 plan.src_drain,
                 Event::Net {
@@ -411,14 +447,9 @@ impl World {
             );
         } else {
             let rts = self.net.ctrl_arrival(at, src, dst);
-            self.msgs.push(Message::new(
-                src,
-                dst,
-                tag,
-                bytes,
-                Protocol::Rendezvous,
-                seq,
-            ));
+            let mut m = Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq);
+            m.payload = payload;
+            self.msgs.push(m);
             self.events.push(
                 rts,
                 Event::Net {
@@ -455,6 +486,29 @@ impl World {
         RecvHandle(rid)
     }
 
+    /// Complete receive `rid` at time `t`: set its state and move the
+    /// payload handle off the matched message (an O(1) pointer move — this
+    /// is the zero-copy delivery step for both eager and rendezvous paths).
+    fn complete_recv(&mut self, rid: usize, t: SimTime) {
+        self.recvs[rid].state = RecvState::Complete(t);
+        // A receive can be completed twice on the eager fast path (match_pair
+        // completes it, then deliver_envelope confirms); only move the handle
+        // when the message still holds one so the second call is a no-op.
+        if let Some(mid) = self.recvs[rid].msg {
+            if let Some(p) = self.msgs[mid].payload.take() {
+                self.recvs[rid].payload = Some(p);
+            }
+        }
+    }
+
+    /// Take the delivered payload of a completed receive, if the sender
+    /// staged one (and it has not been taken yet). Dropping the returned
+    /// handle recycles the buffer into the sender's pool once all clones
+    /// are gone.
+    pub fn take_recv_payload(&mut self, h: RecvHandle) -> Option<Payload> {
+        self.recvs[h.0].payload.take()
+    }
+
     /// Bind message `mid` to receive `rid`. `on_post` is true when matching
     /// happens at receive-post time (the message was unexpected).
     fn match_pair(&mut self, mid: usize, rid: usize, now: SimTime, on_post: bool) {
@@ -488,7 +542,7 @@ impl World {
                             },
                         );
                     } else {
-                        self.recvs[rid].state = RecvState::Complete(arr);
+                        self.complete_recv(rid, arr);
                     }
                 }
                 // else: completion set when EagerArrived fires.
@@ -618,7 +672,7 @@ impl World {
             Protocol::Eager => {
                 if let Some(rid) = self.msgs[mid].matched_recv {
                     // Pre-posted receive: payload lands in place.
-                    self.recvs[rid].state = RecvState::Complete(t);
+                    self.complete_recv(rid, t);
                 } else {
                     let pos = self.ranks[rank].posted_recvs.iter().position(|&r| {
                         self.recvs[r].src == self.msgs[mid].src
@@ -628,7 +682,7 @@ impl World {
                         Some(p) => {
                             let rid = self.ranks[rank].posted_recvs.remove(p);
                             self.match_pair(mid, rid, t, false);
-                            self.recvs[rid].state = RecvState::Complete(t);
+                            self.complete_recv(rid, t);
                         }
                         None => self.ranks[rank].unexpected.push(mid),
                     }
@@ -669,7 +723,7 @@ impl World {
                 let rid = self.msgs[mid]
                     .matched_recv
                     .expect("rendezvous payload for unmatched message");
-                self.recvs[rid].state = RecvState::Complete(t);
+                self.complete_recv(rid, t);
             }
             NetEvent::SendDrained(mid) => {
                 self.msgs[mid].send_state = SendState::Drained(t);
@@ -1199,5 +1253,110 @@ mod tests {
             w.isend(0, 0, Tag(0), 10, SimTime::ZERO)
         }));
         assert!(result.is_err());
+    }
+
+    /// Rank 0 sends `bytes` with a staged payload; rank 1 receives. Both
+    /// wait to completion.
+    struct PayloadPingPong {
+        bytes: usize,
+        payload: Option<crate::bufpool::Payload>,
+        send: Option<SendHandle>,
+        recv: Option<RecvHandle>,
+        posted: [bool; 2],
+    }
+
+    impl RankBehavior for PayloadPingPong {
+        fn step(&mut self, w: &mut World, r: RankId) -> Step {
+            if !self.posted[r] {
+                self.posted[r] = true;
+                if r == 0 {
+                    let at = w.rank_now(0) + w.o_send(0, 1);
+                    self.send =
+                        Some(w.isend_payload(0, 1, Tag(0), self.bytes, at, self.payload.take()));
+                    return Step::Busy(w.o_send(0, 1));
+                }
+                let at = w.rank_now(1) + w.o_recv(1, 0);
+                self.recv = Some(w.irecv(1, 0, Tag(0), self.bytes, at));
+                return Step::Busy(w.o_recv(1, 0));
+            }
+            let now = w.rank_now(r);
+            w.poll(r, now);
+            let done = if r == 0 {
+                w.send_done(self.send.unwrap(), now)
+            } else {
+                w.recv_done(self.recv.unwrap(), now)
+            };
+            if done {
+                Step::Done
+            } else {
+                Step::Block
+            }
+        }
+    }
+
+    fn run_payload_pingpong(bytes: usize) {
+        let mut w = world(2);
+        let pool = w.payload_pool();
+        let mut buf = pool.acquire(bytes);
+        buf.as_mut_slice()[..8].copy_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2]);
+        let mut b = PayloadPingPong {
+            bytes,
+            payload: Some(buf.share()),
+            send: None,
+            recv: None,
+            posted: [false; 2],
+        };
+        w.run(&mut b).unwrap();
+        let got = w
+            .take_recv_payload(b.recv.unwrap())
+            .expect("payload delivered");
+        assert_eq!(got.len(), bytes);
+        assert_eq!(&got.as_slice()[..8], &[9, 8, 7, 6, 5, 4, 3, 2]);
+        // Second take is empty; dropping the handle recycles the slab.
+        assert!(w.take_recv_payload(b.recv.unwrap()).is_none());
+        assert_eq!(pool.free_slabs(), 0);
+        drop(got);
+        assert_eq!(pool.free_slabs(), 1);
+    }
+
+    #[test]
+    fn payload_rides_eager_message() {
+        run_payload_pingpong(1024);
+    }
+
+    #[test]
+    fn payload_rides_rendezvous_message() {
+        run_payload_pingpong(1 << 20);
+    }
+
+    #[test]
+    fn payload_does_not_change_timing() {
+        // Byte-identical makespans with and without staged payloads: the
+        // network model never looks at the handle.
+        let run = |with_payload: bool| {
+            let mut w = world(2);
+            let payload = with_payload.then(|| w.payload_pool().acquire(4096).share());
+            let mut b = PayloadPingPong {
+                bytes: 4096,
+                payload,
+                send: None,
+                recv: None,
+                posted: [false; 2],
+            };
+            w.run(&mut b).unwrap()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn events_processed_counts_per_world() {
+        let mut w = world(2);
+        assert_eq!(w.events_processed(), 0);
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: 64 }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: 64 }, Ins::WaitAll],
+        ]);
+        w.run(&mut s).unwrap();
+        assert!(w.events_processed() > 0);
     }
 }

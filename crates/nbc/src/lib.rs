@@ -43,7 +43,10 @@ pub use allgather::AllgatherAlgo;
 pub use allreduce::AllreduceAlgo;
 pub use alltoall::AlltoallAlgo;
 pub use bcast::BcastAlgo;
-pub use executor::ScheduleExec;
+pub use executor::{
+    clear_default_payload_mode, default_payload_mode, set_default_payload_mode, PayloadMode,
+    ScheduleExec,
+};
 pub use gather::GatherAlgo;
 pub use neighbor::{Cart2d, NeighborAlgo};
 pub use schedule::{Action, ActionKind, CollSpec, Round, Schedule};

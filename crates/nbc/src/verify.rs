@@ -21,7 +21,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 pub type ReceivedBlocks = Vec<HashSet<u32>>;
 
 /// FIFO channels keyed by `(src, dst)`: queued `(bytes, blocks)` messages.
-type Channels = HashMap<(usize, usize), VecDeque<(usize, Vec<u32>)>>;
+/// Block lists are borrowed straight out of the schedules — the verifier
+/// moves references through the channels, never cloning a block vector, so
+/// a full sweep over every algorithm allocates only the channel scaffolding.
+type Channels<'s> = HashMap<(usize, usize), VecDeque<(usize, &'s [u32])>>;
 
 /// Execute one schedule per rank logically. `initial[r]` is the set of
 /// blocks rank `r` holds before the operation.
@@ -36,12 +39,12 @@ pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<Received
     let mut entered: Vec<bool> = vec![false; p];
 
     // Push the sends of rank r's current round (round entry).
-    fn enter_round(
+    fn enter_round<'s>(
         r: usize,
-        scheds: &[Schedule],
+        scheds: &'s [Schedule],
         round: &[usize],
         held: &[HashSet<u32>],
-        chans: &mut Channels,
+        chans: &mut Channels<'s>,
     ) -> Result<(), String> {
         let Some(rd) = scheds[r].rounds.get(round[r]) else {
             return Ok(());
@@ -59,7 +62,7 @@ pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<Received
                 chans
                     .entry((r, *peer))
                     .or_default()
-                    .push_back((a.bytes, blocks.clone()));
+                    .push_back((a.bytes, blocks.as_slice()));
             }
         }
         Ok(())
@@ -102,7 +105,7 @@ pub fn execute(scheds: &[Schedule], initial: &[HashSet<u32>]) -> Result<Received
                                 round[r], a.bytes
                             ));
                         }
-                        for b in blocks {
+                        for &b in blocks {
                             held[r].insert(b);
                             received[r].insert(b);
                         }

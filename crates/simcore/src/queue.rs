@@ -121,13 +121,25 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     /// Panics if `time` is earlier than the current clock — scheduling into
-    /// the past indicates a causality bug in the caller.
+    /// the past indicates a causality bug in the caller — or if `time` is
+    /// [`SimTime::MAX`]: that value is the saturation sentinel produced by
+    /// overflowing time arithmetic ("infinitely far in the future"), so an
+    /// event carrying it can never legitimately fire. The monotonicity
+    /// assert alone would not catch this — `SimTime::MAX` is always ahead of
+    /// the pop watermark — yet it occupies the top of the packed
+    /// `(time << 64) | seq` key space, where the key no longer encodes a
+    /// real schedule point.
     pub fn push(&mut self, time: SimTime, event: E) {
         assert!(
             time >= self.now,
             "event scheduled in the past: t={time} < now={now}",
             time = time,
             now = self.now
+        );
+        assert!(
+            time < SimTime::MAX,
+            "event scheduled at the overflow sentinel SimTime::MAX: \
+             an upstream time computation saturated"
         );
         let seq = self.seq;
         self.seq += 1;
@@ -207,6 +219,25 @@ mod tests {
         q.push(SimTime::from_nanos(10), ());
         q.pop();
         q.push(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow sentinel")]
+    fn rejects_saturated_time() {
+        // Saturating arithmetic past the end of representable time yields
+        // SimTime::MAX; scheduling an event there must be rejected even
+        // though it trivially satisfies the monotonicity check.
+        let mut q = EventQueue::new();
+        let t = SimTime::MAX.checked_add(SimTime::from_nanos(1)).is_none();
+        assert!(t, "MAX + 1 must not be representable");
+        q.push(SimTime::MAX, ());
+    }
+
+    #[test]
+    fn accepts_times_just_below_sentinel() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(u64::MAX - 1), 7);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(u64::MAX - 1), 7)));
     }
 
     #[test]

@@ -9,6 +9,31 @@
 //! the statistical filtering described for ADCL (Benkert et al.).
 
 use crate::time::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of payload-buffer heap allocations: every buffer-pool
+/// miss (a fresh slab had to be allocated) and every unpooled per-message
+/// allocation increments this. Always compiled in — a relaxed atomic add is
+/// far below the noise floor of a simulation event — so the perf harness can
+/// report `allocs_per_event` without a feature flag.
+static PAYLOAD_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one payload-buffer heap allocation (called at pool miss sites).
+#[inline]
+pub fn record_payload_alloc() {
+    PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total payload-buffer heap allocations since process start (or the last
+/// [`reset_payload_allocs`]).
+pub fn payload_allocs() -> u64 {
+    PAYLOAD_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Reset the payload-allocation counter (for per-measurement deltas).
+pub fn reset_payload_allocs() {
+    PAYLOAD_ALLOCS.store(0, Ordering::Relaxed);
+}
 
 /// Arithmetic mean of a sample (0 for an empty sample).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -259,5 +284,15 @@ mod tests {
         let w = Welford::new();
         assert_eq!(w.mean(), 0.0);
         assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn payload_alloc_counter_accumulates() {
+        // Other tests in the process may also record allocations, so only
+        // assert on the delta produced here.
+        let before = payload_allocs();
+        record_payload_alloc();
+        record_payload_alloc();
+        assert!(payload_allocs() >= before + 2);
     }
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification pass: formatting, lints, build, tests, the smoke-sized
-# figure suite (serial vs parallel must be byte-identical), and a refresh
-# of the engine perf trajectory (BENCH_engine.json).
+# figure suite (serial vs parallel, payload modes, and memo replay must all
+# be byte-identical), a bench regression guard against the committed
+# BENCH_engine.json, and a refresh of the engine perf trajectory.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -31,7 +32,76 @@ for bin in table_verification_stats table_fft_stats; do
     echo "   $bin: identical ($(printf '%s' "$s1" | wc -c) bytes)"
 done
 
+echo "== payload modes: pooled vs naive vs off must be byte-identical"
+ref=$(NBC_PAYLOADS=pooled NBC_MEMO=off ./target/release/table_verification_stats --quick --jobs 1)
+for mode in naive off; do
+    out=$(NBC_PAYLOADS=$mode NBC_MEMO=off ./target/release/table_verification_stats --quick --jobs 1)
+    if [ "$ref" != "$out" ]; then
+        echo "FAIL: table_verification_stats differs between NBC_PAYLOADS=pooled and =$mode" >&2
+        diff <(printf '%s\n' "$ref") <(printf '%s\n' "$out") >&2 || true
+        exit 1
+    fi
+    echo "   NBC_PAYLOADS=$mode: identical"
+done
+
+echo "== sim memo: memoized re-run must be byte-identical to fresh"
+fresh=$(NBC_MEMO=off ./target/release/table_verification_stats --quick --jobs 1)
+memo=$(NBC_MEMO=on ./target/release/table_verification_stats --quick --jobs 1)
+if [ "$fresh" != "$memo" ]; then
+    echo "FAIL: table_verification_stats differs between NBC_MEMO=off and =on" >&2
+    diff <(printf '%s\n' "$fresh") <(printf '%s\n' "$memo") >&2 || true
+    exit 1
+fi
+echo "   NBC_MEMO on/off: identical"
+
 echo "== refresh BENCH_engine.json"
-./target/release/perf_trajectory --quick
+baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
+./target/release/perf_trajectory --quick --jobs 8
+
+echo "== bench regression guard (>20% events/sec drop vs committed baseline)"
+if [ -z "$baseline" ]; then
+    echo "   no committed BENCH_engine.json baseline; skipping"
+else
+    # Entries are single-line JSON objects: compare events_per_sec keyed on
+    # (name, jobs); fail if a fresh value drops below 0.8x the baseline.
+    # Only jobs == 1 rows gate the build: on a single-CPU host the
+    # multi-thread rows measure thread oversubscription, not engine
+    # throughput, so their ratios are printed for information only.
+    printf '%s\n' "$baseline" >/tmp/bench_baseline.$$
+    awk '
+        function field(line, key,   v) {
+            v = line
+            if (!sub(".*\"" key "\": *", "", v)) return ""
+            sub("[,}].*", "", v)
+            gsub(/"/, "", v)
+            return v
+        }
+        /"name":.*"events_per_sec":/ {
+            k = field($0, "name") "@" field($0, "jobs")
+            v = field($0, "events_per_sec") + 0
+            if (FNR == NR) { base[k] = v; next }
+            if (k in base && base[k] > 0) {
+                ratio = v / base[k]
+                note = ""
+                if (ratio < 0.8) {
+                    if (field($0, "jobs") == 1) { bad = 1; note = "  REGRESSION" }
+                    else { note = "  (informational: parallel row)" }
+                }
+                printf "   %-28s %12.0f -> %12.0f ev/s (%.2fx)%s\n", k, base[k], v, ratio, note
+            } else {
+                printf "   %-28s (no comparable baseline) %12.0f ev/s\n", k, v
+            }
+        }
+        END { if (FNR == NR) exit 0; exit bad ? 1 : 0 }
+    ' /tmp/bench_baseline.$$ BENCH_engine.json || {
+        rm -f /tmp/bench_baseline.$$
+        echo "FAIL: serial events/sec regressed >20% vs committed BENCH_engine.json" >&2
+        exit 1
+    }
+    rm -f /tmp/bench_baseline.$$
+fi
+
+echo "== cache + memo hit rates (this verify run)"
+grep -E '"schedule_cache"|"sim_memo"|"payload_allocs"' BENCH_engine.json | sed 's/^ */   /'
 
 echo "verify: OK"
