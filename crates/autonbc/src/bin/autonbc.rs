@@ -17,7 +17,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  autonbc platforms\n  autonbc tune --platform <name> --op <op> --procs <n> --msg <size> \\\n               [--iters N] [--compute DUR] [--progress N] [--logic brute|heuristic|factorial]\\\n               [--reps N] [--all-fixed] [--noise SEED] [--roundrobin]\n  autonbc fft  --platform <name> --procs <n> [--grid N] [--iters N] \\\n               [--mode adcl|adcl-ext|libnbc|mpi] [--pattern NAME]\n\nops: ialltoall ialltoall-ext ibcast iallgather ireduce iallreduce igather iscatter\nsizes accept K/M suffixes; durations accept us/ms/s suffixes"
+        "usage:\n  autonbc platforms\n  autonbc tune --platform <name> --op <op> --procs <n> --msg <size> \\\n               [--iters N] [--compute DUR] [--progress N] [--logic brute|heuristic|factorial]\\\n               [--reps N] [--all-fixed] [--noise SEED] [--roundrobin]\n  autonbc fft  --platform <name> --procs <n> [--grid N] [--iters N] \\\n               [--mode adcl|adcl-ext|libnbc|mpi] [--pattern NAME]\n\nops: ialltoall ialltoall-ext ibcast iallgather ireduce iallreduce igather iscatter\nsizes accept K/M suffixes; durations accept us/ms/s suffixes\n\nany command also accepts --trace-out <file> (or NBC_TRACE=<file>): write a\nChrome trace_event timeline plus the tuner decision audit log"
     );
     exit(2)
 }
@@ -311,12 +311,35 @@ fn cmd_fft(flags: HashMap<String, String>) {
     }
 }
 
+/// Strip the global `--trace-out <path>` / `--trace-out=<path>` flag from
+/// `args`, enabling span tracing and the decision audit log to `path`.
+fn take_trace_out(args: &mut Vec<String>) {
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(p) = args[i].strip_prefix("--trace-out=") {
+            simcore::trace::set_out_path(p);
+            args.remove(i);
+        } else if args[i] == "--trace-out" {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --trace-out");
+                usage();
+            }
+            simcore::trace::set_out_path(&args[i + 1]);
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    take_trace_out(&mut args);
     match args.first().map(|s| s.as_str()) {
         Some("platforms") => cmd_platforms(),
         Some("tune") => cmd_tune(parse_flags(&args[1..])),
         Some("fft") => cmd_fft(parse_flags(&args[1..])),
         _ => usage(),
     }
+    autonbc::traceout::write_if_requested();
 }

@@ -162,6 +162,21 @@ impl MicrobenchSpec {
                 filter: FilterKind::default(),
             },
         );
+        if world.tracing() {
+            // One label names both the timeline (process row in the Chrome
+            // trace) and the tuner's audit records for this run.
+            let label = format!(
+                "{}/{}/p{}/m{}/g{}/{:?}",
+                self.platform.name,
+                self.op.name(),
+                self.nprocs,
+                self.msg_bytes,
+                self.num_progress,
+                logic
+            );
+            world.set_trace_label(&label);
+            session.ops[op].tuner.set_label(&label);
+        }
         let timer = session.add_timer(vec![op]);
         let scripts: Vec<Box<dyn Script>> = MicroBenchScript::per_rank_imbalanced(
             self.bench_config(),

@@ -48,6 +48,7 @@ pub use netmodel;
 pub use simcore;
 
 pub mod driver;
+pub mod traceout;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -84,4 +84,5 @@ fn main() {
     println!("waits for the slowest arrival), and the margins between algorithms");
     println!("compress or flip — another reason tuning must happen at run time in");
     println!("the application's own arrival conditions, not in a synthetic bench.");
+    bench::write_trace_if_requested();
 }

@@ -152,4 +152,5 @@ fn main() {
     println!("expected: the co-tuned run converges near the oracle combination,");
     println!("paying one learning phase per operation (sequentially, so the");
     println!("measured section always has exactly one experimental variable).");
+    bench::write_trace_if_requested();
 }

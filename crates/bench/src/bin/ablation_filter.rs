@@ -122,4 +122,5 @@ fn main() {
     println!("ones survive the fences); the median is the most robust estimator");
     println!("under rare-but-large interference. In spike-free runs all filters");
     println!("agree, so robustness costs nothing (see the verification table).");
+    bench::write_trace_if_requested();
 }

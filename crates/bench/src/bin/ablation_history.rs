@@ -76,4 +76,5 @@ fn main() {
     );
     println!("the saving equals the learning-phase overhead, which matters most for");
     println!("short-running jobs (the paper's motivation for historic learning).");
+    bench::write_trace_if_requested();
 }

@@ -72,4 +72,5 @@ fn main() {
     println!("expected: below the threshold (eager) the single-progress-call run");
     println!("already overlaps; above it (rendezvous) it pays a large penalty that");
     println!("additional progress calls recover.");
+    bench::write_trace_if_requested();
 }

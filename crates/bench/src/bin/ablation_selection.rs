@@ -81,4 +81,5 @@ fn main() {
     println!("expected: brute force needs 21 x reps learning iterations and finds the");
     println!("best; the heuristic needs ~(7+3) x reps and is usually within a few");
     println!("percent; the factorial design needs 4 x reps and screens coarsely.");
+    bench::write_trace_if_requested();
 }

@@ -56,4 +56,5 @@ fn main() {
     println!();
     println!("paper: ADCL outperforms LibNBC in the vast majority of cases, but in");
     println!("some scenarios the blocking MPI_Alltoall beats all non-blocking ones.");
+    bench::write_trace_if_requested();
 }

@@ -91,4 +91,5 @@ fn main() {
     println!("paper: including blocking algorithms in the Ialltoall function-set lets");
     println!("ADCL decide blocking vs non-blocking at run time; the longer learning");
     println!("phase is amortized in long-running applications.");
+    bench::write_trace_if_requested();
 }

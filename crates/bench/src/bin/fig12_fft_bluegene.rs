@@ -73,4 +73,5 @@ fn main() {
     println!("paper: at 1024 processes on the BlueGene/P the blocking MPI_Alltoall");
     println!("outperformed all non-blocking versions in several patterns; the");
     println!("extended function-set lets ADCL make that call itself.");
+    bench::write_trace_if_requested();
 }

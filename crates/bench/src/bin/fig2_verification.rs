@@ -41,4 +41,5 @@ fn main() {
             }
         }
     }
+    bench::write_trace_if_requested();
 }

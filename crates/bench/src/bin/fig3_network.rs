@@ -75,4 +75,5 @@ fn main() {
         best(&ib_rows),
         best(&tcp_rows)
     );
+    bench::write_trace_if_requested();
 }

@@ -67,4 +67,5 @@ fn main() {
     println!();
     println!("paper: dissemination best at 1 KiB and worst at 128 KiB; linear and");
     println!("pairwise poor at 1 KiB and strong at 128 KiB.");
+    bench::write_trace_if_requested();
 }

@@ -57,4 +57,5 @@ fn main() {
     println!();
     println!("paper: dissemination good at 32 procs, poor at 128; linear/pairwise");
     println!("poor at 32, very good at 128 on this platform.");
+    bench::write_trace_if_requested();
 }

@@ -51,4 +51,23 @@ fn main() {
     println!();
     println!("paper: increasing the number of progress calls eventually increases");
     println!("the execution time — each call costs CPU inside the progress engine.");
+    if simcore::trace::enabled() {
+        // Tracing-only demonstration run (prints nothing, so untraced
+        // stdout is unchanged): a 256 KiB Ibcast whose 32 KiB segments go
+        // rendezvous on whale's inter-node transport, starved down to a
+        // single progress call per iteration. Its timeline shows the
+        // rendezvous handshake stalls that make progress calls matter —
+        // the mechanism behind this figure's curve.
+        let mut s = base_spec(Platform::whale(), p, 256 * 1024);
+        s.op = CollectiveOp::Ibcast;
+        s.iters = 10;
+        s.compute_total = SimTime::from_millis(10);
+        s.num_progress = 1;
+        let demo_fnset = CollectiveOp::Ibcast.fnset(s.coll_spec());
+        let demo_idx = demo_fnset
+            .index_of("binomial-seg32k")
+            .expect("known function");
+        let _ = s.run(SelectionLogic::Fixed(demo_idx));
+    }
+    bench::write_trace_if_requested();
 }

@@ -59,4 +59,5 @@ fn main() {
     println!();
     println!("paper: pairwise delivers the best performance when only a single");
     println!("progress call can be inserted; linear does best with more than one.");
+    bench::write_trace_if_requested();
 }

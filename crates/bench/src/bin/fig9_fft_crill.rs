@@ -47,4 +47,5 @@ fn main() {
     println!();
     println!("paper: ADCL reduced execution time vs LibNBC in 74% of 393 tests;");
     println!("LibNBC only supports the linear algorithm by default.");
+    bench::write_trace_if_requested();
 }

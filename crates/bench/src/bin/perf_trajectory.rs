@@ -209,7 +209,23 @@ fn main() {
         simcore::stats::payload_allocs()
     );
 
+    // Full registry snapshot (process-lifetime totals; also embedded in the
+    // JSON report's "metrics" block).
+    println!();
+    println!("metrics registry:");
+    for (name, reading) in simcore::metrics::snapshot() {
+        match reading {
+            simcore::metrics::Reading::Counter(v) => println!("  {name:<28} {v}"),
+            simcore::metrics::Reading::Gauge(v) => println!("  {name:<28} {v} (gauge)"),
+            simcore::metrics::Reading::Histogram { count, sum, max } => {
+                let mean = sum.checked_div(count).unwrap_or(0);
+                println!("  {name:<28} n={count} mean={mean} max={max}");
+            }
+        }
+    }
+
     let path = "BENCH_engine.json";
     report.write(path).expect("write BENCH_engine.json");
     println!("wrote {path}");
+    bench::write_trace_if_requested();
 }

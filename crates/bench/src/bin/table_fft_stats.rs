@@ -172,4 +172,5 @@ fn main() {
         "best improvement over LibNBC: {:.0}% (paper: up to 40%)",
         best_improvement * 100.0
     );
+    bench::write_trace_if_requested();
 }

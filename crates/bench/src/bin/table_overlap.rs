@@ -64,4 +64,5 @@ fn main() {
     println!("time ~ 0); rendezvous payloads are exposed at one call and recover");
     println!("with ten; the linear algorithm has the least library time per round");
     println!("but the most concurrent traffic.");
+    bench::write_trace_if_requested();
 }

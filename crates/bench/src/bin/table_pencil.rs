@@ -122,4 +122,5 @@ fn main() {
         pencil_cfg.col_msg_bytes()
     );
     println!("different regimes, so per-communicator tuning can pick differently.");
+    bench::write_trace_if_requested();
 }

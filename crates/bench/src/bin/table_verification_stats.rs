@@ -197,4 +197,5 @@ fn main() {
             if name.starts_with("brute") { 90 } else { 92 }
         );
     }
+    bench::write_trace_if_requested();
 }

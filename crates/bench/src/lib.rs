@@ -45,8 +45,10 @@ pub struct Args {
 
 impl Args {
     /// Parse from `std::env::args`. Recognized: `--full`, `--quick`,
-    /// `--jobs N` (also `--jobs=N`; `0` = auto) and `--help`. Also
-    /// publishes the resolved worker count via [`set_jobs`].
+    /// `--jobs N` (also `--jobs=N`; `0` = auto), `--trace-out FILE` (also
+    /// `--trace-out=FILE`; enables tracing to that file, like
+    /// `NBC_TRACE=FILE`) and `--help`. Also publishes the resolved worker
+    /// count via [`set_jobs`].
     pub fn parse() -> Args {
         let mut full = false;
         let mut quick = false;
@@ -63,18 +65,35 @@ impl Args {
                     });
                     jobs = Some(parse_jobs(&v));
                 }
+                "--trace-out" => {
+                    // `Args` is `Copy`, so the path rides on the global
+                    // trace configuration rather than the struct.
+                    let v = it.next().unwrap_or_else(|| {
+                        eprintln!("--trace-out needs a file path");
+                        std::process::exit(2);
+                    });
+                    simcore::trace::set_out_path(&v);
+                }
                 "--help" | "-h" => {
-                    println!("usage: <figure-binary> [--full | --quick] [--jobs N]");
-                    println!("  --full     paper-scale process counts (slower)");
-                    println!("  --quick    minimal smoke-sized sweep (fast)");
-                    println!("  --jobs N   worker threads for the sweep (0 = auto)");
+                    println!(
+                        "usage: <figure-binary> [--full | --quick] [--jobs N] [--trace-out FILE]"
+                    );
+                    println!("  --full           paper-scale process counts (slower)");
+                    println!("  --quick          minimal smoke-sized sweep (fast)");
+                    println!("  --jobs N         worker threads for the sweep (0 = auto)");
+                    println!("  --trace-out FILE write a Chrome trace_event timeline plus the");
+                    println!("                   tuner audit log (same as NBC_TRACE=FILE)");
                     std::process::exit(0);
                 }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         jobs = Some(parse_jobs(v));
+                    } else if let Some(v) = other.strip_prefix("--trace-out=") {
+                        simcore::trace::set_out_path(v);
                     } else {
-                        eprintln!("unknown argument {other}; supported: --full --quick --jobs N");
+                        eprintln!(
+                            "unknown argument {other}; supported: --full --quick --jobs N --trace-out FILE"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -120,6 +139,14 @@ impl Args {
             standard
         }
     }
+}
+
+/// Write the collected timeline + tuner audit log to the `--trace-out` /
+/// `NBC_TRACE` path, if one was configured. Every figure binary calls this
+/// as its last statement; it is a no-op with tracing off and reports only
+/// to stderr, so figure stdout stays byte-identical either way.
+pub fn write_trace_if_requested() {
+    autonbc::traceout::write_if_requested();
 }
 
 fn parse_jobs(v: &str) -> usize {

@@ -171,13 +171,17 @@ impl PerfReport {
         }
     }
 
-    /// Render the report as a JSON document (schedule-cache and sim-memo
-    /// stats are sampled at render time).
+    /// Render the report as a JSON document (schedule-cache, sim-memo and
+    /// registry stats are sampled at render time). Schema v3 adds a
+    /// `metrics` block: the full `simcore::metrics` registry snapshot
+    /// (process-lifetime totals, not session deltas — the legacy
+    /// `schedule_cache` / `sim_memo` / `payload_allocs` keys keep the
+    /// session-scoped semantics).
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v2\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v3\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -193,6 +197,21 @@ impl PerfReport {
             "  \"payload_allocs\": {},\n",
             simcore::stats::payload_allocs()
         ));
+        let snap = simcore::metrics::snapshot();
+        s.push_str("  \"metrics\": {");
+        for (i, (name, reading)) in snap.iter().enumerate() {
+            let comma = if i + 1 == snap.len() { "" } else { "," };
+            let rendered = match *reading {
+                simcore::metrics::Reading::Counter(v) | simcore::metrics::Reading::Gauge(v) => {
+                    v.to_string()
+                }
+                simcore::metrics::Reading::Histogram { count, sum, max } => {
+                    format!("{{\"count\": {count}, \"sum\": {sum}, \"max\": {max}}}")
+                }
+            };
+            s.push_str(&format!("\n    {}: {rendered}{comma}", json_str(name)));
+        }
+        s.push_str("\n  },\n");
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
@@ -283,9 +302,12 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v2"));
+        assert!(j.contains("adcl-bench-engine-v3"));
         assert!(j.contains("\"sim_memo\""));
+        assert!(j.contains("\"metrics\""));
         assert!(j.contains("\"allocs_per_event\""));
         assert!(j.contains("\"speedup_vs_serial\""));
+        // The whole report must parse as a standalone JSON document.
+        simcore::json::parse(&j).expect("report is valid JSON");
     }
 }

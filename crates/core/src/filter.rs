@@ -45,6 +45,41 @@ impl FilterKind {
         }
     }
 
+    /// Number of samples that survive this filter (the population whose
+    /// mean [`FilterKind::score`] reports). Feeds the tuner decision audit
+    /// log, where `samples - survivors` is the outlier-rejection count.
+    pub fn survivors(&self, samples: &[f64]) -> usize {
+        if samples.is_empty() {
+            return 0;
+        }
+        match *self {
+            // Mean and median are computed over the full sample set.
+            FilterKind::None | FilterKind::Median => samples.len(),
+            FilterKind::Iqr(k) => stats::iqr_filter(samples, k).len(),
+            FilterKind::Trimmed(t) => {
+                let drop = ((samples.len() as f64) * t).floor() as usize;
+                let keep = samples.len().saturating_sub(2 * drop);
+                // trimmed_mean falls back to the median of the full set
+                // when the trim leaves nothing.
+                if keep == 0 {
+                    samples.len()
+                } else {
+                    keep
+                }
+            }
+        }
+    }
+
+    /// Short human-readable name of this policy for audit records.
+    pub fn describe(&self) -> String {
+        match *self {
+            FilterKind::None => "none".into(),
+            FilterKind::Iqr(k) => format!("iqr({k})"),
+            FilterKind::Trimmed(t) => format!("trimmed({t})"),
+            FilterKind::Median => "median".into(),
+        }
+    }
+
     /// Index of the best (lowest-scoring) sample set among `sets`, or
     /// `None` if every set is empty.
     pub fn argmin(&self, sets: &[Vec<f64>]) -> Option<usize> {
@@ -83,6 +118,16 @@ mod tests {
     fn median_robust() {
         let xs = [1.0, 1.0, 1.0, 1.0, 100.0];
         assert_eq!(FilterKind::Median.score(&xs), 1.0);
+    }
+
+    #[test]
+    fn survivors_counts_filter_population() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 20.0];
+        assert_eq!(FilterKind::None.survivors(&xs), 9);
+        assert_eq!(FilterKind::Median.survivors(&xs), 9);
+        assert_eq!(FilterKind::Iqr(1.5).survivors(&xs), 8); // spike rejected
+        assert_eq!(FilterKind::Trimmed(0.2).survivors(&xs), 7); // 1 per tail
+        assert_eq!(FilterKind::default().survivors(&[]), 0);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   call that drives the underlying LibNBC-like schedules, whose
 //!   count/frequency is itself a tunable property of the application.
 //! * **Historic learning** ([`history`]) — winners persisted across runs.
+//! * **The decision audit log** ([`audit`]) — when `NBC_TRACE` is set,
+//!   every live tuning decision is recorded with its full evidence
+//!   (candidate scores, filtered sample counts, winner margin).
 //! * **The micro-benchmark** ([`microbench`]) — the paper's §IV-A loop:
 //!   initiate, compute in chunks with interleaved progress calls, wait.
 //!
@@ -30,6 +33,7 @@
 //! laptop; see `DESIGN.md` for the substitution rationale.
 
 pub mod attr;
+pub mod audit;
 pub mod filter;
 pub mod function;
 pub mod history;

@@ -232,8 +232,11 @@ impl TuningSession {
 
     /// Register an operation with a pre-built tuner (e.g. seeded from the
     /// history store).
-    pub fn add_op_with_tuner(&mut self, name: &str, fnset: FunctionSet, tuner: Tuner) -> usize {
+    pub fn add_op_with_tuner(&mut self, name: &str, fnset: FunctionSet, mut tuner: Tuner) -> usize {
         let id = self.ops.len();
+        // Default audit-log context; drivers overwrite it with a richer
+        // label (platform/shape/strategy) when one is known.
+        tuner.set_label(name);
         self.ops
             .push(TunedOp::new(name, fnset, tuner, id as u64 + 1, self.nranks));
         id

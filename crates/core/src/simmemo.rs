@@ -26,6 +26,7 @@
 //! sweeps do not serialize on one lock; the closure runs *outside* the
 //! shard lock, and a lost insert race just adopts the winner's value.
 
+use simcore::metrics::{self, Counter};
 use std::any::Any;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -39,18 +40,27 @@ type Shard = Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>;
 
 struct Memo {
     shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    replayed_events: AtomicU64,
+    /// Registry counters (`adcl.simmemo.*`) with subtractive baselines so
+    /// the process-wide metrics dump stays monotone while [`stats`] keeps
+    /// its "since last [`reset_stats`]" contract.
+    hits: &'static Counter,
+    misses: &'static Counter,
+    replayed_events: &'static Counter,
+    hits_base: AtomicU64,
+    misses_base: AtomicU64,
+    replayed_base: AtomicU64,
 }
 
 fn memo() -> &'static Memo {
     static MEMO: OnceLock<Memo> = OnceLock::new();
     MEMO.get_or_init(|| Memo {
         shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-        replayed_events: AtomicU64::new(0),
+        hits: metrics::counter("adcl.simmemo.hits"),
+        misses: metrics::counter("adcl.simmemo.misses"),
+        replayed_events: metrics::counter("adcl.simmemo.replayed_events"),
+        hits_base: AtomicU64::new(0),
+        misses_base: AtomicU64::new(0),
+        replayed_base: AtomicU64::new(0),
     })
 }
 
@@ -130,13 +140,13 @@ where
     let shard = &m.shards[shard_of(key)];
     if let Some(found) = shard.lock().unwrap().get(key) {
         if let Ok(typed) = Arc::clone(found).downcast::<T>() {
-            m.hits.fetch_add(1, Ordering::Relaxed);
+            m.hits.inc();
             return (typed, true);
         }
         // Same key, different outcome type: a fingerprint collision across
         // call sites. Treat as a miss and overwrite below.
     }
-    m.misses.fetch_add(1, Ordering::Relaxed);
+    m.misses.inc();
     let fresh: Arc<T> = Arc::new(run());
     let mut g = shard.lock().unwrap();
     match g.get(key) {
@@ -160,25 +170,36 @@ where
 /// stood in for a run that would have processed this many events. The perf
 /// harness folds this into effective events/sec.
 pub fn credit_replay(events: u64) {
-    memo().replayed_events.fetch_add(events, Ordering::Relaxed);
+    memo().replayed_events.add(events);
 }
 
 /// Current counters.
 pub fn stats() -> MemoStats {
     let m = memo();
     MemoStats {
-        hits: m.hits.load(Ordering::Relaxed),
-        misses: m.misses.load(Ordering::Relaxed),
-        replayed_events: m.replayed_events.load(Ordering::Relaxed),
+        hits: m
+            .hits
+            .get()
+            .saturating_sub(m.hits_base.load(Ordering::Relaxed)),
+        misses: m
+            .misses
+            .get()
+            .saturating_sub(m.misses_base.load(Ordering::Relaxed)),
+        replayed_events: m
+            .replayed_events
+            .get()
+            .saturating_sub(m.replayed_base.load(Ordering::Relaxed)),
     }
 }
 
-/// Zero the counters (entries are kept).
+/// Zero the counters (entries are kept; the underlying registry counters
+/// keep their monotone totals).
 pub fn reset_stats() {
     let m = memo();
-    m.hits.store(0, Ordering::Relaxed);
-    m.misses.store(0, Ordering::Relaxed);
-    m.replayed_events.store(0, Ordering::Relaxed);
+    m.hits_base.store(m.hits.get(), Ordering::Relaxed);
+    m.misses_base.store(m.misses.get(), Ordering::Relaxed);
+    m.replayed_base
+        .store(m.replayed_events.get(), Ordering::Relaxed);
 }
 
 /// Number of memoized outcomes.

@@ -8,6 +8,7 @@
 //! slightly different times — the same mechanism the real library uses at
 //! its synchronization points.
 
+use crate::audit::{self, CandidateAudit, DecisionAudit};
 use crate::filter::FilterKind;
 use crate::function::FunctionSet;
 use crate::strategy::{SelectionLogic, Strategy};
@@ -77,6 +78,12 @@ pub struct Tuner {
     /// Warm-up samples still to discard, per function.
     discards_left: Vec<usize>,
     n_funcs: usize,
+    /// Operation name (from the function set), for audit records.
+    op: String,
+    /// Per-function implementation names, for audit records.
+    func_names: Vec<String>,
+    /// Context label set by the driver via [`Tuner::set_label`].
+    label: String,
 }
 
 impl Tuner {
@@ -102,6 +109,9 @@ impl Tuner {
             converged_at: None,
             discards_left: vec![warmup; fnset.len()],
             n_funcs: fnset.len(),
+            op: fnset.name.clone(),
+            func_names: fnset.functions.iter().map(|f| f.name.clone()).collect(),
+            label: String::new(),
         }
     }
 
@@ -122,19 +132,80 @@ impl Tuner {
         &self.cfg
     }
 
+    /// Set the audit-log context label for this tuner (e.g. platform, op
+    /// shape and strategy of the surrounding experiment). Recorded verbatim
+    /// in every [`DecisionAudit`] this tuner emits.
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_owned();
+    }
+
     /// Function to use for iteration `iter` (memoized; forces assignments
     /// for any earlier unassigned iterations).
     pub fn function_for_iter(&mut self, iter: usize) -> usize {
         while self.assignments.len() <= iter {
             let f = self.strategy.next_assignment(&self.samples);
             if self.converged_at.is_none() {
-                if let Some(_w) = self.strategy.winner() {
+                if let Some(w) = self.strategy.winner() {
                     self.converged_at = Some(self.assignments.len());
+                    self.emit_audit(w, self.assignments.len());
                 }
             }
             self.assignments.push(f);
         }
         self.assignments[iter]
+    }
+
+    /// Record the decision just committed by the strategy. Gated on
+    /// tracing being enabled (one branch when off). Historic-learning
+    /// tuners never reach this: [`Tuner::with_known_winner`] pre-sets
+    /// `converged_at`, so the commit path above is skipped.
+    fn emit_audit(&self, winner: usize, decided_at_iter: usize) {
+        if !simcore::trace::enabled() {
+            return;
+        }
+        let scores: Vec<f64> = (0..self.n_funcs)
+            .map(|f| self.cfg.filter.score(&self.samples[f]))
+            .collect();
+        let candidates: Vec<CandidateAudit> = (0..self.n_funcs)
+            .map(|f| CandidateAudit {
+                func: f,
+                name: self
+                    .func_names
+                    .get(f)
+                    .cloned()
+                    .unwrap_or_else(|| format!("f{f}")),
+                samples: self.samples[f].len(),
+                kept: self.cfg.filter.survivors(&self.samples[f]),
+                score: scores[f],
+            })
+            .collect();
+        let winner_score = scores.get(winner).copied().unwrap_or(f64::INFINITY);
+        let runner_up = scores
+            .iter()
+            .enumerate()
+            .filter(|&(f, s)| f != winner && s.is_finite())
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min);
+        let margin = if winner_score.is_finite() && winner_score > 0.0 && runner_up.is_finite() {
+            (runner_up - winner_score) / winner_score
+        } else {
+            0.0
+        };
+        audit::record(DecisionAudit {
+            label: self.label.clone(),
+            op: self.op.clone(),
+            strategy: self.strategy.name(),
+            filter: self.cfg.filter.describe(),
+            decided_at_iter,
+            winner,
+            winner_name: self
+                .func_names
+                .get(winner)
+                .cloned()
+                .unwrap_or_else(|| format!("f{winner}")),
+            margin,
+            candidates,
+        });
     }
 
     /// Function for iteration `iter` while this operation is *frozen*

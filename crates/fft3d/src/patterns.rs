@@ -283,6 +283,14 @@ pub fn run_fft_kernel(
     noise: NoiseConfig,
 ) -> FftRunResult {
     let mut world = World::new(platform.clone(), p, cfg.placement, noise);
+    if world.tracing() {
+        world.set_trace_label(&format!(
+            "fft/{}/{}/{}/p{p}",
+            platform.name,
+            pattern.name(),
+            mode.name()
+        ));
+    }
     let mut session = TuningSession::new(p);
     let msg = cfg.tile_msg_bytes(pattern, p);
     let spec = CollSpec::new(p, msg);

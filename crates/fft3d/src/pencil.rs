@@ -224,6 +224,12 @@ pub fn run_pencil(
 ) -> PencilResult {
     let p = cfg.nprocs();
     let mut world = World::new(platform.clone(), p, cfg.placement, noise);
+    if world.tracing() {
+        world.set_trace_label(&format!(
+            "pencil/{}/{}x{}/{logic:?}",
+            platform.name, cfg.pr, cfg.pc
+        ));
+    }
     let mut session = TuningSession::new(p);
     let tuner_cfg = TunerConfig {
         logic,

@@ -51,6 +51,9 @@ pub struct Message {
     /// Per-(src, dst) channel sequence number; envelopes are delivered to
     /// the matching logic in this order (MPI non-overtaking).
     pub seq: u64,
+    /// Local time at which the sender posted this message (start of its
+    /// lifecycle span in trace exports).
+    pub posted_at: SimTime,
     pub send_state: SendState,
     /// Index of the matched receive request, once matched.
     pub matched_recv: Option<usize>,
@@ -77,6 +80,7 @@ impl Message {
         bytes: usize,
         protocol: Protocol,
         seq: u64,
+        posted_at: SimTime,
     ) -> Self {
         Message {
             src,
@@ -85,6 +89,7 @@ impl Message {
             bytes,
             protocol,
             seq,
+            posted_at,
             send_state: SendState::Posted,
             matched_recv: None,
             data_arrival: None,
@@ -147,7 +152,7 @@ mod tests {
 
     #[test]
     fn message_lifecycle_defaults() {
-        let m = Message::new(0, 1, Tag(5), 100, Protocol::Eager, 0);
+        let m = Message::new(0, 1, Tag(5), 100, Protocol::Eager, 0, SimTime::ZERO);
         assert_eq!(m.send_state, SendState::Posted);
         assert!(m.send_drained().is_none());
         assert!(m.matched_recv.is_none());
@@ -155,7 +160,7 @@ mod tests {
 
     #[test]
     fn drained_reports_time() {
-        let mut m = Message::new(0, 1, Tag(5), 100, Protocol::Rendezvous, 0);
+        let mut m = Message::new(0, 1, Tag(5), 100, Protocol::Rendezvous, 0, SimTime::ZERO);
         m.send_state = SendState::Drained(SimTime::from_micros(9));
         assert_eq!(m.send_drained(), Some(SimTime::from_micros(9)));
     }

@@ -5,20 +5,53 @@ use crate::bufpool::{BufPool, Payload};
 use crate::message::{Message, Protocol, RecvReq, RecvState, SendState};
 use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 use netmodel::{NetworkState, Placement, Platform};
+use simcore::metrics::{self, Counter, Gauge, Histogram};
 use simcore::rng::NoiseModel;
+use simcore::trace::{self, WorldTrace};
 use simcore::{EventQueue, SimTime};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Process-wide count of simulator events applied by every [`World::run`]
-/// that has finished (successfully or in deadlock). The parallel sweep
-/// engine's perf harness reads this to report events/second across worker
-/// threads.
-static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+// Registry-backed engine metrics. Handles are cached in `OnceLock`s so the
+// registry lock is taken once per metric, not per update; the hot counts
+// (events, polls, unexpected matches) accumulate in plain per-world fields
+// and flush here once per `World::run` so parallel sweeps never contend on
+// a shared cache line inside the event loop.
+fn m_sim_events() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.sim_events"))
+}
 
-/// Total simulator events processed by completed runs in this process.
+fn m_polls() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.polls"))
+}
+
+fn m_unexpected() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.unexpected_msgs"))
+}
+
+fn m_rdv_stalls() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.rdv_stalls"))
+}
+
+fn m_rdv_stall_ns() -> &'static Histogram {
+    static M: OnceLock<&'static Histogram> = OnceLock::new();
+    M.get_or_init(|| metrics::histogram("mpisim.rdv_stall_ns"))
+}
+
+fn m_queue_max_depth() -> &'static Gauge {
+    static M: OnceLock<&'static Gauge> = OnceLock::new();
+    M.get_or_init(|| metrics::gauge("mpisim.queue_max_depth"))
+}
+
+/// Total simulator events processed by completed runs in this process (the
+/// `mpisim.sim_events` registry counter; flushed at the end of each
+/// [`World::run`], successful or deadlocked).
 pub fn sim_events_total() -> u64 {
-    SIM_EVENTS.load(Ordering::Relaxed)
+    m_sim_events().get()
 }
 
 /// What a rank does next, as decided by its [`RankBehavior`].
@@ -202,8 +235,16 @@ pub struct World {
     next_tag: u64,
     polls: u64,
     protocol_actions: u64,
+    /// Polls already flushed to the metrics registry (delta tracking).
+    polls_flushed: u64,
+    /// Unexpected-message arrivals this run, flushed at the end of `run`.
+    unexpected_msgs: u64,
     /// Timeline segments, recorded only when tracing is enabled.
     trace: Option<Vec<TraceSegment>>,
+    /// Span/instant timeline for the observability layer (`NBC_TRACE`);
+    /// `None` when tracing is off, making every instrumentation site a
+    /// single branch. Published to the global collector on drop.
+    otrace: Option<Box<WorldTrace>>,
     /// Payload buffer pool shared by every rank of this world (worlds are
     /// single-threaded, so one pool per world is "rank-local" in the sense
     /// that matters: no cross-simulation contention).
@@ -255,7 +296,10 @@ impl World {
             next_tag: 0,
             polls: 0,
             protocol_actions: 0,
+            polls_flushed: 0,
+            unexpected_msgs: 0,
             trace: None,
+            otrace: trace::enabled().then(|| Box::new(WorldTrace::new(nranks))),
             pool: BufPool::new(),
         }
     }
@@ -287,6 +331,55 @@ impl World {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Is the observability timeline (`NBC_TRACE`) being recorded? Callers
+    /// with expensive-to-compute span attributes can skip the work when off.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.otrace.is_some()
+    }
+
+    /// Name this run in the exported timeline (the Perfetto process name).
+    /// No-op when tracing is off.
+    pub fn set_trace_label(&mut self, label: &str) {
+        if let Some(t) = self.otrace.as_mut() {
+            t.label = label.to_string();
+        }
+    }
+
+    /// Record a span on the observability timeline (no-op when off). Used
+    /// by the schedule executor for round and staging spans; all times are
+    /// simulated, so recording never perturbs the run.
+    #[inline]
+    pub fn trace_span(
+        &mut self,
+        rank: RankId,
+        name: &'static str,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+        args: [(&'static str, u64); 2],
+    ) {
+        if let Some(t) = self.otrace.as_mut() {
+            t.span(rank, name, cat, start, end, args);
+        }
+    }
+
+    /// Record an instant event on the observability timeline (no-op when
+    /// off).
+    #[inline]
+    pub fn trace_instant(
+        &mut self,
+        rank: RankId,
+        name: &'static str,
+        cat: &'static str,
+        ts: SimTime,
+        args: [(&'static str, u64); 2],
+    ) {
+        if let Some(t) = self.otrace.as_mut() {
+            t.instant(rank, name, cat, ts, args);
+        }
+    }
+
     fn record(&mut self, rank: RankId, kind: SegmentKind, start: SimTime, end: SimTime) {
         if end > start {
             if let Some(t) = self.trace.as_mut() {
@@ -296,6 +389,9 @@ impl World {
                     start,
                     end,
                 });
+            }
+            if let Some(t) = self.otrace.as_mut() {
+                t.span(rank, kind.label(), "rank", start, end, trace::NO_ARGS);
             }
         }
     }
@@ -428,7 +524,7 @@ impl World {
         };
         if self.net.is_eager(src, dst, bytes) {
             let plan = self.net.plan_transfer(at, src, dst, bytes);
-            let mut m = Message::new(src, dst, tag, bytes, Protocol::Eager, seq);
+            let mut m = Message::new(src, dst, tag, bytes, Protocol::Eager, seq, at);
             m.payload = payload;
             self.msgs.push(m);
             self.events.push(
@@ -447,7 +543,7 @@ impl World {
             );
         } else {
             let rts = self.net.ctrl_arrival(at, src, dst);
-            let mut m = Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq);
+            let mut m = Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq, at);
             m.payload = payload;
             self.msgs.push(m);
             self.events.push(
@@ -479,6 +575,14 @@ impl World {
             .position(|&m| self.msgs[m].src == src && self.msgs[m].tag == tag);
         if let Some(pos) = pos {
             let mid = self.ranks[rank].unexpected.remove(pos);
+            if self.otrace.is_some() {
+                // The message sat in the unexpected queue from its arrival
+                // until this receive was posted: a match-queue stall.
+                let m = &self.msgs[mid];
+                let arrived = m.data_arrival.or(m.rts_arrival).unwrap_or(at);
+                let args = [("src", m.src as u64), ("bytes", m.bytes as u64)];
+                self.trace_span(rank, "unexpected", "match", arrived, at, args);
+            }
             self.match_pair(mid, rid, at, true);
         } else {
             self.ranks[rank].posted_recvs.push(rid);
@@ -578,6 +682,19 @@ impl World {
             }
             self.msgs[mid].cts_sent = true;
             let src = self.msgs[mid].src;
+            // The handshake stalled from RTS arrival until this progress
+            // call finally answered it — the cost the paper's progress
+            // study quantifies. Record it (rare enough to hit the global
+            // histogram directly).
+            if let Some(rts) = self.msgs[mid].rts_arrival {
+                if now > rts {
+                    let stall = now - rts;
+                    m_rdv_stalls().inc();
+                    m_rdv_stall_ns().record(stall.as_nanos());
+                    let args = [("src", src as u64), ("bytes", self.msgs[mid].bytes as u64)];
+                    self.trace_span(rank, "rdv_stall", "msg", rts, now, args);
+                }
+            }
             let arr = self.net.ctrl_arrival(now, rank, src);
             self.events.push(
                 arr,
@@ -619,6 +736,19 @@ impl World {
         starts.clear();
         self.scratch_starts = starts;
         self.protocol_actions += actions as u64;
+        // Only polls that did protocol work are worth a timeline event:
+        // poll-heavy configurations (num_progress in the hundreds) would
+        // otherwise drown the trace in no-op instants. Every poll still
+        // counts toward the `mpisim.polls` metric.
+        if actions > 0 {
+            self.trace_instant(
+                rank,
+                "progress",
+                "prog",
+                now,
+                [("actions", actions as u64), ("", 0)],
+            );
+        }
         actions
     }
 
@@ -684,7 +814,10 @@ impl World {
                             self.match_pair(mid, rid, t, false);
                             self.complete_recv(rid, t);
                         }
-                        None => self.ranks[rank].unexpected.push(mid),
+                        None => {
+                            self.unexpected_msgs += 1;
+                            self.ranks[rank].unexpected.push(mid);
+                        }
                     }
                 }
             }
@@ -698,9 +831,31 @@ impl World {
                         let rid = self.ranks[rank].posted_recvs.remove(p);
                         self.match_pair(mid, rid, t, false);
                     }
-                    None => self.ranks[rank].unexpected.push(mid),
+                    None => {
+                        self.unexpected_msgs += 1;
+                        self.ranks[rank].unexpected.push(mid);
+                    }
                 }
             }
+        }
+    }
+
+    /// Span/instant for one message lifecycle step, on the destination's
+    /// timeline (no-op when tracing is off).
+    fn trace_msg(
+        &mut self,
+        rank: RankId,
+        name: &'static str,
+        mid: usize,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.otrace.is_some() {
+            let args = [
+                ("src", self.msgs[mid].src as u64),
+                ("bytes", self.msgs[mid].bytes as u64),
+            ];
+            self.trace_span(rank, name, "msg", start, end, args);
         }
     }
 
@@ -708,18 +863,30 @@ impl World {
         match kind {
             NetEvent::EagerArrived(mid) => {
                 self.msgs[mid].data_arrival = Some(t);
+                // Whole eager lifecycle: post -> payload at destination.
+                self.trace_msg(rank, "eager", mid, self.msgs[mid].posted_at, t);
                 self.enqueue_envelope(rank, mid, t);
             }
             NetEvent::RtsArrived(mid) => {
                 self.msgs[mid].rts_arrival = Some(t);
+                // Rendezvous handshake: post -> RTS at destination.
+                self.trace_msg(rank, "rts", mid, self.msgs[mid].posted_at, t);
                 self.enqueue_envelope(rank, mid, t);
             }
             NetEvent::CtsArrived(mid) => {
                 self.msgs[mid].send_state = SendState::CtsArrived(t);
+                if self.otrace.is_some() {
+                    let args = [("dst", self.msgs[mid].dst as u64), ("", 0)];
+                    self.trace_instant(rank, "cts", "msg", t, args);
+                }
                 self.ranks[rank].pending_data_start.push(mid);
             }
             NetEvent::DataArrived(mid) => {
                 self.msgs[mid].data_arrival = Some(t);
+                if self.msgs[mid].protocol == Protocol::Rendezvous {
+                    // Whole rendezvous lifecycle: post -> payload delivered.
+                    self.trace_msg(rank, "rdv", mid, self.msgs[mid].posted_at, t);
+                }
                 let rid = self.msgs[mid]
                     .matched_recv
                     .expect("rendezvous payload for unmatched message");
@@ -740,7 +907,13 @@ impl World {
     pub fn run(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
         let popped_at_start = self.events.popped();
         let out = self.run_inner(behavior);
-        SIM_EVENTS.fetch_add(self.events.popped() - popped_at_start, Ordering::Relaxed);
+        // Flush this run's per-world tallies to the registry in one shot —
+        // the hot loop itself never touches shared cache lines.
+        m_sim_events().add(self.events.popped() - popped_at_start);
+        m_polls().add(self.polls - self.polls_flushed);
+        self.polls_flushed = self.polls;
+        m_unexpected().add(std::mem::take(&mut self.unexpected_msgs));
+        m_queue_max_depth().record_max(self.events.max_len() as u64);
         out
     }
 
@@ -826,6 +999,17 @@ impl World {
                     return;
                 }
             }
+        }
+    }
+}
+
+impl Drop for World {
+    fn drop(&mut self) {
+        // Publish the observability timeline when the world goes away (not
+        // at the end of `run`: a world can run multiple times, and a
+        // deadlocked or panicked run should still surface its trace).
+        if let Some(t) = self.otrace.take() {
+            trace::publish(*t);
         }
     }
 }

@@ -10,7 +10,8 @@
 //!
 //! The map is sharded to keep lock hold times negligible when the parallel
 //! sweep engine (`simcore::par`) runs many simulations at once. Hit/miss
-//! counters feed the perf harness (`BENCH_engine.json`).
+//! counts live on the `simcore::metrics` registry (`nbc.cache.hits` /
+//! `nbc.cache.misses`) and feed the perf harness (`BENCH_engine.json`).
 //!
 //! Correctness: entries are immutable once inserted, and the key captures
 //! every input of the builders, so a cached schedule is structurally
@@ -27,6 +28,7 @@ use crate::neighbor::{build_neighbor, Cart2d, NeighborAlgo};
 use crate::reduce::{build_reduce, ReduceAlgo};
 use crate::schedule::{CollSpec, Schedule};
 use mpisim::RankId;
+use simcore::metrics::{self, Counter};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,16 +55,23 @@ const SHARDS: usize = 16;
 
 struct ScheduleCache {
     shards: Vec<Mutex<HashMap<Key, Arc<Schedule>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Registry counters plus subtractive baselines: the registry values
+    /// stay monotone for the process-wide metrics dump while [`stats`]
+    /// keeps its "since last [`reset_stats`]" contract.
+    hits: &'static Counter,
+    misses: &'static Counter,
+    hits_base: AtomicU64,
+    misses_base: AtomicU64,
 }
 
 fn cache() -> &'static ScheduleCache {
     static CACHE: OnceLock<ScheduleCache> = OnceLock::new();
     CACHE.get_or_init(|| ScheduleCache {
         shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
+        hits: metrics::counter("nbc.cache.hits"),
+        misses: metrics::counter("nbc.cache.misses"),
+        hits_base: AtomicU64::new(0),
+        misses_base: AtomicU64::new(0),
     })
 }
 
@@ -72,13 +81,13 @@ fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
     key.hash(&mut h);
     let shard = &c.shards[(h.finish() as usize) % SHARDS];
     if let Some(found) = shard.lock().unwrap().get(&key) {
-        c.hits.fetch_add(1, Ordering::Relaxed);
+        c.hits.inc();
         return Arc::clone(found);
     }
     // Build outside the lock: schedule construction can be expensive at
     // large scale, and two threads racing on the same key just means one
     // redundant build whose result loses the insert race.
-    c.misses.fetch_add(1, Ordering::Relaxed);
+    c.misses.inc();
     let built = Arc::new(build());
     Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
 }
@@ -87,16 +96,21 @@ fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
 pub fn stats() -> (u64, u64) {
     let c = cache();
     (
-        c.hits.load(Ordering::Relaxed),
-        c.misses.load(Ordering::Relaxed),
+        c.hits
+            .get()
+            .saturating_sub(c.hits_base.load(Ordering::Relaxed)),
+        c.misses
+            .get()
+            .saturating_sub(c.misses_base.load(Ordering::Relaxed)),
     )
 }
 
-/// Reset the hit/miss counters (the cached entries stay).
+/// Reset the hit/miss counters (the cached entries stay; the underlying
+/// registry counters keep their monotone totals).
 pub fn reset_stats() {
     let c = cache();
-    c.hits.store(0, Ordering::Relaxed);
-    c.misses.store(0, Ordering::Relaxed);
+    c.hits_base.store(c.hits.get(), Ordering::Relaxed);
+    c.misses_base.store(c.misses.get(), Ordering::Relaxed);
 }
 
 /// Number of distinct schedules currently interned.

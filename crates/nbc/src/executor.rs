@@ -126,6 +126,11 @@ pub struct ScheduleExec {
     started: bool,
     /// Payload staging strategy (see [`PayloadMode`]).
     payload_mode: PayloadMode,
+    /// When the outstanding round was posted (start of its trace span).
+    round_posted_at: SimTime,
+    /// The outstanding round's completion span has been emitted (guards
+    /// against duplicates when progress is invoked again after `done`).
+    round_traced: bool,
 }
 
 impl ScheduleExec {
@@ -143,6 +148,8 @@ impl ScheduleExec {
             recvs: Vec::new(),
             started: false,
             payload_mode: default_payload_mode(),
+            round_posted_at: SimTime::ZERO,
+            round_traced: true,
         }
     }
 
@@ -166,6 +173,8 @@ impl ScheduleExec {
             recvs: Vec::new(),
             started: false,
             payload_mode: default_payload_mode(),
+            round_posted_at: SimTime::ZERO,
+            round_traced: true,
         }
     }
 
@@ -258,6 +267,8 @@ impl ScheduleExec {
     fn post_round(&mut self, w: &mut World, now: SimTime) -> SimTime {
         self.sends.clear();
         self.recvs.clear();
+        self.round_posted_at = now;
+        self.round_traced = false;
         // Clone the Arc (pointer bump), not the round: `self.sched` can't be
         // borrowed across the `self.sends`/`self.recvs` pushes below, but the
         // shared schedule itself is immutable.
@@ -271,6 +282,12 @@ impl ScheduleExec {
                     let peer = self.global(*peer);
                     t += w.o_send(self.rank, peer);
                     let payload = self.stage_payload(w, a.bytes);
+                    if payload.is_some() && w.tracing() {
+                        // Payload staged into the send buffer (pool slab or
+                        // naive allocation) just before posting.
+                        let args = [("bytes", a.bytes as u64), ("", 0)];
+                        w.trace_instant(self.rank, "stage", "exec", t, args);
+                    }
                     let h = w.isend_payload(self.rank, peer, self.tag, a.bytes, t, payload);
                     self.sends.push(h);
                 }
@@ -309,6 +326,33 @@ impl ScheduleExec {
         self.post_round(w, now)
     }
 
+    /// Emit the completed round's span: from its posting to the latest
+    /// send-drain / receive-delivery among its handles. No-op when tracing
+    /// is off, the round had no point-to-point actions, or the span was
+    /// already emitted.
+    fn trace_round_end(&mut self, w: &mut World) {
+        if self.round_traced || !w.tracing() || (self.sends.is_empty() && self.recvs.is_empty()) {
+            return;
+        }
+        self.round_traced = true;
+        let mut end = self.round_posted_at;
+        for &h in &self.sends {
+            if let Some(t) = w.send_complete_time(h) {
+                end = end.max(t);
+            }
+        }
+        for &h in &self.recvs {
+            if let Some(t) = w.recv_complete_time(h) {
+                end = end.max(t);
+            }
+        }
+        let args = [
+            ("round", (self.next_round - 1) as u64),
+            ("actions", (self.sends.len() + self.recvs.len()) as u64),
+        ];
+        w.trace_span(self.rank, "round", "exec", self.round_posted_at, end, args);
+    }
+
     /// One progress-engine visit at time `now`: run the rendezvous protocol
     /// engine, then post as many follow-up rounds as have become ready.
     /// Returns `(cpu_cost, done)`.
@@ -321,6 +365,7 @@ impl ScheduleExec {
             if !self.round_complete(w, t) {
                 return (cost, false);
             }
+            self.trace_round_end(w);
             self.reap_payloads(w);
             if self.next_round >= self.sched.rounds.len() {
                 return (cost, true);

@@ -15,18 +15,26 @@
 //!   with a chunked work queue) that runs independent simulations on many
 //!   cores while keeping output bit-identical to a serial run,
 //! * [`check`] — a tiny deterministic property-test harness so the test
-//!   suite needs no external crates.
+//!   suite needs no external crates,
+//! * [`metrics`] — a process-wide registry of named counters/gauges/
+//!   histograms feeding `BENCH_engine.json` and `perf_trajectory`,
+//! * [`trace`] — a zero-overhead-when-off span/instant recorder stamped
+//!   with simulated time, exportable as Chrome `trace_event` JSON,
+//! * [`json`] — a minimal JSON parser so trace consumers need no deps.
 //!
 //! Nothing in this crate knows about MPI, networks or collectives; it is the
 //! bottom layer of the stack described in `DESIGN.md`.
 
 pub mod check;
+pub mod json;
+pub mod metrics;
 pub mod par;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use queue::EventQueue;
 pub use resource::FifoResource;

@@ -61,6 +61,7 @@ pub struct EventQueue<E> {
     seq: u64,
     now: SimTime,
     popped: u64,
+    max_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,6 +78,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            max_len: 0,
         }
     }
 
@@ -87,6 +89,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            max_len: 0,
         }
     }
 
@@ -96,6 +99,14 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// High-water mark of pending events over the queue's lifetime
+    /// (survives [`EventQueue::reset`], like [`EventQueue::popped`]). Feeds
+    /// the `mpisim.queue_max_depth` gauge.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.max_len
     }
 
     /// The time of the most recently popped event (the current simulation
@@ -147,6 +158,9 @@ impl<E> EventQueue<E> {
             key: pack(time, seq),
             event,
         });
+        if self.heap.len() > self.max_len {
+            self.max_len = self.heap.len();
+        }
     }
 
     /// Time of the next pending event, if any.
@@ -246,10 +260,12 @@ mod tests {
         for i in 0..5u64 {
             q.push(SimTime::from_nanos(i), i);
         }
+        assert_eq!(q.max_len(), 5);
         while q.pop().is_some() {}
         assert_eq!(q.popped(), 5);
         q.reset();
         assert_eq!(q.popped(), 5);
+        assert_eq!(q.max_len(), 5);
         q.push(SimTime::ZERO, 0);
         q.pop();
         assert_eq!(q.popped(), 6);

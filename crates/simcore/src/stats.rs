@@ -8,32 +8,42 @@
 //! interquartile-range (IQR) outlier rejection and trimmed means, mirroring
 //! the statistical filtering described for ADCL (Benkert et al.).
 
+use crate::metrics::{self, Counter};
 use crate::time::SimTime;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Process-wide count of payload-buffer heap allocations: every buffer-pool
-/// miss (a fresh slab had to be allocated) and every unpooled per-message
-/// allocation increments this. Always compiled in — a relaxed atomic add is
-/// far below the noise floor of a simulation event — so the perf harness can
-/// report `allocs_per_event` without a feature flag.
-static PAYLOAD_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// The `simcore.payload_allocs` counter: payload-buffer heap allocations —
+/// every buffer-pool miss (a fresh slab had to be allocated) and every
+/// unpooled per-message allocation. Lives on the [`metrics`] registry; the
+/// three functions below are thin shims kept so call sites don't churn.
+fn payload_alloc_counter() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("simcore.payload_allocs"))
+}
 
 /// Record one payload-buffer heap allocation (called at pool miss sites).
 #[inline]
 pub fn record_payload_alloc() {
-    PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    payload_alloc_counter().inc();
 }
 
 /// Total payload-buffer heap allocations since process start (or the last
 /// [`reset_payload_allocs`]).
 pub fn payload_allocs() -> u64 {
-    PAYLOAD_ALLOCS.load(Ordering::Relaxed)
+    payload_alloc_counter()
+        .get()
+        .saturating_sub(PAYLOAD_ALLOC_BASE.load(Ordering::Relaxed))
 }
 
-/// Reset the payload-allocation counter (for per-measurement deltas).
+/// Reset the payload-allocation counter (for per-measurement deltas). The
+/// registry counter stays monotone (registry counters are never rewound);
+/// this shim subtracts a baseline instead.
 pub fn reset_payload_allocs() {
-    PAYLOAD_ALLOCS.store(0, Ordering::Relaxed);
+    PAYLOAD_ALLOC_BASE.store(payload_alloc_counter().get(), Ordering::Relaxed);
 }
+
+static PAYLOAD_ALLOC_BASE: AtomicU64 = AtomicU64::new(0);
 
 /// Arithmetic mean of a sample (0 for an empty sample).
 pub fn mean(xs: &[f64]) -> f64 {

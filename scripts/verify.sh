@@ -54,6 +54,30 @@ if [ "$fresh" != "$memo" ]; then
 fi
 echo "   NBC_MEMO on/off: identical"
 
+echo "== tracing: stdout with NBC_TRACE set must be byte-identical to untraced"
+trace_file=/tmp/verify_trace.$$.json
+plain=$(./target/release/fig6_progress_cost --quick)
+traced=$(NBC_TRACE=$trace_file NBC_TRACE_CAP=20000 ./target/release/fig6_progress_cost --quick 2>/dev/null)
+if [ "$plain" != "$traced" ]; then
+    echo "FAIL: fig6_progress_cost stdout differs when NBC_TRACE is set" >&2
+    diff <(printf '%s\n' "$plain") <(printf '%s\n' "$traced") >&2 || true
+    exit 1
+fi
+echo "   NBC_TRACE on/off: identical"
+
+echo "== trace_inspect smoke run"
+inspect=$(./target/release/trace_inspect "$trace_file")
+rm -f "$trace_file"
+if ! printf '%s\n' "$inspect" | grep -q 'rendezvous stalls.*spans'; then
+    echo "FAIL: trace_inspect found no rendezvous-stall spans in the fig6 trace" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$inspect" | grep -q 'adcl audit:'; then
+    echo "FAIL: trace_inspect found no audit section" >&2
+    exit 1
+fi
+echo "   trace_inspect: parsed $(printf '%s' "$inspect" | head -1 | sed 's/.*: //')"
+
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
 ./target/release/perf_trajectory --quick --jobs 8

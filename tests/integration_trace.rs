@@ -1,0 +1,197 @@
+//! Integration tests: the observability layer (span traces, metrics
+//! registry, tuner audit log).
+//!
+//! The core contract: with tracing off, instrumentation is invisible —
+//! simulated results are bit-identical to a traced run; with tracing on,
+//! the exported document is well-formed Chrome trace_event JSON whose rank
+//! state spans nest sanely, and the audit log agrees with the tuner.
+//!
+//! The trace-enabled override is process-global, so every test here takes
+//! one lock; the suite still runs in parallel with the other integration
+//! binaries (separate processes).
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use simcore::json::{self, Json};
+use simcore::trace;
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn spec() -> MicrobenchSpec {
+    MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: 8,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 64 * 1024,
+        iters: 15,
+        compute_total: SimTime::from_millis(15),
+        num_progress: 3,
+        noise: NoiseConfig::light(7),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+/// Fingerprint of everything a figure binary would print about a run.
+fn outcome_fingerprint(out: &autonbc::driver::MicrobenchOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{}",
+        out.total, out.history, out.winner, out.converged_at, out.sim_events
+    )
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let s = spec();
+
+    trace::set_enabled(false);
+    let off = s.run(SelectionLogic::BruteForce);
+
+    trace::set_enabled(true);
+    adcl::audit::clear();
+    let on = s.run(SelectionLogic::BruteForce);
+    let traced_runs = trace::take_all();
+
+    trace::clear_enabled_override();
+
+    assert_eq!(
+        outcome_fingerprint(&off),
+        outcome_fingerprint(&on),
+        "tracing must not perturb simulated results"
+    );
+    // And the traced run actually produced a timeline.
+    assert!(!traced_runs.is_empty(), "no trace published");
+    assert!(traced_runs.iter().map(|t| t.len()).sum::<usize>() > 0);
+}
+
+#[test]
+fn disabled_by_default_collects_nothing() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(false);
+    let before = trace::collected_runs();
+    let _ = spec().run(SelectionLogic::Fixed(0));
+    assert_eq!(
+        trace::collected_runs(),
+        before,
+        "worlds must not publish traces while tracing is off"
+    );
+    trace::clear_enabled_override();
+}
+
+fn f64_of(e: &Json, key: &str) -> f64 {
+    e.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn str_of<'a>(e: &'a Json, key: &str) -> &'a str {
+    e.get(key).and_then(|v| v.as_str()).unwrap_or("")
+}
+
+#[test]
+fn exported_document_is_wellformed_chrome_json() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true);
+    adcl::audit::clear();
+    let _ = trace::take_all(); // start from an empty collector
+    let _ = spec().run(SelectionLogic::BruteForce);
+    let doc_text = autonbc::traceout::render_combined();
+    trace::clear_enabled_override();
+    adcl::audit::clear();
+
+    let doc = json::parse(&doc_text).expect("combined document parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut saw_metadata = false;
+    let mut saw_rank_span = false;
+    // Rank state spans (compute/library/blocked) tile each rank's
+    // timeline: per (pid, tid) they must be non-overlapping in time order.
+    let mut last_end: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    for e in events {
+        match str_of(e, "ph") {
+            "M" => {
+                saw_metadata = true;
+                assert_eq!(str_of(e, "name"), "process_name");
+            }
+            "X" => {
+                let dur = f64_of(e, "dur");
+                assert!(dur >= 0.0, "negative span duration");
+                if str_of(e, "cat") == "rank" {
+                    saw_rank_span = true;
+                    assert!(matches!(
+                        str_of(e, "name"),
+                        "compute" | "library" | "blocked"
+                    ));
+                    let key = (f64_of(e, "pid") as u64, f64_of(e, "tid") as u64);
+                    let ts = f64_of(e, "ts");
+                    let end = last_end.entry(key).or_insert(0.0);
+                    // Events are exported in per-rank recording order;
+                    // allow exact abutment (floating-point-identical µs).
+                    assert!(
+                        ts >= *end - 1e-9,
+                        "rank span overlaps its predecessor: ts {ts} < end {end}"
+                    );
+                    *end = ts + dur;
+                }
+            }
+            "i" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(saw_metadata, "no process_name metadata record");
+    assert!(saw_rank_span, "no rank state spans");
+    assert!(doc.get("adclAudit").and_then(|v| v.as_arr()).is_some());
+}
+
+#[test]
+fn audit_winner_matches_tuner_winner() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true);
+    adcl::audit::clear();
+    let s = spec();
+    let out = s.run(SelectionLogic::BruteForce);
+    let records = adcl::audit::records();
+    trace::clear_enabled_override();
+    adcl::audit::clear();
+    let _ = trace::take_all();
+
+    let tuner_winner = out.winner.expect("brute force converges in 15 iters");
+    let rec = records
+        .iter()
+        .find(|r| r.op == "ialltoall")
+        .expect("one audit record for the tuned op");
+    assert_eq!(rec.winner_name, tuner_winner);
+    assert_eq!(rec.strategy, out.strategy);
+    // Convergence point agrees with the tuner's report.
+    assert_eq!(Some(rec.decided_at_iter), out.converged_at);
+    // The winner's evidence is present: it was measured, and no candidate
+    // kept more samples than it took.
+    let w = &rec.candidates[rec.winner];
+    assert!(w.samples > 0);
+    assert!(w.kept <= w.samples);
+    assert!(w.score.is_finite());
+    // Margin is non-negative: the winner scored at or below the runner-up.
+    assert!(rec.margin >= 0.0, "margin {}", rec.margin);
+}
+
+#[test]
+fn audit_not_recorded_for_historic_learning() {
+    let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true);
+    adcl::audit::clear();
+    // A tuner seeded with a known winner skips the learning phase and must
+    // not claim a live decision.
+    let fnset = FunctionSet::ialltoall_default(CollSpec::new(8, 1024));
+    let mut t = Tuner::with_known_winner(&fnset, 1);
+    for i in 0..10 {
+        assert_eq!(t.function_for_iter(i), 1);
+    }
+    assert_eq!(adcl::audit::len(), 0, "historic tuner emitted an audit");
+    trace::clear_enabled_override();
+    let _ = trace::take_all();
+}
