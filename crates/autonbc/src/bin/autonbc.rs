@@ -17,9 +17,21 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  autonbc platforms\n  autonbc tune --platform <name> --op <op> --procs <n> --msg <size> \\\n               [--iters N] [--compute DUR] [--progress N] [--logic brute|heuristic|factorial]\\\n               [--reps N] [--all-fixed] [--noise SEED] [--roundrobin]\n  autonbc fft  --platform <name> --procs <n> [--grid N] [--iters N] \\\n               [--mode adcl|adcl-ext|libnbc|mpi] [--pattern NAME]\n\nops: ialltoall ialltoall-ext ibcast iallgather ireduce iallreduce igather iscatter\nsizes accept K/M suffixes; durations accept us/ms/s suffixes\n\nany command also accepts --trace-out <file> (or NBC_TRACE=<file>): write a\nChrome trace_event timeline plus the tuner decision audit log"
+        "usage:\n  autonbc platforms\n  autonbc tune --platform <name> --op <op> --procs <n> --msg <size> \\\n               [--iters N] [--compute DUR] [--progress N] [--logic brute|heuristic|factorial]\\\n               [--reps N] [--all-fixed] [--noise SEED] [--roundrobin]\n  autonbc fft  --platform <name> --procs <n> [--grid N] [--iters N] \\\n               [--mode adcl|adcl-ext|libnbc|mpi] [--pattern NAME]\n\nops: ialltoall ialltoall-ext ibcast iallgather ireduce iallreduce igather iscatter\nsizes accept K/M suffixes; durations accept us/ms/s suffixes\n\nany command also accepts --trace-out <file> (or NBC_TRACE=<file>): write a\nChrome trace_event timeline plus the tuner decision audit log\n\nany command also accepts --faults <spec> (or NBC_FAULTS=<spec>): inject\ndeterministic faults; spec is off | light[:seed] | heavy[:seed] | k=v list\n(see `mpisim::fault`)"
     );
     exit(2)
+}
+
+/// Look up a platform preset, exiting with a diagnostic (never a panic)
+/// when the user typos the name.
+fn platform_or_exit(name: &str) -> Platform {
+    Platform::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown platform '{name}'; valid presets: {}",
+            Platform::preset_names().join(", ")
+        );
+        exit(2)
+    })
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -90,7 +102,7 @@ fn cmd_platforms() {
         "name", "nodes", "cores", "nics"
     );
     for name in Platform::preset_names() {
-        let p = Platform::by_name(name).unwrap();
+        let p = platform_or_exit(name);
         println!(
             "{:<12} {:>6} {:>6} {:>5}  {} (L={}, {:.2} GB/s)",
             p.name,
@@ -105,10 +117,7 @@ fn cmd_platforms() {
 }
 
 fn cmd_tune(flags: HashMap<String, String>) {
-    let platform = Platform::by_name(get(&flags, "platform")).unwrap_or_else(|| {
-        eprintln!("unknown platform (try `autonbc platforms`)");
-        usage()
-    });
+    let platform = platform_or_exit(get(&flags, "platform"));
     let op = match get(&flags, "op") {
         "ialltoall" => CollectiveOp::Ialltoall,
         "ialltoall-ext" => CollectiveOp::IalltoallExtended,
@@ -254,7 +263,7 @@ fn write_trace(spec: &MicrobenchSpec, path: &str) {
 }
 
 fn cmd_fft(flags: HashMap<String, String>) {
-    let platform = Platform::by_name(get(&flags, "platform")).unwrap_or_else(|| usage());
+    let platform = platform_or_exit(get(&flags, "platform"));
     let procs: usize = get(&flags, "procs").parse().unwrap_or_else(|_| usage());
     let cfg = FftKernelConfig {
         n: flags
@@ -332,9 +341,38 @@ fn take_trace_out(args: &mut Vec<String>) {
     }
 }
 
+/// Strip the global `--faults <spec>` / `--faults=<spec>` flag from `args`,
+/// overriding the `NBC_FAULTS` fault-injection configuration.
+fn take_faults(args: &mut Vec<String>) {
+    let apply = |spec: &str| match mpisim::fault::FaultConfig::parse(spec) {
+        Ok(cfg) => mpisim::fault::set_override(Some(cfg)),
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            exit(2)
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(spec) = args[i].strip_prefix("--faults=") {
+            apply(spec);
+            args.remove(i);
+        } else if args[i] == "--faults" {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --faults");
+                usage();
+            }
+            apply(&args[i + 1]);
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_trace_out(&mut args);
+    take_faults(&mut args);
     match args.first().map(|s| s.as_str()) {
         Some("platforms") => cmd_platforms(),
         Some("tune") => cmd_tune(parse_flags(&args[1..])),

@@ -119,6 +119,24 @@ pub struct MicrobenchOutcome {
     /// Discrete events this run's world processed; a memo replay credits
     /// this many avoided events to `adcl::simmemo`.
     pub sim_events: u64,
+    /// Implementations demoted because their microbenchmark samples timed
+    /// out under fault injection, in demotion order. Empty on healthy runs.
+    pub demoted: Vec<String>,
+}
+
+/// Why one attempt of the benchmark loop could not finish: a candidate's
+/// rendezvous handshake exhausted its retry budget (fault injection).
+struct AttemptTimedOut {
+    /// Index of the suspected candidate within the attempt's function set.
+    victim: usize,
+    /// Its implementation name.
+    victim_name: String,
+    /// Rendered `SimError::Timeout`.
+    reason: String,
+    /// Benchmark iterations the candidate was assigned before the timeout.
+    samples: usize,
+    /// Strategy name, for the degraded outcome.
+    strategy: &'static str,
 }
 
 impl MicrobenchSpec {
@@ -144,7 +162,75 @@ impl MicrobenchSpec {
 
     /// Run the benchmark with an explicit function-set (e.g. a pinned
     /// baseline).
+    ///
+    /// Under fault injection a candidate whose rendezvous handshake
+    /// exhausts its retry budget surfaces as [`mpisim::SimError::Timeout`].
+    /// Rather than wedging the tuning session, the driver *demotes* the
+    /// candidate the tuner was measuring (recording it in the audit log and
+    /// in [`MicrobenchOutcome::demoted`]) and reruns the sweep with the
+    /// survivors. A fixed-logic run, or a set with no survivors left, has
+    /// nothing to fall back to and returns a degraded outcome (no winner,
+    /// infinite total) instead.
     pub fn run_with_fnset(&self, fnset: FunctionSet, logic: SelectionLogic) -> MicrobenchOutcome {
+        let mut fnset = fnset;
+        let mut demoted: Vec<String> = Vec::new();
+        loop {
+            match self.try_run(fnset.clone(), logic) {
+                Ok(mut out) => {
+                    out.demoted = demoted;
+                    return out;
+                }
+                Err(t) => {
+                    adcl::audit::record_demotion(adcl::audit::DemotionAudit {
+                        label: self.trace_label(logic),
+                        op: self.op.name().into(),
+                        func: t.victim,
+                        name: t.victim_name.clone(),
+                        reason: t.reason,
+                        samples: t.samples,
+                    });
+                    demoted.push(t.victim_name);
+                    let dead_end = matches!(logic, SelectionLogic::Fixed(_)) || fnset.len() <= 1;
+                    if dead_end {
+                        // Nothing left to tune over: report the degradation
+                        // instead of looping on the same doomed candidate.
+                        return MicrobenchOutcome {
+                            total: f64::INFINITY,
+                            post_learning: f64::INFINITY,
+                            winner: None,
+                            converged_at: None,
+                            history: Vec::new(),
+                            strategy: t.strategy,
+                            accounting: mpisim::RankAccounting::default(),
+                            sim_events: 0,
+                            demoted,
+                        };
+                    }
+                    fnset = fnset.without(t.victim);
+                }
+            }
+        }
+    }
+
+    /// The label naming this run in traces and audit records.
+    fn trace_label(&self, logic: SelectionLogic) -> String {
+        format!(
+            "{}/{}/p{}/m{}/g{}/{:?}",
+            self.platform.name,
+            self.op.name(),
+            self.nprocs,
+            self.msg_bytes,
+            self.num_progress,
+            logic
+        )
+    }
+
+    /// One attempt of the benchmark loop over `fnset`.
+    fn try_run(
+        &self,
+        fnset: FunctionSet,
+        logic: SelectionLogic,
+    ) -> Result<MicrobenchOutcome, AttemptTimedOut> {
         let mut world = World::new(
             self.platform.clone(),
             self.nprocs,
@@ -165,15 +251,7 @@ impl MicrobenchSpec {
         if world.tracing() {
             // One label names both the timeline (process row in the Chrome
             // trace) and the tuner's audit records for this run.
-            let label = format!(
-                "{}/{}/p{}/m{}/g{}/{:?}",
-                self.platform.name,
-                self.op.name(),
-                self.nprocs,
-                self.msg_bytes,
-                self.num_progress,
-                logic
-            );
+            let label = self.trace_label(logic);
             world.set_trace_label(&label);
             session.ops[op].tuner.set_label(&label);
         }
@@ -186,13 +264,31 @@ impl MicrobenchSpec {
             self.imbalance,
         );
         let mut runner = Runner::new(session, scripts);
-        world.run(&mut runner).expect("microbenchmark deadlocked");
+        match world.run(&mut runner) {
+            Ok(_) => {}
+            Err(err @ mpisim::SimError::Timeout { .. }) => {
+                // Blame the candidate the tuner was measuring when the
+                // retry budget ran out — the last assigned function.
+                let s = runner.session;
+                let tuner = &s.ops[op].tuner;
+                let victim = tuner.assignments().last().copied().unwrap_or(0);
+                let samples = tuner.assignments().iter().filter(|&&f| f == victim).count();
+                return Err(AttemptTimedOut {
+                    victim,
+                    victim_name: s.ops[op].fnset.functions[victim].name.clone(),
+                    reason: err.to_string(),
+                    samples,
+                    strategy: tuner.strategy_name(),
+                });
+            }
+            Err(err) => panic!("microbenchmark deadlocked: {err}"),
+        }
         let accounting = world.accounting_total();
         let sim_events = world.events_processed();
         let s = runner.session;
         let tuner = &s.ops[op].tuner;
         let converged = tuner.converged_at();
-        MicrobenchOutcome {
+        Ok(MicrobenchOutcome {
             total: s.timers[timer].total(),
             post_learning: s.timers[timer].total_from(converged.unwrap_or(0)),
             winner: tuner
@@ -203,18 +299,20 @@ impl MicrobenchSpec {
             strategy: tuner.strategy_name(),
             accounting,
             sim_events,
-        }
+            demoted: Vec::new(),
+        })
     }
 
     /// Fingerprint covering every input that can influence this spec's
     /// outcome under `logic`: platform preset, collective, process count,
-    /// message length, loop shape, noise seeds, placement, imbalance, and
-    /// the selection logic itself. The simulation is a pure function of
-    /// this string (see `adcl::simmemo`), so two specs with equal keys
-    /// produce bit-identical outcomes.
+    /// message length, loop shape, noise seeds, placement, imbalance, the
+    /// process-wide fault-injection config, and the selection logic itself.
+    /// The simulation is a pure function of this string (see
+    /// `adcl::simmemo`), so two specs with equal keys produce bit-identical
+    /// outcomes.
     pub fn memo_key(&self, logic: SelectionLogic) -> String {
         format!(
-            "ub/{plat}/{op}/p{np}/m{mb}/i{it}/c{ct}/g{npg}/{ns:?}/r{reps}/{pl:?}/{imb:?}/{logic:?}",
+            "ub/{plat}/{op}/p{np}/m{mb}/i{it}/c{ct}/g{npg}/{ns:?}/r{reps}/{pl:?}/{imb:?}/F{flt}/{logic:?}",
             plat = self.platform.name,
             op = self.op.name(),
             np = self.nprocs,
@@ -226,6 +324,7 @@ impl MicrobenchSpec {
             reps = self.reps,
             pl = self.placement,
             imb = self.imbalance,
+            flt = mpisim::fault::current().describe(),
         )
     }
 
@@ -335,7 +434,9 @@ mod tests {
         // ADCL pays the learning phase, so compare steady-state rates: its
         // post-learning per-iteration cost should be within 10% of the
         // oracle's per-iteration cost.
-        let learn = tuned.converged_at.unwrap();
+        let learn = tuned
+            .converged_at
+            .expect("tuner did not converge within the benchmark loop");
         let tuned_rate = tuned.post_learning / (s.iters - learn) as f64;
         let oracle_rate = oracle_total / s.iters as f64;
         assert!(

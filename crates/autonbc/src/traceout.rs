@@ -5,8 +5,9 @@
 //! records (`adcl::audit`). This module merges them into one JSON document
 //!
 //! ```text
-//! { "traceEvents": [ ... ],   // Chrome trace_event format
-//!   "adclAudit":   [ ... ] }  // one object per committed tuning decision
+//! { "traceEvents":    [ ... ],   // Chrome trace_event format
+//!   "adclAudit":      [ ... ],   // one object per committed tuning decision
+//!   "adclDemotions":  [ ... ] }  // one object per fault-demoted candidate
 //! ```
 //!
 //! which Perfetto / `chrome://tracing` open directly (unknown top-level
@@ -25,7 +26,11 @@ pub fn render_combined() -> String {
     let traces = trace::take_all();
     let events = trace::render_trace_events(&traces);
     let audit = adcl::audit::render_json();
-    format!("{{\n\"traceEvents\":[\n{events}\n],\n\"adclAudit\":[\n{audit}\n]\n}}\n")
+    let demotions = adcl::audit::render_demotions_json();
+    format!(
+        "{{\n\"traceEvents\":[\n{events}\n],\n\"adclAudit\":[\n{audit}\n],\
+         \n\"adclDemotions\":[\n{demotions}\n]\n}}\n"
+    )
 }
 
 /// Write the combined document to `path`.
@@ -45,10 +50,14 @@ pub fn write_if_requested() {
     };
     let runs = trace::collected_runs();
     let audits = adcl::audit::len();
+    let demotions = adcl::audit::demotions_len();
     let dropped = trace::dropped_runs();
     match write_to(&path) {
         Ok(()) => {
             eprintln!("trace: wrote {runs} run(s), {audits} audit record(s) to {path}");
+            if demotions > 0 {
+                eprintln!("trace: {demotions} candidate demotion(s) recorded");
+            }
             if dropped > 0 {
                 eprintln!("trace: {dropped} run(s) dropped (global event cap reached)");
             }
@@ -69,5 +78,9 @@ mod tests {
         let parsed = simcore::json::parse(&doc).expect("combined doc parses");
         assert!(parsed.get("traceEvents").and_then(|v| v.as_arr()).is_some());
         assert!(parsed.get("adclAudit").and_then(|v| v.as_arr()).is_some());
+        assert!(parsed
+            .get("adclDemotions")
+            .and_then(|v| v.as_arr())
+            .is_some());
     }
 }

@@ -1,0 +1,64 @@
+//! CLI regression tests for the `autonbc` binary.
+//!
+//! A mistyped `--platform` name used to reach `Option::unwrap` and panic
+//! with a backtrace; it must instead exit with code 2 and a message
+//! listing the valid presets. Same contract for a malformed `--faults`
+//! spec.
+
+use std::process::Command;
+
+fn autonbc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autonbc"))
+}
+
+#[test]
+fn unknown_platform_is_an_error_not_a_panic() {
+    let out = autonbc()
+        .args(["tune", "--platform", "wahle"]) // typo for "whale"
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "bad input exits 2, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown platform 'wahle'"), "stderr: {err}");
+    // The message must name every valid preset so the user can recover.
+    for preset in ["crill", "whale", "whale-tcp", "bluegene-p"] {
+        assert!(err.contains(preset), "missing preset {preset}: {err}");
+    }
+    assert!(
+        !err.contains("panicked"),
+        "must not reach a panic handler: {err}"
+    );
+}
+
+#[test]
+fn unknown_platform_in_fft_is_an_error() {
+    let out = autonbc()
+        .args(["fft", "--platform", "nope", "--procs", "8"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown platform 'nope'"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "stderr: {err}");
+}
+
+#[test]
+fn platform_listing_succeeds() {
+    let out = autonbc().arg("platforms").output().expect("binary runs");
+    assert!(out.status.success(), "status: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for preset in ["crill", "whale", "whale-tcp", "bluegene-p"] {
+        assert!(stdout.contains(preset), "stdout: {stdout}");
+    }
+}
+
+#[test]
+fn malformed_faults_spec_is_an_error() {
+    let out = autonbc()
+        .args(["--faults", "drop=eleven", "platforms"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --faults spec"), "stderr: {err}");
+}

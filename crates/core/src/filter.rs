@@ -57,15 +57,13 @@ impl FilterKind {
             FilterKind::None | FilterKind::Median => samples.len(),
             FilterKind::Iqr(k) => stats::iqr_filter(samples, k).len(),
             FilterKind::Trimmed(t) => {
-                let drop = ((samples.len() as f64) * t).floor() as usize;
-                let keep = samples.len().saturating_sub(2 * drop);
-                // trimmed_mean falls back to the median of the full set
-                // when the trim leaves nothing.
-                if keep == 0 {
-                    samples.len()
-                } else {
-                    keep
-                }
+                // Mirror the clamp in `stats::trimmed_mean`: the drop per
+                // tail never exceeds (len-1)/2, so at least one sample
+                // always survives even for aggressive trim fractions on
+                // tiny sample sets.
+                let drop =
+                    (((samples.len() as f64) * t).floor() as usize).min((samples.len() - 1) / 2);
+                samples.len() - 2 * drop
             }
         }
     }
@@ -128,6 +126,19 @@ mod tests {
         assert_eq!(FilterKind::Iqr(1.5).survivors(&xs), 8); // spike rejected
         assert_eq!(FilterKind::Trimmed(0.2).survivors(&xs), 7); // 1 per tail
         assert_eq!(FilterKind::default().survivors(&[]), 0);
+    }
+
+    #[test]
+    fn trimmed_overtrim_keeps_a_survivor() {
+        // Aggressive trim fractions on tiny sample sets (common right
+        // after a demotion rerun) must leave at least one survivor and a
+        // finite score.
+        let xs = [1.0, 2.0, 30.0];
+        assert_eq!(FilterKind::Trimmed(0.7).survivors(&xs), 1);
+        assert_eq!(FilterKind::Trimmed(0.7).score(&xs), 2.0);
+        assert_eq!(FilterKind::Trimmed(0.4).survivors(&[1.0, 2.0]), 2);
+        assert_eq!(FilterKind::Trimmed(0.9).survivors(&[7.0]), 1);
+        assert!(FilterKind::Trimmed(0.9).score(&[7.0]).is_finite());
     }
 
     #[test]

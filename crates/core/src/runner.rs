@@ -541,8 +541,25 @@ mod tests {
         // Convergence right after the 3 functions x 3 reps learning phase,
         // plus at most a couple of provisional iterations while the last
         // measurements are reported by lagging ranks.
-        let conv = op.tuner.converged_at().unwrap();
+        let conv = op
+            .tuner
+            .converged_at()
+            .expect("tuner did not converge within 20 iters");
         assert!((9..=11).contains(&conv), "converged at {conv}");
+    }
+
+    #[test]
+    fn non_convergence_is_reported_not_a_panic() {
+        // Too few iterations for the 3 functions x 3 reps learning phase:
+        // the tuner must report "no winner yet" rather than panicking when
+        // the caller asks where it converged.
+        let (session, _) = run_session(4, SelectionLogic::BruteForce, 4);
+        let op = &session.ops[0];
+        assert!(op.tuner.winner().is_none(), "4 iters cannot converge");
+        assert!(
+            op.tuner.converged_at().is_none(),
+            "converged_at must stay None without a winner"
+        );
     }
 
     #[test]
@@ -924,8 +941,14 @@ mod tests {
         // op A learns first (3 functions x 2 reps = 6 iterations), then B.
         assert!(s.ops[0].tuner.winner().is_some(), "op A converged");
         assert!(s.ops[1].tuner.winner().is_some(), "op B converged");
-        let a_conv = s.ops[0].tuner.converged_at().unwrap();
-        let b_conv = s.ops[1].tuner.converged_at().unwrap();
+        let a_conv = s.ops[0]
+            .tuner
+            .converged_at()
+            .expect("tuner A did not converge within 20 iters");
+        let b_conv = s.ops[1]
+            .tuner
+            .converged_at()
+            .expect("tuner B did not converge within 20 iters");
         assert!(a_conv <= b_conv, "A ({a_conv}) tunes before B ({b_conv})");
     }
 }

@@ -24,13 +24,16 @@
 //! CPU in the library, block on the network, or finish).
 
 pub mod bufpool;
+pub mod fault;
 pub mod message;
 pub mod types;
 pub mod world;
 
 pub use bufpool::{BufPool, BufPoolStats, Payload, PooledBuf};
+pub use fault::{FaultConfig, FaultModel};
 pub use message::{Protocol, RecvState, SendState};
 pub use types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 pub use world::{
-    sim_events_total, RankAccounting, RankBehavior, SegmentKind, Step, TraceSegment, World,
+    sim_events_total, FaultStats, RankAccounting, RankBehavior, SegmentKind, SimError, Step,
+    TraceSegment, World,
 };

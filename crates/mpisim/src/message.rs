@@ -64,6 +64,9 @@ pub struct Message {
     pub rts_arrival: Option<SimTime>,
     /// Rendezvous: receiver answered RTS (CTS sent).
     pub cts_sent: bool,
+    /// Retransmissions performed so far (fault injection only; stays 0 on
+    /// the healthy path).
+    pub attempts: u32,
     /// The payload handle riding on this message, if the sender staged
     /// one. Moving it (eager delivery, rendezvous injection) is O(1); it
     /// transfers to the matched receive at completion. Timing never depends
@@ -95,6 +98,7 @@ impl Message {
             data_arrival: None,
             rts_arrival: None,
             cts_sent: false,
+            attempts: 0,
             payload: None,
         }
     }

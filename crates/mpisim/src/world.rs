@@ -2,6 +2,7 @@
 //! the progress engine.
 
 use crate::bufpool::{BufPool, Payload};
+use crate::fault::{self, FaultConfig, FaultModel};
 use crate::message::{Message, Protocol, RecvReq, RecvState, SendState};
 use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
 use netmodel::{NetworkState, Placement, Platform};
@@ -45,6 +46,39 @@ fn m_rdv_stall_ns() -> &'static Histogram {
 fn m_queue_max_depth() -> &'static Gauge {
     static M: OnceLock<&'static Gauge> = OnceLock::new();
     M.get_or_init(|| metrics::gauge("mpisim.queue_max_depth"))
+}
+
+// Fault-injection metrics. Touched only when a world actually carries a
+// fault model, so a healthy process never even registers them (keeping the
+// default metrics dump, and thus BENCH_engine.json, unchanged).
+fn m_fault_drops() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.fault.drops"))
+}
+
+fn m_fault_dups() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.fault.dups"))
+}
+
+fn m_fault_dup_suppressed() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.fault.dup_suppressed"))
+}
+
+fn m_fault_retries() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.fault.retries"))
+}
+
+fn m_fault_timeouts() -> &'static Counter {
+    static M: OnceLock<&'static Counter> = OnceLock::new();
+    M.get_or_init(|| metrics::counter("mpisim.fault.timeouts"))
+}
+
+fn m_fault_backoff_ns() -> &'static Histogram {
+    static M: OnceLock<&'static Histogram> = OnceLock::new();
+    M.get_or_init(|| metrics::histogram("mpisim.fault.backoff_ns"))
 }
 
 /// Total simulator events processed by completed runs in this process (the
@@ -93,6 +127,22 @@ pub enum SimError {
         /// Ranks still blocked.
         blocked: Vec<RankId>,
     },
+    /// A send exhausted its retransmission budget under fault injection:
+    /// the handshake (or eager delivery) was never acknowledged within the
+    /// hard deadline. Only reachable when a fault model is armed — it
+    /// surfaces as a typed error instead of a hung event loop.
+    Timeout {
+        /// Sending rank.
+        src: RankId,
+        /// Destination rank.
+        dst: RankId,
+        /// Message size.
+        bytes: usize,
+        /// Retransmissions performed before giving up.
+        attempts: u32,
+        /// Simulated time from the original post to the deadline.
+        waited: SimTime,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -101,11 +151,50 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { blocked } => {
                 write!(f, "simulation deadlock; blocked ranks: {blocked:?}")
             }
+            SimError::Timeout {
+                src,
+                dst,
+                bytes,
+                attempts,
+                waited,
+            } => write!(
+                f,
+                "send timeout: {bytes}-byte message {src}->{dst} unacknowledged \
+                 after {attempts} retries ({waited} since post)"
+            ),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Per-run fault-injection tallies (cumulative over a world's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Control/eager messages lost in flight.
+    pub drops: u64,
+    /// Fault-injected duplicate deliveries.
+    pub dups: u64,
+    /// Duplicate deliveries suppressed by envelope sequencing and
+    /// state-machine guards.
+    pub dup_suppressed: u64,
+    /// Retransmissions performed by the timeout engine.
+    pub retries: u64,
+    /// Sends that exhausted their retry budget.
+    pub timeouts: u64,
+}
+
+impl FaultStats {
+    fn delta(&self, flushed: &FaultStats) -> FaultStats {
+        FaultStats {
+            drops: self.drops - flushed.drops,
+            dups: self.dups - flushed.dups,
+            dup_suppressed: self.dup_suppressed - flushed.dup_suppressed,
+            retries: self.retries - flushed.retries,
+            timeouts: self.timeouts - flushed.timeouts,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RankStatus {
@@ -129,6 +218,9 @@ enum NetEvent {
     CtsArrived(usize),
     DataArrived(usize),
     SendDrained(usize),
+    /// Retransmission deadline for a message (fault injection only; never
+    /// scheduled on the healthy path). Fires on the *sender's* timeline.
+    RetryTimer(usize),
 }
 
 /// What a rank was doing during a [`TraceSegment`].
@@ -249,6 +341,17 @@ pub struct World {
     /// single-threaded, so one pool per world is "rank-local" in the sense
     /// that matters: no cross-simulation contention).
     pool: BufPool,
+    /// Fault-injection model; `None` (the default) makes every injection
+    /// site a single branch and guarantees byte-identical behaviour to a
+    /// build without fault support.
+    fault: Option<Box<FaultModel>>,
+    /// Set when a retransmission budget is exhausted; `run_inner` returns
+    /// it as `SimError::Timeout` at the next loop iteration.
+    timed_out: Option<SimError>,
+    /// Cumulative fault tallies, plus the portion already flushed to the
+    /// metrics registry (same delta scheme as `polls_flushed`).
+    faults: FaultStats,
+    faults_flushed: FaultStats,
 }
 
 impl World {
@@ -284,6 +387,8 @@ impl World {
                 pending_data_start: Vec::new(),
             })
             .collect();
+        let fault_model =
+            FaultModel::new(&fault::current(), &platform.fault_profile(), nranks).map(Box::new);
         World {
             net: NetworkState::new(platform, nranks, placement),
             ranks,
@@ -301,7 +406,87 @@ impl World {
             trace: None,
             otrace: trace::enabled().then(|| Box::new(WorldTrace::new(nranks))),
             pool: BufPool::new(),
+            fault: fault_model,
+            timed_out: None,
+            faults: FaultStats::default(),
+            faults_flushed: FaultStats::default(),
         }
+    }
+
+    /// Replace this world's fault model with one built from `cfg` (scaled
+    /// by the platform's fault profile). Overrides whatever `NBC_FAULTS` /
+    /// `fault::set_override` chose at construction; call before `run`.
+    /// Tests use this to inject faults without touching process-global
+    /// state.
+    pub fn set_faults(&mut self, cfg: &FaultConfig) {
+        let nranks = self.ranks.len();
+        self.fault =
+            FaultModel::new(cfg, &self.net.platform().fault_profile(), nranks).map(Box::new);
+    }
+
+    /// Is a fault model armed on this world?
+    pub fn faults_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Cumulative fault-injection tallies for this world.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Fault-decide one delivery that would arrive at `base` after being
+    /// sent at `posted`: returns the (possibly jittered) arrival time, or
+    /// `None` if the message is dropped, plus the arrival time of an
+    /// injected duplicate if one is generated. With no fault model armed
+    /// this is the identity `(Some(base), None)` — no RNG is consumed.
+    fn fault_delivery(
+        &mut self,
+        posted: SimTime,
+        base: SimTime,
+    ) -> (Option<SimTime>, Option<SimTime>) {
+        let Some(f) = self.fault.as_mut() else {
+            return (Some(base), None);
+        };
+        if f.drop_event() {
+            self.faults.drops += 1;
+            return (None, None);
+        }
+        let arr = base + f.delivery_delay(posted, base);
+        if f.duplicate_event() {
+            let lag = f.dup_lag();
+            self.faults.dups += 1;
+            (Some(arr), Some(arr + lag))
+        } else {
+            (Some(arr), None)
+        }
+    }
+
+    /// Jitter/brownout-only variant of [`World::fault_delivery`] for
+    /// deliveries modelled as reliable (rendezvous payloads: link-level
+    /// retransmission is folded into delay, never loss).
+    fn fault_extra_delay(&mut self, posted: SimTime, base: SimTime) -> SimTime {
+        match self.fault.as_mut() {
+            Some(f) => f.delivery_delay(posted, base),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Schedule the retransmission deadline for `mid` given that
+    /// `attempts` transmissions have happened so far. No-op without a
+    /// fault model.
+    fn schedule_retry(&mut self, mid: usize, now: SimTime, attempts: u32) {
+        let Some(f) = self.fault.as_ref() else {
+            return;
+        };
+        let deadline = f.retry_deadline(now, attempts);
+        let src = self.msgs[mid].src;
+        self.events.push(
+            deadline,
+            Event::Net {
+                rank: src,
+                kind: NetEvent::RetryTimer(mid),
+            },
+        );
     }
 
     /// A handle to this world's payload buffer pool (cheap clone).
@@ -527,6 +712,8 @@ impl World {
             let mut m = Message::new(src, dst, tag, bytes, Protocol::Eager, seq, at);
             m.payload = payload;
             self.msgs.push(m);
+            // The sender's buffer drains locally whether or not the network
+            // later loses the payload.
             self.events.push(
                 plan.src_drain,
                 Event::Net {
@@ -534,25 +721,43 @@ impl World {
                     kind: NetEvent::SendDrained(id),
                 },
             );
-            self.events.push(
-                plan.dst_drain,
-                Event::Net {
-                    rank: dst,
-                    kind: NetEvent::EagerArrived(id),
-                },
-            );
+            let (arrival, dup) = self.fault_delivery(at, plan.dst_drain);
+            for t in [arrival, dup].into_iter().flatten() {
+                self.events.push(
+                    t,
+                    Event::Net {
+                        rank: dst,
+                        kind: NetEvent::EagerArrived(id),
+                    },
+                );
+            }
+            if arrival.is_none() {
+                // Lost in flight: only the retransmission engine can
+                // recover the delivery.
+                self.trace_instant(src, "drop", "fault", at, [("mid", id as u64), ("", 0)]);
+                self.schedule_retry(id, at, 0);
+            }
         } else {
             let rts = self.net.ctrl_arrival(at, src, dst);
             let mut m = Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq, at);
             m.payload = payload;
             self.msgs.push(m);
-            self.events.push(
-                rts,
-                Event::Net {
-                    rank: dst,
-                    kind: NetEvent::RtsArrived(id),
-                },
-            );
+            let (arrival, dup) = self.fault_delivery(at, rts);
+            for t in [arrival, dup].into_iter().flatten() {
+                self.events.push(
+                    t,
+                    Event::Net {
+                        rank: dst,
+                        kind: NetEvent::RtsArrived(id),
+                    },
+                );
+            }
+            if arrival.is_none() {
+                self.trace_instant(src, "drop", "fault", at, [("mid", id as u64), ("", 0)]);
+            }
+            // A rendezvous send always arms its deadline when faults are
+            // active: it guards against a lost RTS *and* a lost CTS.
+            self.schedule_retry(id, at, 0);
         }
         SendHandle(id)
     }
@@ -696,13 +901,23 @@ impl World {
                 }
             }
             let arr = self.net.ctrl_arrival(now, rank, src);
-            self.events.push(
-                arr,
-                Event::Net {
-                    rank: src,
-                    kind: NetEvent::CtsArrived(mid),
-                },
-            );
+            // The CTS control message itself can be lost or duplicated
+            // under fault injection; a lost CTS is recovered when the
+            // sender's retry timer resends the RTS and the receiver
+            // re-answers.
+            let (arrival, dup) = self.fault_delivery(now, arr);
+            for t in [arrival, dup].into_iter().flatten() {
+                self.events.push(
+                    t,
+                    Event::Net {
+                        rank: src,
+                        kind: NetEvent::CtsArrived(mid),
+                    },
+                );
+            }
+            if arrival.is_none() {
+                self.trace_instant(rank, "drop", "fault", now, [("mid", mid as u64), ("", 0)]);
+            }
             actions += 1;
         }
         cts.clear();
@@ -724,8 +939,11 @@ impl World {
                     kind: NetEvent::SendDrained(mid),
                 },
             );
+            // Rendezvous payloads are modelled reliable (link-level
+            // retransmission folded into delay): jitter/brownout only.
+            let data_arr = plan.dst_drain + self.fault_extra_delay(now, plan.dst_drain);
             self.events.push(
-                plan.dst_drain,
+                data_arr,
                 Event::Net {
                     rank: dst,
                     kind: NetEvent::DataArrived(mid),
@@ -785,6 +1003,19 @@ impl World {
     fn enqueue_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
         let src = self.msgs[mid].src;
         let seq = self.msgs[mid].seq;
+        // Duplicate suppression: an envelope this channel has already
+        // delivered (a fault-injected duplicate, or a retransmission racing
+        // its original) must not re-enter matching — and must not sit in
+        // `env_buf` forever. Never taken on the healthy path, where each
+        // sequence number arrives exactly once.
+        if seq < self.ranks[rank].env_next[src] {
+            self.faults.dup_suppressed += 1;
+            return;
+        }
+        if self.ranks[rank].env_buf[src].contains_key(&seq) {
+            self.faults.dup_suppressed += 1;
+            return;
+        }
         self.ranks[rank].env_buf[src].insert(seq, mid);
         loop {
             let next = self.ranks[rank].env_next[src];
@@ -862,18 +1093,48 @@ impl World {
     fn apply_net(&mut self, rank: RankId, kind: NetEvent, t: SimTime) {
         match kind {
             NetEvent::EagerArrived(mid) => {
+                // Duplicate delivery (fault-injected, or a retransmission
+                // whose original survived): the payload already landed.
+                if self.msgs[mid].data_arrival.is_some() {
+                    self.faults.dup_suppressed += 1;
+                    return;
+                }
                 self.msgs[mid].data_arrival = Some(t);
                 // Whole eager lifecycle: post -> payload at destination.
                 self.trace_msg(rank, "eager", mid, self.msgs[mid].posted_at, t);
                 self.enqueue_envelope(rank, mid, t);
             }
             NetEvent::RtsArrived(mid) => {
+                if self.msgs[mid].rts_arrival.is_some() {
+                    // Duplicate RTS. If the sender is still waiting for a
+                    // CTS we already sent, that CTS was lost: re-answer at
+                    // the receiver's next library entry (classic rendezvous
+                    // recovery). Otherwise suppress outright.
+                    self.faults.dup_suppressed += 1;
+                    if self.msgs[mid].matched_recv.is_some()
+                        && self.msgs[mid].cts_sent
+                        && matches!(self.msgs[mid].send_state, SendState::Posted)
+                    {
+                        self.msgs[mid].cts_sent = false;
+                        if !self.ranks[rank].pending_cts.contains(&mid) {
+                            self.ranks[rank].pending_cts.push(mid);
+                        }
+                    }
+                    return;
+                }
                 self.msgs[mid].rts_arrival = Some(t);
                 // Rendezvous handshake: post -> RTS at destination.
                 self.trace_msg(rank, "rts", mid, self.msgs[mid].posted_at, t);
                 self.enqueue_envelope(rank, mid, t);
             }
             NetEvent::CtsArrived(mid) => {
+                // Duplicate CTS (duplicated control message, or a
+                // re-answer racing the original): the payload transfer is
+                // already underway or done — never start it twice.
+                if !matches!(self.msgs[mid].send_state, SendState::Posted) {
+                    self.faults.dup_suppressed += 1;
+                    return;
+                }
                 self.msgs[mid].send_state = SendState::CtsArrived(t);
                 if self.otrace.is_some() {
                     let args = [("dst", self.msgs[mid].dst as u64), ("", 0)];
@@ -895,6 +1156,84 @@ impl World {
             NetEvent::SendDrained(mid) => {
                 self.msgs[mid].send_state = SendState::Drained(t);
             }
+            NetEvent::RetryTimer(mid) => {
+                // Fault injection only. Has the transmission been
+                // acknowledged since the timer was armed? (Eager: payload
+                // landed. Rendezvous: a CTS reached the sender.)
+                let acked = match self.msgs[mid].protocol {
+                    Protocol::Eager => self.msgs[mid].data_arrival.is_some(),
+                    Protocol::Rendezvous => !matches!(self.msgs[mid].send_state, SendState::Posted),
+                };
+                if acked {
+                    return;
+                }
+                let attempts = self.msgs[mid].attempts;
+                let max = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
+                if attempts >= max {
+                    // Budget exhausted: surface a typed error instead of
+                    // letting the event loop hang or retry forever.
+                    self.faults.timeouts += 1;
+                    let m = &self.msgs[mid];
+                    self.timed_out = Some(SimError::Timeout {
+                        src: m.src,
+                        dst: m.dst,
+                        bytes: m.bytes,
+                        attempts,
+                        waited: t.saturating_sub(m.posted_at),
+                    });
+                    return;
+                }
+                self.msgs[mid].attempts = attempts + 1;
+                self.faults.retries += 1;
+                if let Some(f) = self.fault.as_ref() {
+                    m_fault_backoff_ns().record(f.backoff(attempts).as_nanos());
+                }
+                let (src, dst, bytes) =
+                    (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
+                self.trace_instant(
+                    src,
+                    "retry",
+                    "fault",
+                    t,
+                    [("attempt", (attempts + 1) as u64), ("mid", mid as u64)],
+                );
+                match self.msgs[mid].protocol {
+                    // Resend the RTS: the receiver's duplicate handling
+                    // either enqueues it fresh (original was lost) or
+                    // re-answers a lost CTS.
+                    Protocol::Rendezvous => {
+                        let base = self.net.ctrl_arrival(t, src, dst);
+                        let (arrival, dup) = self.fault_delivery(t, base);
+                        for at in [arrival, dup].into_iter().flatten() {
+                            self.events.push(
+                                at,
+                                Event::Net {
+                                    rank: dst,
+                                    kind: NetEvent::RtsArrived(mid),
+                                },
+                            );
+                        }
+                    }
+                    // Retransmit the eager payload (the original local
+                    // drain stands; retransmission consumes NIC bandwidth
+                    // again via a fresh transfer plan).
+                    Protocol::Eager => {
+                        let plan = self.net.plan_transfer(t, src, dst, bytes);
+                        let (arrival, dup) = self.fault_delivery(t, plan.dst_drain);
+                        for at in [arrival, dup].into_iter().flatten() {
+                            self.events.push(
+                                at,
+                                Event::Net {
+                                    rank: dst,
+                                    kind: NetEvent::EagerArrived(mid),
+                                },
+                            );
+                        }
+                    }
+                }
+                // Exponential backoff: the next deadline doubles.
+                self.schedule_retry(mid, t, attempts + 1);
+            }
         }
     }
 
@@ -914,6 +1253,17 @@ impl World {
         self.polls_flushed = self.polls;
         m_unexpected().add(std::mem::take(&mut self.unexpected_msgs));
         m_queue_max_depth().record_max(self.events.max_len() as u64);
+        // Fault tallies flush only when a model is armed, so a healthy
+        // process never registers the fault metrics at all.
+        if self.fault.is_some() {
+            let d = self.faults.delta(&self.faults_flushed);
+            m_fault_drops().add(d.drops);
+            m_fault_dups().add(d.dups);
+            m_fault_dup_suppressed().add(d.dup_suppressed);
+            m_fault_retries().add(d.retries);
+            m_fault_timeouts().add(d.timeouts);
+            self.faults_flushed = self.faults;
+        }
         out
     }
 
@@ -941,6 +1291,9 @@ impl World {
                 }
                 Event::Net { rank, kind } => {
                     self.apply_net(rank, kind, t);
+                    if let Some(err) = self.timed_out.take() {
+                        return Err(err);
+                    }
                     if self.ranks[rank].status == RankStatus::Blocked {
                         // A blocked rank is polling inside wait: react now.
                         self.ranks[rank].now = self.ranks[rank].now.max(t);
@@ -967,7 +1320,16 @@ impl World {
             match behavior.step(self, r) {
                 Step::Compute(d) => {
                     let factor = self.ranks[r].noise.factor();
-                    let d = d.scale(factor);
+                    let mut d = d.scale(factor);
+                    // Straggler injection: fault-designated slow ranks pay
+                    // a constant compute multiplier. Guarded so the healthy
+                    // path never re-rounds durations through `scale`.
+                    if let Some(f) = self.fault.as_ref() {
+                        let rf = f.rank_factor(r);
+                        if rf != 1.0 {
+                            d = d.scale(rf);
+                        }
+                    }
                     self.ranks[r].acct.compute += d;
                     let wake = self.ranks[r].now + d;
                     self.record(r, SegmentKind::Compute, self.ranks[r].now, wake);
@@ -1542,5 +1904,138 @@ mod tests {
         ]);
         w.run(&mut s).unwrap();
         assert!(w.events_processed() > 0);
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    /// A 4-rank ring exchange mixing eager (2 KiB) and rendezvous (1 MiB)
+    /// traffic — enough protocol variety to exercise every fault hook.
+    fn ring_script() -> Script {
+        Script::new(
+            (0..4)
+                .map(|r| {
+                    vec![
+                        Ins::Compute(SimTime::from_micros(100)),
+                        Ins::Send {
+                            dst: (r + 1) % 4,
+                            bytes: 2048,
+                        },
+                        Ins::Send {
+                            dst: (r + 1) % 4,
+                            bytes: 1 << 20,
+                        },
+                        Ins::Recv {
+                            src: (r + 3) % 4,
+                            bytes: 2048,
+                        },
+                        Ins::Recv {
+                            src: (r + 3) % 4,
+                            bytes: 1 << 20,
+                        },
+                        Ins::WaitAll,
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn faults_off_matches_default_world() {
+        let mut w1 = world(4);
+        let m1 = w1.run(&mut ring_script()).unwrap();
+        let mut w2 = world(4);
+        w2.set_faults(&FaultConfig::off());
+        assert!(!w2.faults_active());
+        let m2 = w2.run(&mut ring_script()).unwrap();
+        assert_eq!(m1, m2, "faults-off must be bit-identical to no faults");
+        assert_eq!(w2.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn faults_same_seed_same_run() {
+        let run = |seed| {
+            let mut w = world(4);
+            w.set_faults(&FaultConfig::light(seed));
+            assert!(w.faults_active());
+            let makespan = w.run(&mut ring_script()).unwrap();
+            (makespan, w.fault_stats())
+        };
+        assert_eq!(run(7), run(7), "same fault seed must replay identically");
+        assert_ne!(
+            run(7).0,
+            run(8).0,
+            "different fault seeds should perturb timing"
+        );
+    }
+
+    #[test]
+    fn total_loss_surfaces_timeout_instead_of_hanging() {
+        let mut w = world(2);
+        w.set_faults(&FaultConfig {
+            drop_prob: 1.0,
+            retry_timeout: SimTime::from_micros(200),
+            max_retries: 2,
+            arm_timeouts: true,
+            ..FaultConfig::off()
+        });
+        let mb = 1 << 20;
+        let mut s = Script::new(vec![
+            vec![Ins::Send { dst: 1, bytes: mb }, Ins::WaitAll],
+            vec![Ins::Recv { src: 0, bytes: mb }, Ins::WaitAll],
+        ]);
+        match w.run(&mut s) {
+            Err(SimError::Timeout {
+                src,
+                dst,
+                bytes,
+                attempts,
+                ..
+            }) => {
+                assert_eq!((src, dst, bytes), (0, 1, mb));
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(w.fault_stats().timeouts, 1);
+        assert!(w.fault_stats().drops >= 1);
+    }
+
+    #[test]
+    fn seeded_losses_recover_via_retries() {
+        let mut w = world(4);
+        w.set_faults(&FaultConfig {
+            seed: 1234,
+            drop_prob: 0.5,
+            retry_timeout: SimTime::from_micros(500),
+            max_retries: 12,
+            arm_timeouts: true,
+            ..FaultConfig::off()
+        });
+        let makespan = w
+            .run(&mut ring_script())
+            .expect("retries must mask a 50% loss rate");
+        assert!(makespan > SimTime::ZERO);
+        let stats = w.fault_stats();
+        assert!(stats.drops > 0, "a 50% drop rate must drop something");
+        assert!(stats.retries > 0, "drops must trigger retransmissions");
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_not_redelivered() {
+        let mut w = world(4);
+        w.set_faults(&FaultConfig {
+            seed: 9,
+            dup_prob: 1.0,
+            ..FaultConfig::off()
+        });
+        w.run(&mut ring_script())
+            .expect("duplication must not corrupt matching");
+        let stats = w.fault_stats();
+        assert!(stats.dups > 0);
+        assert!(
+            stats.dup_suppressed >= stats.dups,
+            "every duplicated event must be swallowed: {stats:?}"
+        );
     }
 }

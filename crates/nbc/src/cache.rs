@@ -75,12 +75,23 @@ fn cache() -> &'static ScheduleCache {
     })
 }
 
+/// Lock a shard, recovering from poison: cached schedules are immutable
+/// once inserted, so a panic in some unrelated `par_map` worker that held
+/// the lock mid-`get`/`insert` leaves the map in a usable state. Without
+/// this, one panicking test poisons a global shard and cascades spurious
+/// failures through every later in-process cache user.
+fn lock_shard(
+    s: &Mutex<HashMap<Key, Arc<Schedule>>>,
+) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
+    s.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
     let c = cache();
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
     let shard = &c.shards[(h.finish() as usize) % SHARDS];
-    if let Some(found) = shard.lock().unwrap().get(&key) {
+    if let Some(found) = lock_shard(shard).get(&key) {
         c.hits.inc();
         return Arc::clone(found);
     }
@@ -89,7 +100,7 @@ fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
     // redundant build whose result loses the insert race.
     c.misses.inc();
     let built = Arc::new(build());
-    Arc::clone(shard.lock().unwrap().entry(key).or_insert(built))
+    Arc::clone(lock_shard(shard).entry(key).or_insert(built))
 }
 
 /// `(hits, misses)` since process start (or the last [`reset_stats`]).
@@ -115,13 +126,13 @@ pub fn reset_stats() {
 
 /// Number of distinct schedules currently interned.
 pub fn len() -> usize {
-    cache().shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    cache().shards.iter().map(|s| lock_shard(s).len()).sum()
 }
 
 /// Drop every cached schedule (for tests and memory-bounded sweeps).
 pub fn clear() {
     for s in &cache().shards {
-        s.lock().unwrap().clear();
+        lock_shard(s).clear();
     }
 }
 
@@ -295,6 +306,25 @@ mod tests {
         let t2 = cached_bcast(BcastAlgo::Tree(2), 32 * 1024, 0, &spec);
         let t3 = cached_bcast(BcastAlgo::Tree(3), 32 * 1024, 0, &spec);
         assert_ne!(t2.render(), t3.render());
+    }
+
+    #[test]
+    fn poisoned_shards_recover() {
+        // Poison every shard by panicking while holding each lock, then
+        // verify the cache keeps serving lookups, inserts, len() and
+        // clear() instead of cascading PoisonError panics.
+        for s in &cache().shards {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = s.lock().unwrap_or_else(|e| e.into_inner());
+                panic!("poison this shard");
+            }));
+            assert!(res.is_err());
+        }
+        let spec = CollSpec::new(23, 555);
+        let a = cached_barrier(11, &spec);
+        let b = cached_barrier(11, &spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(len() >= 1);
     }
 
     #[test]

@@ -115,14 +115,16 @@ pub fn iqr_filter(xs: &[f64], k: f64) -> Vec<f64> {
 }
 
 /// Trimmed mean: drop the `trim` fraction of smallest and largest samples
-/// (each side) before averaging. `trim` in `[0, 0.5)`.
+/// (each side) before averaging. `trim` in `[0, 0.5)`; aggressive fractions
+/// are clamped so at least one sample always survives (an over-trim on a
+/// tiny sample set must degrade to the median, never panic or return NaN).
 pub fn trimmed_mean(xs: &[f64], trim: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    let drop = ((sorted.len() as f64) * trim).floor() as usize;
+    let drop = (((sorted.len() as f64) * trim).floor() as usize).min((sorted.len() - 1) / 2);
     let keep = &sorted[drop..sorted.len() - drop];
     if keep.is_empty() {
         median(&sorted)
@@ -273,6 +275,16 @@ mod tests {
         xs.push(1000.0);
         let tm = trimmed_mean(&xs, 0.1);
         assert!((tm - 10.0).abs() < 1e-9, "tm={tm}");
+    }
+
+    #[test]
+    fn trimmed_mean_overtrim_never_panics() {
+        // trim=0.7 on 3 samples asks to drop 2 per tail; the clamp keeps
+        // the middle sample (the median) instead of slicing out of range.
+        assert_eq!(trimmed_mean(&[1.0, 2.0, 30.0], 0.7), 2.0);
+        assert_eq!(trimmed_mean(&[5.0], 0.49), 5.0);
+        assert_eq!(trimmed_mean(&[1.0, 3.0], 0.5), 2.0);
+        assert!(trimmed_mean(&[], 0.3).is_finite());
     }
 
     #[test]

@@ -47,10 +47,12 @@ impl SimTime {
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     ///
-    /// Negative inputs saturate to zero (durations cannot be negative).
+    /// Negative and NaN inputs saturate to zero (durations cannot be
+    /// negative, and a NaN duration must not silently poison event times).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        if s <= 0.0 {
+        // Explicit NaN check: the usual `s <= 0.0` guard lets NaN through.
+        if s.is_nan() || s <= 0.0 {
             return SimTime::ZERO;
         }
         SimTime((s * 1e9).round() as u64)
@@ -100,10 +102,11 @@ impl SimTime {
     }
 
     /// Multiply a duration by a dimensionless `f64` factor (e.g. a noise
-    /// multiplier), rounding to the nearest nanosecond and saturating at zero.
+    /// multiplier), rounding to the nearest nanosecond and saturating at
+    /// zero. Negative and NaN factors yield zero.
     #[inline]
     pub fn scale(self, factor: f64) -> SimTime {
-        if factor <= 0.0 {
+        if factor.is_nan() || factor <= 0.0 {
             return SimTime::ZERO;
         }
         SimTime((self.0 as f64 * factor).round() as u64)
@@ -213,6 +216,19 @@ mod tests {
         assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
         assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
         assert_eq!(SimTime::from_micros_f64(1.5), SimTime::from_nanos(1_500));
+    }
+
+    #[test]
+    fn float_conversions_reject_nan_and_negative() {
+        // A poisoned float (NaN from 0/0, or a negative from a mis-derived
+        // delta) must clamp to ZERO, not wrap or poison the clock.
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+        let t = SimTime::from_micros(10);
+        assert_eq!(t.scale(f64::NAN), SimTime::ZERO);
+        assert_eq!(t.scale(-2.0), SimTime::ZERO);
+        assert_eq!(t.scale(0.5), SimTime::from_micros(5));
     }
 
     #[test]

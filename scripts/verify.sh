@@ -65,6 +65,44 @@ if [ "$plain" != "$traced" ]; then
 fi
 echo "   NBC_TRACE on/off: identical"
 
+echo "== faults: NBC_FAULTS=off must be byte-identical to unset"
+fref=$(./target/release/fig6_progress_cost --quick)
+foff=$(NBC_FAULTS=off ./target/release/fig6_progress_cost --quick)
+if [ "$fref" != "$foff" ]; then
+    echo "FAIL: fig6_progress_cost differs between NBC_FAULTS=off and unset" >&2
+    diff <(printf '%s\n' "$fref") <(printf '%s\n' "$foff") >&2 || true
+    exit 1
+fi
+echo "   NBC_FAULTS=off: identical"
+
+echo "== faults: a fixed fault seed must replay byte-identically"
+fa=$(NBC_FAULTS=light:42 ./target/release/fig6_progress_cost --quick)
+fb=$(NBC_FAULTS=light:42 ./target/release/fig6_progress_cost --quick)
+if [ "$fa" != "$fb" ]; then
+    echo "FAIL: fig6_progress_cost not deterministic under NBC_FAULTS=light:42" >&2
+    diff <(printf '%s\n' "$fa") <(printf '%s\n' "$fb") >&2 || true
+    exit 1
+fi
+if [ "$fa" = "$fref" ]; then
+    echo "FAIL: NBC_FAULTS=light:42 did not perturb fig6_progress_cost at all" >&2
+    exit 1
+fi
+echo "   NBC_FAULTS=light:42: deterministic and distinct from healthy run"
+
+echo "== ablation_faults smoke run (retry absorption + graceful demotion)"
+ab1=$(./target/release/ablation_faults --quick)
+ab2=$(./target/release/ablation_faults --quick)
+if [ "$ab1" != "$ab2" ]; then
+    echo "FAIL: ablation_faults output not deterministic" >&2
+    diff <(printf '%s\n' "$ab1") <(printf '%s\n' "$ab2") >&2 || true
+    exit 1
+fi
+if ! printf '%s\n' "$ab1" | grep -q 'demoted: .*linear'; then
+    echo "FAIL: ablation_faults total-loss scenario demoted nothing" >&2
+    exit 1
+fi
+echo "   ablation_faults: deterministic, demotes under total loss"
+
 echo "== trace_inspect smoke run"
 inspect=$(./target/release/trace_inspect "$trace_file")
 rm -f "$trace_file"

@@ -1,0 +1,155 @@
+//! Integration tests: deterministic fault injection end to end.
+//!
+//! The contract under test, from the top of the stack: (1) with faults off
+//! (or never configured) results are bit-identical to a build that has no
+//! fault layer at all; (2) a fixed fault seed replays byte-identically;
+//! (3) injected rendezvous timeouts never hang the tuner — they surface as
+//! candidate demotions in the outcome, the audit log and the metrics
+//! registry.
+//!
+//! The fault override is process-global (like the trace switch), so every
+//! test here takes one lock; the suite still runs in parallel with the
+//! other integration binaries (separate processes).
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use mpisim::fault::{self, FaultConfig};
+use simcore::trace;
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn spec(iters: usize) -> MicrobenchSpec {
+    MicrobenchSpec {
+        platform: Platform::whale(),
+        nprocs: 8,
+        op: CollectiveOp::Ialltoall,
+        msg_bytes: 64 * 1024, // rendezvous on whale
+        iters,
+        compute_total: SimTime::from_millis(iters as u64),
+        num_progress: 3,
+        noise: NoiseConfig::none(),
+        reps: 2,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    }
+}
+
+/// Fingerprint of everything a figure binary would print about a run.
+fn fingerprint(out: &autonbc::driver::MicrobenchOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+        out.total, out.history, out.winner, out.converged_at, out.sim_events, out.demoted
+    )
+}
+
+#[test]
+fn faults_off_is_identical_to_never_configured() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear_override();
+    let unset = spec(12).run(SelectionLogic::BruteForce);
+    fault::set_override(Some(FaultConfig::off()));
+    let off = spec(12).run(SelectionLogic::BruteForce);
+    fault::clear_override();
+    assert_eq!(
+        fingerprint(&unset),
+        fingerprint(&off),
+        "NBC_FAULTS=off must be bit-identical to no fault layer"
+    );
+    assert!(unset.demoted.is_empty());
+}
+
+#[test]
+fn fault_seed_replays_byte_identically() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = |cfg: FaultConfig| {
+        fault::set_override(Some(cfg));
+        let out = spec(12).run(SelectionLogic::BruteForce);
+        fault::clear_override();
+        fingerprint(&out)
+    };
+    let a = run(FaultConfig::light(42));
+    let b = run(FaultConfig::light(42));
+    assert_eq!(a, b, "same fault seed must replay byte-identically");
+    let c = run(FaultConfig::light(43));
+    assert_ne!(a, c, "a different fault seed should perturb the run");
+    let off = run(FaultConfig::off());
+    assert_ne!(a, off, "light faults must actually perturb timing");
+}
+
+#[test]
+fn total_loss_demotes_instead_of_hanging() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(true); // demotions are audited under the trace gate
+    adcl::audit::clear();
+    let timeouts_before = simcore::metrics::counter("mpisim.fault.timeouts").get();
+    fault::set_override(Some(FaultConfig {
+        drop_prob: 1.0,
+        retry_timeout: SimTime::from_micros(200),
+        max_retries: 2,
+        arm_timeouts: true,
+        ..FaultConfig::off()
+    }));
+    let out = spec(6).run(SelectionLogic::BruteForce);
+    fault::clear_override();
+    let demotions = adcl::audit::demotions();
+    let timeouts_after = simcore::metrics::counter("mpisim.fault.timeouts").get();
+    trace::clear_enabled_override();
+    adcl::audit::clear();
+    let _ = trace::take_all();
+
+    // Every candidate timed out; the driver must have walked the whole set.
+    assert_eq!(out.winner, None);
+    assert_eq!(out.converged_at, None);
+    assert_eq!(out.demoted.len(), 3, "all ialltoall candidates demoted");
+    assert!(
+        out.total.is_infinite(),
+        "degraded outcome has no finite time"
+    );
+    // The audit log saw the same demotions, with the timeout as reason.
+    assert_eq!(demotions.len(), 3);
+    assert!(demotions.iter().all(|d| d.op == "ialltoall"));
+    assert!(demotions.iter().all(|d| d.reason.contains("timeout")));
+    assert_eq!(demotions[0].name, out.demoted[0]);
+    // And the metrics registry counted the surfaced timeouts.
+    assert!(
+        timeouts_after >= timeouts_before + 3,
+        "each demotion implies at least one counted timeout"
+    );
+}
+
+#[test]
+fn fixed_logic_degrades_without_retry_loop() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::set_override(Some(FaultConfig {
+        drop_prob: 1.0,
+        retry_timeout: SimTime::from_micros(200),
+        max_retries: 1,
+        arm_timeouts: true,
+        ..FaultConfig::off()
+    }));
+    let out = spec(4).run(SelectionLogic::Fixed(0));
+    fault::clear_override();
+    // A pinned run has nothing to fall back to: one demotion, then report.
+    assert_eq!(out.winner, None);
+    assert_eq!(out.demoted.len(), 1);
+    assert!(out.total.is_infinite());
+}
+
+#[test]
+fn memo_key_captures_fault_config() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let s = spec(12);
+    fault::clear_override();
+    let k_unset = s.memo_key(SelectionLogic::BruteForce);
+    fault::set_override(Some(FaultConfig::off()));
+    let k_off = s.memo_key(SelectionLogic::BruteForce);
+    fault::set_override(Some(FaultConfig::light(42)));
+    let k_light = s.memo_key(SelectionLogic::BruteForce);
+    fault::set_override(Some(FaultConfig::light(43)));
+    let k_light2 = s.memo_key(SelectionLogic::BruteForce);
+    fault::clear_override();
+    assert_eq!(k_unset, k_off, "explicit off is the same simulation");
+    assert_ne!(k_off, k_light, "fault config must split the memo space");
+    assert_ne!(k_light, k_light2, "the fault seed is part of the key");
+}
