@@ -225,18 +225,30 @@ impl MicrobenchSpec {
         )
     }
 
-    /// One attempt of the benchmark loop over `fnset`.
+    /// One attempt of the benchmark loop over `fnset`. The world comes
+    /// from the per-thread reuse pool (`mpisim::worldpool`): consecutive
+    /// sweep points on the same worker share arenas and payload slabs
+    /// instead of rebuilding them, with byte-identical results.
     fn try_run(
         &self,
         fnset: FunctionSet,
         logic: SelectionLogic,
     ) -> Result<MicrobenchOutcome, AttemptTimedOut> {
-        let mut world = World::new(
-            self.platform.clone(),
+        mpisim::worldpool::with_world(
+            &self.platform,
             self.nprocs,
             self.placement,
             self.noise,
-        );
+            |world| self.try_run_in(world, fnset, logic),
+        )
+    }
+
+    fn try_run_in(
+        &self,
+        world: &mut World,
+        fnset: FunctionSet,
+        logic: SelectionLogic,
+    ) -> Result<MicrobenchOutcome, AttemptTimedOut> {
         let mut session = TuningSession::new(self.nprocs);
         let op = session.add_op(
             self.op.name(),

@@ -56,6 +56,56 @@ fn run_sweep(specs: &[MicrobenchSpec], jobs: usize) {
     }
 }
 
+/// The sweep-scale workload: 64 independent sweep points (4 message sizes
+/// × 2 process counts × 8 noise seeds) at realistic `World` sizes, each
+/// running one fixed Ibcast implementation (rotated per point). Large
+/// enough that pool startup, metrics flushing and world construction are
+/// amortized — the entry measures engine scaling, not thread-spawn
+/// overhead.
+fn sweep_scale_points(args: &Args) -> Vec<MicrobenchSpec> {
+    let iters = args.pick3(4, 8, 16);
+    let sizes: [usize; 4] = [128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024];
+    // Quick mode keeps all 64 points but at 8 ranks; standard mixes in
+    // 16-rank worlds.
+    let nprocs: [usize; 2] = if args.quick { [8, 8] } else { [8, 16] };
+    let mut points = Vec::with_capacity(64);
+    for (k, &np) in nprocs.iter().enumerate() {
+        for (m, &msg_bytes) in sizes.iter().enumerate() {
+            for s in 0..8u64 {
+                points.push(MicrobenchSpec {
+                    platform: Platform::whale(),
+                    nprocs: np,
+                    op: CollectiveOp::Ibcast,
+                    msg_bytes,
+                    iters,
+                    compute_total: SimTime::from_millis(iters as u64),
+                    num_progress: 5,
+                    noise: NoiseConfig::light(simcore::par::derive_seed(
+                        4000 + k as u64,
+                        (m as u64) * 8 + s,
+                    )),
+                    reps: 2,
+                    placement: Placement::Block,
+                    imbalance: Imbalance::None,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// FNV-1a over a list of result bit patterns: a stable order-sensitive
+/// digest for the cross-`jobs` byte-identity check.
+fn digest64(totals: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &t in totals {
+        for b in t.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 fn fft_cfg(args: &Args) -> FftKernelConfig {
     FftKernelConfig {
         n: args.pick3(48, 96, 192),
@@ -82,15 +132,27 @@ fn main() {
 
     let mut report = PerfReport::new();
 
-    // 1. Event-queue hot loop (no simulation: measures the packed-key heap).
-    let e = report.measure("event_queue_push_pop", 1, || {
-        let mut q = simcore::EventQueue::with_capacity(1024);
+    // Each workload is sampled a few times and the fastest pass is kept
+    // (the workloads are deterministic, so only wall-clock varies): the
+    // quick-sized runs finish in milliseconds and a single sample on a
+    // shared host is too noisy for the verify.sh regression guard.
+    const SAMPLES: usize = 3;
+
+    // 1. Event-queue hot loop (no simulation: measures the packed-key
+    // heap). No `World::run` happens here, so `sim_events` stays 0; the
+    // entry reports raw queue operations per second instead (one push +
+    // one pop per item per round).
+    const QUEUE_ROUNDS: u64 = 200;
+    const QUEUE_ITEMS: u64 = 1024;
+    const QUEUE_OPS: u64 = QUEUE_ROUNDS * QUEUE_ITEMS * 2;
+    let e = report.measure_best_of_ops("event_queue_push_pop", 1, SAMPLES, QUEUE_OPS, || {
+        let mut q = simcore::EventQueue::with_capacity(QUEUE_ITEMS as usize);
         let mut acc = 0u64;
-        for round in 0..200u64 {
+        for round in 0..QUEUE_ROUNDS {
             // Times must stay ahead of the queue's watermark (popping
             // advances "now"), so each round occupies its own window.
             let base = round * 4096;
-            for i in 0..1024u64 {
+            for i in 0..QUEUE_ITEMS {
                 q.push(simcore::SimTime::from_nanos(base + (i * 7919) % 4096), i);
             }
             while let Some((_, v)) = q.pop() {
@@ -99,17 +161,15 @@ fn main() {
         }
         black_box(acc);
     });
-    println!("event_queue_push_pop : {:.3} s", e.wall_secs);
+    println!(
+        "event_queue_push_pop : {:.3} s, {} queue ops, {:.0} ops/s",
+        e.wall_secs, e.queue_ops, e.events_per_sec
+    );
 
     // 2. Verification sweep: every Ibcast implementation, fixed selection,
     // multiple large message sizes. Raw engine throughput first — memo
     // disabled so every simulation runs fresh. Serial baseline, then the
     // parallel sweep engine.
-    // Each workload is sampled a few times and the fastest pass is kept
-    // (the workloads are deterministic, so only wall-clock varies): the
-    // quick-sized runs finish in milliseconds and a single sample on a
-    // shared host is too noisy for the verify.sh regression guard.
-    const SAMPLES: usize = 3;
     let specs = sweep_specs(&args);
     adcl::simmemo::set_enabled(false);
     let e1 = report.measure_best_of("ibcast_all_fixed", 1, SAMPLES, || run_sweep(&specs, 1));
@@ -151,6 +211,63 @@ fn main() {
         "ibcast_sweep_memoized: {:.3} s, {} fresh + {} replayed events, {:.0} ev/s effective",
         em.wall_secs, em.sim_events, em.replayed_events, em.events_per_sec
     );
+    adcl::simmemo::clear_enabled_override();
+
+    // 2c. Sweep-scale workload: 64 independent sweep points at realistic
+    // World sizes, the workload class the parallel engine exists for. The
+    // small entries above finish in milliseconds and mostly measure
+    // fixed costs; this one is large enough to amortize pool startup, so
+    // its `speedup_vs_serial` reflects engine scaling (on multi-core
+    // hosts — a 1-CPU container reports ~1x by construction). Memo stays
+    // off so every point simulates fresh, and the per-point totals are
+    // digested and compared across jobs values: any cross-thread state
+    // leak that broke the determinism contract fails the run here.
+    adcl::simmemo::set_enabled(false);
+    let points = sweep_scale_points(&args);
+    let nfuncs = CollectiveOp::Ibcast
+        .fnset(nbc::schedule::CollSpec::new(8, 128 * 1024))
+        .len();
+    let run_points = |jobs: usize| -> Vec<u64> {
+        simcore::par::par_map(jobs, &points, |i, spec| {
+            spec.run(SelectionLogic::Fixed(i % nfuncs)).total.to_bits()
+        })
+    };
+    const SS_SAMPLES: usize = 2;
+    let totals = std::cell::RefCell::new(Vec::new());
+    let e1 = report.measure_best_of("sweep_scale", 1, SS_SAMPLES, || {
+        *totals.borrow_mut() = run_points(1);
+    });
+    let serial_digest = digest64(&totals.borrow());
+    println!(
+        "sweep_scale @1       : {:.3} s, {} events, {:.0} ev/s ({} points, digest {serial_digest:#018x})",
+        e1.wall_secs,
+        e1.sim_events,
+        e1.events_per_sec,
+        points.len()
+    );
+    let mut par_jobs = vec![2];
+    if jobs > 2 {
+        par_jobs.push(jobs);
+    }
+    for j in par_jobs {
+        let ej = report.measure_best_of("sweep_scale", j, SS_SAMPLES, || {
+            *totals.borrow_mut() = run_points(j);
+        });
+        let d = digest64(&totals.borrow());
+        if d != serial_digest {
+            eprintln!(
+                "FAIL: sweep_scale digest differs at jobs={j}: {d:#018x} != {serial_digest:#018x}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "sweep_scale @{j}       : {:.3} s, {:.0} ev/s  (speedup {:.2}x, digest matches serial)",
+            ej.wall_secs,
+            ej.events_per_sec,
+            ej.speedup_vs_serial.unwrap_or(0.0)
+        );
+    }
+    println!("sweep_scale: jobs-invariance OK ({} points)", points.len());
     adcl::simmemo::clear_enabled_override();
 
     // 3. FFT kernel point: the §IV-B unit of work (one pattern, two modes).

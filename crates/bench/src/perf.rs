@@ -10,8 +10,11 @@
 //!   unit of simulator work (independent of host speed),
 //! * `replayed_events` — events a memo hit stood in for (credited by
 //!   `adcl::simmemo` when a cached outcome replaces a fresh simulation),
+//! * `queue_ops` — raw event-queue operations for entries that exercise
+//!   the queue directly rather than through `World::run` (0 elsewhere),
 //! * `events_per_sec` — *effective* throughput, `(sim_events +
-//!   replayed_events) / wall_secs`; the figure tracked across commits,
+//!   replayed_events + queue_ops) / wall_secs`; the figure tracked across
+//!   commits,
 //! * `allocs_per_event` — payload-buffer allocations (pool misses plus
 //!   naive-mode copies, from `simcore::stats::payload_allocs`) per fresh
 //!   simulated event; the zero-copy payload engine drives this toward 0,
@@ -36,7 +39,10 @@ pub struct PerfEntry {
     pub sim_events: u64,
     /// Events served from the sim-memo cache instead of re-simulated.
     pub replayed_events: u64,
-    /// `(sim_events + replayed_events) / wall_secs`.
+    /// Raw event-queue operations (for microbenchmarks that drive the
+    /// queue directly; 0 for full-simulation workloads).
+    pub queue_ops: u64,
+    /// `(sim_events + replayed_events + queue_ops) / wall_secs`.
     pub events_per_sec: f64,
     /// Payload-buffer allocations per fresh simulated event.
     pub allocs_per_event: f64,
@@ -67,7 +73,7 @@ impl PerfReport {
     /// the report).
     pub fn measure(&mut self, name: &str, jobs: usize, body: impl FnOnce()) -> PerfEntry {
         let mut body = Some(body);
-        self.record_sample(name, jobs, 1, &mut || (body.take().unwrap())())
+        self.record_sample(name, jobs, 1, 0, &mut || (body.take().unwrap())())
     }
 
     /// Like [`PerfReport::measure`] but runs `body` `passes` times and
@@ -85,7 +91,24 @@ impl PerfReport {
         body: impl Fn(),
     ) -> PerfEntry {
         assert!(passes >= 1);
-        self.record_sample(name, jobs, passes, &mut || body())
+        self.record_sample(name, jobs, passes, 0, &mut || body())
+    }
+
+    /// Like [`PerfReport::measure_best_of`] for workloads that exercise
+    /// the event queue directly (no `World::run`, so `sim_events` stays 0):
+    /// `queue_ops` is the number of queue operations one pass performs, and
+    /// it is folded into `events_per_sec` so the entry reports a meaningful
+    /// throughput instead of 0.0.
+    pub fn measure_best_of_ops(
+        &mut self,
+        name: &str,
+        jobs: usize,
+        passes: usize,
+        queue_ops: u64,
+        body: impl Fn(),
+    ) -> PerfEntry {
+        assert!(passes >= 1);
+        self.record_sample(name, jobs, passes, queue_ops, &mut || body())
     }
 
     fn record_sample(
@@ -93,6 +116,7 @@ impl PerfReport {
         name: &str,
         jobs: usize,
         passes: usize,
+        queue_ops: u64,
         body: &mut dyn FnMut(),
     ) -> PerfEntry {
         let mut wall_secs = f64::INFINITY;
@@ -113,7 +137,7 @@ impl PerfReport {
                 replayed_events = adcl::simmemo::stats().replayed_events - replay0;
             }
         }
-        let effective = sim_events + replayed_events;
+        let effective = sim_events + replayed_events + queue_ops;
         let speedup_vs_serial = if jobs == 1 {
             Some(1.0)
         } else {
@@ -130,6 +154,7 @@ impl PerfReport {
             wall_secs,
             sim_events,
             replayed_events,
+            queue_ops,
             events_per_sec: if wall_secs > 0.0 {
                 effective as f64 / wall_secs
             } else {
@@ -172,16 +197,16 @@ impl PerfReport {
     }
 
     /// Render the report as a JSON document (schedule-cache, sim-memo and
-    /// registry stats are sampled at render time). Schema v3 adds a
-    /// `metrics` block: the full `simcore::metrics` registry snapshot
-    /// (process-lifetime totals, not session deltas — the legacy
-    /// `schedule_cache` / `sim_memo` / `payload_allocs` keys keep the
-    /// session-scoped semantics).
+    /// registry stats are sampled at render time). Schema v3 added a
+    /// `metrics` block (the full `simcore::metrics` registry snapshot —
+    /// process-lifetime totals, not session deltas); v4 adds the per-entry
+    /// `queue_ops` field and folds it into `events_per_sec` for
+    /// queue-microbenchmark entries.
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v3\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v4\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -220,12 +245,13 @@ impl PerfReport {
                 None => "null".to_string(),
             };
             s.push_str(&format!(
-                "    {{\"name\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \"sim_events\": {}, \"replayed_events\": {}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {:.6}, \"speedup_vs_serial\": {}}}{}\n",
+                "    {{\"name\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \"sim_events\": {}, \"replayed_events\": {}, \"queue_ops\": {}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {:.6}, \"speedup_vs_serial\": {}}}{}\n",
                 json_str(&e.name),
                 e.jobs,
                 e.wall_secs,
                 e.sim_events,
                 e.replayed_events,
+                e.queue_ops,
                 e.events_per_sec,
                 e.allocs_per_event,
                 speedup,
@@ -294,6 +320,22 @@ mod tests {
     }
 
     #[test]
+    fn queue_ops_fold_into_events_per_sec() {
+        let mut r = PerfReport::new();
+        let e = r.measure_best_of_ops("q", 1, 2, 1000, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert_eq!(e.queue_ops, 1000);
+        assert!(
+            e.events_per_sec > 0.0,
+            "queue-op entries must not report 0.0 ev/s"
+        );
+        // Full-simulation entries keep queue_ops at 0.
+        let plain = r.measure("p", 1, || {});
+        assert_eq!(plain.queue_ops, 0);
+    }
+
+    #[test]
     fn json_is_wellformed_enough() {
         let mut r = PerfReport::new();
         r.measure("a\"b", 1, || {});
@@ -302,7 +344,8 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v3"));
+        assert!(j.contains("adcl-bench-engine-v4"));
+        assert!(j.contains("\"queue_ops\""));
         assert!(j.contains("\"sim_memo\""));
         assert!(j.contains("\"metrics\""));
         assert!(j.contains("\"allocs_per_event\""));

@@ -22,21 +22,37 @@
 //! out per-run by not routing through [`get_or_run`], or globally via
 //! [`set_enabled`] / `NBC_MEMO=off`.
 //!
-//! The cache is sharded 16 ways (same shape as `nbc::cache`) so parallel
-//! sweeps do not serialize on one lock; the closure runs *outside* the
-//! shard lock, and a lost insert race just adopts the winner's value.
+//! The cache is sharded 64 ways behind `RwLock`s (same shape as
+//! `nbc::cache`): steady-state lookups take a shared read lock on a shard
+//! picked by an FNV-1a/SplitMix64 hash of the fingerprint, so parallel
+//! sweeps replaying a warm cache never serialize. The closure runs
+//! *outside* any lock, and a lost insert race just adopts the winner's
+//! value.
 
 use simcore::metrics::{self, Counter};
 use std::any::Any;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
-const NSHARDS: usize = 16;
+const NSHARDS: usize = 64;
 
-type Shard = Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>;
+type Shard = RwLock<HashMap<String, Arc<dyn Any + Send + Sync>>>;
+
+/// Read-lock a shard, tolerating poison (entries are immutable once
+/// inserted, so a panicking worker cannot leave a shard inconsistent).
+fn read_shard(
+    s: &Shard,
+) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<dyn Any + Send + Sync>>> {
+    s.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock a shard (insert path only), with the same poison recovery.
+fn write_shard(
+    s: &Shard,
+) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<dyn Any + Send + Sync>>> {
+    s.write().unwrap_or_else(|e| e.into_inner())
+}
 
 struct Memo {
     shards: Vec<Shard>,
@@ -54,7 +70,7 @@ struct Memo {
 fn memo() -> &'static Memo {
     static MEMO: OnceLock<Memo> = OnceLock::new();
     MEMO.get_or_init(|| Memo {
-        shards: (0..NSHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        shards: (0..NSHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         hits: metrics::counter("adcl.simmemo.hits"),
         misses: metrics::counter("adcl.simmemo.misses"),
         replayed_events: metrics::counter("adcl.simmemo.replayed_events"),
@@ -64,10 +80,19 @@ fn memo() -> &'static Memo {
     })
 }
 
+/// FNV-1a over the fingerprint bytes with a SplitMix64-style finalizer:
+/// cheaper than SipHash for the long human-readable keys the drivers build,
+/// and the finalizer spreads structurally similar fingerprints (which share
+/// long prefixes) across shards.
 fn shard_of(key: &str) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() as usize) % NSHARDS
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in key.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    (h as usize) % NSHARDS
 }
 
 /// Hit/miss counters plus the number of simulation events credited to
@@ -138,7 +163,8 @@ where
     }
     let m = memo();
     let shard = &m.shards[shard_of(key)];
-    if let Some(found) = shard.lock().unwrap().get(key) {
+    // Fast path: shared read lock — warm-cache replays never contend.
+    if let Some(found) = read_shard(shard).get(key) {
         if let Ok(typed) = Arc::clone(found).downcast::<T>() {
             m.hits.inc();
             return (typed, true);
@@ -148,7 +174,7 @@ where
     }
     m.misses.inc();
     let fresh: Arc<T> = Arc::new(run());
-    let mut g = shard.lock().unwrap();
+    let mut g = write_shard(shard);
     match g.get(key) {
         // Lost an insert race to an identically-keyed run: adopt the
         // winner (results are deterministic, so the values are equal).
@@ -204,13 +230,13 @@ pub fn reset_stats() {
 
 /// Number of memoized outcomes.
 pub fn len() -> usize {
-    memo().shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    memo().shards.iter().map(|s| read_shard(s).len()).sum()
 }
 
 /// Drop every memoized outcome (counters are kept).
 pub fn clear() {
     for s in &memo().shards {
-        s.lock().unwrap().clear();
+        write_shard(s).clear();
     }
 }
 
@@ -313,6 +339,19 @@ mod tests {
         let after = stats();
         assert_eq!(before, after, "disabled runs must not touch counters");
         clear_enabled_override();
+    }
+
+    #[test]
+    fn fingerprint_hash_spreads_shards() {
+        // Driver fingerprints share long prefixes; the finalizer must still
+        // spread them across most shards.
+        let mut used = std::collections::HashSet::new();
+        for i in 0..256 {
+            used.insert(shard_of(&format!(
+                "ub/whale/ibcast/p16/m{i}/i10/c0/g4/r25/Block/F-/Tuned"
+            )));
+        }
+        assert!(used.len() >= NSHARDS / 2, "only {} shards used", used.len());
     }
 
     #[test]

@@ -282,7 +282,19 @@ pub fn run_fft_kernel(
     mode: FftMode,
     noise: NoiseConfig,
 ) -> FftRunResult {
-    let mut world = World::new(platform.clone(), p, cfg.placement, noise);
+    mpisim::worldpool::with_world(platform, p, cfg.placement, noise, |world| {
+        run_fft_kernel_in(world, platform, p, cfg, pattern, mode)
+    })
+}
+
+fn run_fft_kernel_in(
+    world: &mut World,
+    platform: &Platform,
+    p: usize,
+    cfg: &FftKernelConfig,
+    pattern: FftPattern,
+    mode: FftMode,
+) -> FftRunResult {
     if world.tracing() {
         world.set_trace_label(&format!(
             "fft/{}/{}/{}/p{p}",

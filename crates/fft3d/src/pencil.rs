@@ -223,7 +223,18 @@ pub fn run_pencil(
     noise: NoiseConfig,
 ) -> PencilResult {
     let p = cfg.nprocs();
-    let mut world = World::new(platform.clone(), p, cfg.placement, noise);
+    mpisim::worldpool::with_world(platform, p, cfg.placement, noise, |world| {
+        run_pencil_in(world, platform, cfg, logic)
+    })
+}
+
+fn run_pencil_in(
+    world: &mut World,
+    platform: &Platform,
+    cfg: &PencilConfig,
+    logic: SelectionLogic,
+) -> PencilResult {
+    let p = cfg.nprocs();
     if world.tracing() {
         world.set_trace_label(&format!(
             "pencil/{}/{}x{}/{logic:?}",

@@ -28,6 +28,7 @@ pub mod fault;
 pub mod message;
 pub mod types;
 pub mod world;
+pub mod worldpool;
 
 pub use bufpool::{BufPool, BufPoolStats, Payload, PooledBuf};
 pub use fault::{FaultConfig, FaultModel};

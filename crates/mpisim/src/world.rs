@@ -331,6 +331,14 @@ pub struct World {
     polls_flushed: u64,
     /// Unexpected-message arrivals this run, flushed at the end of `run`.
     unexpected_msgs: u64,
+    /// Rendezvous handshake stalls this run, flushed at the end of `run` —
+    /// the shared registry counter/histogram must never be touched on the
+    /// poll hot path (parallel sweeps would serialize on its cache line).
+    rdv_stalls: u64,
+    rdv_stall_ns: metrics::LocalHistogram,
+    /// `events.popped()` at the last [`World::reset`]: the queue's lifetime
+    /// counter survives reuse, so per-world accounting is a delta from here.
+    popped_at_reset: u64,
     /// Timeline segments, recorded only when tracing is enabled.
     trace: Option<Vec<TraceSegment>>,
     /// Span/instant timeline for the observability layer (`NBC_TRACE`);
@@ -403,6 +411,9 @@ impl World {
             protocol_actions: 0,
             polls_flushed: 0,
             unexpected_msgs: 0,
+            rdv_stalls: 0,
+            rdv_stall_ns: metrics::LocalHistogram::new(),
+            popped_at_reset: 0,
             trace: None,
             otrace: trace::enabled().then(|| Box::new(WorldTrace::new(nranks))),
             pool: BufPool::new(),
@@ -498,7 +509,87 @@ impl World {
     /// process-wide [`sim_events_total`] — exact even when other worlds run
     /// concurrently on other threads).
     pub fn events_processed(&self) -> u64 {
-        self.events.popped()
+        self.events.popped() - self.popped_at_reset
+    }
+
+    /// Publish the observability timeline to the global trace collector now
+    /// (instead of waiting for `Drop`). Used by the world-reuse pool:
+    /// cached worlds live in thread-locals whose destructors may never run
+    /// on pool threads, so traces must be pushed out at release time. A
+    /// no-op when tracing is off or the trace was already published.
+    pub fn publish_trace(&mut self) {
+        if let Some(t) = self.otrace.take() {
+            trace::publish(*t);
+        }
+    }
+
+    /// Reset this world for a fresh simulation on the *same* platform,
+    /// rank count and placement, keeping every allocation (rank vectors,
+    /// event-queue heap, message/receive tables, payload-pool slabs) warm.
+    ///
+    /// The post-state is observationally identical to
+    /// `World::new(platform, nranks, placement, noise)` with the same
+    /// process-global fault/trace configuration: noise models are re-seeded
+    /// from `noise`, the fault model is rebuilt from [`fault::current`],
+    /// and all logical state (clocks, tags, sequence numbers, in-flight
+    /// messages) is zeroed. Only allocation capacity and recycled payload
+    /// slab contents differ — neither is observable in simulated time or
+    /// simulation output, so results stay byte-identical whether a world is
+    /// fresh or reused.
+    pub fn reset(&mut self, noise: NoiseConfig) {
+        self.publish_trace();
+        let nranks = self.ranks.len();
+        for (r, rs) in self.ranks.iter_mut().enumerate() {
+            rs.now = SimTime::ZERO;
+            rs.status = RankStatus::Scheduled;
+            rs.noise = if noise.is_none() {
+                NoiseModel::none()
+            } else {
+                NoiseModel::for_rank(
+                    noise.seed,
+                    r,
+                    noise.jitter,
+                    noise.spike_prob,
+                    noise.spike_scale,
+                )
+            };
+            rs.acct = RankAccounting::default();
+            rs.block_since = None;
+            rs.env_next.iter_mut().for_each(|v| *v = 0);
+            rs.env_buf.iter_mut().for_each(|m| m.clear());
+            rs.posted_recvs.clear();
+            rs.unexpected.clear();
+            rs.pending_cts.clear();
+            rs.pending_data_start.clear();
+        }
+        self.net.reset();
+        // Dropping in-flight messages releases their payload handles, which
+        // recycles the slabs into `self.pool` — the reuse win.
+        self.msgs.clear();
+        self.recvs.clear();
+        self.events.reset();
+        self.popped_at_reset = self.events.popped();
+        self.send_seq.iter_mut().for_each(|v| *v = 0);
+        self.scratch_cts.clear();
+        self.scratch_starts.clear();
+        self.next_tag = 0;
+        self.polls = 0;
+        self.protocol_actions = 0;
+        self.polls_flushed = 0;
+        self.unexpected_msgs = 0;
+        self.rdv_stalls = 0;
+        self.rdv_stall_ns = metrics::LocalHistogram::new();
+        self.trace = None;
+        self.otrace = trace::enabled().then(|| Box::new(WorldTrace::new(nranks)));
+        self.fault = FaultModel::new(
+            &fault::current(),
+            &self.net.platform().fault_profile(),
+            nranks,
+        )
+        .map(Box::new);
+        self.timed_out = None;
+        self.faults = FaultStats::default();
+        self.faults_flushed = FaultStats::default();
     }
 
     /// Start recording per-rank timeline segments (compute / library /
@@ -889,13 +980,14 @@ impl World {
             let src = self.msgs[mid].src;
             // The handshake stalled from RTS arrival until this progress
             // call finally answered it — the cost the paper's progress
-            // study quantifies. Record it (rare enough to hit the global
-            // histogram directly).
+            // study quantifies. Accumulated per-world and flushed at the
+            // end of `run`: rendezvous-heavy sweeps hit this on the poll
+            // hot path, so the shared histogram must stay off it.
             if let Some(rts) = self.msgs[mid].rts_arrival {
                 if now > rts {
                     let stall = now - rts;
-                    m_rdv_stalls().inc();
-                    m_rdv_stall_ns().record(stall.as_nanos());
+                    self.rdv_stalls += 1;
+                    self.rdv_stall_ns.record(stall.as_nanos());
                     let args = [("src", src as u64), ("bytes", self.msgs[mid].bytes as u64)];
                     self.trace_span(rank, "rdv_stall", "msg", rts, now, args);
                 }
@@ -1252,6 +1344,8 @@ impl World {
         m_polls().add(self.polls - self.polls_flushed);
         self.polls_flushed = self.polls;
         m_unexpected().add(std::mem::take(&mut self.unexpected_msgs));
+        m_rdv_stalls().add(std::mem::take(&mut self.rdv_stalls));
+        m_rdv_stall_ns().absorb(&mut self.rdv_stall_ns);
         m_queue_max_depth().record_max(self.events.max_len() as u64);
         // Fault tallies flush only when a model is armed, so a healthy
         // process never registers the fault metrics at all.
@@ -1462,6 +1556,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_world_byte_identically() {
+        let mb = 1 << 20;
+        let prog = || {
+            Script::new(vec![
+                vec![Ins::Send { dst: 1, bytes: mb }, Ins::WaitAll],
+                vec![
+                    Ins::Compute(SimTime::from_millis(5)),
+                    Ins::Recv { src: 0, bytes: mb },
+                    Ins::WaitAll,
+                ],
+            ])
+        };
+        let mut fresh = world(2);
+        let mut s1 = prog();
+        let t1 = fresh.run(&mut s1).unwrap();
+
+        // A reused world first runs a *different* workload (dirtying tags,
+        // sequence numbers, pool slabs, the event queue), then resets.
+        let mut reused = world(2);
+        let mut warm = Script::new(vec![
+            vec![
+                Ins::Send {
+                    dst: 1,
+                    bytes: 4096,
+                },
+                Ins::WaitAll,
+            ],
+            vec![
+                Ins::Recv {
+                    src: 0,
+                    bytes: 4096,
+                },
+                Ins::WaitAll,
+            ],
+        ]);
+        reused.run(&mut warm).unwrap();
+        assert!(reused.events_processed() > 0);
+        reused.reset(NoiseConfig::none());
+        assert_eq!(reused.events_processed(), 0, "delta base must move");
+        let mut s2 = prog();
+        let t2 = reused.run(&mut s2).unwrap();
+
+        assert_eq!(t1, t2, "makespan must not depend on reuse");
+        assert_eq!(s1.finish, s2.finish, "per-rank finish times must match");
+        assert_eq!(fresh.events_processed(), reused.events_processed());
+        assert_eq!(fresh.protocol_actions(), reused.protocol_actions());
+    }
+
+    #[test]
+    fn reset_reseeds_noise_like_a_fresh_world() {
+        let noisy = NoiseConfig::light(99);
+        let prog = || {
+            Script::new(vec![
+                vec![
+                    Ins::Compute(SimTime::from_millis(2)),
+                    Ins::Send {
+                        dst: 1,
+                        bytes: 4096,
+                    },
+                    Ins::WaitAll,
+                ],
+                vec![
+                    Ins::Recv {
+                        src: 0,
+                        bytes: 4096,
+                    },
+                    Ins::WaitAll,
+                ],
+            ])
+        };
+        let mut fresh = World::new(Platform::whale(), 2, Placement::RoundRobin, noisy);
+        let t1 = fresh.run(&mut prog()).unwrap();
+
+        let mut reused = world(2); // built with *no* noise
+        reused.run(&mut prog()).unwrap();
+        reused.reset(noisy);
+        let t2 = reused.run(&mut prog()).unwrap();
+        assert_eq!(t1, t2, "reset must re-seed noise models identically");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Thread-local reuse of [`World`] allocations across consecutive
+//! simulations.
+//!
+//! A sweep runs thousands of independent microbenchmarks, and each one used
+//! to build a `World` from scratch: rank vectors, envelope-sequencing
+//! tables, the event-queue heap and a cold payload pool, all torn down
+//! microseconds later. This module keeps a small per-thread cache of
+//! recently used worlds keyed on their immutable shape — `(platform,
+//! nranks, placement)` — and hands them back through [`World::reset`],
+//! which zeroes all logical state while keeping every allocation (and the
+//! payload-pool slabs) warm.
+//!
+//! The cache is strictly thread-local, so it adds no locks to the sweep hot
+//! path and composes with the persistent worker pool in `simcore::par`:
+//! each pool worker accumulates its own warm worlds across the sweeps it
+//! participates in.
+//!
+//! Determinism: `World::reset` guarantees a reused world is observationally
+//! identical to a fresh one (same noise seeds, same fault model from the
+//! process-global config, same virtual-time behaviour), so simulation
+//! output never depends on which thread ran a point or how many points it
+//! ran before — the `jobs`-invariance contract is preserved by
+//! construction. Set `NBC_WORLD_REUSE=off` (or `0`) to bypass the cache and
+//! build every world fresh; outputs must be byte-identical either way.
+
+use crate::types::NoiseConfig;
+use crate::world::World;
+use netmodel::{Placement, Platform};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Worlds cached per thread. Sweeps alternate between a handful of shapes
+/// (one per platform × rank-count in the sweep grid); beyond that, oldest
+/// entries are evicted — a miss only costs what it always cost: `World::new`.
+const MAX_CACHED_PER_THREAD: usize = 4;
+
+struct CachedWorld {
+    platform: Platform,
+    nranks: usize,
+    placement: Placement,
+    world: World,
+}
+
+thread_local! {
+    static CACHE: RefCell<Vec<CachedWorld>> = const { RefCell::new(Vec::new()) };
+}
+
+/// 0 = follow `NBC_WORLD_REUSE`, 1 = forced off, 2 = forced on.
+static ENABLED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn enabled_env() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !matches!(
+            std::env::var("NBC_WORLD_REUSE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    })
+}
+
+/// Is world reuse active? On by default; `NBC_WORLD_REUSE=off` or
+/// [`set_enabled`]`(false)` disables it (every lease builds a fresh world).
+pub fn enabled() -> bool {
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => enabled_env(),
+    }
+}
+
+/// Programmatic override for tests and A/B comparisons: `Some(on)` forces
+/// the state, `None` restores `NBC_WORLD_REUSE` resolution.
+pub fn set_enabled(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    ENABLED_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Number of worlds cached on the calling thread (test hook).
+pub fn cached_on_this_thread() -> usize {
+    CACHE.with(|c| c.borrow().len())
+}
+
+/// Drop every world cached on the calling thread.
+pub fn clear_this_thread() {
+    CACHE.with(|c| c.borrow_mut().clear());
+}
+
+fn lease(platform: &Platform, nranks: usize, placement: Placement, noise: NoiseConfig) -> World {
+    if !enabled() {
+        return World::new(platform.clone(), nranks, placement, noise);
+    }
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        let hit = cache.iter().position(|w| {
+            w.nranks == nranks && w.placement == placement && w.platform == *platform
+        });
+        match hit {
+            Some(i) => {
+                let mut entry = cache.swap_remove(i);
+                entry.world.reset(noise);
+                entry.world
+            }
+            None => World::new(platform.clone(), nranks, placement, noise),
+        }
+    })
+}
+
+fn release(platform: &Platform, nranks: usize, placement: Placement, mut world: World) {
+    // Traces must not wait for the cache entry's destructor: pool worker
+    // threads never exit, so their thread-local destructors never run.
+    world.publish_trace();
+    if !enabled() {
+        return;
+    }
+    CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        cache.push(CachedWorld {
+            platform: platform.clone(),
+            nranks,
+            placement,
+            world,
+        });
+        if cache.len() > MAX_CACHED_PER_THREAD {
+            cache.remove(0); // evict oldest
+        }
+    });
+}
+
+/// Run `f` with a world of the given shape, drawn from (and returned to)
+/// the calling thread's cache. The world `f` sees is indistinguishable from
+/// a freshly built one; see the module docs for the determinism argument.
+///
+/// If `f` panics the world is dropped, not recycled.
+pub fn with_world<R>(
+    platform: &Platform,
+    nranks: usize,
+    placement: Placement,
+    noise: NoiseConfig,
+    f: impl FnOnce(&mut World) -> R,
+) -> R {
+    let mut world = lease(platform, nranks, placement, noise);
+    let out = f(&mut world);
+    release(platform, nranks, placement, world);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_enabled` is process-global; serialize the tests that toggle it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn shape() -> (Platform, usize, Placement, NoiseConfig) {
+        (
+            Platform::whale(),
+            4,
+            Placement::RoundRobin,
+            NoiseConfig::none(),
+        )
+    }
+
+    #[test]
+    fn with_world_caches_and_reuses() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (p, n, pl, noise) = shape();
+        clear_this_thread();
+        set_enabled(Some(true));
+        with_world(&p, n, pl, noise, |w| assert_eq!(w.nranks(), 4));
+        assert_eq!(cached_on_this_thread(), 1);
+        // Second lease of the same shape must not grow the cache.
+        with_world(&p, n, pl, noise, |w| assert_eq!(w.events_processed(), 0));
+        assert_eq!(cached_on_this_thread(), 1);
+        // A different shape coexists.
+        with_world(&p, 8, pl, noise, |w| assert_eq!(w.nranks(), 8));
+        assert_eq!(cached_on_this_thread(), 2);
+        set_enabled(None);
+        clear_this_thread();
+    }
+
+    #[test]
+    fn disabled_reuse_caches_nothing() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (p, n, pl, noise) = shape();
+        clear_this_thread();
+        set_enabled(Some(false));
+        with_world(&p, n, pl, noise, |_| ());
+        assert_eq!(cached_on_this_thread(), 0);
+        set_enabled(None);
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (p, _, pl, noise) = shape();
+        clear_this_thread();
+        set_enabled(Some(true));
+        for n in 2..2 + MAX_CACHED_PER_THREAD + 3 {
+            with_world(&p, n, pl, noise, |_| ());
+        }
+        assert_eq!(cached_on_this_thread(), MAX_CACHED_PER_THREAD);
+        set_enabled(None);
+        clear_this_thread();
+    }
+}

@@ -8,8 +8,11 @@
 //! given shape is constructed once per process and then shared across
 //! ranks, iterations, runs and sweep worker threads.
 //!
-//! The map is sharded to keep lock hold times negligible when the parallel
-//! sweep engine (`simcore::par`) runs many simulations at once. Hit/miss
+//! The map is sharded (by a cheap SplitMix64 field mix, not SipHash) and
+//! each shard is an `RwLock`: in steady state every lookup is a read-lock
+//! hit, so concurrent sweep workers never serialize on the cache. The
+//! write lock is taken only to insert a freshly built schedule
+//! (double-checked, so racing builders converge on one entry). Hit/miss
 //! counts live on the `simcore::metrics` registry (`nbc.cache.hits` /
 //! `nbc.cache.misses`) and feed the perf harness (`BENCH_engine.json`).
 //!
@@ -30,9 +33,8 @@ use crate::schedule::{CollSpec, Schedule};
 use mpisim::RankId;
 use simcore::metrics::{self, Counter};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Cache key: every input that influences a builder's output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,10 +53,26 @@ struct Key {
     extra: u64,
 }
 
-const SHARDS: usize = 16;
+const SHARDS: usize = 64;
+
+/// Shard selector: a SplitMix64-style mix over the key's fields. Much
+/// cheaper than hashing the whole struct through SipHash on every lookup,
+/// and it decorrelates the low bits so consecutive ranks (the common access
+/// pattern: every rank of a world queries the same shape) land on different
+/// shards.
+fn shard_index(k: &Key) -> usize {
+    let mut h = (k.coll as u64) ^ ((k.algo as u64) << 8);
+    for v in [k.seg, k.nprocs, k.msg_bytes, k.root, k.rank, k.extra] {
+        h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+    }
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    (h as usize) % SHARDS
+}
 
 struct ScheduleCache {
-    shards: Vec<Mutex<HashMap<Key, Arc<Schedule>>>>,
+    shards: Vec<RwLock<HashMap<Key, Arc<Schedule>>>>,
     /// Registry counters plus subtractive baselines: the registry values
     /// stay monotone for the process-wide metrics dump while [`stats`]
     /// keeps its "since last [`reset_stats`]" contract.
@@ -67,7 +85,7 @@ struct ScheduleCache {
 fn cache() -> &'static ScheduleCache {
     static CACHE: OnceLock<ScheduleCache> = OnceLock::new();
     CACHE.get_or_init(|| ScheduleCache {
-        shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
         hits: metrics::counter("nbc.cache.hits"),
         misses: metrics::counter("nbc.cache.misses"),
         hits_base: AtomicU64::new(0),
@@ -75,32 +93,40 @@ fn cache() -> &'static ScheduleCache {
     })
 }
 
-/// Lock a shard, recovering from poison: cached schedules are immutable
-/// once inserted, so a panic in some unrelated `par_map` worker that held
-/// the lock mid-`get`/`insert` leaves the map in a usable state. Without
-/// this, one panicking test poisons a global shard and cascades spurious
-/// failures through every later in-process cache user.
-fn lock_shard(
-    s: &Mutex<HashMap<Key, Arc<Schedule>>>,
-) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<Schedule>>> {
-    s.lock().unwrap_or_else(|e| e.into_inner())
+/// Read-lock a shard, recovering from poison: cached schedules are
+/// immutable once inserted, so a panic in some unrelated `par_map` worker
+/// that held a lock mid-`get`/`insert` leaves the map in a usable state.
+/// Without this, one panicking test poisons a global shard and cascades
+/// spurious failures through every later in-process cache user.
+fn read_shard(
+    s: &RwLock<HashMap<Key, Arc<Schedule>>>,
+) -> std::sync::RwLockReadGuard<'_, HashMap<Key, Arc<Schedule>>> {
+    s.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-lock a shard (insert path only), with the same poison recovery.
+fn write_shard(
+    s: &RwLock<HashMap<Key, Arc<Schedule>>>,
+) -> std::sync::RwLockWriteGuard<'_, HashMap<Key, Arc<Schedule>>> {
+    s.write().unwrap_or_else(|e| e.into_inner())
 }
 
 fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
     let c = cache();
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    let shard = &c.shards[(h.finish() as usize) % SHARDS];
-    if let Some(found) = lock_shard(shard).get(&key) {
+    let shard = &c.shards[shard_index(&key)];
+    // Fast path: shared read lock — steady-state lookups never contend.
+    if let Some(found) = read_shard(shard).get(&key) {
         c.hits.inc();
         return Arc::clone(found);
     }
-    // Build outside the lock: schedule construction can be expensive at
+    // Build outside any lock: schedule construction can be expensive at
     // large scale, and two threads racing on the same key just means one
-    // redundant build whose result loses the insert race.
+    // redundant build whose result loses the insert race below.
     c.misses.inc();
     let built = Arc::new(build());
-    Arc::clone(lock_shard(shard).entry(key).or_insert(built))
+    // Double-checked insert: whoever wins the write race defines the entry;
+    // losers adopt the winner's Arc so `ptr_eq` holds across racers.
+    Arc::clone(write_shard(shard).entry(key).or_insert(built))
 }
 
 /// `(hits, misses)` since process start (or the last [`reset_stats`]).
@@ -126,13 +152,13 @@ pub fn reset_stats() {
 
 /// Number of distinct schedules currently interned.
 pub fn len() -> usize {
-    cache().shards.iter().map(|s| lock_shard(s).len()).sum()
+    cache().shards.iter().map(|s| read_shard(s).len()).sum()
 }
 
 /// Drop every cached schedule (for tests and memory-bounded sweeps).
 pub fn clear() {
     for s in &cache().shards {
-        lock_shard(s).clear();
+        write_shard(s).clear();
     }
 }
 
@@ -309,13 +335,25 @@ mod tests {
     }
 
     #[test]
+    fn shard_mix_spreads_consecutive_ranks() {
+        // Every rank of a world queries the same shape back-to-back; the
+        // field mix must not funnel them into a handful of shards.
+        let spec = CollSpec::new(64, 4096);
+        let mut used = std::collections::HashSet::new();
+        for rank in 0..64 {
+            used.insert(shard_index(&base_key(1, 0, 0, rank, &spec)));
+        }
+        assert!(used.len() >= SHARDS / 2, "only {} shards used", used.len());
+    }
+
+    #[test]
     fn poisoned_shards_recover() {
         // Poison every shard by panicking while holding each lock, then
         // verify the cache keeps serving lookups, inserts, len() and
         // clear() instead of cascading PoisonError panics.
         for s in &cache().shards {
             let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let _g = s.lock().unwrap_or_else(|e| e.into_inner());
+                let _g = s.write().unwrap_or_else(|e| e.into_inner());
                 panic!("poison this shard");
             }));
             assert!(res.is_err());

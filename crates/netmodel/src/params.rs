@@ -10,7 +10,7 @@ use simcore::SimTime;
 /// for `s * G` (`G` = `gap_ns_per_byte`), crosses the wire in `L`
 /// (`latency`), then occupies the receive engine for `s * G` — inflated by
 /// an incast penalty when the receive engine is backlogged.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransportParams {
     /// Human-readable transport name ("shm", "ib-ddr", "gige", "torus").
     pub name: &'static str,

@@ -16,7 +16,7 @@ use simcore::SimTime;
 
 /// A complete machine description: geometry, transports, CPU speed, and
 /// progress-engine costs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Preset name ("crill", "whale", "whale-tcp", "bluegene-p").
     pub name: String,

@@ -149,6 +149,26 @@ impl Histogram {
         self.buckets[i].load(Ordering::Relaxed)
     }
 
+    /// Drain a [`LocalHistogram`] into this shared histogram. The local
+    /// accumulator is zeroed, so repeated flushes never double-count.
+    pub fn absorb(&self, local: &mut LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (i, b) in local.buckets.iter_mut().enumerate() {
+            if *b > 0 {
+                self.buckets[i].fetch_add(*b, Ordering::Relaxed);
+                *b = 0;
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+        local.count = 0;
+        local.sum = 0;
+        local.max = 0;
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -156,6 +176,64 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An unsynchronized histogram for hot-path accumulation: the same log2
+/// bucketing as [`Histogram`] but plain `u64` fields, so recording costs no
+/// atomic RMW and shares no cache line with other workers. Owners (one per
+/// `World`) record locally and [`Histogram::absorb`] the contents into the
+/// shared registry histogram once per run — the merge is a commutative sum,
+/// so the flushed registry totals are identical for every interleaving of
+/// workers (and therefore for every `jobs` value).
+#[derive(Debug)]
+pub struct LocalHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation (no atomics).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let b = 63 - v.max(1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations accumulated since the last flush.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations accumulated since the last flush.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
     }
 }
 
@@ -353,6 +431,33 @@ mod tests {
         assert_eq!(h.bucket(1), 1);
         assert_eq!(h.bucket(9), 1);
         assert!((h.mean() - 1026.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_histogram_absorbs_without_double_count() {
+        let h = histogram("test.metrics.hist_local");
+        let mut l = LocalHistogram::new();
+        l.record(1);
+        l.record(2);
+        l.record(1023);
+        assert_eq!(l.count(), 3);
+        assert_eq!(l.sum(), 1026);
+        h.absorb(&mut l);
+        assert!(l.is_empty());
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1026);
+        assert_eq!(h.max(), 1023);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(9), 1);
+        // Flushing an already-drained local is a no-op.
+        h.absorb(&mut l);
+        assert_eq!(h.count(), 3);
+        // A second fill/flush accumulates.
+        l.record(4);
+        h.absorb(&mut l);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1030);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! its own seed from the scenario parameters, so they can run on any number
 //! of OS threads as long as results are merged back in input order — which
 //! is exactly what [`par_map`] guarantees. There is no rayon here (the
-//! build environment is offline): workers are `std::thread::scope` threads
+//! build environment is offline): workers are persistent pool threads
 //! pulling chunks off a shared atomic cursor.
+//!
+//! The pool is lazily spawned on the first parallel call and reused for the
+//! rest of the process, so a figure binary that issues hundreds of sweeps
+//! pays thread-creation cost once instead of once per sweep. Results are
+//! written directly into their input-order output slot (each index is
+//! claimed by exactly one worker), so there is no per-item channel send and
+//! no reassembly pass.
 //!
 //! Determinism contract: `par_map(jobs, items, f)` returns bit-identical
 //! output for every `jobs` value, including 1, provided `f(i, &items[i])`
@@ -16,8 +23,10 @@
 //! time, per-simulation seeds from [`derive_seed`]).
 
 use crate::rng::SplitMix64;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
 /// Resolve a requested worker count to an actual one.
@@ -26,12 +35,22 @@ use std::thread;
 /// `NBC_JOBS` environment variable, then `std::thread::available_parallelism`.
 /// `Some(0)` and `None` both mean "auto".
 pub fn effective_jobs(requested: Option<usize>) -> usize {
+    effective_jobs_from(requested, |key| std::env::var(key).ok())
+}
+
+/// [`effective_jobs`] with an injected environment lookup, so the resolution
+/// order is testable without mutating the process environment (which races
+/// against every other test in the same binary).
+pub fn effective_jobs_from(
+    requested: Option<usize>,
+    env: impl Fn(&str) -> Option<String>,
+) -> usize {
     if let Some(n) = requested {
         if n > 0 {
             return n;
         }
     }
-    if let Ok(v) = std::env::var("NBC_JOBS") {
+    if let Some(v) = env("NBC_JOBS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
                 return n;
@@ -51,22 +70,215 @@ pub fn derive_seed(master: u64, idx: u64) -> u64 {
     SplitMix64::split(master, idx).next_u64()
 }
 
-/// Map `f` over `items` on `jobs` worker threads, returning results in
+/// Hard ceiling on persistent pool threads. Sweeps routinely request
+/// `jobs` values far above the host's core count (the determinism tests go
+/// to 1000); capping the pool keeps that from pinning a thousand idle OS
+/// threads for the life of the process.
+const MAX_POOL_THREADS: usize = 32;
+
+/// One input-order output cell. Each index is claimed by exactly one worker
+/// (via the chunked cursor), written once, and only read by the caller after
+/// the completion barrier — so unsynchronized interior mutability is sound.
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: see the `Slot` doc comment — disjoint writes, then a barrier,
+// then reads. The pool's mutex hand-off provides the happens-before edge.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread. A `par_map` issued
+    /// from inside a worker (nested parallelism) must not wait on the pool —
+    /// the pool is busy running *us* — so it degrades to the serial path.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+struct PoolState {
+    /// Bumped once per submitted job; workers idle until it changes.
+    generation: u64,
+    /// The type-erased job body for the current generation.
+    job: Option<&'static (dyn Fn() + Sync)>,
+    /// How many workers may run the current job (jobs - 1; the caller is
+    /// the remaining participant).
+    run_limit: usize,
+    /// Workers that claimed a run slot this generation.
+    started: usize,
+    /// Workers that finished with this generation (ran or declined).
+    acked: usize,
+    /// Pool threads spawned so far.
+    threads: usize,
+    /// First panic payload captured from a worker this generation.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The submitter waits here for all workers to ack the generation.
+    done_cv: Condvar,
+    /// Single-submitter guard: only one `par_map` drives the pool at a
+    /// time; concurrent calls fall back to running serially on their own
+    /// thread (still correct — the cursor/slot protocol does not care how
+    /// many threads participate).
+    busy: AtomicBool,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            generation: 0,
+            job: None,
+            run_limit: 0,
+            started: 0,
+            acked: 0,
+            threads: 0,
+            panic: None,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        busy: AtomicBool::new(false),
+    })
+}
+
+/// Lock the pool state, tolerating poison: the state machine is left
+/// consistent at every await point, and worker panics are routed through
+/// `PoolState::panic`, never through an unwind while holding the lock.
+fn lock_state(p: &'static Pool) -> MutexGuard<'static, PoolState> {
+    p.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Body of every persistent worker thread: wait for a generation bump,
+/// claim a run slot if any remain, run the job (capturing panics), ack.
+fn worker_loop(p: &'static Pool) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut s = lock_state(p);
+            while s.generation == seen {
+                s = p.work_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+            seen = s.generation;
+            if s.started < s.run_limit {
+                s.started += 1;
+                Some(s.job.expect("job must be set while generation is live"))
+            } else {
+                s.acked += 1;
+                if s.acked == s.threads {
+                    p.done_cv.notify_all();
+                }
+                None
+            }
+        };
+        if let Some(body) = job {
+            let result = catch_unwind(AssertUnwindSafe(body));
+            let mut s = lock_state(p);
+            if let Err(payload) = result {
+                if s.panic.is_none() {
+                    s.panic = Some(payload);
+                }
+            }
+            s.acked += 1;
+            if s.acked == s.threads {
+                p.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Run `body` on up to `extra` pool workers plus the calling thread.
+/// Returns `false` without running anything if the pool could not be used
+/// (busy with another submitter, or no worker thread could be spawned);
+/// the caller then runs the whole job serially itself.
+fn run_on_pool(body: &(dyn Fn() + Sync), extra: usize) -> bool {
+    let p = pool();
+    if p.busy
+        .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        return false;
+    }
+
+    // SAFETY: the job reference is only dereferenced by pool workers between
+    // the generation bump below and the `acked == threads` barrier, and this
+    // function does not return until that barrier is reached — so the
+    // erased borrow never outlives `body`.
+    let job: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+
+    {
+        let mut s = lock_state(p);
+        let want = extra.min(MAX_POOL_THREADS);
+        while s.threads < want {
+            let spawned = thread::Builder::new()
+                .name(format!("nbc-sweep-{}", s.threads))
+                .spawn(|| worker_loop(pool()));
+            match spawned {
+                Ok(_) => s.threads += 1,
+                Err(_) => break,
+            }
+        }
+        if s.threads == 0 {
+            drop(s);
+            p.busy.store(false, Ordering::Release);
+            return false;
+        }
+        s.generation += 1;
+        s.job = Some(job);
+        s.run_limit = extra.min(s.threads);
+        s.started = 0;
+        s.acked = 0;
+        s.panic = None;
+        p.work_cv.notify_all();
+    }
+
+    // The caller participates instead of idling: it is `jobs`-th worker.
+    let caller_result = catch_unwind(AssertUnwindSafe(body));
+
+    let worker_panic = {
+        let mut s = lock_state(p);
+        while s.acked < s.threads {
+            s = p.done_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.job = None;
+        s.panic.take()
+    };
+    p.busy.store(false, Ordering::Release);
+
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    true
+}
+
+/// Map `f` over `items` on up to `jobs` threads, returning results in
 /// input order.
 ///
-/// Work is distributed through a chunked atomic cursor: each worker claims
-/// a contiguous run of indices at a time (chunk size scales with
+/// Work is distributed through a chunked atomic cursor: each participant
+/// claims a contiguous run of indices at a time (chunk size scales with
 /// `len / (jobs * 4)`, floor 1) so cheap items amortize the cursor traffic
-/// while the tail still load-balances. Results travel back over a channel
-/// tagged with their index and are reassembled into input order, so the
-/// output is invariant under `jobs`.
+/// while the tail still load-balances. Each result is written directly into
+/// its input-order slot — no channels, no reassembly pass.
+///
+/// Threads come from a lazily-spawned persistent pool shared by the whole
+/// process (capped at 32), so back-to-back sweeps reuse warm workers
+/// instead of paying `thread::spawn` per call. The calling thread always
+/// participates as one of the `jobs` workers. If the pool is already
+/// driven by another thread — or this call is issued from *inside* a pool
+/// worker (nested parallelism) — the call degrades to the serial path,
+/// which is always correct because output never depends on who runs which
+/// index.
 ///
 /// `jobs <= 1` (or a single item) short-circuits to a plain serial loop on
-/// the calling thread — no threads are spawned, which keeps `--jobs 1` a
-/// true serial baseline for the perf harness.
+/// the calling thread, which keeps `--jobs 1` a true serial baseline for
+/// the perf harness.
 ///
-/// A panic in `f` propagates to the caller (via scope join) rather than
-/// deadlocking the collector.
+/// A panic in `f` propagates to the caller after all participants have
+/// quiesced (never deadlocks the pool).
 pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -75,48 +287,41 @@ where
 {
     let n = items.len();
     let jobs = jobs.clamp(1, n.max(1));
-    if jobs <= 1 || n <= 1 {
+    if jobs <= 1 || n <= 1 || IN_POOL_WORKER.with(|w| w.get()) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let cursor = AtomicUsize::new(0);
     let chunk = (n / (jobs * 4)).max(1);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
 
-    thread::scope(|s| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            s.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + chunk).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    // A closed channel means the collector is gone (caller
-                    // panicked); just stop working.
-                    if tx.send((i, f(i, item))).is_err() {
-                        return;
-                    }
-                }
-            });
+    let body = || loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
-    });
-    drop(tx);
+        let end = (start + chunk).min(n);
+        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            let r = f(i, item);
+            // SAFETY: index `i` is claimed by exactly this participant —
+            // the cursor hands out each index once — and readers wait for
+            // the completion barrier. See `Slot`.
+            unsafe { *slots[i].0.get() = Some(r) };
+        }
+    };
 
-    // All workers have joined (and any panic has propagated), so the
-    // channel now holds exactly one result per index.
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in rx {
-        debug_assert!(slots[i].is_none(), "duplicate result for index {i}");
-        slots[i] = Some(r);
+    if !run_on_pool(&body, jobs - 1) {
+        // Pool unavailable: drain the same cursor serially on this thread.
+        body();
     }
+
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, o)| o.unwrap_or_else(|| panic!("missing result for index {i}")))
+        .map(|(i, s)| {
+            s.0.into_inner()
+                .unwrap_or_else(|| panic!("missing result for index {i}"))
+        })
         .collect()
 }
 
@@ -155,6 +360,48 @@ mod tests {
     }
 
     #[test]
+    fn pool_reuse_across_many_sweeps() {
+        // Hammer the pool with back-to-back sweeps; every one must merge
+        // correctly on warm (reused) workers.
+        let items: Vec<u64> = (0..64).collect();
+        for round in 0..200u64 {
+            let out = par_map(8, &items, |i, &x| x * 7 + round + i as u64);
+            let expect: Vec<u64> = (0..64).map(|x| x * 7 + round + x).collect();
+            assert_eq!(out, expect, "round={round}");
+        }
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        let outer: Vec<u64> = (0..16).collect();
+        let out = par_map(4, &outer, |_, &x| {
+            let inner: Vec<u64> = (0..8).collect();
+            par_map(4, &inner, |_, &y| y + x).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..16).map(|x| (0..8).map(|y| y + x).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_do_not_deadlock() {
+        // Several plain threads all driving par_map at once: at most one
+        // gets the pool, the rest run serially — all must be correct.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                thread::spawn(move || {
+                    let items: Vec<u64> = (0..128).collect();
+                    let out = par_map(8, &items, |_, &x| x * 2 + t);
+                    let expect: Vec<u64> = (0..128).map(|x| x * 2 + t).collect();
+                    assert_eq!(out, expect);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn worker_panic_propagates() {
         let items: Vec<usize> = (0..8).collect();
@@ -164,6 +411,24 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_sweep() {
+        // A sweep that panics must leave the pool reusable for later sweeps.
+        let items: Vec<usize> = (0..32).collect();
+        let poisoned = std::panic::catch_unwind(|| {
+            par_map(4, &items, |_, &x| {
+                if x == 7 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(poisoned.is_err());
+        let out = par_map(4, &items, |_, &x| x + 1);
+        let expect: Vec<usize> = (1..33).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]
@@ -179,13 +444,24 @@ mod tests {
 
     #[test]
     fn effective_jobs_resolution() {
-        assert_eq!(effective_jobs(Some(5)), 5);
-        std::env::set_var("NBC_JOBS", "3");
-        assert_eq!(effective_jobs(None), 3);
-        assert_eq!(effective_jobs(Some(0)), 3);
-        std::env::set_var("NBC_JOBS", "not a number");
-        assert!(effective_jobs(None) >= 1);
-        std::env::remove_var("NBC_JOBS");
-        assert!(effective_jobs(None) >= 1);
+        // Injected environment: no process-global set_var, so this cannot
+        // race against other tests reading NBC_JOBS.
+        let with = |val: Option<&str>| {
+            let owned = val.map(str::to_string);
+            move |key: &str| {
+                assert_eq!(key, "NBC_JOBS");
+                owned.clone()
+            }
+        };
+        assert_eq!(effective_jobs_from(Some(5), with(Some("3"))), 5);
+        assert_eq!(effective_jobs_from(None, with(Some("3"))), 3);
+        assert_eq!(effective_jobs_from(Some(0), with(Some("3"))), 3);
+        assert_eq!(effective_jobs_from(None, with(Some(" 12 "))), 12);
+        assert!(effective_jobs_from(None, with(Some("not a number"))) >= 1);
+        assert!(effective_jobs_from(None, with(Some("0"))) >= 1);
+        assert!(effective_jobs_from(None, with(None)) >= 1);
+        // The public wrapper resolves explicit requests without consulting
+        // the environment at all.
+        assert_eq!(effective_jobs(Some(9)), 9);
     }
 }

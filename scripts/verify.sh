@@ -118,7 +118,41 @@ echo "   trace_inspect: parsed $(printf '%s' "$inspect" | head -1 | sed 's/.*: /
 
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
-./target/release/perf_trajectory --quick --jobs 8
+traj=$(./target/release/perf_trajectory --quick --jobs 8)
+printf '%s\n' "$traj"
+
+echo "== sweep_scale: cross-jobs digest must match the serial run"
+# perf_trajectory computes a result digest at jobs 1/2/8 and exits non-zero
+# on mismatch; require the explicit OK line so a silently skipped check
+# can't pass.
+if ! printf '%s\n' "$traj" | grep -q 'sweep_scale: jobs-invariance OK'; then
+    echo "FAIL: perf_trajectory did not report sweep_scale jobs-invariance" >&2
+    exit 1
+fi
+echo "   $(printf '%s\n' "$traj" | grep 'sweep_scale: jobs-invariance OK')"
+
+echo "== scaling report (informational on throttled/1-CPU runners)"
+# Parallel rows below 1.0x mean threading made the sweep slower. That is
+# expected on single-CPU or throttled CI hosts (oversubscription), so it
+# warns rather than fails; on a real multi-core host the warning is worth
+# investigating.
+awk '
+    function field(line, key,   v) {
+        v = line
+        if (!sub(".*\"" key "\": *", "", v)) return ""
+        sub("[,}].*", "", v)
+        gsub(/"/, "", v)
+        return v
+    }
+    /"name":.*"speedup_vs_serial":/ {
+        jobs = field($0, "jobs") + 0
+        sp = field($0, "speedup_vs_serial")
+        if (jobs < 4 || sp == "null" || sp == "") next
+        note = ""
+        if (sp + 0 < 1.0) note = "  WARN: below serial (throttled host?)"
+        printf "   %-28s jobs=%d speedup %sx%s\n", field($0, "name"), jobs, sp, note
+    }
+' BENCH_engine.json
 
 echo "== bench regression guard (>20% events/sec drop vs committed baseline)"
 if [ -z "$baseline" ]; then

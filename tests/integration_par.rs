@@ -7,6 +7,16 @@ use autonbc::prelude::*;
 use nbc::bcast::{build_bcast, BcastAlgo};
 use nbc::cache;
 use nbc::schedule::CollSpec;
+use std::sync::{Mutex, MutexGuard};
+
+/// Every test in this binary runs simulations, and simulations flush into
+/// the process-global metrics registry. Tests that compare registry deltas
+/// need an exclusive window, so all tests serialize on this lock.
+static REG_LOCK: Mutex<()> = Mutex::new(());
+
+fn reg_lock() -> MutexGuard<'static, ()> {
+    REG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn spec(op: CollectiveOp, msg_bytes: usize) -> MicrobenchSpec {
     MicrobenchSpec {
@@ -26,6 +36,7 @@ fn spec(op: CollectiveOp, msg_bytes: usize) -> MicrobenchSpec {
 
 #[test]
 fn fixed_sweep_invariant_under_jobs() {
+    let _g = reg_lock();
     let s = spec(CollectiveOp::Ialltoall, 32 * 1024);
     let serial = s.run_all_fixed_jobs(1);
     for jobs in [2, 4, 8] {
@@ -43,6 +54,7 @@ fn fixed_sweep_invariant_under_jobs() {
 
 #[test]
 fn tuned_runs_invariant_under_parallel_fanout() {
+    let _g = reg_lock();
     // Whole tuned runs (learning phase included) fanned out across
     // threads match the same runs executed one by one.
     let specs = [
@@ -64,6 +76,7 @@ fn tuned_runs_invariant_under_parallel_fanout() {
 
 #[test]
 fn par_map_merges_in_input_order() {
+    let _g = reg_lock();
     let items: Vec<usize> = (0..32).collect();
     let out = simcore::par::par_map(4, &items, |i, &x| {
         assert_eq!(i, x);
@@ -77,6 +90,7 @@ fn schedule_cache_matches_fresh_builds_end_to_end() {
     // The runtime routes every builder through the cache; a cached
     // schedule must render identically to a fresh build for shapes the
     // microbenchmark actually uses.
+    let _g = reg_lock();
     let s = spec(CollectiveOp::Ibcast, 256 * 1024);
     let _ = s.run(SelectionLogic::Fixed(0));
     let coll = CollSpec::new(s.nprocs, s.msg_bytes);
@@ -99,9 +113,146 @@ fn schedule_cache_matches_fresh_builds_end_to_end() {
 fn cached_run_equals_cold_run() {
     // A run against a warm cache must time out identically to the first
     // (cache-cold) run of the same scenario.
+    let _g = reg_lock();
     let s = spec(CollectiveOp::Iallreduce, 16 * 1024);
     let cold = s.run(SelectionLogic::BruteForce);
     let warm = s.run(SelectionLogic::BruteForce);
     assert_eq!(cold.history, warm.history);
     assert_eq!(cold.winner, warm.winner);
+}
+
+/// The registry metrics whose per-sweep deltas must be identical for every
+/// `jobs` value: they count simulation events, and the simulations are
+/// bit-identical under threading. (Cache hit/miss splits and payload-pool
+/// allocations are deliberately excluded — warm caches and per-thread pools
+/// shift *where* work lands without changing simulated outcomes.)
+const JOBS_INVARIANT_METRICS: &[&str] = &[
+    "mpisim.polls",
+    "mpisim.rdv_stall_ns",
+    "mpisim.rdv_stalls",
+    "mpisim.sim_events",
+    "mpisim.unexpected_msgs",
+];
+
+/// Read the jobs-invariant metrics as `(name, values)` rows. Counters yield
+/// one value; histograms yield `[count, sum, max]`. `max` is monotone and
+/// workload-determined, so comparing absolute values across identical
+/// back-to-back sweeps is sound even without resetting the registry.
+fn registry_probe() -> Vec<(&'static str, Vec<u64>)> {
+    simcore::metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| JOBS_INVARIANT_METRICS.contains(name))
+        .map(|(name, r)| match r {
+            simcore::metrics::Reading::Counter(v) | simcore::metrics::Reading::Gauge(v) => {
+                (name, vec![v])
+            }
+            simcore::metrics::Reading::Histogram { count, sum, max } => {
+                (name, vec![count, sum, max])
+            }
+        })
+        .collect()
+}
+
+/// Per-metric deltas between two probes (histogram `max` carried absolute).
+fn probe_delta(
+    before: &[(&'static str, Vec<u64>)],
+    after: &[(&'static str, Vec<u64>)],
+) -> Vec<(&'static str, Vec<u64>)> {
+    after
+        .iter()
+        .map(|(name, vals)| {
+            let base = before
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_slice())
+                .unwrap_or(&[]);
+            let d = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    // Index 2 is a histogram max: monotone, not a flow.
+                    if i == 2 {
+                        v
+                    } else {
+                        v - base.get(i).copied().unwrap_or(0)
+                    }
+                })
+                .collect();
+            (*name, d)
+        })
+        .collect()
+}
+
+fn metrics_probe_points() -> Vec<MicrobenchSpec> {
+    let sizes = [8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024];
+    (0..8)
+        .map(|k| {
+            let mut s = spec(CollectiveOp::Ibcast, sizes[k % sizes.len()]);
+            s.iters = 6;
+            s.reps = 2;
+            s.noise = NoiseConfig::light(simcore::par::derive_seed(500, k as u64));
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn metrics_registry_flush_is_jobs_invariant() {
+    // Worker threads accumulate per-world metric state locally and flush at
+    // sweep boundaries; after the flush, the registry deltas for one sweep
+    // must be byte-identical no matter how the sweep was threaded.
+    let _g = reg_lock();
+    adcl::simmemo::set_enabled(false);
+    let points = metrics_probe_points();
+    let nfuncs = CollectiveOp::Ibcast
+        .fnset(CollSpec::new(8, 128 * 1024))
+        .len();
+    let run_sweep = |jobs: usize| {
+        let before = registry_probe();
+        let totals = simcore::par::par_map(jobs, &points, |i, s| {
+            s.run(SelectionLogic::Fixed(i % nfuncs)).total.to_bits()
+        });
+        (probe_delta(&before, &registry_probe()), totals)
+    };
+    let (serial_delta, serial_totals) = run_sweep(1);
+    assert!(
+        serial_delta
+            .iter()
+            .any(|(n, v)| *n == "mpisim.sim_events" && v[0] > 0),
+        "probe sweep produced no simulation events: {serial_delta:?}"
+    );
+    for jobs in [2, 8] {
+        let (delta, totals) = run_sweep(jobs);
+        assert_eq!(serial_totals, totals, "jobs={jobs}");
+        assert_eq!(serial_delta, delta, "jobs={jobs}");
+    }
+    adcl::simmemo::clear_enabled_override();
+}
+
+#[test]
+fn worker_reuse_flushes_every_sweep_fully() {
+    // The worker pool keeps threads (and their cached worlds) alive across
+    // sweeps. Thread-local metric state must be flushed completely at every
+    // sweep boundary: two identical back-to-back sweeps must each add the
+    // same registry delta, with nothing retained or dropped between them.
+    let _g = reg_lock();
+    adcl::simmemo::set_enabled(false);
+    let points = metrics_probe_points();
+    let sweep = || {
+        let before = registry_probe();
+        simcore::par::par_map(4, &points, |i, s| {
+            s.run(SelectionLogic::Fixed(i % 3)).total.to_bits()
+        });
+        probe_delta(&before, &registry_probe())
+    };
+    let first = sweep();
+    let second = sweep();
+    assert!(
+        first
+            .iter()
+            .any(|(n, v)| *n == "mpisim.sim_events" && v[0] > 0),
+        "probe sweep produced no simulation events: {first:?}"
+    );
+    assert_eq!(first, second);
+    adcl::simmemo::clear_enabled_override();
 }
