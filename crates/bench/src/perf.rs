@@ -111,6 +111,48 @@ impl PerfReport {
         self.record_sample(name, jobs, passes, queue_ops, &mut || body())
     }
 
+    /// Record an entry whose wall-clock was measured externally — used
+    /// when samples for several `jobs` values must be interleaved
+    /// (round-robin) so slow host-load drift cancels across rows instead
+    /// of biasing whichever row is measured last. `speedup_vs_serial` is
+    /// resolved against the report's existing `jobs == 1` row of the same
+    /// name, exactly as the internally timed paths do.
+    pub fn record_timed(
+        &mut self,
+        name: &str,
+        jobs: usize,
+        wall_secs: f64,
+        sim_events: u64,
+    ) -> PerfEntry {
+        let speedup_vs_serial = if jobs == 1 {
+            Some(1.0)
+        } else {
+            self.entries
+                .iter()
+                .rev()
+                .find(|e| e.name == name && e.jobs == 1)
+                .filter(|_| wall_secs > 0.0)
+                .map(|serial| serial.wall_secs / wall_secs)
+        };
+        let entry = PerfEntry {
+            name: name.to_string(),
+            jobs,
+            wall_secs,
+            sim_events,
+            replayed_events: 0,
+            queue_ops: 0,
+            events_per_sec: if wall_secs > 0.0 {
+                sim_events as f64 / wall_secs
+            } else {
+                0.0
+            },
+            allocs_per_event: 0.0,
+            speedup_vs_serial,
+        };
+        self.entries.push(entry.clone());
+        entry
+    }
+
     fn record_sample(
         &mut self,
         name: &str,
@@ -199,17 +241,28 @@ impl PerfReport {
     /// Render the report as a JSON document (schedule-cache, sim-memo and
     /// registry stats are sampled at render time). Schema v3 added a
     /// `metrics` block (the full `simcore::metrics` registry snapshot —
-    /// process-lifetime totals, not session deltas); v4 adds the per-entry
-    /// `queue_ops` field and folds it into `events_per_sec` for
-    /// queue-microbenchmark entries.
+    /// process-lifetime totals, not session deltas); v4 added the
+    /// per-entry `queue_ops` field and folds it into `events_per_sec` for
+    /// queue-microbenchmark entries; v5 makes `host_threads` the real
+    /// detected hardware parallelism (`simcore::par::hardware_parallelism`,
+    /// affinity-aware with a `/proc/cpuinfo` fallback — the old
+    /// `available_parallelism().map_or(1, …)` silently reported 1 whenever
+    /// detection errored) and adds `pool_threads`, the number of persistent
+    /// sweep workers actually spawned this session. Consumers (the
+    /// verify.sh scaling gate) use `host_threads` to decide which speedup
+    /// expectations are physically meaningful on this host.
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v4\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v5\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            simcore::par::hardware_parallelism()
+        ));
+        s.push_str(&format!(
+            "  \"pool_threads\": {},\n",
+            simcore::par::pool_size()
         ));
         s.push_str(&format!(
             "  \"schedule_cache\": {{\"hits\": {hits}, \"misses\": {misses}}},\n"
@@ -344,7 +397,9 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v4"));
+        assert!(j.contains("adcl-bench-engine-v5"));
+        assert!(j.contains("\"host_threads\""));
+        assert!(j.contains("\"pool_threads\""));
         assert!(j.contains("\"queue_ops\""));
         assert!(j.contains("\"sim_memo\""));
         assert!(j.contains("\"metrics\""));

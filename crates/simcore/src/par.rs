@@ -25,7 +25,7 @@
 use crate::rng::SplitMix64;
 use std::cell::{Cell, UnsafeCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
@@ -68,6 +68,102 @@ pub fn effective_jobs_from(
 /// threads.
 pub fn derive_seed(master: u64, idx: u64) -> u64 {
     SplitMix64::split(master, idx).next_u64()
+}
+
+/// Test/bench override for [`hardware_parallelism`]: 0 = use detection.
+static ASSUMED_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Force [`hardware_parallelism`] to report `n` (for tests and A/B
+/// comparisons of the serial-cutoff heuristic); `None` restores detection.
+pub fn set_assumed_parallelism(n: Option<usize>) {
+    ASSUMED_PARALLELISM.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Best estimate of the host's real hardware parallelism.
+///
+/// `std::thread::available_parallelism` honors the process's CPU affinity
+/// mask and cgroup quota — which is what sweeps should respect — but it can
+/// error out, and on some containers it underreports relative to the
+/// physical topology. The detector takes the affinity-aware value when
+/// available and falls back to counting `processor` lines in
+/// `/proc/cpuinfo`, flooring at 1. The result is detected once and cached;
+/// [`set_assumed_parallelism`] overrides it.
+pub fn hardware_parallelism() -> usize {
+    let forced = ASSUMED_PARALLELISM.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if let Ok(n) = thread::available_parallelism() {
+            return n.get();
+        }
+        // Fallback: physical topology (affinity information unavailable).
+        std::fs::read_to_string("/proc/cpuinfo")
+            .map(|s| {
+                s.lines()
+                    .filter(|l| l.starts_with("processor"))
+                    .count()
+                    .max(1)
+            })
+            .unwrap_or(1)
+    })
+}
+
+/// Default estimated pool-handoff cost per participating worker, in
+/// nanoseconds: one condvar wake plus one barrier ack on a warm pool.
+/// `NBC_PAR_CUTOFF_NS` overrides it (0 disables the cost-based cutoff).
+const DEFAULT_HANDOFF_NANOS: u64 = 120_000;
+
+/// Per-item cost marker for [`par_map`]: "unknown, assume the work is
+/// heavy enough to parallelize". Only the hardware clamp applies.
+pub const COST_UNKNOWN: u64 = u64::MAX;
+
+/// The pool-handoff cost estimate the serial cutoff weighs parallel
+/// savings against (`NBC_PAR_CUTOFF_NS` override, else the default).
+pub fn handoff_floor_nanos() -> u64 {
+    static FLOOR: OnceLock<u64> = OnceLock::new();
+    *FLOOR.get_or_init(|| {
+        std::env::var("NBC_PAR_CUTOFF_NS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_HANDOFF_NANOS)
+    })
+}
+
+/// The serial-cutoff decision, exposed pure for testing: how many
+/// participants (caller included) should a sweep of `n` items use, given
+/// the requested `jobs`, the host's usable parallelism `hw`, an estimated
+/// per-item cost (`COST_UNKNOWN` = assume heavy) and the estimated
+/// per-worker pool-handoff cost?
+///
+/// Returns 1 (run serially) when:
+/// * `jobs`, `n` or `hw` is ≤ 1 — extra threads cannot help, and on a
+///   single-CPU host they *cost*: oversubscribed workers serialize on the
+///   one core and pay the handoff on top (the measured
+///   `fft_windowtiled_pair` 0.54× regression);
+/// * the estimated parallel saving, `total * (p-1)/p`, does not clear the
+///   estimated handoff cost `p * handoff` — tiny sweeps finish faster on
+///   the calling thread than the pool can even wake up.
+pub fn plan_participants(
+    jobs: usize,
+    n: usize,
+    hw: usize,
+    est_nanos_per_item: u64,
+    handoff_nanos: u64,
+) -> usize {
+    let p = jobs.min(n).min(hw.max(1));
+    if p <= 1 {
+        return 1;
+    }
+    if est_nanos_per_item != COST_UNKNOWN && handoff_nanos > 0 {
+        let total = est_nanos_per_item.saturating_mul(n as u64);
+        let saving = total / p as u64 * (p as u64 - 1);
+        if saving < handoff_nanos.saturating_mul(p as u64) {
+            return 1;
+        }
+    }
+    p
 }
 
 /// Hard ceiling on persistent pool threads. Sweeps routinely request
@@ -139,6 +235,54 @@ fn pool() -> &'static Pool {
         done_cv: Condvar::new(),
         busy: AtomicBool::new(false),
     })
+}
+
+/// Number of persistent pool worker threads spawned so far (0 before the
+/// first parallel sweep). Reported as `pool_threads` in BENCH_engine.json.
+pub fn pool_size() -> usize {
+    lock_state(pool()).threads
+}
+
+/// Sweep-barrier flush hooks.
+///
+/// Hot-path caches (`nbc::cache`, `adcl::simmemo`) keep per-thread state —
+/// front caches and hit tallies — so steady-state reads touch no shared
+/// memory at all. That local state must still become globally visible at
+/// deterministic points, or totals would depend on which threads happened
+/// to run which items. The contract: every registered hook runs on every
+/// participant (workers *and* the caller) after it finishes its share of a
+/// sweep, before the completion barrier releases the caller. Totals
+/// observed after `par_map` returns are therefore exact and independent of
+/// `jobs`.
+///
+/// Hooks are plain `fn()` so registration is idempotent and duplicate
+/// registrations are dropped.
+static FLUSH_HOOKS: Mutex<Vec<fn()>> = Mutex::new(Vec::new());
+/// Lock-free fast path: sweeps skip the hook mutex entirely until the
+/// first hook is registered.
+static FLUSH_HOOK_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Register `hook` to run on every sweep participant at sweep barriers.
+pub fn register_sweep_flush(hook: fn()) {
+    let mut hooks = FLUSH_HOOKS.lock().unwrap_or_else(|e| e.into_inner());
+    if !hooks.iter().any(|h| std::ptr::fn_addr_eq(*h, hook)) {
+        hooks.push(hook);
+        FLUSH_HOOK_COUNT.store(hooks.len() as u64, Ordering::Release);
+    }
+}
+
+/// Run every registered sweep-flush hook on the calling thread.
+pub fn run_sweep_flush_hooks() {
+    if FLUSH_HOOK_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    let hooks: Vec<fn()> = FLUSH_HOOKS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    for h in hooks {
+        h();
+    }
 }
 
 /// Lock the pool state, tolerating poison: the state machine is left
@@ -256,18 +400,40 @@ fn run_on_pool(body: &(dyn Fn() + Sync), extra: usize) -> bool {
 }
 
 /// Map `f` over `items` on up to `jobs` threads, returning results in
-/// input order.
+/// input order. Equivalent to [`par_map_costed`] with [`COST_UNKNOWN`]:
+/// only the hardware clamp and the tiny-sweep floor can serialize it.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_costed(jobs, items, COST_UNKNOWN, f)
+}
+
+/// Map `f` over `items` on up to `jobs` threads, returning results in
+/// input order, with a serial cutoff informed by `est_nanos_per_item`.
 ///
-/// Work is distributed through a chunked atomic cursor: each participant
-/// claims a contiguous run of indices at a time (chunk size scales with
-/// `len / (jobs * 4)`, floor 1) so cheap items amortize the cursor traffic
-/// while the tail still load-balances. Each result is written directly into
-/// its input-order slot — no channels, no reassembly pass.
+/// Work is distributed through a coarsely chunked atomic cursor: each
+/// participant claims a contiguous block of about `n / (participants * 2)`
+/// indices at a time — at most ~2 claims per worker per sweep. Coarse
+/// blocks matter beyond cursor traffic: consecutive sweep points usually
+/// share a `World` shape, so a worker that runs a long contiguous run of
+/// configs serves them all from one reset world (`mpisim::worldpool`)
+/// instead of bouncing shapes between threads. Each result is written
+/// directly into its input-order slot — no channels, no reassembly pass.
+///
+/// The participant count is planned by [`plan_participants`]: `jobs` is
+/// clamped to the item count *and the host's usable parallelism* (threads
+/// beyond physical cores only add handoff and contention — the cause of
+/// the historical jobs=2 regressions on 1-CPU hosts), and sweeps whose
+/// estimated total work cannot pay for the pool handoff run serially on
+/// the calling thread. Pass [`COST_UNKNOWN`] when no estimate exists.
 ///
 /// Threads come from a lazily-spawned persistent pool shared by the whole
 /// process (capped at 32), so back-to-back sweeps reuse warm workers
 /// instead of paying `thread::spawn` per call. The calling thread always
-/// participates as one of the `jobs` workers. If the pool is already
+/// participates as one of the planned workers. If the pool is already
 /// driven by another thread — or this call is issued from *inside* a pool
 /// worker (nested parallelism) — the call degrades to the serial path,
 /// which is always correct because output never depends on who runs which
@@ -277,40 +443,59 @@ fn run_on_pool(body: &(dyn Fn() + Sync), extra: usize) -> bool {
 /// the calling thread, which keeps `--jobs 1` a true serial baseline for
 /// the perf harness.
 ///
+/// Every participant (including the caller, including the serial path)
+/// runs the registered sweep-flush hooks after finishing its share, so
+/// thread-local cache statistics are globally visible — and identical for
+/// every `jobs` value — when this function returns.
+///
 /// A panic in `f` propagates to the caller after all participants have
 /// quiesced (never deadlocks the pool).
-pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+pub fn par_map_costed<T, R, F>(jobs: usize, items: &[T], est_nanos_per_item: u64, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    let jobs = jobs.clamp(1, n.max(1));
-    if jobs <= 1 || n <= 1 || IN_POOL_WORKER.with(|w| w.get()) {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    let participants = plan_participants(
+        jobs,
+        n,
+        hardware_parallelism(),
+        est_nanos_per_item,
+        handoff_floor_nanos(),
+    );
+    if participants <= 1 || IN_POOL_WORKER.with(|w| w.get()) {
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        run_sweep_flush_hooks();
+        return out;
     }
 
     let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let cursor = AtomicUsize::new(0);
-    let chunk = (n / (jobs * 4)).max(1);
+    // Coarse per-worker blocks: ~half a fair share per claim, so every
+    // participant claims at most about twice and a slow block still
+    // load-balances across the rest.
+    let chunk = n.div_ceil(participants * 2).max(1);
 
-    let body = || loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= n {
-            break;
+    let body = || {
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                let r = f(i, item);
+                // SAFETY: index `i` is claimed by exactly this participant —
+                // the cursor hands out each index once — and readers wait for
+                // the completion barrier. See `Slot`.
+                unsafe { *slots[i].0.get() = Some(r) };
+            }
         }
-        let end = (start + chunk).min(n);
-        for (i, item) in items.iter().enumerate().take(end).skip(start) {
-            let r = f(i, item);
-            // SAFETY: index `i` is claimed by exactly this participant —
-            // the cursor hands out each index once — and readers wait for
-            // the completion barrier. See `Slot`.
-            unsafe { *slots[i].0.get() = Some(r) };
-        }
+        run_sweep_flush_hooks();
     };
 
-    if !run_on_pool(&body, jobs - 1) {
+    if !run_on_pool(&body, participants - 1) {
         // Pool unavailable: drain the same cursor serially on this thread.
         body();
     }
@@ -325,9 +510,99 @@ where
         .collect()
 }
 
+/// Run `f` once on up to `extra` pool workers *and* once on the calling
+/// thread — the pre-warm primitive: per-thread state (cached worlds,
+/// payload slabs, front caches) can be populated on every thread a
+/// following sweep will use, outside that sweep's timed region.
+///
+/// Workers are spawned up to `extra` (within the pool cap) if they do not
+/// exist yet. Degrades gracefully: if the pool is busy or unavailable, or
+/// this is called from inside a pool worker, only the calling thread runs
+/// `f`. Returns the number of pool workers that ran it.
+pub fn on_all_workers(extra: usize, f: impl Fn() + Sync) -> usize {
+    let ran = AtomicUsize::new(0);
+    if extra > 0 && !IN_POOL_WORKER.with(|w| w.get()) {
+        // Each woken worker claims one run slot and runs `f` exactly once.
+        // The caller also executes `body` inside `run_on_pool`, but the
+        // worker-flag check makes that a no-op — its own warm-up is the
+        // unconditional call below, so pool-busy fallback warms it too.
+        let body = || {
+            if IN_POOL_WORKER.with(|w| w.get()) {
+                f();
+                ran.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        run_on_pool(&body, extra);
+    }
+    f();
+    ran.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pool-behavior tests must actually reach the pool, which the
+    /// hardware clamp prevents on a 1-CPU host. This guard forces a fake
+    /// hardware width for the test's duration (serialized so concurrent
+    /// tests don't fight over the global override) and restores detection
+    /// on drop.
+    struct ForcedHw(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    fn force_hw(n: usize) -> ForcedHw {
+        static HW_LOCK: Mutex<()> = Mutex::new(());
+        let g = HW_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_assumed_parallelism(Some(n));
+        ForcedHw(g)
+    }
+
+    impl Drop for ForcedHw {
+        fn drop(&mut self) {
+            set_assumed_parallelism(None);
+        }
+    }
+
+    #[test]
+    fn plan_respects_hardware_clamp() {
+        // jobs=8 on a 1-wide host must run serially: oversubscription only
+        // adds handoff cost (the measured jobs=2 regression).
+        assert_eq!(plan_participants(8, 64, 1, COST_UNKNOWN, 120_000), 1);
+        assert_eq!(plan_participants(8, 64, 2, COST_UNKNOWN, 120_000), 2);
+        assert_eq!(plan_participants(8, 64, 16, COST_UNKNOWN, 120_000), 8);
+        // And never more participants than items.
+        assert_eq!(plan_participants(8, 3, 16, COST_UNKNOWN, 120_000), 3);
+        assert_eq!(plan_participants(1, 64, 16, COST_UNKNOWN, 120_000), 1);
+        assert_eq!(plan_participants(8, 0, 16, COST_UNKNOWN, 120_000), 1);
+        // hw=0 (detection failure) behaves like hw=1.
+        assert_eq!(plan_participants(8, 64, 0, COST_UNKNOWN, 120_000), 1);
+    }
+
+    #[test]
+    fn plan_serial_cutoff_weighs_cost_against_handoff() {
+        // 2 items × 100µs each on 8-wide hw: parallel saves ~100µs but the
+        // handoff costs 2×120µs — run serially (the fft_windowtiled_pair
+        // case).
+        assert_eq!(plan_participants(2, 2, 8, 100_000, 120_000), 1);
+        // 2 items × 10ms each: saving (10ms) dwarfs handoff — parallelize.
+        assert_eq!(plan_participants(2, 2, 8, 10_000_000, 120_000), 2);
+        // Unknown cost: assume heavy, only the clamp applies.
+        assert_eq!(plan_participants(2, 2, 8, COST_UNKNOWN, 120_000), 2);
+        // Zero handoff estimate disables the cutoff entirely.
+        assert_eq!(plan_participants(2, 2, 8, 1, 0), 2);
+        // Huge per-item cost must not overflow the saving computation.
+        assert_eq!(plan_participants(8, 64, 8, u64::MAX - 1, 120_000), 8);
+    }
+
+    #[test]
+    fn costed_map_serial_cutoff_matches_parallel_results() {
+        let _hw = force_hw(8);
+        let items: Vec<u64> = (0..16).collect();
+        // est=1ns: far below the handoff floor — runs serially.
+        let cheap = par_map_costed(8, &items, 1, |i, &x| x * 5 + i as u64);
+        // COST_UNKNOWN: parallelizes. Results must be identical.
+        let heavy = par_map_costed(8, &items, COST_UNKNOWN, |i, &x| x * 5 + i as u64);
+        assert_eq!(cheap, heavy);
+    }
 
     #[test]
     fn matches_serial_for_any_job_count() {
@@ -363,6 +638,7 @@ mod tests {
     fn pool_reuse_across_many_sweeps() {
         // Hammer the pool with back-to-back sweeps; every one must merge
         // correctly on warm (reused) workers.
+        let _hw = force_hw(8);
         let items: Vec<u64> = (0..64).collect();
         for round in 0..200u64 {
             let out = par_map(8, &items, |i, &x| x * 7 + round + i as u64);
@@ -373,6 +649,7 @@ mod tests {
 
     #[test]
     fn nested_par_map_does_not_deadlock() {
+        let _hw = force_hw(8);
         let outer: Vec<u64> = (0..16).collect();
         let out = par_map(4, &outer, |_, &x| {
             let inner: Vec<u64> = (0..8).collect();
@@ -386,6 +663,7 @@ mod tests {
     fn concurrent_submitters_do_not_deadlock() {
         // Several plain threads all driving par_map at once: at most one
         // gets the pool, the rest run serially — all must be correct.
+        let _hw = force_hw(8);
         let handles: Vec<_> = (0..4u64)
             .map(|t| {
                 thread::spawn(move || {
@@ -416,6 +694,7 @@ mod tests {
     #[test]
     fn pool_survives_a_panicked_sweep() {
         // A sweep that panics must leave the pool reusable for later sweeps.
+        let _hw = force_hw(8);
         let items: Vec<usize> = (0..32).collect();
         let poisoned = std::panic::catch_unwind(|| {
             par_map(4, &items, |_, &x| {
@@ -440,6 +719,53 @@ mod tests {
         assert_eq!(uniq.len(), seeds.len());
         // And is independent of any other master seed's stream.
         assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn flush_hooks_run_on_every_path_and_participant() {
+        use std::sync::atomic::AtomicUsize;
+        // NOTE: hooks are process-global and permanent; this one only
+        // touches its own counter, so other tests in this binary are
+        // unaffected beyond a relaxed increment per sweep.
+        static FLUSHES: AtomicUsize = AtomicUsize::new(0);
+        fn tally() {
+            FLUSHES.fetch_add(1, Ordering::Relaxed);
+        }
+        register_sweep_flush(tally);
+        register_sweep_flush(tally); // duplicate registration is dropped
+
+        let items: Vec<u64> = (0..8).collect();
+
+        // Serial path: at least the caller's flush lands before return.
+        // (Other tests in this binary sweep concurrently and bump the same
+        // counter, so the lower bound is the race-safe assertion.)
+        let before = FLUSHES.load(Ordering::Relaxed);
+        par_map(1, &items, |_, &x| x);
+        assert!(FLUSHES.load(Ordering::Relaxed) > before);
+
+        // Parallel path: flushes land before par_map returns here too.
+        let _hw = force_hw(4);
+        let before = FLUSHES.load(Ordering::Relaxed);
+        par_map(4, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        });
+        assert!(FLUSHES.load(Ordering::Relaxed) > before);
+    }
+
+    #[test]
+    fn on_all_workers_reaches_workers_and_caller() {
+        let _hw = force_hw(8);
+        use std::collections::HashSet;
+        let ids: Mutex<HashSet<thread::ThreadId>> = Mutex::new(HashSet::new());
+        let ran = on_all_workers(3, || {
+            ids.lock().unwrap().insert(thread::current().id());
+        });
+        let ids = ids.into_inner().unwrap();
+        // The caller always runs it; `ran` counts pool workers only.
+        assert!(ids.contains(&thread::current().id()));
+        assert_eq!(ids.len(), ran + 1);
+        assert!(ran <= 3);
     }
 
     #[test]

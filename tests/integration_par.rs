@@ -229,6 +229,104 @@ fn metrics_registry_flush_is_jobs_invariant() {
     adcl::simmemo::clear_enabled_override();
 }
 
+/// FNV-1a over result bit patterns: order-sensitive digest for the
+/// cross-`jobs` byte-identity checks below.
+fn digest64(totals: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &t in totals {
+        for b in t.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[test]
+fn front_caches_jobs_invariant_after_clear() {
+    // The schedule cache keeps per-thread front caches invalidated by a
+    // global epoch. Clearing between sweeps bumps the epoch, so every
+    // worker's front cache must drop its stale entries and repopulate from
+    // the shared map — and the sweep results must stay byte-identical at
+    // every jobs value regardless.
+    let _g = reg_lock();
+    adcl::simmemo::set_enabled(false);
+    let points = metrics_probe_points();
+    let nfuncs = CollectiveOp::Ibcast
+        .fnset(CollSpec::new(8, 128 * 1024))
+        .len();
+    let sweep_digest = |jobs: usize| -> u64 {
+        cache::clear();
+        let totals = simcore::par::par_map(jobs, &points, |i, s| {
+            s.run(SelectionLogic::Fixed(i % nfuncs)).total.to_bits()
+        });
+        digest64(&totals)
+    };
+    let serial = sweep_digest(1);
+    for jobs in [2, 8] {
+        assert_eq!(sweep_digest(jobs), serial, "jobs={jobs}");
+    }
+    adcl::simmemo::clear_enabled_override();
+}
+
+#[test]
+fn memoized_replay_is_jobs_invariant() {
+    // The sim-memo front cache replays outcomes from thread-local state on
+    // repeat passes. Priming on one thread layout and replaying on another
+    // must produce the same digests as the serial prime/replay pair.
+    let _g = reg_lock();
+    adcl::simmemo::set_enabled(true);
+    let points = metrics_probe_points();
+    let nfuncs = CollectiveOp::Ibcast
+        .fnset(CollSpec::new(8, 128 * 1024))
+        .len();
+    let pass = |jobs: usize| -> u64 {
+        let totals = simcore::par::par_map(jobs, &points, |i, s| {
+            s.run(SelectionLogic::Fixed(i % nfuncs)).total.to_bits()
+        });
+        digest64(&totals)
+    };
+    let run = |jobs: usize| -> (u64, u64) {
+        adcl::simmemo::clear();
+        (pass(jobs), pass(jobs)) // prime, then replay from the memo
+    };
+    let (serial_prime, serial_replay) = run(1);
+    assert_eq!(serial_prime, serial_replay, "replay changed outcomes");
+    for jobs in [2, 8] {
+        let (prime, replay) = run(jobs);
+        assert_eq!(prime, serial_prime, "jobs={jobs} prime");
+        assert_eq!(replay, serial_prime, "jobs={jobs} replay");
+    }
+    adcl::simmemo::clear_enabled_override();
+}
+
+#[test]
+fn concurrent_sweeps_share_caches_without_corruption() {
+    // Stress the shared-map + front-cache paths through the full driver:
+    // eight OS threads race identical sweeps against a cold schedule cache.
+    // Every thread must see the same results as an uncontended reference
+    // run — lost inserts or cross-thread corruption would perturb some
+    // thread's totals.
+    let _g = reg_lock();
+    adcl::simmemo::set_enabled(false);
+    let points = metrics_probe_points();
+    let run_all = || -> Vec<u64> {
+        points
+            .iter()
+            .map(|s| s.run(SelectionLogic::Fixed(0)).total.to_bits())
+            .collect()
+    };
+    let reference = run_all();
+    cache::clear();
+    let outs: Vec<Vec<u64>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..8).map(|_| sc.spawn(run_all)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, o) in outs.iter().enumerate() {
+        assert_eq!(o, &reference, "thread {i} diverged");
+    }
+    adcl::simmemo::clear_enabled_override();
+}
+
 #[test]
 fn worker_reuse_flushes_every_sweep_fully() {
     // The worker pool keeps threads (and their cached worlds) alive across
