@@ -49,6 +49,17 @@ pub struct PerfEntry {
     /// Wall-clock speedup vs the same workload's `jobs = 1` row, if one
     /// was measured earlier in the session.
     pub speedup_vs_serial: Option<f64>,
+    /// True when the row requested more workers than the host has hardware
+    /// threads, so the hardware clamp (or the intra-world partition clamp)
+    /// ran it at reduced or serial parallelism. Clamped rows measure host
+    /// constraint, not engine scaling: consumers (the `verify.sh` scaling
+    /// gate) must skip them instead of reading ~1x as a regression.
+    pub clamped: bool,
+}
+
+/// Does a `jobs`-thread row exceed the host's real hardware parallelism?
+fn clamped_on_this_host(jobs: usize) -> bool {
+    jobs > simcore::par::hardware_parallelism()
 }
 
 /// A perf measurement session accumulating [`PerfEntry`] rows.
@@ -148,6 +159,7 @@ impl PerfReport {
             },
             allocs_per_event: 0.0,
             speedup_vs_serial,
+            clamped: clamped_on_this_host(jobs),
         };
         self.entries.push(entry.clone());
         entry
@@ -208,6 +220,7 @@ impl PerfReport {
                 0.0
             },
             speedup_vs_serial,
+            clamped: clamped_on_this_host(jobs),
         };
         self.entries.push(entry.clone());
         entry
@@ -250,12 +263,15 @@ impl PerfReport {
     /// detection errored) and adds `pool_threads`, the number of persistent
     /// sweep workers actually spawned this session. Consumers (the
     /// verify.sh scaling gate) use `host_threads` to decide which speedup
-    /// expectations are physically meaningful on this host.
+    /// expectations are physically meaningful on this host; v6 moves that
+    /// decision into the report itself with the per-entry `clamped` flag
+    /// (`jobs` exceeded the host's hardware threads), so gates skip
+    /// clamped rows explicitly instead of by host heuristic.
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v5\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v6\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
             simcore::par::hardware_parallelism()
@@ -298,7 +314,7 @@ impl PerfReport {
                 None => "null".to_string(),
             };
             s.push_str(&format!(
-                "    {{\"name\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \"sim_events\": {}, \"replayed_events\": {}, \"queue_ops\": {}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {:.6}, \"speedup_vs_serial\": {}}}{}\n",
+                "    {{\"name\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \"sim_events\": {}, \"replayed_events\": {}, \"queue_ops\": {}, \"events_per_sec\": {:.1}, \"allocs_per_event\": {:.6}, \"speedup_vs_serial\": {}, \"clamped\": {}}}{}\n",
                 json_str(&e.name),
                 e.jobs,
                 e.wall_secs,
@@ -308,6 +324,7 @@ impl PerfReport {
                 e.events_per_sec,
                 e.allocs_per_event,
                 speedup,
+                e.clamped,
                 comma
             ));
         }
@@ -373,6 +390,18 @@ mod tests {
     }
 
     #[test]
+    fn clamped_tracks_hardware_parallelism() {
+        let hw = simcore::par::hardware_parallelism();
+        let mut r = PerfReport::new();
+        // A serial row can never be clamped; a row requesting more workers
+        // than the host has hardware threads always is.
+        assert!(!r.measure("c", 1, || {}).clamped);
+        assert!(r.measure("c", hw + 1, || {}).clamped);
+        assert!(!r.record_timed("c", hw, 0.001, 10).clamped);
+        assert!(r.record_timed("c", hw * 2, 0.001, 10).clamped);
+    }
+
+    #[test]
     fn queue_ops_fold_into_events_per_sec() {
         let mut r = PerfReport::new();
         let e = r.measure_best_of_ops("q", 1, 2, 1000, || {
@@ -397,7 +426,8 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v5"));
+        assert!(j.contains("adcl-bench-engine-v6"));
+        assert!(j.contains("\"clamped\""));
         assert!(j.contains("\"host_threads\""));
         assert!(j.contains("\"pool_threads\""));
         assert!(j.contains("\"queue_ops\""));

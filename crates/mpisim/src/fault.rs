@@ -300,13 +300,20 @@ pub fn current() -> FaultConfig {
     env_cfg()
 }
 
-/// Per-`World` fault state: the effective (profile-scaled) rates, the
-/// dedicated RNG stream, and the straggler assignment. Built once per world;
-/// `None` when the configuration is off.
+/// Per-`World` fault state: the effective (profile-scaled) rates, one
+/// dedicated RNG stream *per rank*, and the straggler assignment. Built
+/// once per world; `None` when the configuration is off.
+///
+/// Per-rank streams are what keeps fault injection deterministic under the
+/// partitioned engine: every draw is made by the rank acting at that
+/// moment (the sender of the transmission being perturbed), from that
+/// rank's own stream. A rank's events are processed in the same order by
+/// the serial and partitioned engines, so the draw sequence — and thus the
+/// whole fault timeline — is identical regardless of partition count.
 #[derive(Debug, Clone)]
 pub struct FaultModel {
     cfg: FaultConfig,
-    rng: SplitMix64,
+    rngs: Vec<SplitMix64>,
     /// Per-rank compute-duration multiplier (1.0 for healthy ranks).
     slow: Vec<f64>,
     drop_p: f64,
@@ -336,9 +343,15 @@ impl FaultModel {
                 }
             })
             .collect();
+        // Each rank's per-delivery decisions come from its own stream, split
+        // off the master seed with a salt disjoint from the straggler
+        // stream's 0x57AA.
+        let rngs = (0..nranks)
+            .map(|r| SplitMix64::split(cfg.seed, 0xFA17_0000 + r as u64))
+            .collect();
         Some(FaultModel {
             cfg: *cfg,
-            rng: SplitMix64::new(cfg.seed),
+            rngs,
             slow,
             drop_p: (cfg.drop_prob * profile.drop_scale).clamp(0.0, 1.0),
             dup_p: (cfg.dup_prob * profile.dup_scale).clamp(0.0, 1.0),
@@ -352,24 +365,37 @@ impl FaultModel {
         &self.cfg
     }
 
-    /// Decide whether one control/eager delivery is lost.
-    pub fn drop_event(&mut self) -> bool {
-        self.drop_p > 0.0 && self.rng.next_f64() < self.drop_p
+    /// Decide whether one control/eager delivery sent by `rank` is lost.
+    pub fn drop_event(&mut self, rank: usize) -> bool {
+        self.drop_p > 0.0 && self.rngs[rank].next_f64() < self.drop_p
     }
 
-    /// Decide whether one delivered message is duplicated.
-    pub fn duplicate_event(&mut self) -> bool {
-        self.dup_p > 0.0 && self.rng.next_f64() < self.dup_p
+    /// Decide whether one delivered message sent by `rank` is duplicated.
+    pub fn duplicate_event(&mut self, rank: usize) -> bool {
+        self.dup_p > 0.0 && self.rngs[rank].next_f64() < self.dup_p
     }
 
-    /// Extra delay added to a delivery that would arrive at `arrival` after
-    /// being posted at `posted`: uniform jitter proportional to flight time
-    /// plus the brownout penalty when the arrival lands in a window.
-    pub fn delivery_delay(&mut self, posted: SimTime, arrival: SimTime) -> SimTime {
-        let mut extra = SimTime::ZERO;
+    /// Relative jitter for one transmission by `rank`: a fraction of the
+    /// flight time, drawn at send time and applied by the receiver once the
+    /// actual flight time is known (`extra_delay`). Zero — and no RNG draw —
+    /// when jitter is not configured.
+    pub fn jitter_frac(&mut self, rank: usize) -> f64 {
         if self.jitter > 0.0 {
+            self.jitter * self.rngs[rank].next_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Extra delay for a delivery that would arrive at `arrival` after being
+    /// posted at `posted`, with the transmission's pre-drawn `jitter_frac`:
+    /// proportional jitter plus the brownout penalty when the arrival lands
+    /// in a window. Pure — consumes no randomness.
+    pub fn extra_delay(&self, jfrac: f64, posted: SimTime, arrival: SimTime) -> SimTime {
+        let mut extra = SimTime::ZERO;
+        if jfrac > 0.0 {
             let flight = arrival.saturating_sub(posted);
-            extra += flight.scale(self.jitter * self.rng.next_f64());
+            extra += flight.scale(jfrac);
         }
         if self.in_brownout(arrival) {
             extra += self.brownout_delay;
@@ -384,9 +410,10 @@ impl FaultModel {
         len > 0 && period > 0 && (t.as_nanos() % period) < len
     }
 
-    /// Short lag separating a duplicate delivery from the original.
-    pub fn dup_lag(&mut self) -> SimTime {
-        SimTime::from_nanos(500 + (self.rng.next_f64() * 2_000.0) as u64)
+    /// Short lag separating a duplicate delivery from the original, drawn
+    /// from the sending `rank`'s stream.
+    pub fn dup_lag(&mut self, rank: usize) -> SimTime {
+        SimTime::from_nanos(500 + (self.rngs[rank].next_f64() * 2_000.0) as u64)
     }
 
     /// Compute-duration multiplier for rank `r` (1.0 unless straggler).
@@ -421,6 +448,14 @@ impl FaultModel {
     /// Retransmissions allowed before the send times out.
     pub fn max_retries(&self) -> u32 {
         self.cfg.max_retries
+    }
+
+    /// Copy rank `rank`'s stream position back from a shard's model. The
+    /// partitioned engine clones the whole model into each shard; a shard
+    /// only ever draws from its owned ranks' streams, so merging is a plain
+    /// per-owned-rank copy.
+    pub fn adopt_rank_stream(&mut self, shard: &FaultModel, rank: usize) {
+        self.rngs[rank] = shard.rngs[rank].clone();
     }
 }
 
@@ -470,14 +505,39 @@ mod tests {
         let cfg = FaultConfig::heavy(42);
         let mk = || FaultModel::new(&cfg, &FaultProfile::NEUTRAL, 16).unwrap();
         let (mut a, mut b) = (mk(), mk());
-        for _ in 0..200 {
-            assert_eq!(a.drop_event(), b.drop_event());
+        for i in 0..200 {
+            let rank = i % 16;
+            assert_eq!(a.drop_event(rank), b.drop_event(rank));
+            let (fa, fb) = (a.jitter_frac(rank), b.jitter_frac(rank));
+            assert_eq!(fa, fb);
             assert_eq!(
-                a.delivery_delay(SimTime::ZERO, SimTime::from_micros(10)),
-                b.delivery_delay(SimTime::ZERO, SimTime::from_micros(10))
+                a.extra_delay(fa, SimTime::ZERO, SimTime::from_micros(10)),
+                b.extra_delay(fb, SimTime::ZERO, SimTime::from_micros(10))
             );
         }
         assert_eq!(a.slow, b.slow);
+    }
+
+    #[test]
+    fn rank_streams_are_independent() {
+        // Draw order across ranks must not matter: rank 5's sequence is the
+        // same whether or not other ranks drew in between.
+        let cfg = FaultConfig::heavy(9);
+        let mk = || FaultModel::new(&cfg, &FaultProfile::NEUTRAL, 8).unwrap();
+        let (mut a, mut b) = (mk(), mk());
+        let seq_a: Vec<bool> = (0..50).map(|_| a.drop_event(5)).collect();
+        let seq_b: Vec<bool> = (0..50)
+            .map(|i| {
+                b.drop_event(i % 4); // interleave draws on other ranks
+                b.drop_event(5)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+        // Shard merge: adopting rank 5's stream makes a fresh model continue
+        // exactly where the shard left off.
+        let mut parent = mk();
+        parent.adopt_rank_stream(&a, 5);
+        assert_eq!(parent.drop_event(5), a.drop_event(5));
     }
 
     #[test]

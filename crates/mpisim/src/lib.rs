@@ -27,14 +27,18 @@ pub mod bufpool;
 pub mod fault;
 pub mod message;
 pub mod types;
+pub mod workload;
 pub mod world;
+pub mod worldpar;
 pub mod worldpool;
 
 pub use bufpool::{BufPool, BufPoolStats, Payload, PooledBuf};
 pub use fault::{FaultConfig, FaultModel};
 pub use message::{Protocol, RecvState, SendState};
 pub use types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
+pub use workload::NeighborExchange;
 pub use world::{
     sim_events_total, FaultStats, RankAccounting, RankBehavior, SegmentKind, SimError, Step,
     TraceSegment, World,
 };
+pub use worldpar::{ParMode, ParRunInfo};

@@ -9,13 +9,23 @@ pub type RankId = usize;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tag(pub u64);
 
-/// Handle to a posted non-blocking send.
+/// Handle to a posted non-blocking send: an index into the *sending*
+/// rank's message arena. Per-rank arenas (rather than one world-global
+/// `Vec`) are what lets the partitioned engine give each partition
+/// exclusive ownership of its ranks' message state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SendHandle(pub(crate) usize);
+pub struct SendHandle {
+    pub(crate) rank: u32,
+    pub(crate) idx: u32,
+}
 
-/// Handle to a posted non-blocking receive.
+/// Handle to a posted non-blocking receive: an index into the *receiving*
+/// rank's request arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct RecvHandle(pub(crate) usize);
+pub struct RecvHandle {
+    pub(crate) rank: u32,
+    pub(crate) idx: u32,
+}
 
 /// Compute-noise configuration for a simulation (see
 /// [`simcore::rng::NoiseModel`]).

@@ -1,17 +1,41 @@
 //! The discrete-event world: rank scheduling, point-to-point messaging and
-//! the progress engine.
+//! the progress engine — runnable serially or partitioned across threads.
+//!
+//! # Partitioned execution
+//!
+//! A world's ranks can be split into node-aligned partitions, each driven by
+//! its own thread running the same event loop over a sub-`World` that owns
+//! the partition's rank state, network shard, fault streams and event queue.
+//! Cross-partition events travel through bounded SPSC rings and the threads
+//! advance in lockstep *safe-time windows* of width `L`, the minimum LogGP
+//! latency between ranks of different partitions (conservative "null
+//! message"-free synchronization): an event processed at time `t` can only
+//! schedule work on a foreign rank at `t + L` or later, so every event with
+//! a timestamp inside the current window is already present in its owner's
+//! queue when the window opens.
+//!
+//! Determinism is anchored in a *content-keyed* total order: every scheduled
+//! event carries a `(time, (acting_rank, per-rank counter))` key instead of
+//! a global insertion counter, so the serial and partitioned engines pop the
+//! same per-rank event sequences — same state machines, same RNG draws, same
+//! metrics deltas, same traces, byte for byte, for any partition count
+//! ([`World::event_digest`] asserts it cheaply).
 
 use crate::bufpool::{BufPool, Payload};
 use crate::fault::{self, FaultConfig, FaultModel};
-use crate::message::{Message, Protocol, RecvReq, RecvState, SendState};
+use crate::message::{DstMsg, Protocol, RecvReq, RecvState, SendMsg, SendState};
 use crate::types::{NoiseConfig, RankId, RecvHandle, SendHandle, Tag};
+use crate::worldpar::{self, ParMode, ParPlan, ParRunInfo};
 use netmodel::{NetworkState, Placement, Platform};
-use simcore::metrics::{self, Counter, Gauge, Histogram};
+use simcore::metrics::{self, Counter, Histogram};
 use simcore::rng::NoiseModel;
+use simcore::spsc::Spsc;
 use simcore::trace::{self, WorldTrace};
 use simcore::{EventQueue, SimTime};
+use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
 // Registry-backed engine metrics. Handles are cached in `OnceLock`s so the
 // registry lock is taken once per metric, not per update; the hot counts
@@ -41,11 +65,6 @@ fn m_rdv_stalls() -> &'static Counter {
 fn m_rdv_stall_ns() -> &'static Histogram {
     static M: OnceLock<&'static Histogram> = OnceLock::new();
     M.get_or_init(|| metrics::histogram("mpisim.rdv_stall_ns"))
-}
-
-fn m_queue_max_depth() -> &'static Gauge {
-    static M: OnceLock<&'static Gauge> = OnceLock::new();
-    M.get_or_init(|| metrics::gauge("mpisim.queue_max_depth"))
 }
 
 // Fault-injection metrics. Touched only when a world actually carries a
@@ -116,6 +135,27 @@ pub trait RankBehavior {
     /// Decide the next action for `rank` at its current local time
     /// (`world.rank_now(rank)`).
     fn step(&mut self, world: &mut World, rank: RankId) -> Step;
+
+    /// Split this behaviour into `nparts` independently steppable parts for
+    /// the partitioned engine; `owner[rank]` names the partition that will
+    /// drive `rank`. Part `p` is only ever stepped for ranks it owns.
+    ///
+    /// Returning `None` (the default) declares the behaviour unsplittable
+    /// and makes the engine fall back to serial execution — existing
+    /// behaviours keep working unchanged. Implementations typically share
+    /// per-rank state behind an `Arc` of per-rank locks: partitions own
+    /// disjoint rank sets, so the locks are never contended.
+    fn split_par(
+        &mut self,
+        _nparts: usize,
+        _owner: &[u32],
+    ) -> Option<Vec<Box<dyn RankBehavior + Send>>> {
+        None
+    }
+
+    /// Re-absorb the parts handed out by [`RankBehavior::split_par`] after a
+    /// partitioned run. A no-op by default (shared-state splits need none).
+    fn merge_par(&mut self, _parts: Vec<Box<dyn RankBehavior + Send>>) {}
 }
 
 /// Why a simulation run failed.
@@ -194,6 +234,14 @@ impl FaultStats {
             timeouts: self.timeouts - flushed.timeouts,
         }
     }
+
+    fn accumulate(&mut self, other: &FaultStats) {
+        self.drops += other.drops;
+        self.dups += other.dups;
+        self.dup_suppressed += other.dup_suppressed;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,21 +254,115 @@ enum RankStatus {
     Done,
 }
 
-enum Event {
-    Wake(RankId),
-    Net { rank: RankId, kind: NetEvent },
+/// An event local to the target rank's own partition: indices resolve
+/// against that rank's arenas.
+#[derive(Debug, Clone, Copy)]
+enum LocalEv {
+    /// The source buffer of send `sidx` (on the target rank) drained.
+    SendDrained(u32),
+    /// Retransmission deadline for send `sidx` (fault injection only).
+    RetryTimer(u32),
+    /// Eager payload `dmid` finished draining into the target's receive
+    /// engine (or its unexpected-match copy finished).
+    DeliverEager(u32),
+    /// Rendezvous payload `dmid` fully delivered at the target.
+    DeliverData(u32),
 }
 
-#[derive(Debug, Clone, Copy)]
-enum NetEvent {
-    EagerArrived(usize),
-    RtsArrived(usize),
-    CtsArrived(usize),
-    DataArrived(usize),
-    SendDrained(usize),
-    /// Retransmission deadline for a message (fault injection only; never
-    /// scheduled on the healthy path). Fires on the *sender's* timeline.
-    RetryTimer(usize),
+/// A message crossing the wire between two ranks — the only event kind that
+/// can cross partitions. Carries everything the destination needs so no
+/// foreign rank state is ever read.
+enum WireMsg {
+    /// An eager payload's leading edge reached the destination.
+    Eager {
+        src: RankId,
+        sidx: u32,
+        seq: u64,
+        tag: Tag,
+        bytes: usize,
+        posted_at: SimTime,
+        /// Pre-drawn relative jitter for this transmission.
+        jfrac: f64,
+        /// Arrival fully priced at the source (intra-node copy).
+        priced: bool,
+        /// Earliest possible full delivery (sender-side floor).
+        floor: SimTime,
+        payload: Option<Payload>,
+    },
+    /// Rendezvous request-to-send (full arrival time; control messages
+    /// bypass the payload queues).
+    Rts {
+        src: RankId,
+        sidx: u32,
+        seq: u64,
+        tag: Tag,
+        bytes: usize,
+        posted_at: SimTime,
+    },
+    /// Rendezvous clear-to-send, answering send `sidx` on the target;
+    /// carries the receiver-side record so the payload can route back.
+    Cts { sidx: u32, dmid: u32 },
+    /// A rendezvous payload's leading edge reached the destination.
+    Data {
+        dmid: u32,
+        bytes: usize,
+        /// When the transfer started (jitter anchor).
+        start: SimTime,
+        jfrac: f64,
+        priced: bool,
+        floor: SimTime,
+        payload: Option<Payload>,
+    },
+}
+
+/// A queued event. Kept `Copy`-small (the heap sifts entries by value on
+/// every push/pop): wire-message bodies live in the world's `wire_pool`
+/// arena and the event carries only the slot index. Rank ids are stored as
+/// `u32` so the whole event packs into 12 bytes.
+#[derive(Clone, Copy)]
+enum Event {
+    Wake(u32),
+    Local(u32, LocalEv),
+    Wire(u32, u32),
+}
+
+impl Event {
+    fn wake(r: RankId) -> Event {
+        Event::Wake(r as u32)
+    }
+
+    fn local(r: RankId, le: LocalEv) -> Event {
+        Event::Local(r as u32, le)
+    }
+
+    /// The rank whose partition must process this event.
+    fn target(&self) -> RankId {
+        match self {
+            Event::Wake(r) | Event::Local(r, _) | Event::Wire(r, _) => *r as RankId,
+        }
+    }
+}
+
+/// A wire message in flight between partitions: the body travels inline
+/// (pool indices are meaningless across worlds) and is interned into the
+/// destination partition's arena on ingest.
+type Handoff = (SimTime, u64, RankId, WireMsg);
+
+/// Shared routing table of one partitioned run: rank ownership plus an SPSC
+/// ring per ordered partition pair (`outbox[from * nparts + to]`).
+struct ParRoute {
+    owner: Vec<u32>,
+    nparts: usize,
+    outbox: Vec<Spsc<Handoff>>,
+}
+
+/// Mix one event key into a rank's running digest (an FNV/xorshift hybrid;
+/// order-sensitive, so identical sequences are required, not just identical
+/// sets).
+fn fold_digest(d: u64, t_ns: u64, subkey: u64) -> u64 {
+    let h = d ^ t_ns.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h = h.rotate_left(23) ^ subkey.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h.wrapping_mul(0x0000_0100_0000_01B3)
 }
 
 /// What a rank was doing during a [`TraceSegment`].
@@ -283,6 +425,14 @@ impl RankAccounting {
     }
 }
 
+/// Everything one rank owns. All messaging state a handler mutates lives on
+/// the rank the event targets, which is what lets a partition take its
+/// ranks wholesale and run without synchronization.
+///
+/// Channel maps are `BTreeMap`s rather than flat `nranks`-length vectors:
+/// a rank only talks to a handful of peers, and per-rank flat vectors would
+/// cost O(nranks²) memory — fatal at the 4096-rank scale the partitioned
+/// engine exists for.
 struct RankState {
     now: SimTime,
     status: RankStatus,
@@ -290,40 +440,114 @@ struct RankState {
     acct: RankAccounting,
     /// When the current blocked interval began, if blocked.
     block_since: Option<SimTime>,
-    /// Next envelope sequence number expected per source rank (MPI
-    /// non-overtaking: envelopes are delivered to matching in send order).
-    /// Indexed by source rank — a flat vector, not a map, because every
-    /// channel is touched on the hot path of every delivery.
-    env_next: Vec<u64>,
-    /// Envelopes that arrived out of order, per source rank (indexed by
-    /// source). The inner map is almost always empty or tiny.
-    env_buf: Vec<BTreeMap<u64, usize>>,
+    /// Sends posted by this rank (handles index here).
+    sends: Vec<SendMsg>,
+    /// Receiver-side halves of messages addressed to this rank.
+    dmsgs: Vec<DstMsg>,
+    /// Receives posted by this rank (handles index here).
+    recvs: Vec<RecvReq>,
+    /// Next send sequence number per destination (sender side).
+    send_seq: BTreeMap<RankId, u64>,
+    /// Next envelope sequence number expected per source (MPI
+    /// non-overtaking: envelopes enter matching in send order).
+    env_next: BTreeMap<RankId, u64>,
+    /// Envelopes that arrived out of order: `(src, seq) -> dmid`.
+    env_buf: BTreeMap<(RankId, u64), u32>,
+    /// Wire-level arrival dedup: every `(src, seq)` whose first surviving
+    /// transmission has arrived, with the receiver-side record it created.
+    /// Duplicate transmissions (fault dups, retransmissions racing their
+    /// original) are swallowed here.
+    inbound: BTreeMap<(RankId, u64), u32>,
     /// Posted, unmatched receive requests (ids into `recvs`), post order.
-    posted_recvs: Vec<usize>,
-    /// Unmatched arrived messages (eager payloads or rendezvous RTS).
-    unexpected: Vec<usize>,
+    posted_recvs: Vec<u32>,
+    /// Unmatched arrived messages (ids into `dmsgs`), arrival order.
+    unexpected: Vec<u32>,
     /// Matched rendezvous messages awaiting a CTS from this rank (dst side).
-    pending_cts: Vec<usize>,
-    /// Rendezvous messages whose CTS arrived, awaiting payload injection
-    /// (src side).
-    pending_data_start: Vec<usize>,
+    pending_cts: Vec<u32>,
+    /// Sends whose CTS arrived, awaiting payload injection (src side).
+    pending_data_start: Vec<u32>,
+    /// Per-rank event-key counter: the deterministic tie-breaker replacing
+    /// the queue's global insertion counter.
+    key_seq: u64,
+    /// Running digest of every event key dispatched to this rank.
+    digest: u64,
+    /// Events dispatched to this rank.
+    ev_count: u64,
+    /// Timeline segments (only filled when segment tracing is on).
+    tseg: Vec<TraceSegment>,
+}
+
+impl RankState {
+    fn fresh(r: usize, noise: &NoiseConfig) -> RankState {
+        RankState {
+            now: SimTime::ZERO,
+            status: RankStatus::Scheduled,
+            noise: if noise.is_none() {
+                NoiseModel::none()
+            } else {
+                NoiseModel::for_rank(
+                    noise.seed,
+                    r,
+                    noise.jitter,
+                    noise.spike_prob,
+                    noise.spike_scale,
+                )
+            },
+            acct: RankAccounting::default(),
+            block_since: None,
+            sends: Vec::new(),
+            dmsgs: Vec::new(),
+            recvs: Vec::new(),
+            send_seq: BTreeMap::new(),
+            env_next: BTreeMap::new(),
+            env_buf: BTreeMap::new(),
+            inbound: BTreeMap::new(),
+            posted_recvs: Vec::new(),
+            unexpected: Vec::new(),
+            pending_cts: Vec::new(),
+            pending_data_start: Vec::new(),
+            key_seq: 0,
+            digest: 0,
+            ev_count: 0,
+            tseg: Vec::new(),
+        }
+    }
+
+    /// A cheap stand-in for a rank owned by another partition (~400 bytes,
+    /// never touched by the partition holding it).
+    fn placeholder() -> RankState {
+        let mut rs = RankState::fresh(0, &NoiseConfig::none());
+        rs.status = RankStatus::Done;
+        rs
+    }
+
+    fn reset(&mut self, r: usize, noise: &NoiseConfig) {
+        let tseg = std::mem::take(&mut self.tseg);
+        *self = RankState::fresh(r, noise);
+        // Keep the segment buffer's allocation warm across reuse.
+        self.tseg = tseg;
+        self.tseg.clear();
+    }
 }
 
 /// The simulated machine: ranks, network, in-flight messages and the event
-/// queue.
+/// queue. In a partitioned run, each worker thread drives a sub-`World`
+/// holding the moved-in state of its owned ranks; `part`/`route` identify
+/// the partition, and the parent world re-absorbs everything afterwards.
 pub struct World {
     net: NetworkState,
     ranks: Vec<RankState>,
-    msgs: Vec<Message>,
-    recvs: Vec<RecvReq>,
     events: EventQueue<Event>,
-    /// Per-(src, dst) channel send counters for envelope sequencing, flat
-    /// row-major (`src * nranks + dst`).
-    send_seq: Vec<u64>,
     /// Scratch buffers reused across [`World::poll`] calls so the progress
     /// engine does not allocate per invocation.
-    scratch_cts: Vec<usize>,
-    scratch_starts: Vec<usize>,
+    scratch_cts: Vec<u32>,
+    scratch_starts: Vec<u32>,
+    /// Arena of in-flight wire-message bodies (including payload handles),
+    /// indexed by `Event::Wire`'s slot. Slots are recycled via `wire_free`,
+    /// so steady-state runs never grow the arena past the peak number of
+    /// simultaneously in-flight messages.
+    wire_pool: Vec<WireMsg>,
+    wire_free: Vec<u32>,
     next_tag: u64,
     polls: u64,
     protocol_actions: u64,
@@ -336,30 +560,45 @@ pub struct World {
     /// poll hot path (parallel sweeps would serialize on its cache line).
     rdv_stalls: u64,
     rdv_stall_ns: metrics::LocalHistogram,
+    /// Fault-retry backoff intervals this run (same flush scheme).
+    fault_backoff_ns: metrics::LocalHistogram,
     /// `events.popped()` at the last [`World::reset`]: the queue's lifetime
     /// counter survives reuse, so per-world accounting is a delta from here.
     popped_at_reset: u64,
-    /// Timeline segments, recorded only when tracing is enabled.
-    trace: Option<Vec<TraceSegment>>,
+    /// Record per-rank timeline segments into `RankState::tseg`?
+    trace_on: bool,
     /// Span/instant timeline for the observability layer (`NBC_TRACE`);
     /// `None` when tracing is off, making every instrumentation site a
     /// single branch. Published to the global collector on drop.
     otrace: Option<Box<WorldTrace>>,
-    /// Payload buffer pool shared by every rank of this world (worlds are
-    /// single-threaded, so one pool per world is "rank-local" in the sense
-    /// that matters: no cross-simulation contention).
+    /// Payload buffer pool shared by every rank of this world. The pool is
+    /// thread-safe, so partition sub-worlds share it by handle clone.
     pool: BufPool,
     /// Fault-injection model; `None` (the default) makes every injection
     /// site a single branch and guarantees byte-identical behaviour to a
-    /// build without fault support.
+    /// build without fault support. Carries one RNG stream per rank, so a
+    /// partition's clone only ever advances its owned ranks' streams.
     fault: Option<Box<FaultModel>>,
-    /// Set when a retransmission budget is exhausted; `run_inner` returns
-    /// it as `SimError::Timeout` at the next loop iteration.
-    timed_out: Option<SimError>,
+    /// First (by event key) retransmission-budget exhaustion observed. The
+    /// run keeps draining — both engines must do identical work — and
+    /// `outcome` surfaces the error that the *serial* order hits first.
+    timed_out: Option<(u128, SimError)>,
+    /// Key of the event currently being dispatched.
+    cur_key: u128,
     /// Cumulative fault tallies, plus the portion already flushed to the
     /// metrics registry (same delta scheme as `polls_flushed`).
     faults: FaultStats,
     faults_flushed: FaultStats,
+    /// Per-world partitioning override (None: follow `NBC_WORLD_PAR` / the
+    /// process override). Survives `reset` — it describes how to run, not
+    /// what was run.
+    par_mode: Option<ParMode>,
+    /// Which partition this sub-world is (0 and `route: None` for a
+    /// serial/parent world).
+    part: u32,
+    route: Option<Arc<ParRoute>>,
+    /// Diagnostics of the last partitioned run (None after a serial run).
+    last_par: Option<ParRunInfo>,
 }
 
 impl World {
@@ -370,42 +609,17 @@ impl World {
         placement: Placement,
         noise: NoiseConfig,
     ) -> Self {
-        let ranks = (0..nranks)
-            .map(|r| RankState {
-                now: SimTime::ZERO,
-                status: RankStatus::Scheduled,
-                noise: if noise.is_none() {
-                    NoiseModel::none()
-                } else {
-                    NoiseModel::for_rank(
-                        noise.seed,
-                        r,
-                        noise.jitter,
-                        noise.spike_prob,
-                        noise.spike_scale,
-                    )
-                },
-                acct: RankAccounting::default(),
-                block_since: None,
-                env_next: vec![0; nranks],
-                env_buf: vec![BTreeMap::new(); nranks],
-                posted_recvs: Vec::new(),
-                unexpected: Vec::new(),
-                pending_cts: Vec::new(),
-                pending_data_start: Vec::new(),
-            })
-            .collect();
+        let ranks = (0..nranks).map(|r| RankState::fresh(r, &noise)).collect();
         let fault_model =
             FaultModel::new(&fault::current(), &platform.fault_profile(), nranks).map(Box::new);
         World {
             net: NetworkState::new(platform, nranks, placement),
             ranks,
-            msgs: Vec::with_capacity(nranks * 8),
-            recvs: Vec::with_capacity(nranks * 8),
             events: EventQueue::with_capacity(nranks * 4),
-            send_seq: vec![0; nranks * nranks],
             scratch_cts: Vec::new(),
             scratch_starts: Vec::new(),
+            wire_pool: Vec::new(),
+            wire_free: Vec::new(),
             next_tag: 0,
             polls: 0,
             protocol_actions: 0,
@@ -413,14 +627,20 @@ impl World {
             unexpected_msgs: 0,
             rdv_stalls: 0,
             rdv_stall_ns: metrics::LocalHistogram::new(),
+            fault_backoff_ns: metrics::LocalHistogram::new(),
             popped_at_reset: 0,
-            trace: None,
+            trace_on: false,
             otrace: trace::enabled().then(|| Box::new(WorldTrace::new(nranks))),
             pool: BufPool::new(),
             fault: fault_model,
             timed_out: None,
+            cur_key: 0,
             faults: FaultStats::default(),
             faults_flushed: FaultStats::default(),
+            par_mode: None,
+            part: 0,
+            route: None,
+            last_par: None,
         }
     }
 
@@ -445,59 +665,43 @@ impl World {
         self.faults
     }
 
-    /// Fault-decide one delivery that would arrive at `base` after being
-    /// sent at `posted`: returns the (possibly jittered) arrival time, or
-    /// `None` if the message is dropped, plus the arrival time of an
-    /// injected duplicate if one is generated. With no fault model armed
-    /// this is the identity `(Some(base), None)` — no RNG is consumed.
-    fn fault_delivery(
-        &mut self,
-        posted: SimTime,
-        base: SimTime,
-    ) -> (Option<SimTime>, Option<SimTime>) {
-        let Some(f) = self.fault.as_mut() else {
-            return (Some(base), None);
-        };
-        if f.drop_event() {
-            self.faults.drops += 1;
-            return (None, None);
-        }
-        let arr = base + f.delivery_delay(posted, base);
-        if f.duplicate_event() {
-            let lag = f.dup_lag();
-            self.faults.dups += 1;
-            (Some(arr), Some(arr + lag))
-        } else {
-            (Some(arr), None)
-        }
+    /// Override how this world parallelizes its event loop: `Some(mode)`
+    /// wins over the process override and `NBC_WORLD_PAR`; `None` restores
+    /// environment resolution. Survives [`World::reset`]. The partition
+    /// count only changes *how* the simulation executes — results are
+    /// byte-identical for every setting.
+    pub fn set_par_mode(&mut self, mode: Option<ParMode>) {
+        self.par_mode = mode;
     }
 
-    /// Jitter/brownout-only variant of [`World::fault_delivery`] for
-    /// deliveries modelled as reliable (rendezvous payloads: link-level
-    /// retransmission is folded into delay, never loss).
-    fn fault_extra_delay(&mut self, posted: SimTime, base: SimTime) -> SimTime {
-        match self.fault.as_mut() {
-            Some(f) => f.delivery_delay(posted, base),
-            None => SimTime::ZERO,
-        }
+    /// The per-world partitioning override, if any.
+    pub fn par_mode(&self) -> Option<ParMode> {
+        self.par_mode
     }
 
-    /// Schedule the retransmission deadline for `mid` given that
-    /// `attempts` transmissions have happened so far. No-op without a
-    /// fault model.
-    fn schedule_retry(&mut self, mid: usize, now: SimTime, attempts: u32) {
-        let Some(f) = self.fault.as_ref() else {
-            return;
-        };
-        let deadline = f.retry_deadline(now, attempts);
-        let src = self.msgs[mid].src;
-        self.events.push(
-            deadline,
-            Event::Net {
-                rank: src,
-                kind: NetEvent::RetryTimer(mid),
-            },
-        );
+    /// Diagnostics of the last `run` if it executed partitioned (`None`
+    /// after a serial run).
+    pub fn par_info(&self) -> Option<&ParRunInfo> {
+        self.last_par.as_ref()
+    }
+
+    /// Order-sensitive digest of every event dispatched so far, folded
+    /// per-rank then combined in rank order. Two runs that processed the
+    /// same per-rank event sequences — the partitioned-engine contract —
+    /// produce the same digest; any ordering or content divergence shows up
+    /// with overwhelming probability.
+    pub fn event_digest(&self) -> u64 {
+        let mut d = 0xcbf2_9ce4_8422_2325u64;
+        for rs in &self.ranks {
+            d = fold_digest(d, rs.digest, rs.ev_count);
+        }
+        d
+    }
+
+    /// Events dispatched per rank (imbalance diagnostics for the
+    /// partition planner and the `--profile` report).
+    pub fn rank_event_counts(&self) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.ev_count).collect()
     }
 
     /// A handle to this world's payload buffer pool (cheap clone).
@@ -517,7 +721,8 @@ impl World {
 
     /// Events applied by this world so far (the per-run analogue of the
     /// process-wide [`sim_events_total`] — exact even when other worlds run
-    /// concurrently on other threads).
+    /// concurrently on other threads). Partitioned runs fold every
+    /// partition's count back in, so the value is engine-independent.
     pub fn events_processed(&self) -> u64 {
         self.events.popped() - self.popped_at_reset
     }
@@ -535,53 +740,35 @@ impl World {
 
     /// Reset this world for a fresh simulation on the *same* platform,
     /// rank count and placement, keeping every allocation (rank vectors,
-    /// event-queue heap, message/receive tables, payload-pool slabs) warm.
+    /// event-queue heap, arena vectors, payload-pool slabs) warm.
     ///
     /// The post-state is observationally identical to
     /// `World::new(platform, nranks, placement, noise)` with the same
     /// process-global fault/trace configuration: noise models are re-seeded
     /// from `noise`, the fault model is rebuilt from [`fault::current`],
     /// and all logical state (clocks, tags, sequence numbers, in-flight
-    /// messages) is zeroed. Only allocation capacity and recycled payload
-    /// slab contents differ — neither is observable in simulated time or
-    /// simulation output, so results stay byte-identical whether a world is
-    /// fresh or reused.
+    /// messages, event digests, partition diagnostics) is zeroed. Only
+    /// allocation capacity and recycled payload slab contents differ —
+    /// neither is observable in simulated time or simulation output, so
+    /// results stay byte-identical whether a world is fresh or reused, and
+    /// regardless of the partition count of any previous run.
     pub fn reset(&mut self, noise: NoiseConfig) {
         self.publish_trace();
         let nranks = self.ranks.len();
         for (r, rs) in self.ranks.iter_mut().enumerate() {
-            rs.now = SimTime::ZERO;
-            rs.status = RankStatus::Scheduled;
-            rs.noise = if noise.is_none() {
-                NoiseModel::none()
-            } else {
-                NoiseModel::for_rank(
-                    noise.seed,
-                    r,
-                    noise.jitter,
-                    noise.spike_prob,
-                    noise.spike_scale,
-                )
-            };
-            rs.acct = RankAccounting::default();
-            rs.block_since = None;
-            rs.env_next.iter_mut().for_each(|v| *v = 0);
-            rs.env_buf.iter_mut().for_each(|m| m.clear());
-            rs.posted_recvs.clear();
-            rs.unexpected.clear();
-            rs.pending_cts.clear();
-            rs.pending_data_start.clear();
+            // Dropping in-flight messages releases their payload handles,
+            // which recycles the slabs into `self.pool` — the reuse win.
+            rs.reset(r, &noise);
         }
         self.net.reset();
-        // Dropping in-flight messages releases their payload handles, which
-        // recycles the slabs into `self.pool` — the reuse win.
-        self.msgs.clear();
-        self.recvs.clear();
         self.events.reset();
         self.popped_at_reset = self.events.popped();
-        self.send_seq.iter_mut().for_each(|v| *v = 0);
         self.scratch_cts.clear();
         self.scratch_starts.clear();
+        // Dropping undelivered wire bodies releases their payload handles
+        // into the pool, like the per-rank arenas above.
+        self.wire_pool.clear();
+        self.wire_free.clear();
         self.next_tag = 0;
         self.polls = 0;
         self.protocol_actions = 0;
@@ -589,7 +776,8 @@ impl World {
         self.unexpected_msgs = 0;
         self.rdv_stalls = 0;
         self.rdv_stall_ns = metrics::LocalHistogram::new();
-        self.trace = None;
+        self.fault_backoff_ns = metrics::LocalHistogram::new();
+        self.trace_on = false;
         self.otrace = trace::enabled().then(|| Box::new(WorldTrace::new(nranks)));
         self.fault = FaultModel::new(
             &fault::current(),
@@ -598,23 +786,33 @@ impl World {
         )
         .map(Box::new);
         self.timed_out = None;
+        self.cur_key = 0;
         self.faults = FaultStats::default();
         self.faults_flushed = FaultStats::default();
+        // `par_mode` intentionally survives: it configures the engine, not
+        // the run. Partition-local residue does not.
+        self.part = 0;
+        self.route = None;
+        self.last_par = None;
     }
 
     /// Start recording per-rank timeline segments (compute / library /
     /// blocked intervals). Costs memory proportional to the number of
     /// phases; off by default.
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Vec::new());
-        }
+        self.trace_on = true;
     }
 
-    /// The recorded timeline (empty unless [`World::enable_trace`] was
-    /// called before the run).
-    pub fn trace(&self) -> &[TraceSegment] {
-        self.trace.as_deref().unwrap_or(&[])
+    /// The recorded timeline, flattened rank-major (empty unless
+    /// [`World::enable_trace`] was called before the run). Within one rank,
+    /// segments are in chronological order.
+    pub fn trace(&self) -> Vec<TraceSegment> {
+        let total = self.ranks.iter().map(|r| r.tseg.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for rs in &self.ranks {
+            out.extend_from_slice(&rs.tseg);
+        }
+        out
     }
 
     /// Is the observability timeline (`NBC_TRACE`) being recorded? Callers
@@ -668,8 +866,8 @@ impl World {
 
     fn record(&mut self, rank: RankId, kind: SegmentKind, start: SimTime, end: SimTime) {
         if end > start {
-            if let Some(t) = self.trace.as_mut() {
-                t.push(TraceSegment {
+            if self.trace_on {
+                self.ranks[rank].tseg.push(TraceSegment {
                     rank,
                     kind,
                     start,
@@ -768,6 +966,142 @@ impl World {
     }
 
     // ------------------------------------------------------------------
+    // Partition plumbing
+    // ------------------------------------------------------------------
+
+    /// Does this world's partition own `rank`? Serial/parent worlds own
+    /// everything.
+    #[inline]
+    fn owns(&self, rank: RankId) -> bool {
+        match &self.route {
+            None => true,
+            Some(rt) => rt.owner[rank] as usize == self.part as usize,
+        }
+    }
+
+    /// Next content-derived tie-break key for an event scheduled by
+    /// `acting`'s handler. The sequence depends only on the order of
+    /// `acting`'s own events — identical in serial and partitioned runs —
+    /// so ties in `t` break the same way under every engine.
+    #[inline]
+    fn next_subkey(&mut self, acting: RankId) -> u64 {
+        let ks = &mut self.ranks[acting].key_seq;
+        debug_assert!(*ks < 1 << 40, "per-rank key counter overflow");
+        let subkey = ((acting as u64) << 40) | *ks;
+        *ks += 1;
+        subkey
+    }
+
+    /// Intern a wire-message body, returning its arena slot.
+    fn intern_wire(&mut self, wm: WireMsg) -> u32 {
+        match self.wire_free.pop() {
+            Some(i) => {
+                self.wire_pool[i as usize] = wm;
+                i
+            }
+            None => {
+                debug_assert!(self.wire_pool.len() < u32::MAX as usize);
+                self.wire_pool.push(wm);
+                (self.wire_pool.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Move a wire-message body out of its arena slot and recycle the slot.
+    fn take_wire(&mut self, idx: u32) -> WireMsg {
+        self.wire_free.push(idx);
+        std::mem::replace(
+            &mut self.wire_pool[idx as usize],
+            WireMsg::Cts { sidx: 0, dmid: 0 },
+        )
+    }
+
+    /// Schedule a rank-local event (`Wake`/`Local`) at `t`. These always
+    /// target `acting`'s own partition; only wire messages cross (via
+    /// [`World::push_wire`]).
+    fn push_ev(&mut self, acting: RankId, t: SimTime, ev: Event) {
+        let subkey = self.next_subkey(acting);
+        debug_assert!(self.owns(ev.target()), "only wire events cross partitions");
+        self.events.push_at(t, subkey, ev);
+    }
+
+    /// Schedule wire message `wm` for `dst` at `t`, keyed by `acting`'s
+    /// counter. A message whose destination lives in another partition is
+    /// handed off through the route's SPSC ring instead of the local queue;
+    /// locally-targeted bodies are interned so the heap entry stays small.
+    fn push_wire(&mut self, acting: RankId, t: SimTime, dst: RankId, wm: WireMsg) {
+        let subkey = self.next_subkey(acting);
+        if self.owns(dst) {
+            let idx = self.intern_wire(wm);
+            self.events.push_at(t, subkey, Event::Wire(dst as u32, idx));
+        } else {
+            let rt = self
+                .route
+                .as_ref()
+                .expect("cross-partition push without route");
+            let to = rt.owner[dst] as usize;
+            rt.outbox[self.part as usize * rt.nparts + to].push((t, subkey, dst, wm));
+        }
+    }
+
+    /// Record a retransmission-budget exhaustion, keeping the one the
+    /// serial event order reaches first (smallest event key).
+    fn record_timeout(&mut self, err: SimError) {
+        match &self.timed_out {
+            Some((k, _)) if *k <= self.cur_key => {}
+            _ => self.timed_out = Some((self.cur_key, err)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault helpers
+    // ------------------------------------------------------------------
+
+    /// Draw the per-transmission fault decisions for one control/eager
+    /// transmission performed by `acting` (always the rank whose handler is
+    /// running, so draws come from its own stream in the same order under
+    /// every engine). Returns `None` if the transmission is dropped,
+    /// otherwise `Some((jitter_frac, duplicate_lag))`. With no fault model
+    /// armed this is `Some((0.0, None))` and consumes no randomness.
+    fn fault_tx(&mut self, acting: RankId) -> Option<(f64, Option<SimTime>)> {
+        let Some(f) = self.fault.as_mut() else {
+            return Some((0.0, None));
+        };
+        if f.drop_event(acting) {
+            self.faults.drops += 1;
+            return None;
+        }
+        let jfrac = f.jitter_frac(acting);
+        if f.duplicate_event(acting) {
+            let lag = f.dup_lag(acting);
+            self.faults.dups += 1;
+            Some((jfrac, Some(lag)))
+        } else {
+            Some((jfrac, None))
+        }
+    }
+
+    /// Extra delivery delay (proportional jitter + brownout) for an arrival
+    /// at `arrival` of a transmission anchored at `posted`. Pure — no RNG.
+    fn extra(&self, jfrac: f64, posted: SimTime, arrival: SimTime) -> SimTime {
+        match self.fault.as_ref() {
+            Some(f) => f.extra_delay(jfrac, posted, arrival),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Schedule the retransmission deadline for `src`'s send `sidx` given
+    /// that `attempts` transmissions have happened so far. No-op without a
+    /// fault model.
+    fn schedule_retry(&mut self, src: RankId, sidx: u32, now: SimTime, attempts: u32) {
+        let Some(f) = self.fault.as_ref() else {
+            return;
+        };
+        let deadline = f.retry_deadline(now, attempts);
+        self.push_ev(src, deadline, Event::local(src, LocalEv::RetryTimer(sidx)));
+    }
+
+    // ------------------------------------------------------------------
     // Point-to-point API (used by the collective-schedule executor)
     // ------------------------------------------------------------------
 
@@ -801,66 +1135,142 @@ impl World {
         payload: Option<Payload>,
     ) -> SendHandle {
         assert_ne!(src, dst, "self-sends are expressed as schedule copies");
-        let id = self.msgs.len();
+        debug_assert!(self.owns(src), "send posted by a foreign partition");
         let seq = {
-            let c = &mut self.send_seq[src * self.ranks.len() + dst];
+            let c = self.ranks[src].send_seq.entry(dst).or_insert(0);
             let s = *c;
             *c += 1;
             s
         };
+        let sidx = self.ranks[src].sends.len() as u32;
         if self.net.is_eager(src, dst, bytes) {
-            let plan = self.net.plan_transfer(at, src, dst, bytes);
-            let mut m = Message::new(src, dst, tag, bytes, Protocol::Eager, seq, at);
-            m.payload = payload;
-            self.msgs.push(m);
+            let plan = self.net.tx_plan(at, src, dst, bytes);
+            let mut m = SendMsg::new(dst, tag, bytes, Protocol::Eager, seq, at);
             // The sender's buffer drains locally whether or not the network
             // later loses the payload.
-            self.events.push(
-                plan.src_drain,
-                Event::Net {
-                    rank: src,
-                    kind: NetEvent::SendDrained(id),
-                },
-            );
-            let (arrival, dup) = self.fault_delivery(at, plan.dst_drain);
-            for t in [arrival, dup].into_iter().flatten() {
-                self.events.push(
-                    t,
-                    Event::Net {
-                        rank: dst,
-                        kind: NetEvent::EagerArrived(id),
-                    },
-                );
-            }
-            if arrival.is_none() {
-                // Lost in flight: only the retransmission engine can
-                // recover the delivery.
-                self.trace_instant(src, "drop", "fault", at, [("mid", id as u64), ("", 0)]);
-                self.schedule_retry(id, at, 0);
+            match self.fault_tx(src) {
+                None => {
+                    // Lost in flight: the payload stays on the send so the
+                    // retransmission engine can resend it.
+                    m.payload = payload;
+                    self.ranks[src].sends.push(m);
+                    self.push_ev(
+                        src,
+                        plan.src_drain,
+                        Event::local(src, LocalEv::SendDrained(sidx)),
+                    );
+                    self.trace_instant(src, "drop", "fault", at, [("mid", sidx as u64), ("", 0)]);
+                    self.schedule_retry(src, sidx, at, 0);
+                }
+                Some((jfrac, dup)) => {
+                    m.best_arrival = Some(plan.floor + self.extra(jfrac, at, plan.floor));
+                    // Healthy path: move the handle into the wire event
+                    // (O(1)). With faults armed, each transmission carries a
+                    // clone and the send keeps the original for retries.
+                    let wire_payload = if self.fault.is_some() {
+                        m.payload = payload;
+                        m.payload.clone()
+                    } else {
+                        payload
+                    };
+                    self.ranks[src].sends.push(m);
+                    self.push_ev(
+                        src,
+                        plan.src_drain,
+                        Event::local(src, LocalEv::SendDrained(sidx)),
+                    );
+                    self.push_wire(
+                        src,
+                        plan.wire_at,
+                        dst,
+                        WireMsg::Eager {
+                            src,
+                            sidx,
+                            seq,
+                            tag,
+                            bytes,
+                            posted_at: at,
+                            jfrac,
+                            priced: plan.priced,
+                            floor: plan.floor,
+                            payload: wire_payload,
+                        },
+                    );
+                    if let Some(lag) = dup {
+                        // The duplicate trails its original on the same
+                        // channel; the receiver's arrival dedup swallows it.
+                        self.push_wire(
+                            src,
+                            plan.wire_at + lag,
+                            dst,
+                            WireMsg::Eager {
+                                src,
+                                sidx,
+                                seq,
+                                tag,
+                                bytes,
+                                posted_at: at,
+                                jfrac,
+                                priced: plan.priced,
+                                floor: plan.floor,
+                                payload: None,
+                            },
+                        );
+                    }
+                    if self.fault.is_some() {
+                        self.schedule_retry(src, sidx, at, 0);
+                    }
+                }
             }
         } else {
             let rts = self.net.ctrl_arrival(at, src, dst);
-            let mut m = Message::new(src, dst, tag, bytes, Protocol::Rendezvous, seq, at);
+            let mut m = SendMsg::new(dst, tag, bytes, Protocol::Rendezvous, seq, at);
             m.payload = payload;
-            self.msgs.push(m);
-            let (arrival, dup) = self.fault_delivery(at, rts);
-            for t in [arrival, dup].into_iter().flatten() {
-                self.events.push(
-                    t,
-                    Event::Net {
-                        rank: dst,
-                        kind: NetEvent::RtsArrived(id),
-                    },
-                );
-            }
-            if arrival.is_none() {
-                self.trace_instant(src, "drop", "fault", at, [("mid", id as u64), ("", 0)]);
+            self.ranks[src].sends.push(m);
+            match self.fault_tx(src) {
+                None => {
+                    self.trace_instant(src, "drop", "fault", at, [("mid", sidx as u64), ("", 0)]);
+                }
+                Some((jfrac, dup)) => {
+                    let arr = rts + self.extra(jfrac, at, rts);
+                    self.push_wire(
+                        src,
+                        arr,
+                        dst,
+                        WireMsg::Rts {
+                            src,
+                            sidx,
+                            seq,
+                            tag,
+                            bytes,
+                            posted_at: at,
+                        },
+                    );
+                    if let Some(lag) = dup {
+                        self.push_wire(
+                            src,
+                            arr + lag,
+                            dst,
+                            WireMsg::Rts {
+                                src,
+                                sidx,
+                                seq,
+                                tag,
+                                bytes,
+                                posted_at: at,
+                            },
+                        );
+                    }
+                }
             }
             // A rendezvous send always arms its deadline when faults are
             // active: it guards against a lost RTS *and* a lost CTS.
-            self.schedule_retry(id, at, 0);
+            self.schedule_retry(src, sidx, at, 0);
         }
-        SendHandle(id)
+        SendHandle {
+            rank: src as u32,
+            idx: sidx,
+        }
     }
 
     /// Post a non-blocking receive on `rank` for a message from `src`.
@@ -872,41 +1282,48 @@ impl World {
         bytes: usize,
         at: SimTime,
     ) -> RecvHandle {
-        let rid = self.recvs.len();
-        self.recvs.push(RecvReq::new(rank, src, tag, bytes));
+        debug_assert!(self.owns(rank), "receive posted by a foreign partition");
+        let rid = self.ranks[rank].recvs.len() as u32;
+        self.ranks[rank].recvs.push(RecvReq::new(src, tag, bytes));
         // Try to match an already-arrived (unexpected) message, FIFO.
-        let pos = self.ranks[rank]
-            .unexpected
-            .iter()
-            .position(|&m| self.msgs[m].src == src && self.msgs[m].tag == tag);
+        let pos = self.ranks[rank].unexpected.iter().position(|&m| {
+            let dm = &self.ranks[rank].dmsgs[m as usize];
+            dm.src == src && dm.tag == tag
+        });
         if let Some(pos) = pos {
-            let mid = self.ranks[rank].unexpected.remove(pos);
+            let dmid = self.ranks[rank].unexpected.remove(pos);
             if self.otrace.is_some() {
                 // The message sat in the unexpected queue from its arrival
                 // until this receive was posted: a match-queue stall.
-                let m = &self.msgs[mid];
-                let arrived = m.data_arrival.or(m.rts_arrival).unwrap_or(at);
-                let args = [("src", m.src as u64), ("bytes", m.bytes as u64)];
+                let dm = &self.ranks[rank].dmsgs[dmid as usize];
+                let arrived = dm.data_arrival.or(dm.rts_arrival).unwrap_or(at);
+                let args = [("src", dm.src as u64), ("bytes", dm.bytes as u64)];
                 self.trace_span(rank, "unexpected", "match", arrived, at, args);
             }
-            self.match_pair(mid, rid, at, true);
+            self.match_pair(rank, dmid, rid, at, true);
         } else {
             self.ranks[rank].posted_recvs.push(rid);
         }
-        RecvHandle(rid)
+        RecvHandle {
+            rank: rank as u32,
+            idx: rid,
+        }
     }
 
-    /// Complete receive `rid` at time `t`: set its state and move the
-    /// payload handle off the matched message (an O(1) pointer move — this
-    /// is the zero-copy delivery step for both eager and rendezvous paths).
-    fn complete_recv(&mut self, rid: usize, t: SimTime) {
-        self.recvs[rid].state = RecvState::Complete(t);
+    /// Complete receive `rid` on `rank` at time `t`: set its state and move
+    /// the payload handle off the matched message (an O(1) pointer move —
+    /// this is the zero-copy delivery step for both eager and rendezvous
+    /// paths).
+    fn complete_recv(&mut self, rank: RankId, rid: u32, t: SimTime) {
+        let rs = &mut self.ranks[rank];
+        rs.recvs[rid as usize].state = RecvState::Complete(t);
         // A receive can be completed twice on the eager fast path (match_pair
-        // completes it, then deliver_envelope confirms); only move the handle
-        // when the message still holds one so the second call is a no-op.
-        if let Some(mid) = self.recvs[rid].msg {
-            if let Some(p) = self.msgs[mid].payload.take() {
-                self.recvs[rid].payload = Some(p);
+        // completes it, then the delivery event confirms); only move the
+        // handle when the message still holds one so the second call is a
+        // no-op.
+        if let Some(dmid) = rs.recvs[rid as usize].msg {
+            if let Some(p) = rs.dmsgs[dmid as usize].payload.take() {
+                rs.recvs[rid as usize].payload = Some(p);
             }
         }
     }
@@ -916,150 +1333,151 @@ impl World {
     /// handle recycles the buffer into the sender's pool once all clones
     /// are gone.
     pub fn take_recv_payload(&mut self, h: RecvHandle) -> Option<Payload> {
-        self.recvs[h.0].payload.take()
+        self.ranks[h.rank as usize].recvs[h.idx as usize]
+            .payload
+            .take()
     }
 
-    /// Bind message `mid` to receive `rid`. `on_post` is true when matching
-    /// happens at receive-post time (the message was unexpected).
-    fn match_pair(&mut self, mid: usize, rid: usize, now: SimTime, on_post: bool) {
+    /// Bind message `dmid` to receive `rid` (both on `rank`). `on_post` is
+    /// true when matching happens at receive-post time (the message was
+    /// unexpected).
+    fn match_pair(&mut self, rank: RankId, dmid: u32, rid: u32, now: SimTime, on_post: bool) {
+        let rs = &mut self.ranks[rank];
         debug_assert_eq!(
-            self.msgs[mid].bytes, self.recvs[rid].bytes,
+            rs.dmsgs[dmid as usize].bytes, rs.recvs[rid as usize].bytes,
             "size mismatch in match"
         );
-        self.msgs[mid].matched_recv = Some(rid);
-        self.recvs[rid].msg = Some(mid);
-        self.recvs[rid].state = RecvState::Matched;
-        match self.msgs[mid].protocol {
+        rs.dmsgs[dmid as usize].matched_recv = Some(rid);
+        rs.recvs[rid as usize].msg = Some(dmid);
+        rs.recvs[rid as usize].state = RecvState::Matched;
+        match rs.dmsgs[dmid as usize].protocol {
             Protocol::Eager => {
-                if let Some(arr) = self.msgs[mid].data_arrival {
+                if let Some(arr) = rs.dmsgs[dmid as usize].data_arrival {
                     if on_post {
                         // Payload already buffered: completion costs a copy
                         // out of the bounce buffer, finishing slightly after
                         // `now`. Schedule a delivery event so a subsequent
                         // wait is woken when the copy is done.
-                        let src = self.msgs[mid].src;
-                        let dst = self.msgs[mid].dst;
-                        let copy = self
-                            .net
-                            .params(src, dst)
-                            .unexpected_copy(self.msgs[mid].bytes);
+                        let src = rs.dmsgs[dmid as usize].src;
+                        let bytes = rs.dmsgs[dmid as usize].bytes;
+                        let copy = self.net.params(src, rank).unexpected_copy(bytes);
                         let done = now.max(arr) + copy;
-                        self.events.push(
-                            done,
-                            Event::Net {
-                                rank: dst,
-                                kind: NetEvent::DataArrived(mid),
-                            },
-                        );
+                        self.push_ev(rank, done, Event::local(rank, LocalEv::DeliverData(dmid)));
                     } else {
-                        self.complete_recv(rid, arr);
+                        self.complete_recv(rank, rid, arr);
                     }
                 }
-                // else: completion set when EagerArrived fires.
+                // else: completion set when the delivery event fires.
             }
             Protocol::Rendezvous => {
                 // Receiver must answer the RTS from inside the library.
-                if self.msgs[mid].rts_arrival.is_some() && !self.msgs[mid].cts_sent {
-                    let dst = self.msgs[mid].dst;
-                    self.ranks[dst].pending_cts.push(mid);
+                if rs.dmsgs[dmid as usize].rts_arrival.is_some()
+                    && !rs.dmsgs[dmid as usize].cts_sent
+                {
+                    rs.pending_cts.push(dmid);
                 }
             }
         }
     }
 
-    /// Run the rendezvous protocol engine for `rank` at time `now`:
-    /// answer matched RTSs with CTSs, and start payload transfers for sends
-    /// whose CTS has arrived. Returns the number of protocol actions taken.
-    ///
-    /// This models one entry into the MPI library (`MPI_Test`-style); it is
-    /// invoked by explicit progress calls and continuously while blocked in
-    /// a wait.
+    /// Drive protocol progress for `rank` at local time `now`: answer
+    /// pending RTSes with CTSes and start payload transfers for sends whose
+    /// CTS has arrived. This models the MPI library's progress engine — the
+    /// CPU-bound part of rendezvous that only runs while the application is
+    /// inside the library. Returns the number of protocol actions taken.
     pub fn poll(&mut self, rank: RankId, now: SimTime) -> usize {
         self.polls += 1;
-        let mut actions = 0;
-        // Answer RTSs (receiver side). The pending list is swapped with a
-        // reusable scratch buffer so a poll-heavy run does not allocate a
-        // fresh vector per progress call.
+        let mut actions = 0usize;
+
+        // Phase 1: answer RTSes. Swap the pending list out so we can call
+        // &mut self helpers while iterating.
         let mut cts = std::mem::take(&mut self.scratch_cts);
         std::mem::swap(&mut cts, &mut self.ranks[rank].pending_cts);
-        for &mid in &cts {
-            if self.msgs[mid].cts_sent {
+        for &dmid in &cts {
+            let dm = &self.ranks[rank].dmsgs[dmid as usize];
+            if dm.cts_sent {
                 continue;
             }
-            self.msgs[mid].cts_sent = true;
-            let src = self.msgs[mid].src;
-            // The handshake stalled from RTS arrival until this progress
-            // call finally answered it — the cost the paper's progress
-            // study quantifies. Accumulated per-world and flushed at the
-            // end of `run`: rendezvous-heavy sweeps hit this on the poll
-            // hot path, so the shared histogram must stay off it.
-            if let Some(rts) = self.msgs[mid].rts_arrival {
+            let src = dm.src;
+            let bytes = dm.bytes;
+            let rts = dm.rts_arrival;
+            self.ranks[rank].dmsgs[dmid as usize].cts_sent = true;
+            if let Some(rts) = rts {
                 if now > rts {
+                    // The handshake sat unanswered while this rank was busy:
+                    // that gap is exactly the rendezvous overhead the paper's
+                    // auto-tuner reshapes schedules to hide.
                     let stall = now - rts;
                     self.rdv_stalls += 1;
                     self.rdv_stall_ns.record(stall.as_nanos());
-                    let args = [("src", src as u64), ("bytes", self.msgs[mid].bytes as u64)];
+                    let args = [("src", src as u64), ("bytes", bytes as u64)];
                     self.trace_span(rank, "rdv_stall", "msg", rts, now, args);
                 }
             }
             let arr = self.net.ctrl_arrival(now, rank, src);
-            // The CTS control message itself can be lost or duplicated
-            // under fault injection; a lost CTS is recovered when the
-            // sender's retry timer resends the RTS and the receiver
-            // re-answers.
-            let (arrival, dup) = self.fault_delivery(now, arr);
-            for t in [arrival, dup].into_iter().flatten() {
-                self.events.push(
-                    t,
-                    Event::Net {
-                        rank: src,
-                        kind: NetEvent::CtsArrived(mid),
-                    },
-                );
-            }
-            if arrival.is_none() {
-                self.trace_instant(rank, "drop", "fault", now, [("mid", mid as u64), ("", 0)]);
+            match self.fault_tx(rank) {
+                Some((jfrac, dup)) => {
+                    let at0 = arr + self.extra(jfrac, now, arr);
+                    let sidx = self.ranks[rank].dmsgs[dmid as usize].sidx;
+                    self.push_wire(rank, at0, src, WireMsg::Cts { sidx, dmid });
+                    if let Some(lag) = dup {
+                        self.push_wire(rank, at0 + lag, src, WireMsg::Cts { sidx, dmid });
+                    }
+                }
+                None => {
+                    self.trace_instant(rank, "drop", "fault", now, [("mid", dmid as u64), ("", 0)]);
+                }
             }
             actions += 1;
         }
         cts.clear();
         self.scratch_cts = cts;
-        // Start payloads (sender side).
+
+        // Phase 2: act on CTSes — start the payload transfer.
         let mut starts = std::mem::take(&mut self.scratch_starts);
         std::mem::swap(&mut starts, &mut self.ranks[rank].pending_data_start);
-        for &mid in &starts {
-            if !matches!(self.msgs[mid].send_state, SendState::CtsArrived(_)) {
+        for &sidx in &starts {
+            let sm = &self.ranks[rank].sends[sidx as usize];
+            if !matches!(sm.send_state, SendState::CtsArrived(_)) {
                 continue;
             }
-            let (src, dst, bytes) = (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
-            let plan = self.net.plan_transfer(now, src, dst, bytes);
-            self.msgs[mid].send_state = SendState::DataInFlight;
-            self.events.push(
+            let dst = sm.dst;
+            let bytes = sm.bytes;
+            let dmid = sm.peer_dmid.expect("CTS recorded without peer dmid");
+            let plan = self.net.tx_plan(now, rank, dst, bytes);
+            self.ranks[rank].sends[sidx as usize].send_state = SendState::DataInFlight;
+            self.push_ev(
+                rank,
                 plan.src_drain,
-                Event::Net {
-                    rank: src,
-                    kind: NetEvent::SendDrained(mid),
-                },
+                Event::local(rank, LocalEv::SendDrained(sidx)),
             );
-            // Rendezvous payloads are modelled reliable (link-level
-            // retransmission folded into delay): jitter/brownout only.
-            let data_arr = plan.dst_drain + self.fault_extra_delay(now, plan.dst_drain);
-            self.events.push(
-                data_arr,
-                Event::Net {
-                    rank: dst,
-                    kind: NetEvent::DataArrived(mid),
+            // Rendezvous data rides a handshake-confirmed channel: it is
+            // never dropped or duplicated, only jittered.
+            let jfrac = match self.fault.as_mut() {
+                Some(f) => f.jitter_frac(rank),
+                None => 0.0,
+            };
+            let payload = self.ranks[rank].sends[sidx as usize].payload.take();
+            self.push_wire(
+                rank,
+                plan.wire_at,
+                dst,
+                WireMsg::Data {
+                    dmid,
+                    bytes,
+                    start: now,
+                    jfrac,
+                    priced: plan.priced,
+                    floor: plan.floor,
+                    payload,
                 },
             );
             actions += 1;
         }
         starts.clear();
         self.scratch_starts = starts;
+
         self.protocol_actions += actions as u64;
-        // Only polls that did protocol work are worth a timeline event:
-        // poll-heavy configurations (num_progress in the hundreds) would
-        // otherwise drown the trace in no-op instants. Every poll still
-        // counts toward the `mpisim.polls` metric.
         if actions > 0 {
             self.trace_instant(
                 rank,
@@ -1072,354 +1490,457 @@ impl World {
         actions
     }
 
-    /// True once the sender of `h` may reuse its buffer (observed at `now`).
+    /// True once the sender may reuse its buffer (observed at `now`).
     pub fn send_done(&self, h: SendHandle, now: SimTime) -> bool {
-        self.msgs[h.0].send_drained().is_some_and(|t| t <= now)
+        self.send_complete_time(h).is_some_and(|t| t <= now)
     }
 
-    /// True once the payload of `h` has been fully delivered (observed at
+    /// Local completion time of a send, if drained.
+    pub fn send_complete_time(&self, h: SendHandle) -> Option<SimTime> {
+        self.ranks[h.rank as usize].sends[h.idx as usize].send_drained()
+    }
+
+    /// True once the receive's payload has fully arrived (observed at
     /// `now`).
     pub fn recv_done(&self, h: RecvHandle, now: SimTime) -> bool {
-        self.recvs[h.0].complete_at().is_some_and(|t| t <= now)
-    }
-
-    /// Completion time of a send, if it has drained.
-    pub fn send_complete_time(&self, h: SendHandle) -> Option<SimTime> {
-        self.msgs[h.0].send_drained()
+        self.recv_complete_time(h).is_some_and(|t| t <= now)
     }
 
     /// Completion time of a receive, if delivered.
     pub fn recv_complete_time(&self, h: RecvHandle) -> Option<SimTime> {
-        self.recvs[h.0].complete_at()
+        self.ranks[h.rank as usize].recvs[h.idx as usize].complete_at()
     }
 
     // ------------------------------------------------------------------
     // Event application
     // ------------------------------------------------------------------
 
-    /// Buffer an arrived envelope and deliver every in-order envelope on
-    /// its channel to the matching logic. MPI guarantees non-overtaking
-    /// per (source, communicator): a fast eager message must not match a
-    /// receive ahead of an earlier rendezvous message whose RTS is still
-    /// in flight, so delivery follows the sender's posting order.
-    fn enqueue_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
-        let src = self.msgs[mid].src;
-        let seq = self.msgs[mid].seq;
-        // Duplicate suppression: an envelope this channel has already
-        // delivered (a fault-injected duplicate, or a retransmission racing
-        // its original) must not re-enter matching — and must not sit in
-        // `env_buf` forever. Never taken on the healthy path, where each
-        // sequence number arrives exactly once.
-        if seq < self.ranks[rank].env_next[src] {
-            self.faults.dup_suppressed += 1;
-            return;
-        }
-        if self.ranks[rank].env_buf[src].contains_key(&seq) {
-            self.faults.dup_suppressed += 1;
-            return;
-        }
-        self.ranks[rank].env_buf[src].insert(seq, mid);
-        loop {
-            let next = self.ranks[rank].env_next[src];
-            let Some(m) = self.ranks[rank].env_buf[src].remove(&next) else {
-                break;
-            };
-            self.ranks[rank].env_next[src] = next + 1;
-            self.deliver_envelope(rank, m, t);
-        }
-    }
-
-    /// Run the matching logic for an (in-order) envelope.
-    fn deliver_envelope(&mut self, rank: RankId, mid: usize, t: SimTime) {
-        match self.msgs[mid].protocol {
-            Protocol::Eager => {
-                if let Some(rid) = self.msgs[mid].matched_recv {
-                    // Pre-posted receive: payload lands in place.
-                    self.complete_recv(rid, t);
-                } else {
-                    let pos = self.ranks[rank].posted_recvs.iter().position(|&r| {
-                        self.recvs[r].src == self.msgs[mid].src
-                            && self.recvs[r].tag == self.msgs[mid].tag
-                    });
-                    match pos {
-                        Some(p) => {
-                            let rid = self.ranks[rank].posted_recvs.remove(p);
-                            self.match_pair(mid, rid, t, false);
-                            self.complete_recv(rid, t);
-                        }
-                        None => {
-                            self.unexpected_msgs += 1;
-                            self.ranks[rank].unexpected.push(mid);
-                        }
-                    }
-                }
-            }
-            Protocol::Rendezvous => {
-                let pos = self.ranks[rank].posted_recvs.iter().position(|&r| {
-                    self.recvs[r].src == self.msgs[mid].src
-                        && self.recvs[r].tag == self.msgs[mid].tag
-                });
-                match pos {
-                    Some(p) => {
-                        let rid = self.ranks[rank].posted_recvs.remove(p);
-                        self.match_pair(mid, rid, t, false);
-                    }
-                    None => {
-                        self.unexpected_msgs += 1;
-                        self.ranks[rank].unexpected.push(mid);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Span/instant for one message lifecycle step, on the destination's
-    /// timeline (no-op when tracing is off).
+    /// Emit the lifecycle span of message `dmid` on `rank`'s track.
     fn trace_msg(
         &mut self,
         rank: RankId,
         name: &'static str,
-        mid: usize,
+        dmid: u32,
         start: SimTime,
         end: SimTime,
     ) {
-        if self.otrace.is_some() {
-            let args = [
-                ("src", self.msgs[mid].src as u64),
-                ("bytes", self.msgs[mid].bytes as u64),
-            ];
-            self.trace_span(rank, name, "msg", start, end, args);
+        if self.otrace.is_none() {
+            return;
+        }
+        let dm = &self.ranks[rank].dmsgs[dmid as usize];
+        let args = [("src", dm.src as u64), ("bytes", dm.bytes as u64)];
+        self.trace_span(rank, name, "msg", start, end, args);
+    }
+
+    /// Feed a newly arrived envelope into the per-channel reorder buffer.
+    /// Envelopes reach the matching logic strictly in per-(src, dst)
+    /// sequence order, which both enforces MPI's non-overtaking rule and
+    /// suppresses duplicated envelopes that survived the arrival dedup
+    /// (e.g. a retransmission of an envelope that already matched).
+    fn enqueue_envelope(&mut self, rank: RankId, dmid: u32, t: SimTime) {
+        let (src, seq) = {
+            let dm = &self.ranks[rank].dmsgs[dmid as usize];
+            (dm.src, dm.seq)
+        };
+        let next = self.ranks[rank].env_next.get(&src).copied().unwrap_or(0);
+        if seq < next {
+            self.faults.dup_suppressed += 1;
+            return;
+        }
+        if self.ranks[rank].env_buf.contains_key(&(src, seq)) {
+            self.faults.dup_suppressed += 1;
+            return;
+        }
+        self.ranks[rank].env_buf.insert((src, seq), dmid);
+        let mut next = next;
+        while let Some(d) = self.ranks[rank].env_buf.remove(&(src, next)) {
+            next += 1;
+            self.ranks[rank].env_next.insert(src, next);
+            self.deliver_envelope(rank, d, t);
         }
     }
 
-    fn apply_net(&mut self, rank: RankId, kind: NetEvent, t: SimTime) {
-        match kind {
-            NetEvent::EagerArrived(mid) => {
-                // Duplicate delivery (fault-injected, or a retransmission
-                // whose original survived): the payload already landed.
-                if self.msgs[mid].data_arrival.is_some() {
+    /// Deliver one in-order envelope to the matching logic.
+    fn deliver_envelope(&mut self, rank: RankId, dmid: u32, t: SimTime) {
+        let (src, tag, protocol) = {
+            let dm = &self.ranks[rank].dmsgs[dmid as usize];
+            (dm.src, dm.tag, dm.protocol)
+        };
+        let pos = self.ranks[rank].posted_recvs.iter().position(|&rid| {
+            let r = &self.ranks[rank].recvs[rid as usize];
+            r.src == src && r.tag == tag
+        });
+        let _ = protocol;
+        match pos {
+            Some(pos) => {
+                let rid = self.ranks[rank].posted_recvs.remove(pos);
+                // For eager, match_pair completes the receive (the payload
+                // always precedes its envelope here); rendezvous queues the
+                // CTS answer for the next poll.
+                self.match_pair(rank, dmid, rid, t, false);
+            }
+            None => {
+                self.unexpected_msgs += 1;
+                self.ranks[rank].unexpected.push(dmid);
+            }
+        }
+    }
+
+    /// Apply a wire event targeting `rank` at time `t`.
+    fn apply_wire(&mut self, rank: RankId, wm: WireMsg, t: SimTime) {
+        match wm {
+            WireMsg::Eager {
+                src,
+                sidx,
+                seq,
+                tag,
+                bytes,
+                posted_at,
+                jfrac,
+                priced,
+                floor,
+                payload,
+            } => {
+                if self.ranks[rank].inbound.contains_key(&(src, seq)) {
+                    // Duplicate or retransmission of a message we already
+                    // accepted: swallow it before it touches rx queues.
                     self.faults.dup_suppressed += 1;
                     return;
                 }
-                self.msgs[mid].data_arrival = Some(t);
-                // Whole eager lifecycle: post -> payload at destination.
-                self.trace_msg(rank, "eager", mid, self.msgs[mid].posted_at, t);
-                self.enqueue_envelope(rank, mid, t);
-            }
-            NetEvent::RtsArrived(mid) => {
-                if self.msgs[mid].rts_arrival.is_some() {
-                    // Duplicate RTS. If the sender is still waiting for a
-                    // CTS we already sent, that CTS was lost: re-answer at
-                    // the receiver's next library entry (classic rendezvous
-                    // recovery). Otherwise suppress outright.
-                    self.faults.dup_suppressed += 1;
-                    if self.msgs[mid].matched_recv.is_some()
-                        && self.msgs[mid].cts_sent
-                        && matches!(self.msgs[mid].send_state, SendState::Posted)
-                    {
-                        self.msgs[mid].cts_sent = false;
-                        if !self.ranks[rank].pending_cts.contains(&mid) {
-                            self.ranks[rank].pending_cts.push(mid);
-                        }
-                    }
-                    return;
-                }
-                self.msgs[mid].rts_arrival = Some(t);
-                // Rendezvous handshake: post -> RTS at destination.
-                self.trace_msg(rank, "rts", mid, self.msgs[mid].posted_at, t);
-                self.enqueue_envelope(rank, mid, t);
-            }
-            NetEvent::CtsArrived(mid) => {
-                // Duplicate CTS (duplicated control message, or a
-                // re-answer racing the original): the payload transfer is
-                // already underway or done — never start it twice.
-                if !matches!(self.msgs[mid].send_state, SendState::Posted) {
-                    self.faults.dup_suppressed += 1;
-                    return;
-                }
-                self.msgs[mid].send_state = SendState::CtsArrived(t);
-                if self.otrace.is_some() {
-                    let args = [("dst", self.msgs[mid].dst as u64), ("", 0)];
-                    self.trace_instant(rank, "cts", "msg", t, args);
-                }
-                self.ranks[rank].pending_data_start.push(mid);
-            }
-            NetEvent::DataArrived(mid) => {
-                self.msgs[mid].data_arrival = Some(t);
-                if self.msgs[mid].protocol == Protocol::Rendezvous {
-                    // Whole rendezvous lifecycle: post -> payload delivered.
-                    self.trace_msg(rank, "rdv", mid, self.msgs[mid].posted_at, t);
-                }
-                let rid = self.msgs[mid]
-                    .matched_recv
-                    .expect("rendezvous payload for unmatched message");
-                self.complete_recv(rid, t);
-            }
-            NetEvent::SendDrained(mid) => {
-                self.msgs[mid].send_state = SendState::Drained(t);
-            }
-            NetEvent::RetryTimer(mid) => {
-                // Fault injection only. Has the transmission been
-                // acknowledged since the timer was armed? (Eager: payload
-                // landed. Rendezvous: a CTS reached the sender.)
-                let acked = match self.msgs[mid].protocol {
-                    Protocol::Eager => self.msgs[mid].data_arrival.is_some(),
-                    Protocol::Rendezvous => !matches!(self.msgs[mid].send_state, SendState::Posted),
-                };
-                if acked {
-                    return;
-                }
-                let attempts = self.msgs[mid].attempts;
-                let max = self.fault.as_ref().map(|f| f.max_retries()).unwrap_or(0);
-                if attempts >= max {
-                    // Budget exhausted: surface a typed error instead of
-                    // letting the event loop hang or retry forever.
-                    self.faults.timeouts += 1;
-                    let m = &self.msgs[mid];
-                    self.timed_out = Some(SimError::Timeout {
-                        src: m.src,
-                        dst: m.dst,
-                        bytes: m.bytes,
-                        attempts,
-                        waited: t.saturating_sub(m.posted_at),
-                    });
-                    return;
-                }
-                self.msgs[mid].attempts = attempts + 1;
-                self.faults.retries += 1;
-                if let Some(f) = self.fault.as_ref() {
-                    m_fault_backoff_ns().record(f.backoff(attempts).as_nanos());
-                }
-                let (src, dst, bytes) =
-                    (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
-                self.trace_instant(
+                let dmid = self.ranks[rank].dmsgs.len() as u32;
+                self.ranks[rank].dmsgs.push(DstMsg {
                     src,
-                    "retry",
-                    "fault",
-                    t,
-                    [("attempt", (attempts + 1) as u64), ("mid", mid as u64)],
-                );
-                match self.msgs[mid].protocol {
-                    // Resend the RTS: the receiver's duplicate handling
-                    // either enqueues it fresh (original was lost) or
-                    // re-answers a lost CTS.
-                    Protocol::Rendezvous => {
-                        let base = self.net.ctrl_arrival(t, src, dst);
-                        let (arrival, dup) = self.fault_delivery(t, base);
-                        for at in [arrival, dup].into_iter().flatten() {
-                            self.events.push(
-                                at,
-                                Event::Net {
-                                    rank: dst,
-                                    kind: NetEvent::RtsArrived(mid),
-                                },
-                            );
+                    sidx,
+                    seq,
+                    tag,
+                    bytes,
+                    protocol: Protocol::Eager,
+                    posted_at,
+                    matched_recv: None,
+                    data_arrival: None,
+                    rts_arrival: None,
+                    cts_sent: false,
+                    payload,
+                });
+                self.ranks[rank].inbound.insert((src, seq), dmid);
+                let delivery0 = if priced {
+                    floor
+                } else {
+                    self.net.rx_reserve(t, rank, bytes).drain.max(floor)
+                };
+                let arr = delivery0 + self.extra(jfrac, posted_at, delivery0);
+                self.push_ev(rank, arr, Event::local(rank, LocalEv::DeliverEager(dmid)));
+            }
+            WireMsg::Rts {
+                src,
+                sidx,
+                seq,
+                tag,
+                bytes,
+                posted_at,
+            } => {
+                if let Some(&dmid) = self.ranks[rank].inbound.get(&(src, seq)) {
+                    self.faults.dup_suppressed += 1;
+                    // A retransmitted RTS doubles as CTS-loss recovery: if we
+                    // already matched and answered but the payload never
+                    // started, answer again.
+                    let dm = &self.ranks[rank].dmsgs[dmid as usize];
+                    if dm.matched_recv.is_some() && dm.cts_sent && dm.data_arrival.is_none() {
+                        self.ranks[rank].dmsgs[dmid as usize].cts_sent = false;
+                        if !self.ranks[rank].pending_cts.contains(&dmid) {
+                            self.ranks[rank].pending_cts.push(dmid);
                         }
                     }
-                    // Retransmit the eager payload (the original local
-                    // drain stands; retransmission consumes NIC bandwidth
-                    // again via a fresh transfer plan).
-                    Protocol::Eager => {
-                        let plan = self.net.plan_transfer(t, src, dst, bytes);
-                        let (arrival, dup) = self.fault_delivery(t, plan.dst_drain);
-                        for at in [arrival, dup].into_iter().flatten() {
-                            self.events.push(
-                                at,
-                                Event::Net {
-                                    rank: dst,
-                                    kind: NetEvent::EagerArrived(mid),
-                                },
-                            );
-                        }
-                    }
+                    return;
                 }
-                // Exponential backoff: the next deadline doubles.
-                self.schedule_retry(mid, t, attempts + 1);
+                let dmid = self.ranks[rank].dmsgs.len() as u32;
+                self.ranks[rank].dmsgs.push(DstMsg {
+                    src,
+                    sidx,
+                    seq,
+                    tag,
+                    bytes,
+                    protocol: Protocol::Rendezvous,
+                    posted_at,
+                    matched_recv: None,
+                    data_arrival: None,
+                    rts_arrival: Some(t),
+                    cts_sent: false,
+                    payload: None,
+                });
+                self.ranks[rank].inbound.insert((src, seq), dmid);
+                self.trace_msg(rank, "rts", dmid, posted_at, t);
+                self.enqueue_envelope(rank, dmid, t);
+            }
+            WireMsg::Cts { sidx, dmid } => {
+                let sm = &self.ranks[rank].sends[sidx as usize];
+                if !matches!(sm.send_state, SendState::Posted) {
+                    // Duplicate CTS, or one racing a retransmitted RTS's
+                    // answer: the transfer is already underway.
+                    self.faults.dup_suppressed += 1;
+                    return;
+                }
+                let dst = sm.dst;
+                self.ranks[rank].sends[sidx as usize].send_state = SendState::CtsArrived(t);
+                self.ranks[rank].sends[sidx as usize].peer_dmid = Some(dmid);
+                self.trace_instant(rank, "cts", "msg", t, [("dst", dst as u64), ("", 0)]);
+                self.ranks[rank].pending_data_start.push(sidx);
+            }
+            WireMsg::Data {
+                dmid,
+                bytes,
+                start,
+                jfrac,
+                priced,
+                floor,
+                payload,
+            } => {
+                let _ = bytes;
+                let delivery0 = if priced {
+                    floor
+                } else {
+                    self.net
+                        .rx_reserve(t, rank, self.ranks[rank].dmsgs[dmid as usize].bytes)
+                        .drain
+                        .max(floor)
+                };
+                let arr = delivery0 + self.extra(jfrac, start, delivery0);
+                self.ranks[rank].dmsgs[dmid as usize].payload = payload;
+                self.push_ev(rank, arr, Event::local(rank, LocalEv::DeliverData(dmid)));
             }
         }
     }
 
+    /// Apply a rank-local event on `rank` at time `t`.
+    fn apply_local(&mut self, rank: RankId, le: LocalEv, t: SimTime) {
+        match le {
+            LocalEv::SendDrained(sidx) => {
+                self.ranks[rank].sends[sidx as usize].send_state = SendState::Drained(t);
+            }
+            LocalEv::DeliverEager(dmid) => {
+                self.ranks[rank].dmsgs[dmid as usize].data_arrival = Some(t);
+                let posted_at = self.ranks[rank].dmsgs[dmid as usize].posted_at;
+                self.trace_msg(rank, "eager", dmid, posted_at, t);
+                self.enqueue_envelope(rank, dmid, t);
+            }
+            LocalEv::DeliverData(dmid) => {
+                self.ranks[rank].dmsgs[dmid as usize].data_arrival = Some(t);
+                if self.ranks[rank].dmsgs[dmid as usize].protocol == Protocol::Rendezvous {
+                    let posted_at = self.ranks[rank].dmsgs[dmid as usize].posted_at;
+                    self.trace_msg(rank, "rdv", dmid, posted_at, t);
+                }
+                let rid = self.ranks[rank].dmsgs[dmid as usize]
+                    .matched_recv
+                    .expect("payload delivery for unmatched message");
+                self.complete_recv(rank, rid, t);
+            }
+            LocalEv::RetryTimer(sidx) => self.apply_retry_timer(rank, sidx, t),
+        }
+    }
+
+    /// Retransmission deadline for `rank`'s send `sidx` fired at `t`.
+    fn apply_retry_timer(&mut self, rank: RankId, sidx: u32, t: SimTime) {
+        let sm = &self.ranks[rank].sends[sidx as usize];
+        let acked = match sm.protocol {
+            // Eager: sender-side lower bound on arrival — if the earliest
+            // possible arrival of any surviving copy is in the past, the
+            // message is through.
+            Protocol::Eager => sm.best_arrival.is_some_and(|a| a <= t),
+            // Rendezvous: any CTS activity means the RTS got through.
+            Protocol::Rendezvous => !matches!(sm.send_state, SendState::Posted),
+        };
+        if acked {
+            return;
+        }
+        let attempts = sm.attempts;
+        let max_retries = self.fault.as_ref().map_or(0, |f| f.max_retries());
+        if attempts >= max_retries {
+            let dst = sm.dst;
+            let bytes = sm.bytes;
+            let posted_at = sm.posted_at;
+            self.faults.timeouts += 1;
+            self.record_timeout(SimError::Timeout {
+                src: rank,
+                dst,
+                bytes,
+                attempts,
+                waited: t.saturating_sub(posted_at),
+            });
+            return;
+        }
+        let (dst, bytes, tag, seq, posted_at) = (sm.dst, sm.bytes, sm.tag, sm.seq, sm.posted_at);
+        let protocol = sm.protocol;
+        self.ranks[rank].sends[sidx as usize].attempts = attempts + 1;
+        self.faults.retries += 1;
+        if let Some(f) = self.fault.as_ref() {
+            self.fault_backoff_ns.record(f.backoff(attempts).as_nanos());
+        }
+        self.trace_instant(
+            rank,
+            "retry",
+            "fault",
+            t,
+            [("attempt", (attempts + 1) as u64), ("mid", sidx as u64)],
+        );
+        match protocol {
+            Protocol::Rendezvous => {
+                let base = self.net.ctrl_arrival(t, rank, dst);
+                match self.fault_tx(rank) {
+                    Some((jfrac, dup)) => {
+                        let at0 = base + self.extra(jfrac, t, base);
+                        self.push_wire(
+                            rank,
+                            at0,
+                            dst,
+                            WireMsg::Rts {
+                                src: rank,
+                                sidx,
+                                seq,
+                                tag,
+                                bytes,
+                                posted_at,
+                            },
+                        );
+                        if let Some(lag) = dup {
+                            self.push_wire(
+                                rank,
+                                at0 + lag,
+                                dst,
+                                WireMsg::Rts {
+                                    src: rank,
+                                    sidx,
+                                    seq,
+                                    tag,
+                                    bytes,
+                                    posted_at,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        self.trace_instant(
+                            rank,
+                            "drop",
+                            "fault",
+                            t,
+                            [("mid", sidx as u64), ("", 0)],
+                        );
+                    }
+                }
+            }
+            Protocol::Eager => {
+                let plan = self.net.tx_plan(t, rank, dst, bytes);
+                match self.fault_tx(rank) {
+                    Some((jfrac, dup)) => {
+                        let cand = plan.floor + self.extra(jfrac, posted_at, plan.floor);
+                        let sm = &mut self.ranks[rank].sends[sidx as usize];
+                        sm.best_arrival = Some(sm.best_arrival.map_or(cand, |b| b.min(cand)));
+                        let payload = sm.payload.clone();
+                        self.push_wire(
+                            rank,
+                            plan.wire_at,
+                            dst,
+                            WireMsg::Eager {
+                                src: rank,
+                                sidx,
+                                seq,
+                                tag,
+                                bytes,
+                                posted_at,
+                                jfrac,
+                                priced: plan.priced,
+                                floor: plan.floor,
+                                payload,
+                            },
+                        );
+                        if let Some(lag) = dup {
+                            self.push_wire(
+                                rank,
+                                plan.wire_at + lag,
+                                dst,
+                                WireMsg::Eager {
+                                    src: rank,
+                                    sidx,
+                                    seq,
+                                    tag,
+                                    bytes,
+                                    posted_at,
+                                    jfrac,
+                                    priced: plan.priced,
+                                    floor: plan.floor,
+                                    payload: None,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        self.trace_instant(
+                            rank,
+                            "drop",
+                            "fault",
+                            t,
+                            [("mid", sidx as u64), ("", 0)],
+                        );
+                    }
+                }
+            }
+        }
+        self.schedule_retry(rank, sidx, t, attempts + 1);
+    }
+
     // ------------------------------------------------------------------
-    // Main loop
+    // Engine
     // ------------------------------------------------------------------
 
-    /// Run every rank's behaviour to completion. Returns the largest rank
-    /// local time (the makespan).
-    pub fn run(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
-        let popped_at_start = self.events.popped();
-        let out = self.run_inner(behavior);
-        // Flush this run's per-world tallies to the registry in one shot —
-        // the hot loop itself never touches shared cache lines.
-        m_sim_events().add(self.events.popped() - popped_at_start);
-        m_polls().add(self.polls - self.polls_flushed);
-        self.polls_flushed = self.polls;
-        m_unexpected().add(std::mem::take(&mut self.unexpected_msgs));
-        m_rdv_stalls().add(std::mem::take(&mut self.rdv_stalls));
-        m_rdv_stall_ns().absorb(&mut self.rdv_stall_ns);
-        m_queue_max_depth().record_max(self.events.max_len() as u64);
-        // Fault tallies flush only when a model is armed, so a healthy
-        // process never registers the fault metrics at all.
+    /// Dispatch one popped event into its handler. The event's key is
+    /// folded into the *target* rank's digest first, so the digest
+    /// witnesses the dispatch order itself, not just the handler effects.
+    fn dispatch(&mut self, behavior: &mut dyn RankBehavior, t: SimTime, subkey: u64, ev: Event) {
+        // `cur_key` feeds `record_timeout`'s serial-order tie-break, which
+        // only fault-armed runs can reach — skip the store on healthy runs.
         if self.fault.is_some() {
-            let d = self.faults.delta(&self.faults_flushed);
-            m_fault_drops().add(d.drops);
-            m_fault_dups().add(d.dups);
-            m_fault_dup_suppressed().add(d.dup_suppressed);
-            m_fault_retries().add(d.retries);
-            m_fault_timeouts().add(d.timeouts);
-            self.faults_flushed = self.faults;
+            self.cur_key = ((t.as_nanos() as u128) << 64) | subkey as u128;
         }
-        out
-    }
-
-    fn run_inner(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
-        for r in 0..self.ranks.len() {
-            self.events.push(self.ranks[r].now, Event::Wake(r));
-            self.ranks[r].status = RankStatus::Scheduled;
-        }
-        let mut active = self.ranks.len();
-        while active > 0 {
-            let Some((t, ev)) = self.events.pop() else {
-                let blocked: Vec<RankId> = self
-                    .ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.status == RankStatus::Blocked)
-                    .map(|(r, _)| r)
-                    .collect();
-                return Err(SimError::Deadlock { blocked });
-            };
-            match ev {
-                Event::Wake(r) => {
-                    self.ranks[r].now = self.ranks[r].now.max(t);
-                    self.step_rank(behavior, r, &mut active);
-                }
-                Event::Net { rank, kind } => {
-                    self.apply_net(rank, kind, t);
-                    if let Some(err) = self.timed_out.take() {
-                        return Err(err);
-                    }
-                    if self.ranks[rank].status == RankStatus::Blocked {
-                        // A blocked rank is polling inside wait: react now.
-                        self.ranks[rank].now = self.ranks[rank].now.max(t);
-                        if let Some(since) = self.ranks[rank].block_since.take() {
-                            let until = self.ranks[rank].now;
-                            self.ranks[rank].acct.blocked += until.saturating_sub(since);
-                            self.record(rank, SegmentKind::Blocked, since, until);
-                        }
-                        self.step_rank(behavior, rank, &mut active);
-                    }
-                }
+        let tgt = ev.target();
+        let rs = &mut self.ranks[tgt];
+        rs.digest = fold_digest(rs.digest, t.as_nanos(), subkey);
+        rs.ev_count += 1;
+        match ev {
+            Event::Wake(r) => {
+                let r = r as RankId;
+                self.ranks[r].now = self.ranks[r].now.max(t);
+                self.step_rank(behavior, r);
+            }
+            Event::Local(r, le) => {
+                let r = r as RankId;
+                self.apply_local(r, le, t);
+                self.react(behavior, r, t);
+            }
+            Event::Wire(r, widx) => {
+                let r = r as RankId;
+                let wm = self.take_wire(widx);
+                self.apply_wire(r, wm, t);
+                self.react(behavior, r, t);
             }
         }
-        Ok(self
-            .ranks
-            .iter()
-            .map(|r| r.now)
-            .max()
-            .unwrap_or(SimTime::ZERO))
     }
 
-    fn step_rank(&mut self, behavior: &mut dyn RankBehavior, r: RankId, active: &mut usize) {
+    /// A message/local event touched `rank`: if it is blocked inside a
+    /// wait, account the blocked interval and step it again.
+    fn react(&mut self, behavior: &mut dyn RankBehavior, rank: RankId, t: SimTime) {
+        if self.ranks[rank].status != RankStatus::Blocked {
+            return;
+        }
+        self.ranks[rank].now = self.ranks[rank].now.max(t);
+        if let Some(since) = self.ranks[rank].block_since.take() {
+            let until = self.ranks[rank].now;
+            self.ranks[rank].acct.blocked += until.saturating_sub(since);
+            self.record(rank, SegmentKind::Blocked, since, until);
+        }
+        self.step_rank(behavior, rank);
+    }
+
+    fn step_rank(&mut self, behavior: &mut dyn RankBehavior, r: RankId) {
         loop {
             match behavior.step(self, r) {
                 Step::Compute(d) => {
@@ -1437,7 +1958,7 @@ impl World {
                     self.ranks[r].acct.compute += d;
                     let wake = self.ranks[r].now + d;
                     self.record(r, SegmentKind::Compute, self.ranks[r].now, wake);
-                    self.events.push(wake, Event::Wake(r));
+                    self.push_ev(r, wake, Event::wake(r));
                     self.ranks[r].status = RankStatus::Scheduled;
                     // Local clock advances when the wake event fires.
                     self.ranks[r].now = wake;
@@ -1458,13 +1979,364 @@ impl World {
                     return;
                 }
                 Step::Done => {
-                    if self.ranks[r].status != RankStatus::Done {
-                        self.ranks[r].status = RankStatus::Done;
-                        *active -= 1;
-                    }
+                    self.ranks[r].status = RankStatus::Done;
                     return;
                 }
             }
+        }
+    }
+
+    /// Seed the initial wake of every rank this world owns.
+    fn seed_wakes(&mut self) {
+        for r in 0..self.ranks.len() {
+            if !self.owns(r) {
+                continue;
+            }
+            self.ranks[r].status = RankStatus::Scheduled;
+            let now = self.ranks[r].now;
+            self.push_ev(r, now, Event::wake(r));
+        }
+    }
+
+    /// Resolve the result of a fully drained run. Both engines drain the
+    /// queue completely, so the outcome is a pure function of final state:
+    /// a recorded timeout (first in serial event order) wins, then a
+    /// deadlock if any rank never finished, else the makespan.
+    fn outcome(&mut self) -> Result<SimTime, SimError> {
+        if let Some((_, err)) = self.timed_out.take() {
+            return Err(err);
+        }
+        if self.ranks.iter().any(|r| r.status != RankStatus::Done) {
+            let blocked: Vec<RankId> = self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.status == RankStatus::Blocked)
+                .map(|(r, _)| r)
+                .collect();
+            return Err(SimError::Deadlock { blocked });
+        }
+        Ok(self
+            .ranks
+            .iter()
+            .map(|r| r.now)
+            .max()
+            .unwrap_or(SimTime::ZERO))
+    }
+
+    /// Run `behavior` to completion. Returns the largest rank local time
+    /// (the makespan).
+    ///
+    /// The engine is chosen per run: if partitioning is profitable (see
+    /// [`crate::worldpar`]) *and* the behaviour supports
+    /// [`RankBehavior::split_par`], the ranks are partitioned across
+    /// threads under conservative LogGP-lookahead synchronization;
+    /// otherwise a single thread drains the queue. The results — event
+    /// digests, completion times, metrics deltas, traces, error outcomes —
+    /// are byte-identical either way.
+    pub fn run(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
+        let popped_at_start = self.events.popped();
+        let out = match worldpar::plan(self) {
+            Some(plan) => match behavior.split_par(plan.nparts, &plan.owner) {
+                Some(parts) => self.run_partitioned(behavior, &plan, parts),
+                None => {
+                    self.last_par = None;
+                    self.run_serial(behavior)
+                }
+            },
+            None => {
+                self.last_par = None;
+                self.run_serial(behavior)
+            }
+        };
+        // Flush this run's per-world tallies to the registry in one shot —
+        // the hot loop itself never touches shared cache lines.
+        m_sim_events().add(self.events.popped() - popped_at_start);
+        m_polls().add(self.polls - self.polls_flushed);
+        self.polls_flushed = self.polls;
+        m_unexpected().add(std::mem::take(&mut self.unexpected_msgs));
+        m_rdv_stalls().add(std::mem::take(&mut self.rdv_stalls));
+        m_rdv_stall_ns().absorb(&mut self.rdv_stall_ns);
+        // Fault tallies flush only when a model is armed, so a healthy
+        // process never registers the fault metrics at all.
+        if self.fault.is_some() {
+            let d = self.faults.delta(&self.faults_flushed);
+            m_fault_drops().add(d.drops);
+            m_fault_dups().add(d.dups);
+            m_fault_dup_suppressed().add(d.dup_suppressed);
+            m_fault_retries().add(d.retries);
+            m_fault_timeouts().add(d.timeouts);
+            self.faults_flushed = self.faults;
+            m_fault_backoff_ns().absorb(&mut self.fault_backoff_ns);
+        }
+        out
+    }
+
+    fn run_serial(&mut self, behavior: &mut dyn RankBehavior) -> Result<SimTime, SimError> {
+        self.seed_wakes();
+        while let Some((t, k, ev)) = self.events.pop_keyed() {
+            self.dispatch(behavior, t, k, ev);
+        }
+        self.outcome()
+    }
+
+    fn run_partitioned(
+        &mut self,
+        behavior: &mut dyn RankBehavior,
+        plan: &ParPlan,
+        mut parts: Vec<Box<dyn RankBehavior + Send>>,
+    ) -> Result<SimTime, SimError> {
+        let nparts = plan.nparts;
+        assert_eq!(parts.len(), nparts, "split_par returned wrong part count");
+        let route = Arc::new(ParRoute {
+            owner: plan.owner.clone(),
+            nparts,
+            outbox: (0..nparts * nparts).map(|_| Spsc::new()).collect(),
+        });
+        let mut subs: Vec<World> = (0..nparts as u32)
+            .map(|p| self.extract_subworld(plan, &route, p))
+            .collect();
+        let lookahead_ns = plan.lookahead.as_nanos();
+        let next_min: Vec<AtomicU64> = (0..nparts).map(|_| AtomicU64::new(0)).collect();
+        let barrier = Barrier::new(nparts);
+        let panicked = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let windows = std::thread::scope(|s| {
+            let mut pairs = subs.iter_mut().zip(parts.iter_mut());
+            let (w0, b0) = pairs.next().expect("at least one partition");
+            for (w, b) in pairs {
+                let barrier = &barrier;
+                let next_min = &next_min[..];
+                let panicked = &panicked;
+                let panic_slot = &panic_slot;
+                s.spawn(move || {
+                    window_loop(
+                        w,
+                        &mut **b,
+                        barrier,
+                        next_min,
+                        lookahead_ns,
+                        panicked,
+                        panic_slot,
+                    );
+                });
+            }
+            // Partition 0 runs on the calling thread; its window count
+            // equals everyone's (all partitions leave the loop together).
+            window_loop(
+                w0,
+                &mut **b0,
+                &barrier,
+                &next_min,
+                lookahead_ns,
+                &panicked,
+                &panic_slot,
+            )
+        });
+        if let Some(p) = panic_slot.into_inner().unwrap() {
+            // A partition panicked: drop the sub-worlds (the parent world
+            // is left unusable, as after any panic mid-`run`) and re-raise
+            // on the caller's thread.
+            drop(subs);
+            std::panic::resume_unwind(p);
+        }
+        let mut per_part_events = Vec::with_capacity(nparts);
+        let mut per_part_max_depth = Vec::with_capacity(nparts);
+        for (p, sub) in subs.into_iter().enumerate() {
+            let (popped, max_depth) = self.absorb_subworld(sub, plan, p as u32);
+            per_part_events.push(popped);
+            per_part_max_depth.push(max_depth);
+        }
+        behavior.merge_par(parts);
+        self.last_par = Some(ParRunInfo {
+            nparts,
+            lookahead: plan.lookahead,
+            windows,
+            per_part_events,
+            per_part_max_depth,
+        });
+        self.outcome()
+    }
+
+    /// Move partition `part`'s slice of this world — its ranks' state, its
+    /// network shard, its fault streams — into a sub-`World` that a worker
+    /// thread can drive without any locking.
+    fn extract_subworld(&mut self, plan: &ParPlan, route: &Arc<ParRoute>, part: u32) -> World {
+        let nranks = self.ranks.len();
+        let mut ranks = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            if plan.owner[r] == part {
+                ranks.push(std::mem::replace(
+                    &mut self.ranks[r],
+                    RankState::placeholder(),
+                ));
+            } else {
+                ranks.push(RankState::placeholder());
+            }
+        }
+        World {
+            net: self.net.extract_shard(&plan.owner, part),
+            ranks,
+            events: EventQueue::with_capacity(nranks * 4),
+            scratch_cts: Vec::new(),
+            scratch_starts: Vec::new(),
+            wire_pool: Vec::new(),
+            wire_free: Vec::new(),
+            next_tag: self.next_tag,
+            polls: 0,
+            protocol_actions: 0,
+            polls_flushed: 0,
+            unexpected_msgs: 0,
+            rdv_stalls: 0,
+            rdv_stall_ns: metrics::LocalHistogram::new(),
+            fault_backoff_ns: metrics::LocalHistogram::new(),
+            popped_at_reset: 0,
+            trace_on: self.trace_on,
+            otrace: self
+                .otrace
+                .is_some()
+                .then(|| Box::new(WorldTrace::new(nranks))),
+            pool: self.pool.clone(),
+            fault: self.fault.clone(),
+            timed_out: None,
+            cur_key: 0,
+            faults: FaultStats::default(),
+            faults_flushed: FaultStats::default(),
+            par_mode: Some(ParMode::Off),
+            part,
+            route: Some(route.clone()),
+            last_par: None,
+        }
+    }
+
+    /// Fold a finished partition sub-world back into the parent. Returns
+    /// `(events popped, peak queue depth)` for the diagnostics report.
+    fn absorb_subworld(&mut self, mut sub: World, plan: &ParPlan, part: u32) -> (u64, u64) {
+        let nranks = self.ranks.len();
+        for r in 0..nranks {
+            if plan.owner[r] != part {
+                continue;
+            }
+            self.ranks[r] = std::mem::replace(&mut sub.ranks[r], RankState::placeholder());
+            if let Some(f) = self.fault.as_mut() {
+                // Take back the advanced RNG stream so a later serial run
+                // (or reset-free rerun) continues where the partition left
+                // off, exactly as a serial run would have.
+                f.adopt_rank_stream(sub.fault.as_ref().expect("sub-world lost fault model"), r);
+            }
+        }
+        let shard = std::mem::replace(
+            &mut sub.net,
+            NetworkState::new(self.net.platform().clone(), 0, Placement::Block),
+        );
+        self.net.absorb_shard(shard, &plan.owner, part);
+        self.polls += sub.polls;
+        self.protocol_actions += sub.protocol_actions;
+        self.unexpected_msgs += sub.unexpected_msgs;
+        self.rdv_stalls += sub.rdv_stalls;
+        self.rdv_stall_ns.merge(&sub.rdv_stall_ns);
+        self.fault_backoff_ns.merge(&sub.fault_backoff_ns);
+        self.faults.accumulate(&sub.faults);
+        self.next_tag = self.next_tag.max(sub.next_tag);
+        let popped = sub.events.popped();
+        self.events.add_popped(popped);
+        let max_depth = sub.events.max_len() as u64;
+        if let Some(ot) = sub.otrace.take() {
+            if let Some(mine) = self.otrace.as_mut() {
+                mine.absorb(*ot);
+            }
+        }
+        if let Some((k, err)) = sub.timed_out.take() {
+            match &self.timed_out {
+                Some((k0, _)) if *k0 <= k => {}
+                _ => self.timed_out = Some((k, err)),
+            }
+        }
+        (popped, max_depth)
+    }
+}
+
+/// One partition's conservative event loop.
+///
+/// Windows alternate between a *sync* step and an *execute* step, separated
+/// by barriers. In the sync step every partition drains its inbound SPSC
+/// rings, then publishes the timestamp of its earliest pending event; the
+/// global minimum `wmin` defines the window `[wmin, wmin + lookahead)`. In
+/// the execute step each partition processes exactly its events inside the
+/// window. Every cross-partition event lands at least `lookahead` (the
+/// minimum LogGP wire latency between cross-partition node pairs) after the
+/// handler that produced it, so nothing can arrive *inside* the current
+/// window — each partition's per-rank dispatch order is provably the serial
+/// order.
+///
+/// Returns the number of windows executed. A panic in any partition is
+/// parked in `panic_slot`, every partition exits at the next barrier, and
+/// the caller re-raises.
+fn window_loop(
+    w: &mut World,
+    behavior: &mut dyn RankBehavior,
+    barrier: &Barrier,
+    next_min: &[AtomicU64],
+    lookahead_ns: u64,
+    panicked: &AtomicBool,
+    panic_slot: &Mutex<Option<Box<dyn Any + Send>>>,
+) -> u64 {
+    let mut windows = 0u64;
+    w.seed_wakes();
+    let route = w.route.clone().expect("partitioned world without route");
+    let me = w.part as usize;
+    let nparts = route.nparts;
+    let mut inbox: Vec<Handoff> = Vec::new();
+    loop {
+        // Sync step: collect cross-partition arrivals produced during the
+        // previous window (their producers all passed the last barrier).
+        for sp in 0..nparts {
+            if sp != me {
+                route.outbox[sp * nparts + me].drain_into(&mut inbox);
+            }
+        }
+        for (t, k, r, wm) in inbox.drain(..) {
+            let idx = w.intern_wire(wm);
+            w.events.push_at(t, k, Event::Wire(r as u32, idx));
+        }
+        let head = w.events.peek_key().map_or(u64::MAX, |k| (k >> 64) as u64);
+        next_min[me].store(head, Ordering::Release);
+        barrier.wait();
+        if panicked.load(Ordering::Acquire) {
+            return windows;
+        }
+        let wmin = next_min
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        if wmin == u64::MAX {
+            // No partition has anything left and nothing is in flight:
+            // the simulation is fully drained everywhere.
+            return windows;
+        }
+        windows += 1;
+        // Execute step: everything strictly before wmin + lookahead is
+        // safe — no in-flight or future cross-partition event can land
+        // there.
+        let w_end = wmin.saturating_add(lookahead_ns);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            while let Some(k) = w.events.peek_key() {
+                if (k >> 64) as u64 >= w_end {
+                    break;
+                }
+                let (t, sk, ev) = w.events.pop_keyed().expect("peeked event vanished");
+                w.dispatch(behavior, t, sk, ev);
+            }
+        }));
+        if let Err(p) = res {
+            panicked.store(true, Ordering::Release);
+            let mut slot = panic_slot.lock().unwrap();
+            slot.get_or_insert(p);
+        }
+        barrier.wait();
+        if panicked.load(Ordering::Acquire) {
+            return windows;
         }
     }
 }
@@ -2222,5 +3094,175 @@ mod tests {
             stats.dup_suppressed >= stats.dups,
             "every duplicated event must be swallowed: {stats:?}"
         );
+    }
+
+    // ---- partitioned engine ---------------------------------------------
+
+    use crate::workload::NeighborExchange;
+    use crate::worldpar::ParMode;
+
+    /// Run `NeighborExchange` on a fresh 8-rank whale world under `mode`,
+    /// returning every observable the identity contract covers.
+    #[allow(clippy::type_complexity)]
+    fn neighbor_run(
+        mode: ParMode,
+        faults: Option<FaultConfig>,
+        traced: bool,
+    ) -> (
+        Result<SimTime, SimError>,
+        u64,
+        Vec<SimTime>,
+        u64,
+        Vec<u64>,
+        u64,
+        FaultStats,
+        Vec<TraceSegment>,
+    ) {
+        // 8 ranks round-robin over whale's 64 nodes: 8 distinct nodes, so
+        // every partition count from 2 to 8 is node-aligned.
+        let mut w = world(8);
+        w.set_par_mode(Some(mode));
+        if let Some(cfg) = &faults {
+            w.set_faults(cfg);
+        }
+        if traced {
+            w.enable_trace();
+        }
+        let mut b = NeighborExchange::new(8, 6, 2048, 1 << 20);
+        let out = w.run(&mut b);
+        if let Some(info) = w.par_info() {
+            assert!(info.nparts >= 2);
+            assert!(info.windows > 0, "a partitioned run must open windows");
+            assert_eq!(
+                info.per_part_events.iter().sum::<u64>(),
+                w.events_processed(),
+                "partition event counts must add up"
+            );
+        }
+        (
+            out,
+            w.event_digest(),
+            b.finish_times(),
+            w.events_processed(),
+            w.rank_event_counts(),
+            w.protocol_actions(),
+            w.fault_stats(),
+            w.trace(),
+        )
+    }
+
+    #[test]
+    fn partitioned_identity_eager_rdv_mix() {
+        let serial = neighbor_run(ParMode::Off, None, false);
+        for n in [2usize, 4, 8] {
+            let par = neighbor_run(ParMode::Fixed(n), None, false);
+            assert_eq!(serial, par, "divergence at {n} partitions");
+        }
+    }
+
+    #[test]
+    fn partitioned_identity_under_faults() {
+        for cfg in [FaultConfig::light(21), FaultConfig::heavy(22)] {
+            let serial = neighbor_run(ParMode::Off, Some(cfg), false);
+            for n in [2usize, 4, 8] {
+                let par = neighbor_run(ParMode::Fixed(n), Some(cfg), false);
+                assert_eq!(serial, par, "fault divergence at {n} partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_identity_with_trace() {
+        let serial = neighbor_run(ParMode::Off, None, true);
+        assert!(!serial.7.is_empty(), "tracing must record segments");
+        let par = neighbor_run(ParMode::Fixed(4), None, true);
+        assert_eq!(serial, par, "trace divergence at 4 partitions");
+    }
+
+    #[test]
+    fn unsplittable_behavior_falls_back_serial() {
+        let mk = || {
+            Script::new(
+                (0..8)
+                    .map(|r| {
+                        vec![
+                            Ins::Send {
+                                dst: (r + 1) % 8,
+                                bytes: 2048,
+                            },
+                            Ins::Recv {
+                                src: (r + 7) % 8,
+                                bytes: 2048,
+                            },
+                            Ins::WaitAll,
+                        ]
+                    })
+                    .collect(),
+            )
+        };
+        let mut ws = world(8);
+        let ms = ws.run(&mut mk()).unwrap();
+        let mut wp = world(8);
+        wp.set_par_mode(Some(ParMode::Fixed(4)));
+        let mp = wp.run(&mut mk()).unwrap();
+        // Script has no split_par: the engine must fall back to serial and
+        // still produce the same run.
+        assert!(wp.par_info().is_none(), "unsplittable must run serial");
+        assert_eq!(ms, mp);
+        assert_eq!(ws.event_digest(), wp.event_digest());
+    }
+
+    #[test]
+    fn partitioned_timeout_identical() {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            retry_timeout: SimTime::from_micros(200),
+            max_retries: 2,
+            arm_timeouts: true,
+            ..FaultConfig::off()
+        };
+        let serial = neighbor_run(ParMode::Off, Some(cfg), false);
+        assert!(
+            matches!(serial.0, Err(SimError::Timeout { .. })),
+            "total loss must time out: {:?}",
+            serial.0
+        );
+        for n in [2usize, 4] {
+            let par = neighbor_run(ParMode::Fixed(n), Some(cfg), false);
+            assert_eq!(serial, par, "timeout divergence at {n} partitions");
+        }
+    }
+
+    #[test]
+    fn reset_clears_partition_state() {
+        let mut w = world(8);
+        w.set_par_mode(Some(ParMode::Fixed(4)));
+        let mut b = NeighborExchange::new(8, 2, 2048, 1 << 20);
+        w.run(&mut b).unwrap();
+        assert!(w.par_info().is_some(), "expected a partitioned run");
+        w.reset(NoiseConfig::none());
+        assert!(w.par_info().is_none(), "reset must clear diagnostics");
+        // par_mode survives reset (it configures the engine, not the run) —
+        // and the reused world must still match a fresh serial one.
+        let mut b2 = NeighborExchange::new(8, 6, 2048, 1 << 20);
+        let mp = w.run(&mut b2).unwrap();
+        let serial = neighbor_run(ParMode::Off, None, false);
+        assert_eq!(serial.0.as_ref().unwrap(), &mp);
+        assert_eq!(serial.1, w.event_digest());
+        assert_eq!(serial.2, b2.finish_times());
+    }
+
+    #[test]
+    fn par_info_reports_plan_shape() {
+        let mut w = world(8);
+        w.set_par_mode(Some(ParMode::Fixed(2)));
+        let mut b = NeighborExchange::new(8, 4, 2048, 1 << 20);
+        w.run(&mut b).unwrap();
+        let info = w.par_info().expect("partitioned run");
+        assert_eq!(info.nparts, 2);
+        assert!(info.lookahead > SimTime::ZERO);
+        assert_eq!(info.per_part_events.len(), 2);
+        assert_eq!(info.per_part_max_depth.len(), 2);
+        assert!(info.per_part_events.iter().all(|&e| e > 0));
     }
 }

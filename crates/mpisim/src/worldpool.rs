@@ -41,6 +41,12 @@ struct CachedWorld {
     platform: Platform,
     nranks: usize,
     placement: Placement,
+    /// The partitioning mode (`crate::worldpar::mode_key`) the world was
+    /// cached under. Results are mode-independent, but a cached world's
+    /// engine configuration and partition diagnostics are not — and a mode
+    /// flip mid-sweep (tests, A/B drivers) must not hand back a world
+    /// leased under the old mode.
+    par_key: u32,
     world: World,
 }
 
@@ -96,10 +102,14 @@ fn lease(platform: &Platform, nranks: usize, placement: Placement, noise: NoiseC
     if !enabled() {
         return World::new(platform.clone(), nranks, placement, noise);
     }
+    let par_key = crate::worldpar::mode_key();
     CACHE.with(|c| {
         let mut cache = c.borrow_mut();
         let hit = cache.iter().position(|w| {
-            w.nranks == nranks && w.placement == placement && w.platform == *platform
+            w.nranks == nranks
+                && w.placement == placement
+                && w.par_key == par_key
+                && w.platform == *platform
         });
         match hit {
             Some(i) => {
@@ -125,6 +135,7 @@ fn release(platform: &Platform, nranks: usize, placement: Placement, mut world: 
             platform: platform.clone(),
             nranks,
             placement,
+            par_key: crate::worldpar::mode_key(),
             world,
         });
         if cache.len() > MAX_CACHED_PER_THREAD {

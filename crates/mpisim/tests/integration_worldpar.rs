@@ -1,0 +1,151 @@
+//! End-to-end determinism contract of the intra-world parallel engine.
+//!
+//! The conservative synchronizer promises *byte-identical* simulations for
+//! any partition count. This test drives the full cross product
+//!
+//!   (serial vs `Fixed(2)`, `Fixed(4)`, `Fixed(8)`)
+//! × (faults off / light / heavy)
+//! × (trace off / on)
+//!
+//! through the splittable `NeighborExchange` workload on an 8-rank
+//! round-robin `whale` world (8 distinct nodes, so every forced partition
+//! count is honoured) and asserts that every observable agrees with the
+//! serial run: outcome, event digest, per-rank finish times, event counts,
+//! per-rank event counts, protocol actions, poll counts, fault tallies,
+//! the recorded trace, and the deltas every run flushes into the global
+//! metrics registry.
+//!
+//! Everything lives in one `#[test]` on purpose: registry deltas are
+//! process-global, so concurrently running cases would blur into each
+//! other's measurements.
+
+use mpisim::{FaultConfig, NeighborExchange, NoiseConfig, ParMode, TraceSegment, World};
+use netmodel::{Placement, Platform};
+use std::collections::BTreeMap;
+
+const NRANKS: usize = 8;
+const ROUNDS: usize = 6;
+const SMALL: usize = 2 * 1024;
+const LARGE: usize = 1024 * 1024;
+
+/// Counter values and histogram (count, sum) pairs from the registry.
+/// Gauges are skipped (set-semantics, not deltas); histogram `max` is
+/// skipped (a process-lifetime high-water mark, not additive).
+fn registry_state() -> BTreeMap<String, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for (name, reading) in simcore::metrics::snapshot() {
+        match reading {
+            simcore::metrics::Reading::Counter(v) => {
+                out.insert(name.to_string(), (v, 0));
+            }
+            simcore::metrics::Reading::Histogram { count, sum, .. } => {
+                out.insert(name.to_string(), (count, sum));
+            }
+            simcore::metrics::Reading::Gauge(_) => {}
+        }
+    }
+    out
+}
+
+fn registry_delta(
+    before: &BTreeMap<String, (u64, u64)>,
+    after: &BTreeMap<String, (u64, u64)>,
+) -> BTreeMap<String, (u64, u64)> {
+    after
+        .iter()
+        .map(|(k, &(c, s))| {
+            let (c0, s0) = before.get(k).copied().unwrap_or((0, 0));
+            (k.clone(), (c - c0, s - s0))
+        })
+        .collect()
+}
+
+/// Everything one case observes. Derives `PartialEq` so a whole case can
+/// be compared against the serial reference in one assert.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: String,
+    digest: u64,
+    events: u64,
+    rank_events: Vec<u64>,
+    finish: Vec<simcore::SimTime>,
+    protocol_actions: u64,
+    polls: u64,
+    fault_stats: mpisim::FaultStats,
+    trace: Vec<TraceSegment>,
+    metrics: BTreeMap<String, (u64, u64)>,
+}
+
+fn run_case(mode: ParMode, faults: &FaultConfig, traced: bool) -> Observed {
+    let mut w = World::new(
+        Platform::whale(),
+        NRANKS,
+        Placement::RoundRobin,
+        NoiseConfig::none(),
+    );
+    w.set_faults(faults);
+    w.set_par_mode(Some(mode));
+    if traced {
+        w.enable_trace();
+    }
+    let mut b = NeighborExchange::new(NRANKS, ROUNDS, SMALL, LARGE);
+    let before = registry_state();
+    let out = w.run(&mut b);
+    let after = registry_state();
+    if let ParMode::Fixed(n) = mode {
+        let info = w.par_info().expect("forced Fixed(n) must partition");
+        assert_eq!(info.nparts, n, "plan honoured the forced partition count");
+        assert!(info.windows > 0);
+        assert_eq!(
+            info.per_part_events.iter().sum::<u64>(),
+            w.events_processed(),
+            "partition diagnostics must cover every dispatched event"
+        );
+    } else {
+        assert!(w.par_info().is_none(), "serial runs report no partitions");
+    }
+    Observed {
+        outcome: format!("{out:?}"),
+        digest: w.event_digest(),
+        events: w.events_processed(),
+        rank_events: w.rank_event_counts(),
+        finish: b.finish_times(),
+        protocol_actions: w.protocol_actions(),
+        polls: w.polls(),
+        fault_stats: w.fault_stats(),
+        trace: w.trace(),
+        metrics: registry_delta(&before, &after),
+    }
+}
+
+#[test]
+fn partitioned_runs_are_byte_identical_to_serial_across_the_matrix() {
+    let fault_cases: [(&str, FaultConfig); 3] = [
+        ("off", FaultConfig::off()),
+        ("light", FaultConfig::light(2015)),
+        ("heavy", FaultConfig::heavy(7)),
+    ];
+    for (fname, faults) in &fault_cases {
+        for traced in [false, true] {
+            let serial = run_case(ParMode::Off, faults, traced);
+            assert!(
+                serial.events > 0,
+                "faults={fname} traced={traced}: empty serial run"
+            );
+            if traced {
+                assert!(
+                    !serial.trace.is_empty(),
+                    "faults={fname}: traced run recorded nothing"
+                );
+            }
+            for nparts in [2usize, 4, 8] {
+                let par = run_case(ParMode::Fixed(nparts), faults, traced);
+                assert_eq!(
+                    par, serial,
+                    "faults={fname} traced={traced} parts={nparts}: \
+                     partitioned run diverged from serial"
+                );
+            }
+        }
+    }
+}

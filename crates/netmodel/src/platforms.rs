@@ -6,6 +6,7 @@
 //! | [`Platform::whale`] | whale | 64 × 8 (AMD Barcelona) | 1 × DDR InfiniBand |
 //! | [`Platform::whale_tcp`] | whale-tcp | 64 × 8 | Gigabit Ethernet |
 //! | [`Platform::bluegene_p`] | BlueGene/P (KAUST) | 256 × 4 (PPC450) | 3-D torus |
+//! | [`Platform::synth_hpc`] | — (synthetic) | 512 × 32 | dual-rail 100G-class fabric |
 //!
 //! Absolute parameter values are calibrated so the *qualitative* results of
 //! the paper hold (algorithm rankings, crossovers); they are in the right
@@ -117,13 +118,14 @@ impl Platform {
             "whale" => Some(Self::whale()),
             "whale-tcp" => Some(Self::whale_tcp()),
             "bluegene-p" | "bluegene" | "bgp" => Some(Self::bluegene_p()),
+            "synth-hpc" | "synth" => Some(Self::synth_hpc()),
             _ => None,
         }
     }
 
     /// All preset names.
     pub fn preset_names() -> &'static [&'static str] {
-        &["crill", "whale", "whale-tcp", "bluegene-p"]
+        &["crill", "whale", "whale-tcp", "bluegene-p", "synth-hpc"]
     }
 
     fn shm(gap_ns_per_byte: f64, latency_ns: u64) -> TransportParams {
@@ -254,6 +256,38 @@ impl Platform {
             gflops_per_core: 0.85,
             torus: Some((8, 8, 4)),
             hop_latency: SimTime::from_nanos(100),
+        }
+    }
+
+    /// *synth-hpc*: a synthetic modern-HPC machine sized for the 4k–16k-rank
+    /// scale experiments (beyond any of the paper's clusters): 512 nodes ×
+    /// 32 cores, dual-rail 100 Gb/s-class fabric with sub-microsecond
+    /// latency. Used by the `world_scale` benchmark and the partitioned-
+    /// engine tests; not a paper machine.
+    pub fn synth_hpc() -> Platform {
+        Platform {
+            name: "synth-hpc".into(),
+            nodes: 512,
+            cores_per_node: 32,
+            nics_per_node: 2,
+            intra: Self::shm(0.08, 200), // ~12 GB/s copy bandwidth
+            inter: TransportParams {
+                name: "hdr-fabric",
+                latency: SimTime::from_nanos(900),
+                gap_ns_per_byte: 0.09, // ~11 GB/s per rail
+                o_send: SimTime::from_nanos(300),
+                o_recv: SimTime::from_nanos(250),
+                eager_threshold: 16 * 1024,
+                incast_alpha: 0.008,
+                incast_free: 8,
+                incast_max: 1.2,
+                unexpected_copy_ns_per_byte: 0.15,
+            },
+            o_progress_base: SimTime::from_nanos(200),
+            o_progress_per_action: SimTime::from_nanos(25),
+            gflops_per_core: 24.0,
+            torus: None,
+            hop_latency: SimTime::ZERO,
         }
     }
 }

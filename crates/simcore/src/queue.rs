@@ -103,7 +103,7 @@ impl<E> EventQueue<E> {
 
     /// High-water mark of pending events over the queue's lifetime
     /// (survives [`EventQueue::reset`], like [`EventQueue::popped`]). Feeds
-    /// the `mpisim.queue_max_depth` gauge.
+    /// the per-partition queue-depth imbalance stats in the perf harness.
     #[inline]
     pub fn max_len(&self) -> usize {
         self.max_len
@@ -163,9 +163,47 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedule `event` at `time` under a caller-supplied tie-break key
+    /// instead of the insertion counter.
+    ///
+    /// The partitioned world engine orders same-timestamp events by a
+    /// *content-derived* subkey (acting rank + per-rank counter) so that the
+    /// global `(time, subkey)` order is identical no matter how events are
+    /// distributed over per-partition queues — an insertion counter cannot
+    /// provide that, because insertion order differs between one queue and
+    /// many. Same monotonicity/sentinel panics as [`EventQueue::push`].
+    /// Callers must not mix `push` and `push_at` on one queue: the insertion
+    /// counter and explicit subkeys occupy the same tie-break space.
+    pub fn push_at(&mut self, time: SimTime, subkey: u64, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={time} < now={now}",
+            time = time,
+            now = self.now
+        );
+        assert!(
+            time < SimTime::MAX,
+            "event scheduled at the overflow sentinel SimTime::MAX: \
+             an upstream time computation saturated"
+        );
+        self.heap.push(Entry {
+            key: pack(time, subkey),
+            event,
+        });
+        if self.heap.len() > self.max_len {
+            self.max_len = self.heap.len();
+        }
+    }
+
     /// Time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| unpack_time(e.key))
+    }
+
+    /// Full packed `(time << 64) | subkey` key of the next pending event, if
+    /// any — the partitioned engine compares heads across queues with it.
+    pub fn peek_key(&self) -> Option<u128> {
+        self.heap.peek().map(|e| e.key)
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
@@ -176,6 +214,25 @@ impl<E> EventQueue<E> {
         self.now = time;
         self.popped += 1;
         Some((time, entry.event))
+    }
+
+    /// Pop the earliest event together with its tie-break subkey (the low 64
+    /// bits of the packed key). Companion to [`EventQueue::push_at`].
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let entry = self.heap.pop()?;
+        let time = unpack_time(entry.key);
+        debug_assert!(time >= self.now, "heap returned out-of-order event");
+        self.now = time;
+        self.popped += 1;
+        Some((time, entry.key as u64, entry.event))
+    }
+
+    /// Credit `n` externally popped events to this queue's lifetime counter.
+    /// Used when a run is executed on per-partition queues: the partitions'
+    /// pop counts are merged back so `popped()` reports the same total a
+    /// serial run would.
+    pub fn add_popped(&mut self, n: u64) {
+        self.popped += n;
     }
 
     /// Remove all pending events and reset the clock to zero.

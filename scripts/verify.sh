@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification pass: formatting, lints, build, tests, the smoke-sized
-# figure suite (serial vs parallel, payload modes, and memo replay must all
-# be byte-identical), a bench regression guard against the committed
-# BENCH_engine.json, a refresh of the engine perf trajectory, and a
-# host-aware sweep-scaling gate (hard floors on multi-core hosts, a parity
-# gate on constrained ones).
+# figure suite (serial vs parallel, payload modes, memo replay, and the
+# intra-world partitioned engine under NBC_WORLD_PAR must all be
+# byte-identical), a bench regression guard against the committed
+# BENCH_engine.json, a refresh of the engine perf trajectory (including the
+# 4096-rank world_scale partition-identity check), and a clamped-aware
+# scaling gate (rows marked "clamped": true are skipped explicitly; hard
+# floors apply to the physically meaningful rows).
 #
 # Usage: scripts/verify.sh [--profile]
 #   --profile   also write BENCH_profile.json (per-phase wall-time
@@ -104,6 +106,29 @@ if [ "$fa" = "$fref" ]; then
 fi
 echo "   NBC_FAULTS=light:42: deterministic and distinct from healthy run"
 
+echo "== intra-world partitioning: NBC_WORLD_PAR must be byte-identical to serial"
+# The whole figure run — network timings, metrics lines, tuner decisions —
+# must not move by a single byte under any forced partition count, with and
+# without fault injection. (The mpisim integration test covers digests,
+# traces and registry deltas at the engine level; this gate covers the
+# user-visible output end to end.)
+for n in 2 4 8; do
+    wout=$(NBC_WORLD_PAR=$n ./target/release/fig6_progress_cost --quick)
+    if [ "$wout" != "$fref" ]; then
+        echo "FAIL: fig6_progress_cost differs between NBC_WORLD_PAR=$n and serial" >&2
+        diff <(printf '%s\n' "$fref") <(printf '%s\n' "$wout") >&2 || true
+        exit 1
+    fi
+    echo "   NBC_WORLD_PAR=$n: identical"
+done
+wfl=$(NBC_FAULTS=light:42 NBC_WORLD_PAR=4 ./target/release/fig6_progress_cost --quick)
+if [ "$wfl" != "$fa" ]; then
+    echo "FAIL: fig6_progress_cost under NBC_FAULTS=light:42 differs between NBC_WORLD_PAR=4 and serial" >&2
+    diff <(printf '%s\n' "$fa") <(printf '%s\n' "$wfl") >&2 || true
+    exit 1
+fi
+echo "   NBC_WORLD_PAR=4 + NBC_FAULTS=light:42: identical"
+
 echo "== ablation_faults smoke run (retry absorption + graceful demotion)"
 ab1=$(./target/release/ablation_faults --quick)
 ab2=$(./target/release/ablation_faults --quick)
@@ -120,16 +145,24 @@ echo "   ablation_faults: deterministic, demotes under total loss"
 
 echo "== trace_inspect smoke run"
 inspect=$(./target/release/trace_inspect "$trace_file")
-rm -f "$trace_file"
 if ! printf '%s\n' "$inspect" | grep -q 'rendezvous stalls.*spans'; then
+    rm -f "$trace_file"
     echo "FAIL: trace_inspect found no rendezvous-stall spans in the fig6 trace" >&2
     exit 1
 fi
 if ! printf '%s\n' "$inspect" | grep -q 'adcl audit:'; then
+    rm -f "$trace_file"
     echo "FAIL: trace_inspect found no audit section" >&2
     exit 1
 fi
 echo "   trace_inspect: parsed $(printf '%s' "$inspect" | head -1 | sed 's/.*: //')"
+pinspect=$(./target/release/trace_inspect "$trace_file" --parts 2 --platform whale)
+rm -f "$trace_file"
+if ! printf '%s\n' "$pinspect" | grep -qi 'partition'; then
+    echo "FAIL: trace_inspect --parts 2 produced no partition attribution" >&2
+    exit 1
+fi
+echo "   trace_inspect --parts 2: partition attribution present"
 
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
@@ -147,26 +180,32 @@ if ! printf '%s\n' "$traj" | grep -q 'sweep_scale: jobs-invariance OK'; then
 fi
 echo "   $(printf '%s\n' "$traj" | grep 'sweep_scale: jobs-invariance OK')"
 
-echo "== scaling gate (host-aware, hard)"
-# The report is honest about the host now (schema v5: host_threads is the
-# real hardware parallelism, pool_threads the live pool size), so the gate
-# can be hard without flaking on constrained runners:
-#   - host_threads >= 8: the sweep-scale workload must reach 2.0x at the
-#     top jobs value (hard floor) with 4.0x as the target (warn below).
-#   - host_threads < 8: parallel rows run the serial path by construction
-#     (hardware clamp + serial cutoff), so every entry must stay >= 0.75x
-#     of serial at every jobs value (hard; the pre-clamp regressions sat
-#     at 0.54x) with parity (0.95x) as the target.
+echo "== world_scale: partitioned runs must match the serial digest (hard)"
+# perf_trajectory forces Fixed(2) and Fixed(8) on the 4096-rank world and
+# exits non-zero on any digest divergence — even on a 1-CPU host, so the
+# partition-identity contract is exercised everywhere. Require the OK line
+# so a silently skipped section can't pass.
+if ! printf '%s\n' "$traj" | grep -q 'world_scale: partition-invariance OK'; then
+    echo "FAIL: perf_trajectory did not report world_scale partition-invariance" >&2
+    exit 1
+fi
+echo "   $(printf '%s\n' "$traj" | grep 'world_scale: partition-invariance OK')"
+
+echo "== scaling gate (clamped-aware, hard)"
+# Schema v6 marks every row that requested more workers than the host has
+# hardware threads with "clamped": true — those rows measure the host, not
+# the engine, and are skipped explicitly (no host heuristic). For the
+# remaining (physically meaningful) rows:
+#   - sweep_scale at jobs >= 4 must reach 2.0x (hard floor; 4.0x target),
+#   - world_scale at jobs >= 8 should reach 2.0x (soft: the intra-world
+#     windows pay barrier latency that the embarrassingly parallel sweep
+#     does not, so a miss warns instead of failing),
+#   - every other parallel row must stay >= 0.75x of serial (hard; the
+#     pre-clamp regressions sat at 0.54x) with parity (0.95x) as target.
 host_threads=$(grep -o '"host_threads": *[0-9]*' BENCH_engine.json | head -1 | grep -o '[0-9]*$')
 host_threads=${host_threads:-1}
-if [ "$host_threads" -ge 8 ]; then
-    gate_mode=full
-    echo "   host_threads=$host_threads: full gate (sweep_scale >= 2.0x hard, 4.0x target)"
-else
-    gate_mode=parity
-    echo "   host_threads=$host_threads: constrained host, parity gate (every entry >= 0.75x hard, 0.95x target)"
-fi
-awk -v mode="$gate_mode" '
+echo "   host_threads=$host_threads (clamped rows are skipped per-row, not per-host)"
+awk '
     function field(line, key,   v) {
         v = line
         if (!sub(".*\"" key "\": *", "", v)) return ""
@@ -178,14 +217,19 @@ awk -v mode="$gate_mode" '
         name = field($0, "name")
         jobs = field($0, "jobs") + 0
         sp = field($0, "speedup_vs_serial")
+        clamped = field($0, "clamped")
         if (jobs <= 1 || sp == "null" || sp == "") next
+        if (clamped == "true") {
+            printf "   %-28s jobs=%d speedup %sx  (clamped row, skipped)\n", name, jobs, sp
+            next
+        }
         s = sp + 0
         note = ""
-        if (mode == "full") {
-            if (name == "sweep_scale" && jobs >= 4) {
-                if (s < 2.0) { bad = 1; note = "  FAIL: below 2.0x hard floor" }
-                else if (s < 4.0) note = "  WARN: below 4.0x target"
-            }
+        if (name == "sweep_scale" && jobs >= 4) {
+            if (s < 2.0) { bad = 1; note = "  FAIL: below 2.0x hard floor" }
+            else if (s < 4.0) note = "  WARN: below 4.0x target"
+        } else if (name == "world_scale" && jobs >= 8) {
+            if (s < 2.0) note = "  WARN: below 2.0x soft target (window barriers?)"
         } else if (s < 0.75) {
             bad = 1
             note = "  FAIL: parallel row below 0.75x serial (clamp/cutoff broken?)"
@@ -196,7 +240,7 @@ awk -v mode="$gate_mode" '
     }
     END { exit bad ? 1 : 0 }
 ' BENCH_engine.json || {
-    echo "FAIL: sweep scaling gate ($gate_mode mode) did not hold" >&2
+    echo "FAIL: scaling gate did not hold" >&2
     exit 1
 }
 
