@@ -5,9 +5,10 @@
 //! records (`adcl::audit`). This module merges them into one JSON document
 //!
 //! ```text
-//! { "traceEvents":    [ ... ],   // Chrome trace_event format
-//!   "adclAudit":      [ ... ],   // one object per committed tuning decision
-//!   "adclDemotions":  [ ... ] }  // one object per fault-demoted candidate
+//! { "traceEvents":     [ ... ],   // Chrome trace_event format
+//!   "adclAudit":       [ ... ],   // one object per committed tuning decision
+//!   "adclDemotions":   [ ... ],   // one object per fault-demoted candidate
+//!   "guidelineFlags":  [ ... ] }  // decisions a guideline probe proves dominated
 //! ```
 //!
 //! which Perfetto / `chrome://tracing` open directly (unknown top-level
@@ -16,6 +17,12 @@
 //! statement: it is a no-op unless tracing is on *and* an output path was
 //! given (`NBC_TRACE=<path>` or `--trace-out <path>`), and it reports only
 //! to stderr so tuned stdout stays byte-identical to an untraced run.
+//!
+//! The `guidelineFlags` section is gated by `NBC_GUIDELINES`
+//! (`off` | `quick` | `full`, default off → always the empty array): when
+//! enabled, each committed decision is re-measured with clean fixed
+//! schedules (`adcl::guidelines::cross_check_audit`, memoized, tracing
+//! suppressed) and winners left more than 10 % on the table are flagged.
 
 use simcore::trace;
 
@@ -27,10 +34,25 @@ pub fn render_combined() -> String {
     let events = trace::render_trace_events(&traces);
     let audit = adcl::audit::render_json();
     let demotions = adcl::audit::render_demotions_json();
+    let flags = render_guideline_flags();
     format!(
         "{{\n\"traceEvents\":[\n{events}\n],\n\"adclAudit\":[\n{audit}\n],\
-         \n\"adclDemotions\":[\n{demotions}\n]\n}}\n"
+         \n\"adclDemotions\":[\n{demotions}\n],\
+         \n\"guidelineFlags\":[\n{flags}\n]\n}}\n"
     )
+}
+
+/// Cross-check the collected audit records per the `NBC_GUIDELINES` mode
+/// and render the flag list (empty string when off or nothing flagged).
+fn render_guideline_flags() -> String {
+    use adcl::guidelines;
+    let mode = guidelines::mode();
+    if mode == guidelines::Mode::Off {
+        return String::new();
+    }
+    let records = adcl::audit::records();
+    let flags = guidelines::cross_check_audit(&records, guidelines::FLAG_TOLERANCE, mode.cap());
+    guidelines::render_flags_json(&flags)
 }
 
 /// Write the combined document to `path`.
@@ -82,5 +104,22 @@ mod tests {
             .get("adclDemotions")
             .and_then(|v| v.as_arr())
             .is_some());
+        assert!(parsed
+            .get("guidelineFlags")
+            .and_then(|v| v.as_arr())
+            .is_some());
+    }
+
+    #[test]
+    fn guideline_flags_empty_when_off() {
+        adcl::guidelines::set_mode_override(Some(adcl::guidelines::Mode::Off));
+        let doc = render_combined();
+        let parsed = simcore::json::parse(&doc).expect("parses");
+        let flags = parsed
+            .get("guidelineFlags")
+            .and_then(|v| v.as_arr())
+            .expect("flags array present");
+        assert!(flags.is_empty(), "off mode must export an empty flag list");
+        adcl::guidelines::set_mode_override(None);
     }
 }

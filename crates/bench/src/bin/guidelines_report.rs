@@ -1,0 +1,154 @@
+//! Guideline sweep report — the decision-quality observatory's CLI.
+//!
+//! Evaluates every registered performance guideline (see
+//! `adcl::guidelines`) over a platform × ranks × message-size grid,
+//! prints a per-guideline rollup plus the violation list, and writes the
+//! structured record to `BENCH_guidelines.json` (schema
+//! `adcl-guidelines-v1`). The default grid is the full sweep; `--quick`
+//! selects the verify-gate subset (3 platforms × {4,8} ranks × {1,64} KiB).
+//!
+//! Exit status is the gate: 0 when no *severe* violation was found,
+//! 1 otherwise (composition violations are informational by design — a
+//! mock-up beating a native collective is a tuning opportunity, not a
+//! bug). Output contains no wall-clock content, so stdout and the JSON
+//! file are byte-identical across runs and `--jobs` values.
+
+use adcl::guidelines::{self, SweepConfig};
+use bench::{banner, Table};
+
+const USAGE: &str = "usage: guidelines_report [--quick] [--jobs N] [--out FILE]";
+
+struct Cli {
+    quick: bool,
+    jobs: Option<usize>,
+    out: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        quick: false,
+        jobs: None,
+        out: "BENCH_guidelines.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| bad("--jobs needs a value"));
+                cli.jobs = Some(v.trim().parse().unwrap_or_else(|_| {
+                    bad(&format!("--jobs expects a non-negative integer, got {v:?}"))
+                }));
+            }
+            "--out" => {
+                cli.out = it.next().unwrap_or_else(|| bad("--out needs a file path"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bad(&format!("unknown argument {other:?}")),
+        }
+    }
+    cli
+}
+
+fn bad(msg: &str) -> ! {
+    eprintln!("guidelines_report: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{:+.1}%", v * 100.0)
+    } else if v > 0.0 {
+        "+inf".into()
+    } else {
+        "-".into()
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let jobs = simcore::par::effective_jobs(cli.jobs);
+    bench::set_jobs(jobs);
+
+    let cfg = if cli.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::full()
+    };
+    banner(
+        "Guidelines",
+        "self-checking performance guidelines (Hunold-style dominance/monotonicity/mock-ups)",
+    );
+    println!();
+    println!(
+        "grid: {} platform(s) x ranks {:?} x msg {:?} ({} sweep)",
+        cfg.platforms.len(),
+        cfg.ranks,
+        cfg.msgs,
+        cfg.mode
+    );
+
+    let report = guidelines::run_sweep(&cfg, jobs);
+
+    println!();
+    let mut t = Table::new(&[
+        "guideline",
+        "checked",
+        "violations",
+        "severe",
+        "worst slack",
+    ]);
+    for r in report.rollup() {
+        t.row(vec![
+            r.id.to_string(),
+            r.checked.to_string(),
+            r.violations.to_string(),
+            r.severe.to_string(),
+            pct(r.worst_slack),
+        ]);
+    }
+    t.print();
+
+    let viols = report.violations();
+    if !viols.is_empty() {
+        println!();
+        println!("violations ({}):", viols.len());
+        for c in &viols {
+            println!(
+                "  [{}] {} @ {}: {} > {} by {}",
+                if c.severe { "SEVERE" } else { "info" },
+                c.guideline,
+                c.config,
+                c.lhs,
+                c.rhs,
+                pct(c.slack),
+            );
+        }
+    }
+
+    if let Err(e) = std::fs::write(&cli.out, report.to_json()) {
+        eprintln!("guidelines_report: cannot write {}: {e}", cli.out);
+        std::process::exit(2);
+    }
+
+    println!();
+    println!(
+        "guidelines_report: {} guidelines, {} platforms, {} checks ({} sweep)",
+        report.distinct_guidelines(),
+        cfg.platforms.len(),
+        report.checks.len(),
+        cfg.mode
+    );
+    println!("severe violations: {}", report.severe_count());
+    eprintln!(
+        "guidelines_report: wrote {} ({} probes, {} memo replays)",
+        cli.out, report.probes, report.probe_replays
+    );
+    if report.severe_count() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -177,7 +177,11 @@ fn main() {
     const QUEUE_ROUNDS: u64 = 200;
     const QUEUE_ITEMS: u64 = 1024;
     const QUEUE_OPS: u64 = QUEUE_ROUNDS * QUEUE_ITEMS * 2;
-    let e = report.measure_best_of_ops("event_queue_push_pop", 1, SAMPLES, QUEUE_OPS, || {
+    // This row is the shortest in the suite (~10 ms) and the regression
+    // guard's noisiest: on a shared host, best-of-3 still swings ±30%.
+    // More samples are nearly free at this size and pin the fastest pass.
+    const QUEUE_SAMPLES: usize = 9;
+    let e = report.measure_best_of_ops("event_queue_push_pop", 1, QUEUE_SAMPLES, QUEUE_OPS, || {
         let mut q = simcore::EventQueue::with_capacity(QUEUE_ITEMS as usize);
         let mut acc = 0u64;
         for round in 0..QUEUE_ROUNDS {

@@ -113,9 +113,11 @@ struct Cli {
     placement: Placement,
 }
 
+const USAGE: &str = "usage: trace_inspect <trace.json> [--parts N] [--platform NAME] \
+                     [--placement block|roundrobin]";
+
 fn parse_cli() -> Cli {
-    let usage = "usage: trace_inspect <trace.json> [--parts N] [--platform NAME] \
-                 [--placement block|roundrobin]";
+    let usage = USAGE;
     let mut path = None;
     let mut parts = None;
     let mut platform = Platform::whale();
@@ -182,17 +184,20 @@ fn parse_cli() -> Cli {
 fn main() {
     let cli = parse_cli();
     let path = &cli.path;
+    // Bad input files are a usage error (exit 2 + usage line), matching
+    // the CLI hardening contract of the other binaries — never a panic,
+    // never a bare failure code.
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("trace_inspect: cannot read {path}: {e}");
-        exit(1);
+        eprintln!("trace_inspect: cannot read {path}: {e}\n{USAGE}");
+        exit(2);
     });
     let doc = json::parse(&text).unwrap_or_else(|e| {
-        eprintln!("trace_inspect: {path} is not valid JSON: {e}");
-        exit(1);
+        eprintln!("trace_inspect: {path} is not valid JSON: {e}\n{USAGE}");
+        exit(2);
     });
     let Some(events) = parse_events(&doc) else {
-        eprintln!("trace_inspect: {path} has no traceEvents array");
-        exit(1);
+        eprintln!("trace_inspect: {path} has no traceEvents array\n{USAGE}");
+        exit(2);
     };
     let names = process_names(&doc);
 
@@ -321,7 +326,9 @@ fn main() {
             .iter()
             .filter(|e| e.ph == "X" && e.name == cat_name)
             .collect();
-        stalls.sort_by(|a, b| b.dur.partial_cmp(&a.dur).expect("finite durations"));
+        // total_cmp: a hand-edited trace with a NaN duration must not
+        // panic the analyzer (NaNs sort last).
+        stalls.sort_by(|a, b| b.dur.total_cmp(&a.dur));
         println!();
         if stalls.is_empty() {
             println!("{title}: none");
@@ -404,6 +411,27 @@ fn main() {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    // Guideline cross-check flags: decisions whose committed winner a
+    // clean fixed-schedule probe proved dominated (written by the exporter
+    // when NBC_GUIDELINES is quick/full).
+    println!();
+    match doc.get("guidelineFlags").and_then(|v| v.as_arr()) {
+        None => println!("no guidelineFlags section"),
+        Some([]) => println!("guideline flags: none (no dominated winners)"),
+        Some(flags) => {
+            println!("guideline flags: {} dominated decision(s)", flags.len());
+            for f in flags {
+                println!(
+                    "  [{}] winner {} left {:+.1}% on the table vs {}",
+                    field_str(f, "label"),
+                    field_str(f, "winner"),
+                    field_f64(f, "advantage") * 100.0,
+                    field_str(f, "best"),
+                );
             }
         }
     }

@@ -36,6 +36,7 @@ pub mod attr;
 pub mod audit;
 pub mod filter;
 pub mod function;
+pub mod guidelines;
 pub mod history;
 pub mod microbench;
 pub mod runner;

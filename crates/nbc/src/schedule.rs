@@ -223,6 +223,36 @@ impl Schedule {
     }
 }
 
+/// Sequential composition of per-rank schedules: the rounds of every
+/// stage, concatenated in order. Because a round only begins once the
+/// previous round completed *locally*, the result executes stage `k+1`
+/// strictly after stage `k` on each rank — without any global barrier in
+/// between, exactly like issuing the operations back to back on one
+/// request. Channel FIFO order keeps the matching sound: every rank posts
+/// all of stage `k`'s sends/recvs before stage `k+1`'s, so per-(src, dst)
+/// traffic of consecutive stages can never cross.
+///
+/// This is the mock-up constructor of the performance-guideline literature
+/// (Hunold & Carpen-Amarie): e.g. `sequence(&[scatter, allgather])` is a
+/// broadcast mock-up whose measured time upper-bounds what a well-tuned
+/// `Ibcast` should cost.
+pub fn sequence(stages: &[&Schedule]) -> Schedule {
+    let mut out = Schedule::new();
+    for stage in stages {
+        for round in &stage.rounds {
+            out.push_round(round.clone());
+        }
+    }
+    out
+}
+
+impl Schedule {
+    /// `self` followed by `next` (see [`sequence`]).
+    pub fn then(&self, next: &Schedule) -> Schedule {
+        sequence(&[self, next])
+    }
+}
+
 /// Parameters describing one collective-operation instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollSpec {
@@ -303,6 +333,66 @@ mod tests {
         let mut s = Schedule::new();
         s.push_round(Round(vec![Action::recv(1, 0)]));
         assert!(s.validate(0, None).is_err());
+    }
+
+    #[test]
+    fn sequence_concatenates_rounds_in_stage_order() {
+        let mut a = Schedule::new();
+        a.push_round(Round(vec![Action::send(1, 10, vec![0])]));
+        a.push_round(Round(vec![Action::recv(1, 10)]));
+        let mut b = Schedule::new();
+        b.push_round(Round(vec![Action::copy(10)]));
+        let s = sequence(&[&a, &b]);
+        assert_eq!(s.num_rounds(), 3);
+        assert_eq!(s.rounds[0], a.rounds[0]);
+        assert_eq!(s.rounds[1], a.rounds[1]);
+        assert_eq!(s.rounds[2], b.rounds[0]);
+        assert_eq!(a.then(&b), s);
+    }
+
+    #[test]
+    fn sequence_of_empty_stages_is_empty() {
+        let empty = Schedule::new();
+        assert_eq!(sequence(&[&empty, &empty]).num_rounds(), 0);
+        let mut a = Schedule::new();
+        a.push_round(Round(vec![Action::calc(8)]));
+        assert_eq!(sequence(&[&empty, &a, &empty]), a);
+    }
+
+    #[test]
+    fn stitched_scatter_allgather_is_a_bcast_mockup() {
+        // Scatter delivers block r to rank r; allgather then shares every
+        // rank's block. Stitched sequentially, the pair implements a
+        // broadcast of all p blocks from the root — the classic mock-up.
+        use crate::allgather::{build_allgather, AllgatherAlgo};
+        use crate::gather::{build_scatter, GatherAlgo};
+        use crate::verify;
+        use std::collections::HashSet;
+        for p in [2usize, 4, 7, 8] {
+            let spec = CollSpec::new(p, 512);
+            let scheds: Vec<Schedule> = (0..p)
+                .map(|r| {
+                    sequence(&[
+                        &build_scatter(GatherAlgo::Binomial, r, &spec),
+                        &build_allgather(AllgatherAlgo::Ring, r, &spec),
+                    ])
+                })
+                .collect();
+            for (r, s) in scheds.iter().enumerate() {
+                s.validate(r, None).unwrap();
+            }
+            let mut initial: Vec<HashSet<u32>> = vec![HashSet::new(); p];
+            initial[0] = (0..p as u32).collect();
+            let got = verify::execute(&scheds, &initial).expect("mockup deadlock-free");
+            for (r, recv) in got.iter().enumerate() {
+                for b in 0..p as u32 {
+                    assert!(
+                        r == 0 || recv.contains(&b),
+                        "p={p}: rank {r} missing block {b} after scatter+allgather"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -321,4 +321,96 @@ mod tests {
     fn unicode_passthrough() {
         assert_eq!(parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
     }
+
+    // The guideline + audit exporters render JSON by hand with
+    // `trace::escape` and parse it back here (trace_inspect, the
+    // integration tests); the tests below pin that round-trip on the
+    // document shapes those exporters actually produce.
+
+    #[test]
+    fn parses_deeply_nested_arrays_and_objects() {
+        // 64 levels of alternating array/object nesting around one leaf.
+        let depth = 64;
+        let mut doc = String::from("7");
+        for i in 0..depth {
+            doc = if i % 2 == 0 {
+                format!("[{doc}]")
+            } else {
+                format!("{{\"k\":{doc}}}")
+            };
+        }
+        let mut v = &parse(&doc).unwrap();
+        for i in (0..depth).rev() {
+            v = if i % 2 == 0 {
+                let arr = v.as_arr().expect("array level");
+                assert_eq!(arr.len(), 1);
+                &arr[0]
+            } else {
+                v.get("k").expect("object level")
+            };
+        }
+        assert_eq!(v.as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn parses_heterogeneous_nesting() {
+        let v = parse(
+            r#"{"a":[[1,[2,{"b":[{"c":null},[],{}]}]],[]],"d":{"e":{"f":[true,false,"x"]}}}"#,
+        )
+        .unwrap();
+        let b = v.get("a").unwrap().as_arr().unwrap()[0].as_arr().unwrap()[1]
+            .as_arr()
+            .unwrap()[1]
+            .get("b")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .to_vec();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0].get("c"), Some(&Json::Null));
+        assert_eq!(b[1].as_arr().map(|a| a.len()), Some(0));
+        let f = v
+            .get("d")
+            .and_then(|d| d.get("e"))
+            .and_then(|e| e.get("f"))
+            .and_then(|f| f.as_arr())
+            .unwrap();
+        assert_eq!(f[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip_through_escape_then_parse() {
+        // Every shape the exporters can emit: quotes, backslashes,
+        // control characters, unicode, and strings that look like JSON.
+        let cases = [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "control\tchars\nnewline\rreturn",
+            "null bytes \u{0} and bells \u{7}",
+            "unicode héllo → ∞ ≤ 日本",
+            "{\"looks\": [\"like\", \"json\"]}",
+            "trailing backslash \\",
+            "",
+        ];
+        for case in cases {
+            let doc = format!("{{\"s\": \"{}\"}}", crate::trace::escape(case));
+            let v = parse(&doc).unwrap_or_else(|e| panic!("case {case:?}: {e}"));
+            assert_eq!(v.get("s").and_then(|s| s.as_str()), Some(case), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_keys_and_nested_escapes_roundtrip() {
+        let key = "weird \"key\"\n\\";
+        let val = "x\ty";
+        let doc = format!(
+            "{{\"{}\": [{{\"{}\": \"{}\"}}]}}",
+            crate::trace::escape(key),
+            crate::trace::escape(key),
+            crate::trace::escape(val),
+        );
+        let v = parse(&doc).unwrap();
+        let inner = &v.get(key).unwrap().as_arr().unwrap()[0];
+        assert_eq!(inner.get(key).and_then(|s| s.as_str()), Some(val));
+    }
 }

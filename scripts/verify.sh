@@ -8,18 +8,23 @@
 # scaling gate (rows marked "clamped": true are skipped explicitly; hard
 # floors apply to the physically meaningful rows).
 #
-# Usage: scripts/verify.sh [--profile]
-#   --profile   also write BENCH_profile.json (per-phase wall-time
-#               breakdown: build / sim / merge) next to BENCH_engine.json
+# Usage: scripts/verify.sh [--profile] [--guidelines]
+#   --profile     also write BENCH_profile.json (per-phase wall-time
+#                 breakdown: build / sim / merge) next to BENCH_engine.json
+#   --guidelines  also run the FULL guideline sweep twice and require the
+#                 two BENCH_guidelines.json documents byte-identical (the
+#                 quick sweep always runs as a hard gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PROFILE_FLAG=""
+GUIDELINES_FULL=""
 for arg in "$@"; do
     case "$arg" in
         --profile) PROFILE_FLAG="--profile" ;;
+        --guidelines) GUIDELINES_FULL=1 ;;
         *)
-            echo "unknown argument: $arg (supported: --profile)" >&2
+            echo "unknown argument: $arg (supported: --profile --guidelines)" >&2
             exit 2
             ;;
     esac
@@ -164,11 +169,108 @@ if ! printf '%s\n' "$pinspect" | grep -qi 'partition'; then
 fi
 echo "   trace_inspect --parts 2: partition attribution present"
 
+echo "== guidelines: quick sweep is a hard gate (zero severe violations)"
+# The decision-quality observatory: every registered performance guideline
+# (monotonicity, dominance, mock-up composition) evaluated on the quick
+# grid. A severe violation (a fixed algorithm getting faster on more data,
+# or an unmeasurable lhs) makes guidelines_report exit non-zero.
+# Informational violations (a mock-up or sibling set winning) are listed
+# in the output and recorded in BENCH_guidelines.json.
+gq1=/tmp/verify_guidelines_j1.$$.json
+gq8=/tmp/verify_guidelines_j8.$$.json
+gq8b=/tmp/verify_guidelines_j8b.$$.json
+s1=$(./target/release/guidelines_report --quick --jobs 1 --out "$gq1" 2>/dev/null) || {
+    printf '%s\n' "$s1" >&2
+    rm -f "$gq1" "$gq8" "$gq8b"
+    echo "FAIL: guidelines_report --quick found severe violations (or failed)" >&2
+    exit 1
+}
+s8=$(./target/release/guidelines_report --quick --jobs 8 --out "$gq8" 2>/dev/null) || {
+    rm -f "$gq1" "$gq8" "$gq8b"
+    echo "FAIL: guidelines_report --quick --jobs 8 found severe violations (or failed)" >&2
+    exit 1
+}
+if [ "$s1" != "$s8" ]; then
+    echo "FAIL: guidelines_report stdout differs between --jobs 1 and --jobs 8" >&2
+    diff <(printf '%s\n' "$s1") <(printf '%s\n' "$s8") >&2 || true
+    rm -f "$gq1" "$gq8" "$gq8b"
+    exit 1
+fi
+if ! cmp -s "$gq1" "$gq8"; then
+    echo "FAIL: BENCH_guidelines.json differs between --jobs 1 and --jobs 8" >&2
+    rm -f "$gq1" "$gq8" "$gq8b"
+    exit 1
+fi
+./target/release/guidelines_report --quick --jobs 8 --out "$gq8b" >/dev/null 2>&1 || {
+    rm -f "$gq1" "$gq8" "$gq8b"
+    echo "FAIL: guidelines_report --quick re-run failed" >&2
+    exit 1
+}
+if ! cmp -s "$gq8" "$gq8b"; then
+    echo "FAIL: BENCH_guidelines.json not byte-identical across re-runs" >&2
+    rm -f "$gq1" "$gq8" "$gq8b"
+    exit 1
+fi
+# Coverage floors from the deterministic summary line
+# ("guidelines_report: N guidelines, P platforms, C checks (quick sweep)").
+gcount=$(printf '%s\n' "$s1" | awk '/^guidelines_report:/ {print $2}')
+pcount=$(printf '%s\n' "$s1" | awk '/^guidelines_report:/ {print $4}')
+if [ "${gcount:-0}" -lt 8 ] || [ "${pcount:-0}" -lt 3 ]; then
+    echo "FAIL: guideline coverage too thin (${gcount:-0} guidelines, ${pcount:-0} platforms; need >= 8 over >= 3)" >&2
+    rm -f "$gq1" "$gq8" "$gq8b"
+    exit 1
+fi
+cp "$gq1" BENCH_guidelines.json
+rm -f "$gq1" "$gq8" "$gq8b"
+echo "   quick sweep: $gcount guidelines over $pcount platforms, zero severe, jobs-invariant"
+printf '%s\n' "$s1" | grep -E '^severe violations:' | sed 's/^/   /'
+
+if [ -n "$GUIDELINES_FULL" ]; then
+    echo "== guidelines: full sweep determinism (--guidelines)"
+    gf1=/tmp/verify_guidelines_full1.$$.json
+    gf2=/tmp/verify_guidelines_full2.$$.json
+    ./target/release/guidelines_report --jobs 8 --out "$gf1" >/dev/null 2>&1 || {
+        rm -f "$gf1" "$gf2"
+        echo "FAIL: full guideline sweep found severe violations (or failed)" >&2
+        exit 1
+    }
+    ./target/release/guidelines_report --jobs 1 --out "$gf2" >/dev/null 2>&1 || {
+        rm -f "$gf1" "$gf2"
+        echo "FAIL: full guideline sweep (jobs 1) found severe violations (or failed)" >&2
+        exit 1
+    }
+    if ! cmp -s "$gf1" "$gf2"; then
+        echo "FAIL: full-sweep BENCH_guidelines.json not byte-identical across runs/jobs" >&2
+        rm -f "$gf1" "$gf2"
+        exit 1
+    fi
+    rm -f "$gf1" "$gf2"
+    echo "   full sweep: deterministic and jobs-invariant"
+fi
+
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
 # shellcheck disable=SC2086  # PROFILE_FLAG is intentionally word-split
 traj=$(./target/release/perf_trajectory --quick --jobs 8 $PROFILE_FLAG)
 printf '%s\n' "$traj"
+
+echo "== schema tags: every BENCH document must carry its expected version"
+for pair in "BENCH_engine.json adcl-bench-engine-v6" "BENCH_guidelines.json adcl-guidelines-v1"; do
+    file=${pair%% *}
+    tag=${pair##* }
+    if ! grep -q "\"schema\": \"$tag\"" "$file"; then
+        echo "FAIL: $file does not carry schema tag $tag" >&2
+        exit 1
+    fi
+    echo "   $file: $tag"
+done
+if [ -n "$PROFILE_FLAG" ]; then
+    if ! grep -q '"schema": "adcl-bench-profile-v2"' BENCH_profile.json; then
+        echo "FAIL: BENCH_profile.json does not carry schema tag adcl-bench-profile-v2" >&2
+        exit 1
+    fi
+    echo "   BENCH_profile.json: adcl-bench-profile-v2"
+fi
 
 echo "== sweep_scale: cross-jobs digest must match the serial run"
 # perf_trajectory computes a result digest at jobs 1/2/8 and exits non-zero

@@ -1,0 +1,210 @@
+//! Integration tests for the decision-quality observatory
+//! (`adcl::guidelines` + the `guidelineFlags` audit-export section).
+//!
+//! The contracts under test:
+//!
+//! 1. a guideline sweep is a pure function of its grid — the rendered
+//!    `BENCH_guidelines.json` document is byte-identical for any `jobs`
+//!    value and across warm-cache reruns;
+//! 2. the audit cross-check flags a committed winner that clean
+//!    fixed-schedule probes prove dominated, and leaves the true best
+//!    implementation unflagged;
+//! 3. the combined trace document exports the flags under
+//!    `guidelineFlags` when `NBC_GUIDELINES` is active and an empty array
+//!    when off.
+//!
+//! Tests in this binary share process-wide state (audit log, trace
+//! switch, guideline mode, sim-memo cache), so each one holds `GUARD`.
+
+use adcl::audit::{self, DecisionAudit};
+use adcl::guidelines::{self, Mode, ProbeOp, SweepConfig};
+use adcl::simmemo;
+use simcore::trace;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn tiny_grid() -> SweepConfig {
+    let mut cfg = SweepConfig::quick();
+    // Shrink the verify-gate grid so the debug-profile test stays fast
+    // while still exercising ≥ 3 platforms and every guideline kind.
+    cfg.mode = "custom";
+    cfg.ranks = vec![2, 4];
+    cfg.msgs = vec![256, 1024];
+    cfg
+}
+
+#[test]
+fn sweep_is_jobs_invariant_and_rerun_identical() {
+    let _g = lock();
+    let cfg = tiny_grid();
+
+    simmemo::clear();
+    let serial = guidelines::run_sweep(&cfg, 1);
+    let serial_json = serial.to_json();
+
+    simmemo::clear();
+    let parallel = guidelines::run_sweep(&cfg, 4);
+    assert_eq!(
+        serial_json,
+        parallel.to_json(),
+        "guideline sweep must be byte-identical for any jobs value"
+    );
+
+    // Warm-cache rerun: every probe replays from the sim-memo cache and
+    // the document still comes out byte-identical.
+    let replayed = guidelines::run_sweep(&cfg, 4);
+    assert_eq!(serial_json, replayed.to_json());
+    assert_eq!(
+        replayed.probe_replays, replayed.probes,
+        "a warm-cache sweep must answer every probe from the memo"
+    );
+
+    // The acceptance-criteria shape: ≥ 8 distinct guidelines over ≥ 3
+    // platforms, and the document carries the schema tag.
+    assert!(serial.distinct_guidelines() >= 8);
+    assert!(cfg.platforms.len() >= 3);
+    assert!(serial_json.contains("\"schema\": \"adcl-guidelines-v1\""));
+    let parsed = simcore::json::parse(&serial_json).expect("report is valid JSON");
+    assert!(parsed.get("summary").is_some());
+    assert!(parsed.get("rollup").and_then(|v| v.as_arr()).is_some());
+    assert!(parsed.get("violations").and_then(|v| v.as_arr()).is_some());
+}
+
+/// Fabricate a committed decision for `winner_name` at a real probe
+/// config (the label format is the autonbc driver's).
+fn decision(winner_name: &str) -> DecisionAudit {
+    DecisionAudit {
+        label: "whale/ibcast/p8/m65536/g4/BruteForce".into(),
+        op: "ibcast".into(),
+        strategy: "brute-force",
+        filter: "iqr(1.5)".into(),
+        decided_at_iter: 5,
+        winner: 0,
+        winner_name: winner_name.into(),
+        margin: 0.02,
+        candidates: Vec::new(),
+    }
+}
+
+#[test]
+fn cross_check_flags_dominated_winner_and_clears_best() {
+    let _g = lock();
+    let plat = netmodel::Platform::whale();
+    let times = guidelines::op_probe_times(&plat, ProbeOp::Ibcast, 8, 65536);
+    let best = times
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty set")
+        .clone();
+    let worst = times
+        .iter()
+        .filter(|(_, t)| t.is_finite())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty set")
+        .clone();
+    assert!(
+        worst.1 > best.1 * 1.5,
+        "broadcast set must spread enough to dominate ({} vs {})",
+        worst.1,
+        best.1
+    );
+
+    // A decision that committed the worst implementation is flagged …
+    let flags = guidelines::cross_check_audit(&[decision(&worst.0)], guidelines::FLAG_TOLERANCE, 8);
+    assert_eq!(flags.len(), 1, "dominated winner must be flagged");
+    let f = &flags[0];
+    assert_eq!(f.winner, worst.0);
+    assert_eq!(f.best, format!("ibcast/{}", best.0));
+    assert!(f.advantage > guidelines::FLAG_TOLERANCE);
+    assert_eq!(f.label, "whale/ibcast/p8/m65536/g4/BruteForce");
+
+    // … the true best is not …
+    let flags = guidelines::cross_check_audit(&[decision(&best.0)], guidelines::FLAG_TOLERANCE, 8);
+    assert!(flags.is_empty(), "the fastest winner must not be flagged");
+
+    // … and records the probe library cannot parse are skipped, not
+    // mis-flagged.
+    let mut bare = decision(&worst.0);
+    bare.label = "ibcast".into();
+    let mut unknown = decision(&worst.0);
+    unknown.label = "whale/ineighbor/p8/m65536/g4/BruteForce".into();
+    let flags = guidelines::cross_check_audit(&[bare, unknown], guidelines::FLAG_TOLERANCE, 8);
+    assert!(flags.is_empty());
+}
+
+#[test]
+fn cross_check_respects_record_cap() {
+    let _g = lock();
+    let plat = netmodel::Platform::whale();
+    let times = guidelines::op_probe_times(&plat, ProbeOp::Ibcast, 8, 65536);
+    let worst = times
+        .iter()
+        .filter(|(_, t)| t.is_finite())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .clone();
+    let recs = vec![decision(&worst.0), decision(&worst.0)];
+    assert_eq!(
+        guidelines::cross_check_audit(&recs, guidelines::FLAG_TOLERANCE, 1).len(),
+        1,
+        "cap must bound the records considered"
+    );
+    assert_eq!(Mode::Off.cap(), 0);
+    assert!(Mode::Quick.cap() >= 2);
+}
+
+#[test]
+fn combined_export_carries_guideline_flags() {
+    let _g = lock();
+    let plat = netmodel::Platform::whale();
+    let times = guidelines::op_probe_times(&plat, ProbeOp::Ibcast, 8, 65536);
+    let worst = times
+        .iter()
+        .filter(|(_, t)| t.is_finite())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap()
+        .clone();
+
+    trace::set_enabled(true);
+    audit::clear();
+    audit::record(decision(&worst.0));
+    guidelines::set_mode_override(Some(Mode::Full));
+    let doc = autonbc::traceout::render_combined();
+    guidelines::set_mode_override(Some(Mode::Off));
+    let doc_off = autonbc::traceout::render_combined();
+    guidelines::set_mode_override(None);
+    audit::clear();
+    trace::clear_enabled_override();
+
+    let parsed = simcore::json::parse(&doc).expect("combined doc parses");
+    let flags = parsed
+        .get("guidelineFlags")
+        .and_then(|v| v.as_arr())
+        .expect("guidelineFlags array present");
+    assert_eq!(flags.len(), 1, "the dominated decision must surface");
+    let f = &flags[0];
+    assert_eq!(
+        f.get("winner").and_then(|v| v.as_str()),
+        Some(worst.0.as_str())
+    );
+    assert_eq!(
+        f.get("label").and_then(|v| v.as_str()),
+        Some("whale/ibcast/p8/m65536/g4/BruteForce")
+    );
+    assert!(f.get("advantage").and_then(|v| v.as_f64()).unwrap() > 0.1);
+    assert!(f.get("best").and_then(|v| v.as_str()).is_some());
+
+    // With the observatory off, the same audit state exports an empty
+    // array — the section is always present, never populated.
+    let parsed_off = simcore::json::parse(&doc_off).expect("off doc parses");
+    assert!(parsed_off
+        .get("guidelineFlags")
+        .and_then(|v| v.as_arr())
+        .unwrap()
+        .is_empty());
+}
