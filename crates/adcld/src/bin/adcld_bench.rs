@@ -1,0 +1,142 @@
+//! `adcld_bench` — load generator and one-shot client for `adcld`.
+//!
+//! Bench mode (default): spawn an in-process daemon and drive the
+//! cold/warm/mixed scenario, printing requests/sec and p50/p99 latency
+//! per phase. Exits non-zero if warm traffic required any fresh
+//! simulation — repeat queries must be history/memo hits only.
+//!
+//! ```text
+//! adcld_bench [--quick|--full] [--jobs N] [--clients N]
+//! ```
+//!
+//! Client mode: talk to a running daemon (used by `scripts/verify.sh`).
+//!
+//! ```text
+//! adcld_bench --connect ADDR --query '{"id":1,"op":...}'   # one request
+//! adcld_bench --connect ADDR --shutdown                    # stop daemon
+//! ```
+
+use adcld::loadgen;
+use adcld::protocol;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+fn one_shot(addr: &str, line: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp)?;
+    Ok(resp.trim_end().to_string())
+}
+
+fn main() {
+    let mut quick = true;
+    let mut jobs = 0usize;
+    let mut clients = 4usize;
+    let mut connect: Option<String> = None;
+    let mut query: Option<String> = None;
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("adcld_bench: {flag} needs a value");
+                exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--jobs" => {
+                jobs = value("--jobs").parse().unwrap_or_else(|_| {
+                    eprintln!("adcld_bench: --jobs needs an integer");
+                    exit(2);
+                })
+            }
+            "--clients" => {
+                clients = value("--clients").parse().unwrap_or_else(|_| {
+                    eprintln!("adcld_bench: --clients needs an integer");
+                    exit(2);
+                })
+            }
+            "--connect" => connect = Some(value("--connect")),
+            "--query" => query = Some(value("--query")),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: adcld_bench [--quick|--full] [--jobs N] [--clients N]\n\
+                     \x20      adcld_bench --connect ADDR (--query JSON | --shutdown)"
+                );
+                exit(2);
+            }
+            other => {
+                eprintln!("adcld_bench: unknown argument {other:?}");
+                exit(2);
+            }
+        }
+    }
+
+    if let Some(addr) = connect {
+        let line = if shutdown {
+            protocol::render_command("shutdown")
+        } else if let Some(q) = query {
+            q
+        } else {
+            eprintln!("adcld_bench: --connect needs --query or --shutdown");
+            exit(2);
+        };
+        match one_shot(&addr, &line) {
+            Ok(resp) => println!("{resp}"),
+            Err(e) => {
+                eprintln!("adcld_bench: {addr}: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    let summary = match loadgen::bench_serve(quick, jobs, clients) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adcld_bench: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "{:<7} {:>9} {:>10} {:>10} {:>10} {:>6} {:>6} {:>6} {:>5}",
+        "phase", "requests", "req/s", "p50_us", "p99_us", "hist", "memo", "fresh", "err"
+    );
+    for p in &summary.phases {
+        println!(
+            "{:<7} {:>9} {:>10.1} {:>10} {:>10} {:>6} {:>6} {:>6} {:>5}",
+            p.name,
+            p.requests,
+            p.rps,
+            p.p50_us,
+            p.p99_us,
+            p.history_hits,
+            p.memo_replays,
+            p.fresh_sweeps + p.guideline_flagged,
+            p.errors
+        );
+    }
+    let warm = summary.phase("warm").expect("warm phase present");
+    if warm.errors > 0 || warm.warm_served() != warm.requests {
+        eprintln!(
+            "adcld_bench: FAIL: warm traffic re-simulated {} of {} requests \
+             (expected history/memo hits only)",
+            warm.requests - warm.warm_served(),
+            warm.requests
+        );
+        exit(1);
+    }
+    println!(
+        "adcld_serve: warm traffic served from history/memo only ({} requests)",
+        warm.requests
+    );
+}

@@ -1,0 +1,325 @@
+//! Load generator for `adcld`: N concurrent closed-loop clients over real
+//! TCP, measuring requests/sec and p50/p99 latency per traffic phase.
+//!
+//! The standard scenario drives three phases against one daemon:
+//!
+//! * **cold** — every key is new; each query pays for a full sweep.
+//! * **warm** — the same keys again, many times, from several clients:
+//!   every answer must come from the history store (or at worst the memo
+//!   replay cache) — the acceptance bar for the tuning service.
+//! * **mixed** — 50/50 interleave of new and repeat keys.
+//!
+//! Results land in `BENCH_engine.json` as the `adcld_serve` section
+//! (schema `engine-v7`), written by `perf_trajectory`.
+
+use crate::protocol;
+use crate::server::Server;
+use crate::service::ServiceConfig;
+use simcore::json::Json;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Measured outcome of one traffic phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (`cold` / `warm` / `mixed`).
+    pub name: &'static str,
+    /// Client threads used.
+    pub clients: usize,
+    /// Requests issued.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole phase.
+    pub wall_secs: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Responses tagged `history-hit`.
+    pub history_hits: usize,
+    /// Responses tagged `memo-replay`.
+    pub memo_replays: usize,
+    /// Responses tagged `fresh-sweep`.
+    pub fresh_sweeps: usize,
+    /// Responses tagged `guideline-flagged`.
+    pub guideline_flagged: usize,
+    /// Error responses.
+    pub errors: usize,
+}
+
+impl PhaseReport {
+    /// Responses that required no fresh simulation.
+    pub fn warm_served(&self) -> usize {
+        self.history_hits + self.memo_replays
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("clients", Json::num(self.clients as f64)),
+            ("errors", Json::num(self.errors as f64)),
+            ("fresh_sweeps", Json::num(self.fresh_sweeps as f64)),
+            (
+                "guideline_flagged",
+                Json::num(self.guideline_flagged as f64),
+            ),
+            ("history_hits", Json::num(self.history_hits as f64)),
+            ("memo_replays", Json::num(self.memo_replays as f64)),
+            ("p50_us", Json::num(self.p50_us as f64)),
+            ("p99_us", Json::num(self.p99_us as f64)),
+            ("requests", Json::num(self.requests as f64)),
+            ("rps", Json::num(self.rps)),
+            ("wall_secs", Json::num(self.wall_secs)),
+        ])
+    }
+}
+
+/// All phases of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Per-phase reports, in execution order.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl LoadSummary {
+    /// Find a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseReport> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Render the `adcld_serve` JSON section (an object keyed by phase).
+    pub fn render_section(&self) -> String {
+        Json::Obj(
+            self.phases
+                .iter()
+                .map(|p| (p.name.to_string(), p.to_json()))
+                .collect(),
+        )
+        .render()
+    }
+}
+
+fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as u64 * pct / 100) as usize;
+    sorted_us[idx]
+}
+
+/// Run one phase: split `lines` round-robin over `clients` persistent
+/// connections, issue them closed-loop, and aggregate latencies and
+/// `source` tags.
+pub fn run_phase(
+    addr: SocketAddr,
+    name: &'static str,
+    clients: usize,
+    lines: &[String],
+) -> io::Result<PhaseReport> {
+    let clients = clients.clamp(1, lines.len().max(1));
+    let mut shards: Vec<Vec<String>> = vec![Vec::new(); clients];
+    for (i, line) in lines.iter().enumerate() {
+        shards[i % clients].push(line.clone());
+    }
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for shard in shards {
+        handles.push(std::thread::spawn(
+            move || -> io::Result<Vec<(u64, String)>> {
+                let stream = TcpStream::connect(addr)?;
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let mut writer = BufWriter::new(stream);
+                let mut out = Vec::with_capacity(shard.len());
+                let mut resp = String::new();
+                for line in &shard {
+                    let sent = Instant::now();
+                    writer.write_all(line.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    resp.clear();
+                    if reader.read_line(&mut resp)? == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "daemon closed the connection",
+                        ));
+                    }
+                    let us = sent.elapsed().as_micros() as u64;
+                    let source = simcore::json::parse(resp.trim())
+                        .ok()
+                        .and_then(|d| d.get("source").and_then(|s| s.as_str().map(str::to_string)))
+                        .unwrap_or_else(|| "error".to_string());
+                    out.push((us, source));
+                }
+                Ok(out)
+            },
+        ));
+    }
+    let mut latencies = Vec::new();
+    let mut report = PhaseReport {
+        name,
+        clients,
+        requests: 0,
+        wall_secs: 0.0,
+        rps: 0.0,
+        p50_us: 0,
+        p99_us: 0,
+        history_hits: 0,
+        memo_replays: 0,
+        fresh_sweeps: 0,
+        guideline_flagged: 0,
+        errors: 0,
+    };
+    for h in handles {
+        let rows = h
+            .join()
+            .map_err(|_| io::Error::other("load client thread panicked"))??;
+        for (us, source) in rows {
+            latencies.push(us);
+            report.requests += 1;
+            match source.as_str() {
+                protocol::SOURCE_HISTORY_HIT => report.history_hits += 1,
+                protocol::SOURCE_MEMO_REPLAY => report.memo_replays += 1,
+                protocol::SOURCE_FRESH_SWEEP => report.fresh_sweeps += 1,
+                protocol::SOURCE_GUIDELINE_FLAGGED => report.guideline_flagged += 1,
+                _ => report.errors += 1,
+            }
+        }
+    }
+    report.wall_secs = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p99_us = percentile(&latencies, 99);
+    report.rps = if report.wall_secs > 0.0 {
+        report.requests as f64 / report.wall_secs
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+fn keys(quick: bool) -> Vec<(usize, usize)> {
+    let nprocs: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16] };
+    let msgs: &[usize] = if quick {
+        &[1024, 4096, 16384, 65536]
+    } else {
+        &[1024, 4096, 16384, 65536, 262144, 1048576]
+    };
+    let mut out = Vec::new();
+    for &np in nprocs {
+        for &m in msgs {
+            out.push((np, m));
+        }
+    }
+    out
+}
+
+fn query_lines(keys: &[(usize, usize)], repeat: usize, id0: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut id = id0;
+    for _ in 0..repeat {
+        for &(np, m) in keys {
+            lines.push(protocol::render_query(id, "ialltoall", "whale", np, m));
+            id += 1;
+        }
+    }
+    lines
+}
+
+/// Drive the standard cold/warm/mixed scenario against a running daemon.
+pub fn standard_load(addr: SocketAddr, quick: bool, clients: usize) -> io::Result<LoadSummary> {
+    let base = keys(quick);
+    let warm_reps = if quick { 8 } else { 24 };
+    // Cold: every key once (each pays for a sweep).
+    let cold = run_phase(addr, "cold", clients, &query_lines(&base, 1, 1_000))?;
+    // Warm: the same keys, repeated from every client — pure lookups.
+    let warm = run_phase(
+        addr,
+        "warm",
+        clients,
+        &query_lines(&base, warm_reps, 10_000),
+    )?;
+    // Mixed: interleave repeat keys with a disjoint set of new keys.
+    let fresh: Vec<(usize, usize)> = base.iter().map(|&(np, m)| (np, m * 3)).collect();
+    let mut mixed_lines = Vec::new();
+    for (i, (old, new)) in query_lines(&base, 1, 20_000)
+        .into_iter()
+        .zip(query_lines(&fresh, 1, 30_000))
+        .enumerate()
+    {
+        if i % 2 == 0 {
+            mixed_lines.push(old);
+            mixed_lines.push(new);
+        } else {
+            mixed_lines.push(new);
+            mixed_lines.push(old);
+        }
+    }
+    let mixed = run_phase(addr, "mixed", clients, &mixed_lines)?;
+    Ok(LoadSummary {
+        phases: vec![cold, warm, mixed],
+    })
+}
+
+/// Spawn an in-process daemon on an ephemeral port with a throwaway
+/// history file, run [`standard_load`], and shut it down. Returns the
+/// summary; the daemon's history file is removed afterwards.
+pub fn bench_serve(quick: bool, jobs: usize, clients: usize) -> io::Result<LoadSummary> {
+    let dir = std::env::temp_dir().join(format!("adcld-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let history = dir.join("bench_history.tsv");
+    let _ = std::fs::remove_file(&history);
+    let server = Server::spawn(
+        ServiceConfig {
+            jobs,
+            history_path: Some(history.clone()),
+            checkpoint_every: 16,
+            ..ServiceConfig::default()
+        },
+        "127.0.0.1:0",
+    )?;
+    let addr = server.addr();
+    let result = standard_load(addr, quick, clients);
+    server.shutdown();
+    let _ = std::fs::remove_file(&history);
+    let _ = std::fs::remove_dir(&dir);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn section_renders_valid_json() {
+        let summary = LoadSummary {
+            phases: vec![PhaseReport {
+                name: "cold",
+                clients: 2,
+                requests: 8,
+                wall_secs: 0.25,
+                rps: 32.0,
+                p50_us: 1500,
+                p99_us: 9000,
+                history_hits: 0,
+                memo_replays: 0,
+                fresh_sweeps: 8,
+                guideline_flagged: 0,
+                errors: 0,
+            }],
+        };
+        let doc = simcore::json::parse(&summary.render_section()).unwrap();
+        let cold = doc.get("cold").expect("cold phase");
+        assert_eq!(cold.get("requests").and_then(|v| v.as_u64()), Some(8));
+        assert_eq!(cold.get("rps").and_then(|v| v.as_f64()), Some(32.0));
+    }
+}

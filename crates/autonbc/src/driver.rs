@@ -54,6 +54,23 @@ impl CollectiveOp {
         }
     }
 
+    /// Inverse of [`CollectiveOp::name`]: look an operation up by its
+    /// report/history name (used by the `adcld` daemon to resolve query
+    /// strings). Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<CollectiveOp> {
+        let all = [
+            CollectiveOp::Ialltoall,
+            CollectiveOp::IalltoallExtended,
+            CollectiveOp::Ibcast,
+            CollectiveOp::Iallgather,
+            CollectiveOp::Ireduce,
+            CollectiveOp::Iallreduce,
+            CollectiveOp::Igather,
+            CollectiveOp::Iscatter,
+        ];
+        all.into_iter().find(|op| op.name() == name)
+    }
+
     /// Build the default function-set for this operation.
     pub fn fnset(self, spec: CollSpec) -> FunctionSet {
         match self {
@@ -345,12 +362,23 @@ impl MicrobenchSpec {
     /// memo's replayed-events counter (the work a fresh run would have
     /// done). With memoization disabled this is exactly `run`.
     pub fn run_memo(&self, logic: SelectionLogic) -> std::sync::Arc<MicrobenchOutcome> {
+        self.run_memo_flagged(logic).0
+    }
+
+    /// [`MicrobenchSpec::run_memo`] that also reports whether the outcome
+    /// was replayed from the memo (`true`) or freshly simulated (`false`).
+    /// The `adcld` daemon uses the flag to tag served decisions as
+    /// `memo-replay` vs `fresh-sweep`.
+    pub fn run_memo_flagged(
+        &self,
+        logic: SelectionLogic,
+    ) -> (std::sync::Arc<MicrobenchOutcome>, bool) {
         let key = self.memo_key(logic);
         let (out, replayed) = adcl::simmemo::get_or_run(&key, || self.run(logic));
         if replayed {
             adcl::simmemo::credit_replay(out.sim_events);
         }
-        out
+        (out, replayed)
     }
 
     /// Pre-build (intern) every schedule this spec's runs will need, so
@@ -444,6 +472,13 @@ impl MicrobenchSpec {
     /// for every `jobs` value — results merge in input order and each
     /// simulation owns its world and noise streams.
     pub fn run_all_fixed_jobs(&self, jobs: usize) -> Vec<(String, f64)> {
+        self.run_all_fixed_jobs_flagged(jobs).0
+    }
+
+    /// [`MicrobenchSpec::run_all_fixed_jobs`] that also counts how many of
+    /// the fixed runs were memo replays (0 = everything freshly simulated,
+    /// `len()` = the whole sweep was answered from the memo).
+    pub fn run_all_fixed_jobs_flagged(&self, jobs: usize) -> (Vec<(String, f64)>, usize) {
         let names: Vec<String> = {
             // Function sets hold `Rc` builders, so build one locally for
             // the names and let every worker build its own for the runs.
@@ -453,10 +488,16 @@ impl MicrobenchSpec {
                 .collect()
         };
         let idx: Vec<usize> = (0..names.len()).collect();
-        let totals = simcore::par::par_map_costed(jobs, &idx, self.est_run_nanos(), |_, &i| {
-            self.run_memo(SelectionLogic::Fixed(i)).total
+        let results = simcore::par::par_map_costed(jobs, &idx, self.est_run_nanos(), |_, &i| {
+            let (out, replayed) = self.run_memo_flagged(SelectionLogic::Fixed(i));
+            (out.total, replayed)
         });
-        names.into_iter().zip(totals).collect()
+        let replayed = results.iter().filter(|(_, r)| *r).count();
+        let rows = names
+            .into_iter()
+            .zip(results.into_iter().map(|(t, _)| t))
+            .collect();
+        (rows, replayed)
     }
 
     /// The implementation a fully informed oracle would pick: the name and

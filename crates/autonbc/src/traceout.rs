@@ -8,6 +8,7 @@
 //! { "traceEvents":     [ ... ],   // Chrome trace_event format
 //!   "adclAudit":       [ ... ],   // one object per committed tuning decision
 //!   "adclDemotions":   [ ... ],   // one object per fault-demoted candidate
+//!   "adclServed":      [ ... ],   // one object per decision served by adcld
 //!   "guidelineFlags":  [ ... ] }  // decisions a guideline probe proves dominated
 //! ```
 //!
@@ -34,10 +35,12 @@ pub fn render_combined() -> String {
     let events = trace::render_trace_events(&traces);
     let audit = adcl::audit::render_json();
     let demotions = adcl::audit::render_demotions_json();
+    let served = adcl::audit::render_served_json();
     let flags = render_guideline_flags();
     format!(
         "{{\n\"traceEvents\":[\n{events}\n],\n\"adclAudit\":[\n{audit}\n],\
          \n\"adclDemotions\":[\n{demotions}\n],\
+         \n\"adclServed\":[\n{served}\n],\
          \n\"guidelineFlags\":[\n{flags}\n]\n}}\n"
     )
 }
@@ -104,6 +107,7 @@ mod tests {
             .get("adclDemotions")
             .and_then(|v| v.as_arr())
             .is_some());
+        assert!(parsed.get("adclServed").and_then(|v| v.as_arr()).is_some());
         assert!(parsed
             .get("guidelineFlags")
             .and_then(|v| v.as_arr())

@@ -51,7 +51,9 @@ fn main() {
             nprocs: spec.nprocs,
             msg_bytes: spec.msg_bytes,
         };
-        store.put(key.clone(), &winner, first.post_learning / iters as f64);
+        store
+            .put(key.clone(), &winner, first.post_learning / iters as f64)
+            .expect("clean key");
         // Second execution: round-trip the store through its file format
         // and pin the stored winner (Tuner::with_known_winner's fast path).
         let reloaded = HistoryStore::from_string_repr(&store.to_string_repr());

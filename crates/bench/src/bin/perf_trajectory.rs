@@ -521,6 +521,44 @@ fn main() {
         );
     }
 
+    // 4. adcld_serve: the tuning daemon under closed-loop cold/warm/mixed
+    // client load (in-process server, real TCP loopback). The warm phase
+    // doubles as a hard gate: repeat queries must be answered from the
+    // history store or the sim memo — any fresh sweep on warm traffic
+    // means the daemon's durable-learning path regressed.
+    println!();
+    let serve = adcld::loadgen::bench_serve(args.quick, jobs, 4).expect("adcld_serve bench");
+    for p in &serve.phases {
+        println!(
+            "adcld_serve {:<6}: {:>4} req, {:>8.1} req/s, p50 {:>6} us, p99 {:>6} us \
+             (hist {}, memo {}, fresh {}, err {})",
+            p.name,
+            p.requests,
+            p.rps,
+            p.p50_us,
+            p.p99_us,
+            p.history_hits,
+            p.memo_replays,
+            p.fresh_sweeps + p.guideline_flagged,
+            p.errors
+        );
+    }
+    let warm = serve.phase("warm").expect("warm phase present");
+    if warm.errors > 0 || warm.warm_served() != warm.requests {
+        eprintln!(
+            "FAIL: adcld_serve warm traffic re-simulated {} of {} requests \
+             (expected history/memo hits only)",
+            warm.requests - warm.warm_served(),
+            warm.requests
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "adcld_serve: warm traffic served from history/memo only ({} requests)",
+        warm.requests
+    );
+    report.set_section("adcld_serve", serve.render_section());
+
     let t_merge = Instant::now();
     let (hits, misses) = nbc::cache::stats();
     let memo = adcl::simmemo::stats();

@@ -66,6 +66,7 @@ fn clamped_on_this_host(jobs: usize) -> bool {
 #[derive(Debug, Default)]
 pub struct PerfReport {
     entries: Vec<PerfEntry>,
+    sections: Vec<(String, String)>,
 }
 
 impl PerfReport {
@@ -76,6 +77,18 @@ impl PerfReport {
         adcl::simmemo::reset_stats();
         PerfReport {
             entries: Vec::new(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attach (or replace) an extra top-level JSON section, e.g.
+    /// `adcld_serve`. `body` must be a rendered JSON value; it is embedded
+    /// verbatim under `name` by [`PerfReport::to_json`].
+    pub fn set_section(&mut self, name: &str, body: String) {
+        if let Some(s) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            s.1 = body;
+        } else {
+            self.sections.push((name.to_string(), body));
         }
     }
 
@@ -266,12 +279,15 @@ impl PerfReport {
     /// expectations are physically meaningful on this host; v6 moves that
     /// decision into the report itself with the per-entry `clamped` flag
     /// (`jobs` exceeded the host's hardware threads), so gates skip
-    /// clamped rows explicitly instead of by host heuristic.
+    /// clamped rows explicitly instead of by host heuristic; v7 adds
+    /// optional named sections ([`PerfReport::set_section`]) — the first
+    /// consumer is `adcld_serve`, the tuning-daemon load-generator results
+    /// (requests/sec and p50/p99 latency for cold/warm/mixed traffic).
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v6\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v7\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
             simcore::par::hardware_parallelism()
@@ -306,6 +322,9 @@ impl PerfReport {
             s.push_str(&format!("\n    {}: {rendered}{comma}", json_str(name)));
         }
         s.push_str("\n  },\n");
+        for (name, body) in &self.sections {
+            s.push_str(&format!("  {}: {body},\n", json_str(name)));
+        }
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
@@ -421,12 +440,14 @@ mod tests {
     fn json_is_wellformed_enough() {
         let mut r = PerfReport::new();
         r.measure("a\"b", 1, || {});
+        r.set_section("adcld_serve", "{\"cold\":{\"requests\":8}}".into());
         let j = r.to_json();
         assert!(j.starts_with("{\n"));
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v6"));
+        assert!(j.contains("adcl-bench-engine-v7"));
+        assert!(j.contains("\"adcld_serve\""));
         assert!(j.contains("\"clamped\""));
         assert!(j.contains("\"host_threads\""));
         assert!(j.contains("\"pool_threads\""));

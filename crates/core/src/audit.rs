@@ -147,6 +147,44 @@ impl DemotionAudit {
     }
 }
 
+/// One decision served by the `adcld` tuning daemon, with where the answer
+/// came from: a history-store hit, a memo replay, a fresh sweep, or a
+/// fresh sweep whose winner the guideline observatory flagged as
+/// dominated. Exported as the `adclServed` array in the combined trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedAudit {
+    /// Encoded query key (e.g. `"ialltoall|whale|8|4096"`).
+    pub key: String,
+    /// Operation name.
+    pub op: String,
+    /// Winning function name.
+    pub winner: String,
+    /// Winner's robust score in seconds.
+    pub score: f64,
+    /// Relative margin over the runner-up.
+    pub margin: f64,
+    /// `"history-hit"` / `"memo-replay"` / `"fresh-sweep"` /
+    /// `"guideline-flagged"`.
+    pub source: String,
+}
+
+impl ServedAudit {
+    /// Render this record as one JSON object (single line, hand-written —
+    /// the workspace is dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"key\":\"{}\",\"op\":\"{}\",\"winner\":\"{}\",\"score\":{},\
+             \"margin\":{},\"source\":\"{}\"}}",
+            trace::escape(&self.key),
+            trace::escape(&self.op),
+            trace::escape(&self.winner),
+            number(self.score),
+            number(self.margin),
+            trace::escape(&self.source)
+        )
+    }
+}
+
 fn collector() -> &'static Mutex<Vec<DecisionAudit>> {
     static LOG: Mutex<Vec<DecisionAudit>> = Mutex::new(Vec::new());
     &LOG
@@ -161,6 +199,15 @@ fn demotion_lock() -> std::sync::MutexGuard<'static, Vec<DemotionAudit>> {
     demotion_collector()
         .lock()
         .unwrap_or_else(|e| e.into_inner())
+}
+
+fn served_collector() -> &'static Mutex<Vec<ServedAudit>> {
+    static LOG: Mutex<Vec<ServedAudit>> = Mutex::new(Vec::new());
+    &LOG
+}
+
+fn served_lock() -> std::sync::MutexGuard<'static, Vec<ServedAudit>> {
+    served_collector().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn lock() -> std::sync::MutexGuard<'static, Vec<DecisionAudit>> {
@@ -191,6 +238,7 @@ pub fn len() -> usize {
 pub fn clear() {
     lock().clear();
     demotion_lock().clear();
+    served_lock().clear();
 }
 
 /// Render the full log as the *contents* of a JSON array (comma-separated
@@ -226,6 +274,35 @@ pub fn demotions_len() -> usize {
 /// (comma-separated objects, one per line).
 pub fn render_demotions_json() -> String {
     demotion_lock()
+        .iter()
+        .map(|r| r.to_json())
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Append `rec` to the process-wide served-decisions log. A no-op (one
+/// branch) unless tracing is enabled.
+pub fn record_served(rec: ServedAudit) {
+    if !trace::enabled() {
+        return;
+    }
+    served_lock().push(rec);
+}
+
+/// Snapshot of every served decision recorded so far, in serve order.
+pub fn served() -> Vec<ServedAudit> {
+    served_lock().clone()
+}
+
+/// Number of served decisions recorded.
+pub fn served_len() -> usize {
+    served_lock().len()
+}
+
+/// Render the served-decisions log as the *contents* of a JSON array
+/// (comma-separated objects, one per line).
+pub fn render_served_json() -> String {
+    served_lock()
         .iter()
         .map(|r| r.to_json())
         .collect::<Vec<_>>()
@@ -334,6 +411,44 @@ mod tests {
         trace::clear_enabled_override();
         clear();
         assert_eq!(demotions_len(), 0);
+    }
+
+    #[test]
+    fn served_records_gate_and_render() {
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        trace::set_enabled(false);
+        record_served(ServedAudit {
+            key: "off|whale|8|64".into(),
+            op: "ibcast".into(),
+            winner: "linear".into(),
+            score: 1.0e-3,
+            margin: 0.0,
+            source: "fresh-sweep".into(),
+        });
+        assert!(served().iter().all(|s| s.key != "off|whale|8|64"));
+        trace::set_enabled(true);
+        record_served(ServedAudit {
+            key: "ialltoall|whale|8|4096".into(),
+            op: "ialltoall".into(),
+            winner: "pairwise".into(),
+            score: 2.5e-4,
+            margin: 0.125,
+            source: "history-hit".into(),
+        });
+        let ours: Vec<_> = served()
+            .into_iter()
+            .filter(|s| s.key == "ialltoall|whale|8|4096")
+            .collect();
+        assert_eq!(ours.len(), 1);
+        let doc = simcore::json::parse(&ours[0].to_json()).expect("served json parses");
+        assert_eq!(
+            doc.get("source").and_then(|v| v.as_str()),
+            Some("history-hit")
+        );
+        assert_eq!(doc.get("margin").and_then(|v| v.as_f64()), Some(0.125));
+        trace::clear_enabled_override();
+        clear();
+        assert_eq!(served_len(), 0);
     }
 
     #[test]

@@ -4,12 +4,65 @@
 //! winner is known for an (operation, platform, process count, message
 //! size, ...) scenario, a later execution can skip — or shorten — the
 //! learning phase (§IV-B). The store is a simple line-oriented text file
-//! (`key\twinner\tscore`), deliberately free of external dependencies.
+//! (`key\twinner\tscore\tmargin`), deliberately free of external
+//! dependencies, and is the durability layer behind the `adcld` tuning
+//! daemon.
+//!
+//! Format (`v2`):
+//!
+//! ```text
+//! # adcl-rs history v2
+//! # gen 3
+//! # ctx s7/d0.001/u0.0005/j0.1/r3
+//! ialltoall|whale|32|131072\tpairwise\t1.50000000000000003e-3\t2.00000000000000011e-1
+//! ```
+//!
+//! * `gen` counts successful saves (monotone across checkpoints) so
+//!   observers can tell snapshots apart.
+//! * `ctx` is an opaque environment fingerprint (e.g. the fault-injection
+//!   profile) — a loader whose context differs must treat the entries as
+//!   stale rather than serve decisions measured under different physics.
+//! * Scores and margins use `{:.17e}` so `save`→`load` round-trips `f64`
+//!   bit-exactly; 9 significant digits (the old format) silently lost the
+//!   low mantissa bits and broke staleness comparisons.
+//! * `save` writes a same-directory temp file and atomically renames it
+//!   over the target, so a reader (or a crash) never observes a torn file.
+//! * v1 files (three fields, no directives) still load; missing margins
+//!   default to `0.0`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+/// Characters that cannot appear in key components (field separators of
+/// the on-disk format). A name containing one of these would shift fields
+/// on decode, so [`HistoryStore::put`] rejects them up front.
+const RESERVED: [char; 4] = ['|', '\t', '\n', '\r'];
+
+/// Error for rejected store mutations (reserved characters, empty names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryError(pub String);
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "history: {}", self.0)
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+fn check_component(what: &str, s: &str) -> Result<(), HistoryError> {
+    if s.is_empty() {
+        return Err(HistoryError(format!("{what} must not be empty")));
+    }
+    if let Some(c) = s.chars().find(|c| RESERVED.contains(c)) {
+        return Err(HistoryError(format!(
+            "{what} {s:?} contains reserved character {c:?}"
+        )));
+    }
+    Ok(())
+}
 
 /// Scenario key for a stored decision.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -25,6 +78,12 @@ pub struct HistoryKey {
 }
 
 impl HistoryKey {
+    /// Reject keys whose string components would corrupt the line format.
+    pub fn validate(&self) -> Result<(), HistoryError> {
+        check_component("op", &self.op)?;
+        check_component("platform", &self.platform)
+    }
+
     fn encode(&self) -> String {
         format!(
             "{}|{}|{}|{}",
@@ -33,13 +92,20 @@ impl HistoryKey {
     }
 
     fn decode(s: &str) -> Option<HistoryKey> {
-        let mut it = s.split('|');
-        Some(HistoryKey {
-            op: it.next()?.to_string(),
-            platform: it.next()?.to_string(),
-            nprocs: it.next()?.parse().ok()?,
-            msg_bytes: it.next()?.parse().ok()?,
-        })
+        let parts: Vec<&str> = s.split('|').collect();
+        // Exactly four fields: trailing junk ("a|b|1|2|x") is a malformed
+        // key, not a key with extras to ignore.
+        let [op, platform, nprocs, msg_bytes] = parts.as_slice() else {
+            return None;
+        };
+        let key = HistoryKey {
+            op: op.to_string(),
+            platform: platform.to_string(),
+            nprocs: nprocs.parse().ok()?,
+            msg_bytes: msg_bytes.parse().ok()?,
+        };
+        key.validate().ok()?;
+        Some(key)
     }
 }
 
@@ -50,6 +116,9 @@ pub struct HistoryEntry {
     pub winner: String,
     /// Its measured robust score in seconds (for staleness heuristics).
     pub score: f64,
+    /// Relative gap to the runner-up, `(second - best) / best`
+    /// (0.0 when unknown or when the set has a single candidate).
+    pub margin: f64,
 }
 
 /// The persistent winner store.
@@ -66,7 +135,7 @@ pub struct HistoryEntry {
 ///     msg_bytes: 131072,
 /// };
 /// let mut store = HistoryStore::new();
-/// store.put(key.clone(), "pairwise", 1.2e-3);
+/// store.put(key.clone(), "pairwise", 1.2e-3).unwrap();
 /// let text = store.to_string_repr();
 /// let reloaded = HistoryStore::from_string_repr(&text);
 /// assert_eq!(reloaded.get(&key).unwrap().winner, "pairwise");
@@ -74,6 +143,8 @@ pub struct HistoryEntry {
 #[derive(Debug, Default)]
 pub struct HistoryStore {
     entries: BTreeMap<HistoryKey, HistoryEntry>,
+    generation: u64,
+    context: String,
 }
 
 impl HistoryStore {
@@ -82,15 +153,39 @@ impl HistoryStore {
         HistoryStore::default()
     }
 
-    /// Record (or overwrite) a decision.
-    pub fn put(&mut self, key: HistoryKey, winner: &str, score: f64) {
+    /// Record (or overwrite) a decision with no margin information.
+    pub fn put(&mut self, key: HistoryKey, winner: &str, score: f64) -> Result<(), HistoryError> {
+        self.put_decision(key, winner, score, 0.0)
+    }
+
+    /// Record (or overwrite) a full decision.
+    pub fn put_decision(
+        &mut self,
+        key: HistoryKey,
+        winner: &str,
+        score: f64,
+        margin: f64,
+    ) -> Result<(), HistoryError> {
+        key.validate()?;
+        // The winner lives in a tab-delimited field, so only the line
+        // format's own separators are reserved here — '|' is fine.
+        if winner.is_empty() {
+            return Err(HistoryError("winner must not be empty".into()));
+        }
+        if let Some(c) = winner.chars().find(|c| ['\t', '\n', '\r'].contains(c)) {
+            return Err(HistoryError(format!(
+                "winner {winner:?} contains reserved character {c:?}"
+            )));
+        }
         self.entries.insert(
             key,
             HistoryEntry {
                 winner: winner.to_string(),
                 score,
+                margin,
             },
         );
+        Ok(())
     }
 
     /// Look up a decision.
@@ -108,39 +203,116 @@ impl HistoryStore {
         self.entries.is_empty()
     }
 
+    /// Drop every stored decision (the context and generation survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Save counter: bumped on every successful [`HistoryStore::save`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The environment fingerprint the entries were measured under.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Set the environment fingerprint (must not contain tabs/newlines).
+    pub fn set_context(&mut self, ctx: &str) -> Result<(), HistoryError> {
+        if ctx.chars().any(|c| c == '\t' || c == '\n' || c == '\r') {
+            return Err(HistoryError(format!(
+                "context {ctx:?} contains a reserved character"
+            )));
+        }
+        self.context = ctx.to_string();
+        Ok(())
+    }
+
     /// Serialize to the line format.
     pub fn to_string_repr(&self) -> String {
         let mut out = String::new();
-        out.push_str("# adcl-rs history v1\n");
+        out.push_str("# adcl-rs history v2\n");
+        let _ = writeln!(out, "# gen {}", self.generation);
+        if !self.context.is_empty() {
+            let _ = writeln!(out, "# ctx {}", self.context);
+        }
         for (k, e) in &self.entries {
-            let _ = writeln!(out, "{}\t{}\t{:.9e}", k.encode(), e.winner, e.score);
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{:.17e}\t{:.17e}",
+                k.encode(),
+                e.winner,
+                e.score,
+                e.margin
+            );
         }
         out
     }
 
-    /// Parse the line format (ignores comments and malformed lines).
+    /// Parse the line format (ignores comments and malformed lines;
+    /// understands both v1 three-field and v2 four-field entry lines).
     pub fn from_string_repr(s: &str) -> HistoryStore {
         let mut store = HistoryStore::new();
         for line in s.lines() {
             let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+            if line.is_empty() {
                 continue;
             }
-            let mut parts = line.split('\t');
-            let (Some(k), Some(w), Some(sc)) = (parts.next(), parts.next(), parts.next()) else {
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim();
+                if let Some(g) = rest.strip_prefix("gen ") {
+                    store.generation = g.trim().parse().unwrap_or(0);
+                } else if let Some(c) = rest.strip_prefix("ctx ") {
+                    store.context = c.trim().to_string();
+                }
                 continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            let (k, w, sc, mg) = match parts.as_slice() {
+                [k, w, sc] => (*k, *w, *sc, None),
+                [k, w, sc, mg] => (*k, *w, *sc, Some(*mg)),
+                _ => continue,
             };
             let (Some(key), Ok(score)) = (HistoryKey::decode(k), sc.parse::<f64>()) else {
                 continue;
             };
-            store.put(key, w, score);
+            let margin = mg.and_then(|m| m.parse::<f64>().ok()).unwrap_or(0.0);
+            let _ = store.put_decision(key, w, score, margin);
         }
         store
     }
 
-    /// Write the store to a file.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.to_string_repr())
+    /// Write the store to a file atomically: the serialized form goes to a
+    /// temp file in the *same directory* and is renamed over the target,
+    /// so a concurrent `load` (or a crash mid-write) sees either the old
+    /// complete file or the new complete file — never a torn one.
+    /// Bumps the generation counter on success.
+    pub fn save(&mut self, path: &Path) -> io::Result<()> {
+        self.generation += 1;
+        let repr = self.to_string_repr();
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+        let tmp_name = format!(
+            ".{}.tmp.{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        );
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        let write_and_swap = (|| {
+            std::fs::write(&tmp, &repr)?;
+            std::fs::rename(&tmp, path)
+        })();
+        if write_and_swap.is_err() {
+            self.generation -= 1;
+            let _ = std::fs::remove_file(&tmp);
+        }
+        write_and_swap
     }
 
     /// Load a store from a file (empty store if the file does not exist).
@@ -169,8 +341,9 @@ mod tests {
     #[test]
     fn roundtrip_through_text() {
         let mut s = HistoryStore::new();
-        s.put(key("ialltoall", 32), "pairwise", 1.5e-3);
-        s.put(key("ibcast", 128), "binomial-seg64k", 2.25e-4);
+        s.put(key("ialltoall", 32), "pairwise", 1.5e-3).unwrap();
+        s.put(key("ibcast", 128), "binomial-seg64k", 2.25e-4)
+            .unwrap();
         let text = s.to_string_repr();
         let back = HistoryStore::from_string_repr(&text);
         assert_eq!(back.len(), 2);
@@ -189,8 +362,8 @@ mod tests {
     #[test]
     fn overwrite_updates() {
         let mut s = HistoryStore::new();
-        s.put(key("op", 4), "a", 1.0);
-        s.put(key("op", 4), "b", 0.5);
+        s.put(key("op", 4), "a", 1.0).unwrap();
+        s.put(key("op", 4), "b", 0.5).unwrap();
         assert_eq!(s.get(&key("op", 4)).unwrap().winner, "b");
         assert_eq!(s.len(), 1);
     }
@@ -201,13 +374,18 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("history.tsv");
         let mut s = HistoryStore::new();
-        s.put(key("ialltoall", 16), "dissemination", 3.0e-5);
+        // A score with a busy mantissa: must survive save→load bit-exactly.
+        let score = 3.0e-5 * std::f64::consts::PI;
+        let margin = 0.1 * std::f64::consts::E;
+        s.put_decision(key("ialltoall", 16), "dissemination", score, margin)
+            .unwrap();
         s.save(&path).unwrap();
         let back = HistoryStore::load(&path).unwrap();
-        assert_eq!(
-            back.get(&key("ialltoall", 16)).unwrap().winner,
-            "dissemination"
-        );
+        let e = back.get(&key("ialltoall", 16)).unwrap();
+        assert_eq!(e.winner, "dissemination");
+        assert_eq!(e.score.to_bits(), score.to_bits(), "score not bit-exact");
+        assert_eq!(e.margin.to_bits(), margin.to_bits(), "margin not bit-exact");
+        assert_eq!(back.generation(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -215,5 +393,154 @@ mod tests {
     fn missing_file_is_empty() {
         let s = HistoryStore::load(Path::new("/nonexistent/adcl/history.tsv")).unwrap();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn hostile_names_rejected_at_put() {
+        let mut s = HistoryStore::new();
+        for op in ["a|b", "a\tb", "a\nb", "a\rb", ""] {
+            let k = HistoryKey {
+                op: op.into(),
+                platform: "whale".into(),
+                nprocs: 8,
+                msg_bytes: 64,
+            };
+            assert!(s.put(k, "linear", 1.0).is_err(), "op {op:?} accepted");
+        }
+        let k = key("ibcast", 8);
+        assert!(s.put(k.clone(), "bad\twinner", 1.0).is_err());
+        assert!(s.put(k.clone(), "bad\nwinner", 1.0).is_err());
+        // '|' is only reserved in key components, not the winner field.
+        assert!(s.put(k, "odd|but|fine", 1.0).is_ok());
+        let mut hostile_platform = HistoryStore::new();
+        let k = HistoryKey {
+            op: "ibcast".into(),
+            platform: "whale|tcp".into(),
+            nprocs: 8,
+            msg_bytes: 64,
+        };
+        assert!(hostile_platform.put(k, "linear", 1.0).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_extra_and_missing_fields() {
+        assert!(HistoryKey::decode("a|b|1|2").is_some());
+        assert!(HistoryKey::decode("a|b|1|2|junk").is_none(), "extra field");
+        assert!(HistoryKey::decode("a|b|1").is_none(), "missing field");
+        assert!(HistoryKey::decode("a|b|x|2").is_none(), "non-numeric");
+        assert!(HistoryKey::decode("|b|1|2").is_none(), "empty op");
+        // A line whose key smuggles extra separators must not shift fields.
+        let text = "evil|op|whale|8|64\tlinear\t1.0\n";
+        assert!(HistoryStore::from_string_repr(text).is_empty());
+    }
+
+    #[test]
+    fn hostile_roundtrip_stays_isomorphic() {
+        // Every accepted put must come back as the same key — no field
+        // shifting, no entry splitting or merging.
+        let mut s = HistoryStore::new();
+        let keys = [
+            key("ialltoall-ext", 8),
+            key("op.with.dots", 16),
+            key("op with spaces", 32),
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            s.put(k.clone(), &format!("w{i}"), i as f64).unwrap();
+        }
+        let back = HistoryStore::from_string_repr(&s.to_string_repr());
+        assert_eq!(back.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(back.get(k).unwrap().winner, format!("w{i}"));
+        }
+    }
+
+    #[test]
+    fn context_and_generation_roundtrip() {
+        let mut s = HistoryStore::new();
+        s.set_context("s7/d0.001").unwrap();
+        assert!(s.set_context("bad\tctx").is_err());
+        s.put(key("ibcast", 8), "linear", 1.0).unwrap();
+        let dir = std::env::temp_dir().join(format!("adcl-hist-ctx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.tsv");
+        s.save(&path).unwrap();
+        s.save(&path).unwrap();
+        let back = HistoryStore::load(&path).unwrap();
+        assert_eq!(back.context(), "s7/d0.001");
+        assert_eq!(back.generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let text = "# adcl-rs history v1\nialltoall|whale|8|64\tlinear\t1.500000000e-3\n";
+        let s = HistoryStore::from_string_repr(text);
+        let e = s.get(&key2("ialltoall", "whale", 8, 64)).unwrap();
+        assert_eq!(e.winner, "linear");
+        assert_eq!(e.margin, 0.0);
+    }
+
+    fn key2(op: &str, platform: &str, n: usize, m: usize) -> HistoryKey {
+        HistoryKey {
+            op: op.into(),
+            platform: platform.into(),
+            nprocs: n,
+            msg_bytes: m,
+        }
+    }
+
+    #[test]
+    fn atomic_save_never_partially_visible() {
+        // A reader loading in a loop while a writer repeatedly saves must
+        // only ever observe a complete snapshot: len == 0 (no file yet)
+        // or len == N (full store). A torn write would surface as some
+        // intermediate length.
+        let dir = std::env::temp_dir().join(format!(
+            "adcl-hist-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.tsv");
+        const N: usize = 400;
+        let mut s = HistoryStore::new();
+        for i in 0..N {
+            s.put(key("ibcast", i + 1), "binomial-seg64k-long-name", 1.0e-3)
+                .unwrap();
+        }
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let path = path.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let got = HistoryStore::load(&path).unwrap();
+                    assert!(
+                        got.is_empty() || got.len() == N,
+                        "observed torn file with {} entries",
+                        got.len()
+                    );
+                    if got.len() == N {
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        for _ in 0..60 {
+            s.save(&path).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let complete_loads = reader.join().unwrap();
+        assert!(complete_loads > 0, "reader never saw a complete snapshot");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

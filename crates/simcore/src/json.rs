@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,81 @@ impl Json {
     /// The numeric value as u64 (truncating), if this is a number.
     pub fn as_u64(&self) -> Option<u64> {
         self.as_f64().map(|n| n as u64)
+    }
+
+    /// Build an object from key/value pairs (keys sort, duplicates last-win).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build a number value.
+    pub fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    /// Serialize to compact JSON text.
+    ///
+    /// Deterministic: objects render in key order (they are `BTreeMap`s)
+    /// and numbers use Rust's shortest-round-trip `f64` formatting, so
+    /// `parse(render(v)) == v` bit-exactly for finite numbers. Non-finite
+    /// numbers become `null` (JSON has no representation for them).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&crate::trace::escape(s));
+                out.push('"');
+            }
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    e.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&crate::trace::escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
     }
 }
 
@@ -412,5 +488,37 @@ mod tests {
         let v = parse(&doc).unwrap();
         let inner = &v.get(key).unwrap().as_arr().unwrap()[0];
         assert_eq!(inner.get(key).and_then(|s| s.as_str()), Some(val));
+    }
+
+    #[test]
+    fn render_roundtrips_bit_exactly() {
+        let v = Json::obj([
+            ("pi", Json::num(std::f64::consts::PI)),
+            ("neg", Json::num(-1.5e-300)),
+            ("int", Json::num(42.0)),
+            ("s", Json::str("quote \" tab \t nl \n unicode é")),
+            (
+                "arr",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::num(0.1)]),
+            ),
+            ("empty", Json::Obj(Default::default())),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v, "parse(render(v)) != v");
+        // Rendering is canonical: a second round-trip is byte-identical.
+        assert_eq!(parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let v = Json::obj([("b", Json::num(2.0)), ("a", Json::num(1.0))]);
+        assert_eq!(v.render(), r#"{"a":1,"b":2}"#);
+        assert_eq!(v.to_string(), v.render());
+    }
+
+    #[test]
+    fn render_maps_nonfinite_to_null() {
+        assert_eq!(Json::num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::num(f64::NAN).render(), "null");
     }
 }

@@ -248,6 +248,61 @@ if [ -n "$GUIDELINES_FULL" ]; then
     echo "   full sweep: deterministic and jobs-invariant"
 fi
 
+echo "== adcld smoke: daemon serves, learns, and survives a restart"
+# Tuning-as-a-service gate: a cold query sweeps, its repeat must be a
+# history hit with the byte-identical decision, and after a shutdown a
+# fresh daemon on the same history file must serve the same bytes again.
+adcld_dir=/tmp/verify_adcld.$$
+rm -rf "$adcld_dir"
+mkdir -p "$adcld_dir"
+adcld_q='{"id":7,"op":"ialltoall","platform":"whale","nprocs":4,"msg_bytes":4608}'
+adcld_start() {
+    rm -f "$adcld_dir/addr.txt"
+    ./target/release/adcld --listen 127.0.0.1:0 --history "$adcld_dir/history.tsv" \
+        --checkpoint-every 1 --addr-file "$adcld_dir/addr.txt" >"$adcld_dir/$1.log" 2>&1 &
+    adcld_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$adcld_dir/addr.txt" ] && break
+        sleep 0.1
+    done
+    if ! [ -s "$adcld_dir/addr.txt" ]; then
+        echo "FAIL: adcld did not write its address file" >&2
+        cat "$adcld_dir/$1.log" >&2 || true
+        kill "$adcld_pid" 2>/dev/null || true
+        exit 1
+    fi
+    adcld_addr=$(head -1 "$adcld_dir/addr.txt")
+}
+adcld_start boot
+cold=$(./target/release/adcld_bench --connect "$adcld_addr" --query "$adcld_q")
+warm=$(./target/release/adcld_bench --connect "$adcld_addr" --query "$adcld_q")
+./target/release/adcld_bench --connect "$adcld_addr" --shutdown >/dev/null
+wait "$adcld_pid"
+if ! printf '%s' "$warm" | grep -q '"source":"history-hit"'; then
+    echo "FAIL: repeated adcld query was not a history hit: $warm" >&2
+    rm -rf "$adcld_dir"
+    exit 1
+fi
+cold_dec=$(printf '%s' "$cold" | grep -o '"decision":{[^}]*}')
+warm_dec=$(printf '%s' "$warm" | grep -o '"decision":{[^}]*}')
+if [ -z "$cold_dec" ] || [ "$cold_dec" != "$warm_dec" ]; then
+    echo "FAIL: adcld cold and warm decisions differ" >&2
+    printf 'cold: %s\nwarm: %s\n' "$cold" "$warm" >&2
+    rm -rf "$adcld_dir"
+    exit 1
+fi
+adcld_start restart
+warm2=$(./target/release/adcld_bench --connect "$adcld_addr" --query "$adcld_q")
+./target/release/adcld_bench --connect "$adcld_addr" --shutdown >/dev/null
+wait "$adcld_pid"
+rm -rf "$adcld_dir"
+if [ "$warm2" != "$warm" ]; then
+    echo "FAIL: restarted adcld served different bytes for the same query" >&2
+    printf 'before: %s\nafter : %s\n' "$warm" "$warm2" >&2
+    exit 1
+fi
+echo "   cold sweep -> history hit, decision byte-identical across restart"
+
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
 # shellcheck disable=SC2086  # PROFILE_FLAG is intentionally word-split
@@ -255,7 +310,7 @@ traj=$(./target/release/perf_trajectory --quick --jobs 8 $PROFILE_FLAG)
 printf '%s\n' "$traj"
 
 echo "== schema tags: every BENCH document must carry its expected version"
-for pair in "BENCH_engine.json adcl-bench-engine-v6" "BENCH_guidelines.json adcl-guidelines-v1"; do
+for pair in "BENCH_engine.json adcl-bench-engine-v7" "BENCH_guidelines.json adcl-guidelines-v1"; do
     file=${pair%% *}
     tag=${pair##* }
     if ! grep -q "\"schema\": \"$tag\"" "$file"; then
@@ -292,6 +347,20 @@ if ! printf '%s\n' "$traj" | grep -q 'world_scale: partition-invariance OK'; the
     exit 1
 fi
 echo "   $(printf '%s\n' "$traj" | grep 'world_scale: partition-invariance OK')"
+
+echo "== adcld_serve: warm traffic must be history/memo hits only (hard)"
+# perf_trajectory drives the in-process daemon through cold/warm/mixed
+# load and exits non-zero if any warm request re-simulated; require the
+# OK line and the v7 report section so a skipped phase can't pass.
+if ! printf '%s\n' "$traj" | grep -q 'adcld_serve: warm traffic served from history/memo only'; then
+    echo "FAIL: perf_trajectory did not report the adcld_serve warm-traffic gate" >&2
+    exit 1
+fi
+if ! grep -q '"adcld_serve"' BENCH_engine.json; then
+    echo "FAIL: BENCH_engine.json carries no adcld_serve section" >&2
+    exit 1
+fi
+echo "   $(printf '%s\n' "$traj" | grep 'adcld_serve: warm traffic')"
 
 echo "== scaling gate (clamped-aware, hard)"
 # Schema v6 marks every row that requested more workers than the host has

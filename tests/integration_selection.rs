@@ -171,7 +171,7 @@ fn history_store_skips_learning_phase() {
         nprocs: s.nprocs,
         msg_bytes: s.msg_bytes,
     };
-    store.put(key.clone(), &winner, 0.0);
+    store.put(key.clone(), &winner, 0.0).expect("clean key");
     // Second execution: look up and pin.
     let text = store.to_string_repr();
     let reloaded = HistoryStore::from_string_repr(&text);
