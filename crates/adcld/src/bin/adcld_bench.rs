@@ -9,6 +9,15 @@
 //! adcld_bench [--quick|--full] [--jobs N] [--clients N]
 //! ```
 //!
+//! Admission-gate mode (used by `scripts/verify.sh`): spawn an
+//! in-process service, submit 8 *distinct* cold queries before reading
+//! any response, and exit non-zero unless they were admitted to the
+//! worker pool in at most 2 batched sweeps (`adcld.sweep_admissions`).
+//!
+//! ```text
+//! adcld_bench --admission-gate [--jobs N]
+//! ```
+//!
 //! Client mode: talk to a running daemon (used by `scripts/verify.sh`).
 //!
 //! ```text
@@ -18,9 +27,77 @@
 
 use adcld::loadgen;
 use adcld::protocol;
+use adcld::service::{Query, Service, ServiceConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::exit;
+
+/// Queue-wait vs sweep-execution split (satellite of the racing PR):
+/// `adcld.queue_wait_ms` is admission latency (submit → pool admission),
+/// `adcld.sweep_ms` is per-key compute time inside the admission.
+fn print_latency_split() {
+    for name in ["adcld.queue_wait_ms", "adcld.sweep_ms"] {
+        let h = simcore::metrics::histogram(name);
+        println!(
+            "{name}: count={} mean={:.1}ms max={}ms",
+            h.count(),
+            h.mean(),
+            h.max()
+        );
+    }
+}
+
+/// Concurrent-cold admission gate: 8 distinct cold keys submitted
+/// before any response is read must coalesce into at most 2 pool
+/// admissions (a primer key absorbs the scheduler-wakeup race; the
+/// remaining 8 queue up behind it and drain as one batch).
+fn admission_gate(jobs: usize) {
+    let svc = match Service::start(ServiceConfig {
+        jobs,
+        ..ServiceConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("adcld_bench: admission gate: {e}");
+            exit(1);
+        }
+    };
+    let query = |msg_bytes: usize| Query {
+        op: "ialltoall".into(),
+        platform: "whale".into(),
+        nprocs: 4,
+        msg_bytes,
+    };
+    // Primer (served to completion first, so the scheduler is idle), then
+    // 8 distinct gate keys enqueued atomically via submit_batch: all 8
+    // are cold-concurrent and must drain as one pool admission.
+    if let Err(e) = svc.submit(&query(256)).recv().expect("primer response") {
+        eprintln!("adcld_bench: admission gate primer failed: {}", e.message);
+        exit(1);
+    }
+    let sizes = [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+    let queries: Vec<Query> = sizes.iter().map(|&b| query(b)).collect();
+    for rx in svc.submit_batch(&queries) {
+        if let Err(e) = rx.recv().expect("one response per query") {
+            eprintln!("adcld_bench: admission gate query failed: {}", e.message);
+            exit(1);
+        }
+    }
+    let delta = svc.stats().sweep_admissions;
+    svc.shutdown(false);
+    print_latency_split();
+    // Primer included: one admission for it, at most one for the batch.
+    if delta > 2 {
+        eprintln!(
+            "adcld_bench: FAIL: 8 distinct cold queries took {delta} pool admissions \
+             (expected <= 2 including the primer)"
+        );
+        exit(1);
+    }
+    println!(
+        "adcld_admission: 8 distinct cold queries admitted in {delta} pool admission(s) (<= 2) OK"
+    );
+}
 
 fn one_shot(addr: &str, line: &str) -> std::io::Result<String> {
     let stream = TcpStream::connect(addr)?;
@@ -41,6 +118,7 @@ fn main() {
     let mut connect: Option<String> = None;
     let mut query: Option<String> = None;
     let mut shutdown = false;
+    let mut gate = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -67,9 +145,11 @@ fn main() {
             "--connect" => connect = Some(value("--connect")),
             "--query" => query = Some(value("--query")),
             "--shutdown" => shutdown = true,
+            "--admission-gate" => gate = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: adcld_bench [--quick|--full] [--jobs N] [--clients N]\n\
+                     \x20      adcld_bench --admission-gate [--jobs N]\n\
                      \x20      adcld_bench --connect ADDR (--query JSON | --shutdown)"
                 );
                 exit(2);
@@ -97,6 +177,11 @@ fn main() {
                 exit(1);
             }
         }
+        return;
+    }
+
+    if gate {
+        admission_gate(jobs);
         return;
     }
 
@@ -135,6 +220,7 @@ fn main() {
         );
         exit(1);
     }
+    print_latency_split();
     println!(
         "adcld_serve: warm traffic served from history/memo only ({} requests)",
         warm.requests

@@ -199,6 +199,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
                     ("history_len", Json::num(svc.history_len() as f64)),
                     ("memo_replays", Json::num(s.memo_replays as f64)),
                     ("requests", Json::num(s.requests as f64)),
+                    ("sweep_admissions", Json::num(s.sweep_admissions as f64)),
                 ]);
                 (protocol::render_ack(&id, [("stats", stats)]), false)
             }

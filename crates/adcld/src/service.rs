@@ -7,10 +7,20 @@
 //!    the key: answered synchronously under the state lock, O(1).
 //! 2. **coalesce** — an identical query is already in flight: the caller
 //!    is appended to that sweep's waiter list (no second sweep).
-//! 3. **sweep** — the key is queued for the scheduler thread, which runs
-//!    every implementation through `MicrobenchSpec::run_all_fixed_jobs`
-//!    on the `simcore::par` worker pool. `adcl::simmemo` sits under that,
-//!    so a sweep whose points all replay is tagged `memo-replay`.
+//! 3. **sweep** — the key is queued for the scheduler thread. Each
+//!    scheduler wakeup drains *every* distinct queued key into one batch
+//!    and submits the whole batch to the `simcore::par` worker pool as a
+//!    single cost-aware admission (`par_map_costed`), so N concurrent
+//!    cold queries cost one pool sweep instead of N serialized ones. A
+//!    batch of one bypasses the outer fan-out so a lone cold query keeps
+//!    the pool for its own inner sweep. Per key, the default measurement
+//!    is a racing-tuned probe (`SelectionLogic::Racing`, overridable via
+//!    `NBC_RACING`); with racing off the probe runs every implementation
+//!    through `MicrobenchSpec::run_all_fixed_jobs` exactly as before.
+//!    `adcl::simmemo` sits under both paths, so a sweep whose points all
+//!    replay is tagged `memo-replay`. Queue-wait (admission latency) and
+//!    sweep execution are recorded in separate histograms
+//!    (`adcld.queue_wait_ms` / `adcld.sweep_ms`).
 //!
 //! Durability contract: decisions enter the in-memory store immediately
 //! and hit disk via atomic checkpoint saves every
@@ -121,6 +131,9 @@ pub struct ServiceStats {
     pub fresh_sweeps: u64,
     /// Fresh sweeps whose winner a guideline probe flagged as dominated.
     pub guideline_flagged: u64,
+    /// Scheduler batches admitted to the worker pool (one per wakeup
+    /// drain — N concurrent cold keys share a single admission).
+    pub sweep_admissions: u64,
     /// Queries rejected or failed.
     pub errors: u64,
 }
@@ -133,13 +146,16 @@ struct Counters {
     memo_replays: AtomicU64,
     fresh_sweeps: AtomicU64,
     guideline_flagged: AtomicU64,
+    sweep_admissions: AtomicU64,
     errors: AtomicU64,
 }
 
 struct SchedState {
     history: HistoryStore,
     dirty: u64,
-    queue: VecDeque<HistoryKey>,
+    /// Cold keys awaiting a sweep, with their enqueue instant (feeds the
+    /// `adcld.queue_wait_ms` histogram at admission time).
+    queue: VecDeque<(HistoryKey, Instant)>,
     in_flight: HashMap<HistoryKey, Vec<mpsc::Sender<ServeResult>>>,
     shutdown: bool,
 }
@@ -150,6 +166,9 @@ pub struct Service {
     cfg: ServiceConfig,
     ctx: String,
     stale_dropped: usize,
+    /// Racing block size for cold probes; `None` = classic per-candidate
+    /// fixed sweeps (`NBC_RACING=off`). Resolved once at startup.
+    racing: Option<usize>,
     state: Mutex<SchedState>,
     wake: Condvar,
     counters: Counters,
@@ -181,10 +200,19 @@ impl Service {
         history
             .set_context(&ctx)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        // The daemon is the racing default's home: its cold path is the
+        // bottleneck racing exists for, and the parity gate covers it.
+        // `NBC_RACING=off` restores the classic fixed sweeps bit-exactly.
+        let racing = match adcl::strategy::racing_env() {
+            adcl::strategy::RacingEnv::Off => None,
+            adcl::strategy::RacingEnv::On(block) => Some(block),
+            adcl::strategy::RacingEnv::Unset => Some(adcl::strategy::DEFAULT_RACING_BLOCK),
+        };
         let svc = Arc::new(Service {
             cfg,
             ctx,
             stale_dropped,
+            racing,
             state: Mutex::new(SchedState {
                 history,
                 dirty: 0,
@@ -233,6 +261,7 @@ impl Service {
             memo_replays: c.memo_replays.load(Ordering::Relaxed),
             fresh_sweeps: c.fresh_sweeps.load(Ordering::Relaxed),
             guideline_flagged: c.guideline_flagged.load(Ordering::Relaxed),
+            sweep_admissions: c.sweep_admissions.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
         }
     }
@@ -274,53 +303,78 @@ impl Service {
     /// (immediately for history hits and invalid queries; after the sweep
     /// otherwise).
     pub fn submit(&self, q: &Query) -> mpsc::Receiver<ServeResult> {
-        let (tx, rx) = mpsc::channel();
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        metrics::counter("adcld.requests").inc();
-        let key = match self.validate(q) {
-            Ok(key) => key,
-            Err(e) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = tx.send(Err(e));
-                return rx;
-            }
-        };
+        self.submit_batch(std::slice::from_ref(q))
+            .pop()
+            .expect("one receiver per query")
+    }
+
+    /// Submit several queries under one lock acquisition. Every cold key
+    /// lands in the scheduler queue atomically, so a single wakeup drains
+    /// them into one pool admission — the deterministic N-cold-queries →
+    /// one-sweep contract the admission gate checks (per-key [`submit`]
+    /// calls batch only as well as thread timing allows).
+    ///
+    /// [`submit`]: Service::submit
+    pub fn submit_batch(&self, qs: &[Query]) -> Vec<mpsc::Receiver<ServeResult>> {
+        let mut rxs = Vec::with_capacity(qs.len());
+        // History hits audit and respond outside the lock.
+        let mut hits: Vec<(HistoryKey, Served, mpsc::Sender<ServeResult>)> = Vec::new();
+        let mut queued = false;
         let mut st = self.lock();
-        if st.shutdown {
-            self.counters.errors.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Err(ServeError {
-                kind: "shutting-down",
-                message: "service is shutting down".into(),
-            }));
-            return rx;
-        }
-        if let Some(e) = st.history.get(&key) {
-            self.counters.history_hits.fetch_add(1, Ordering::Relaxed);
-            metrics::counter("adcld.history_hits").inc();
-            let served = Served {
-                decision: Decision {
-                    winner: e.winner.clone(),
-                    score: e.score,
-                    margin: e.margin,
-                },
-                source: SOURCE_HISTORY_HIT,
+        for q in qs {
+            let (tx, rx) = mpsc::channel();
+            rxs.push(rx);
+            self.counters.requests.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("adcld.requests").inc();
+            let key = match self.validate(q) {
+                Ok(key) => key,
+                Err(e) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Err(e));
+                    continue;
+                }
             };
-            drop(st);
+            if st.shutdown {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Err(ServeError {
+                    kind: "shutting-down",
+                    message: "service is shutting down".into(),
+                }));
+                continue;
+            }
+            if let Some(e) = st.history.get(&key) {
+                self.counters.history_hits.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("adcld.history_hits").inc();
+                let served = Served {
+                    decision: Decision {
+                        winner: e.winner.clone(),
+                        score: e.score,
+                        margin: e.margin,
+                    },
+                    source: SOURCE_HISTORY_HIT,
+                };
+                hits.push((key, served, tx));
+                continue;
+            }
+            if let Some(waiters) = st.in_flight.get_mut(&key) {
+                waiters.push(tx);
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("adcld.coalesced").inc();
+                continue;
+            }
+            st.in_flight.insert(key.clone(), vec![tx]);
+            st.queue.push_back((key, Instant::now()));
+            queued = true;
+        }
+        drop(st);
+        for (key, served, tx) in hits {
             self.audit(&key, &served);
             let _ = tx.send(Ok(served));
-            return rx;
         }
-        if let Some(waiters) = st.in_flight.get_mut(&key) {
-            waiters.push(tx);
-            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            metrics::counter("adcld.coalesced").inc();
-            return rx;
+        if queued {
+            self.wake.notify_one();
         }
-        st.in_flight.insert(key.clone(), vec![tx]);
-        st.queue.push_back(key);
-        drop(st);
-        self.wake.notify_one();
-        rx
+        rxs
     }
 
     fn audit(&self, key: &HistoryKey, served: &Served) {
@@ -339,11 +393,11 @@ impl Service {
 
     fn sched_loop(&self) {
         loop {
-            let key = {
+            let batch: Vec<(HistoryKey, Instant)> = {
                 let mut st = self.lock();
                 loop {
-                    if let Some(k) = st.queue.pop_front() {
-                        break k;
+                    if !st.queue.is_empty() {
+                        break st.queue.drain(..).collect();
                     }
                     if st.shutdown {
                         return;
@@ -351,8 +405,48 @@ impl Service {
                     st = self.wake.wait(st).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            self.sweep_and_respond(key);
+            self.admit_batch(batch);
         }
+    }
+
+    /// One cost-aware pool admission for every key drained this wakeup.
+    /// A batch of one runs on the scheduler thread directly so the lone
+    /// sweep keeps the worker pool for its own inner fan-out; larger
+    /// batches go through `par_map_costed` (nested pool submissions
+    /// degrade to serial), so N concurrent cold queries cost one pool
+    /// sweep instead of N serialized ones.
+    fn admit_batch(&self, batch: Vec<(HistoryKey, Instant)>) {
+        self.counters
+            .sweep_admissions
+            .fetch_add(1, Ordering::Relaxed);
+        metrics::counter("adcld.sweep_admissions").inc();
+        for (_, enqueued) in &batch {
+            metrics::histogram("adcld.queue_wait_ms").record(enqueued.elapsed().as_millis() as u64);
+        }
+        if batch.len() == 1 {
+            let (key, _) = batch.into_iter().next().expect("non-empty batch");
+            let result = self.timed_compute(&key);
+            self.respond(key, result);
+            return;
+        }
+        let est = batch
+            .iter()
+            .map(|(k, _)| self.probe_spec(k).est_run_nanos().saturating_mul(3))
+            .max()
+            .unwrap_or(0);
+        let results = simcore::par::par_map_costed(self.cfg.jobs, &batch, est, |_, (key, _)| {
+            (key.clone(), self.timed_compute(key))
+        });
+        for (key, result) in results {
+            self.respond(key, result);
+        }
+    }
+
+    fn timed_compute(&self, key: &HistoryKey) -> ServeResult {
+        let t0 = Instant::now();
+        let result = self.compute(key);
+        metrics::histogram("adcld.sweep_ms").record(t0.elapsed().as_millis() as u64);
+        result
     }
 
     /// Deterministic probe scenario for a query key: fixed loop shape, a
@@ -390,6 +484,30 @@ impl Service {
 
     fn compute(&self, key: &HistoryKey) -> ServeResult {
         let spec = self.probe_spec(key);
+        if let Some(block) = self.racing {
+            let logic = adcl::strategy::SelectionLogic::Racing(block);
+            let (out, replayed) = spec.run_memo_flagged(logic);
+            let winner = out.winner.clone().ok_or_else(|| ServeError {
+                kind: "unmeasurable",
+                message: format!("no implementation of {:?} completed", key.op),
+            })?;
+            let mut source = if replayed {
+                SOURCE_MEMO_REPLAY
+            } else {
+                SOURCE_FRESH_SWEEP
+            };
+            if self.cfg.guidelines && self.winner_dominated(key, &winner) {
+                source = SOURCE_GUIDELINE_FLAGGED;
+            }
+            return Ok(Served {
+                decision: Decision {
+                    winner,
+                    score: out.total,
+                    margin: out.margin,
+                },
+                source,
+            });
+        }
         let (rows, replayed) = spec.run_all_fixed_jobs_flagged(self.cfg.jobs);
         let (best_name, best) = rows
             .iter()
@@ -453,10 +571,7 @@ impl Service {
         best.is_finite() && winner_t > best * (1.0 + guidelines::FLAG_TOLERANCE)
     }
 
-    fn sweep_and_respond(&self, key: HistoryKey) {
-        let t0 = Instant::now();
-        let result = self.compute(&key);
-        metrics::histogram("adcld.sweep_ms").record(t0.elapsed().as_millis() as u64);
+    fn respond(&self, key: HistoryKey, result: ServeResult) {
         match &result {
             Ok(served) => {
                 let counter = match served.source {

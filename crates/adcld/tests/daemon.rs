@@ -117,6 +117,40 @@ fn duplicate_concurrent_queries_coalesce_to_one_sweep() {
 }
 
 #[test]
+fn concurrent_distinct_cold_queries_share_few_pool_admissions() {
+    let svc = Service::start(ServiceConfig::default()).expect("start");
+    // Primer (served first, leaving the scheduler idle), then 8 distinct
+    // cold keys enqueued atomically with submit_batch: one wakeup must
+    // drain them into a single batched admission (at most two total).
+    let query = |msg_bytes: usize| Query {
+        op: "ialltoall".into(),
+        platform: "whale".into(),
+        nprocs: 4,
+        msg_bytes,
+    };
+    svc.submit(&query(320))
+        .recv()
+        .expect("primer response")
+        .expect("primer served");
+    let sizes = [640usize, 1280, 1792, 2304, 2816, 3328, 3840, 4352];
+    let queries: Vec<Query> = sizes.iter().map(|&b| query(b)).collect();
+    for rx in svc.submit_batch(&queries) {
+        rx.recv().expect("response").expect("served");
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.sweep_admissions <= 2,
+        "8 distinct cold queries must batch into <= 2 pool admissions: {stats:?}"
+    );
+    assert_eq!(
+        stats.fresh_sweeps + stats.memo_replays,
+        1 + sizes.len() as u64,
+        "every distinct key still gets its own decision: {stats:?}"
+    );
+    svc.shutdown(false);
+}
+
+#[test]
 fn kill_and_restart_resumes_from_checkpoint_with_byte_identical_responses() {
     let dir = tmp_dir("restart");
     let history = dir.join("history.tsv");

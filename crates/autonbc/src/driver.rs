@@ -139,6 +139,10 @@ pub struct MicrobenchOutcome {
     /// Implementations demoted because their microbenchmark samples timed
     /// out under fault injection, in demotion order. Empty on healthy runs.
     pub demoted: Vec<String>,
+    /// Winner margin over the best credible alternative (filtered score
+    /// for survivors, filtered lower bound for racing-eliminated
+    /// candidates). `0.0` when no tuning decision was made.
+    pub margin: f64,
 }
 
 /// Why one attempt of the benchmark loop could not finish: a candidate's
@@ -221,6 +225,7 @@ impl MicrobenchSpec {
                             accounting: mpisim::RankAccounting::default(),
                             sim_events: 0,
                             demoted,
+                            margin: 0.0,
                         };
                     }
                     fnset = fnset.without(t.victim);
@@ -317,6 +322,12 @@ impl MicrobenchSpec {
         let s = runner.session;
         let tuner = &s.ops[op].tuner;
         let converged = tuner.converged_at();
+        if tuner.winner().is_some() && !matches!(logic, SelectionLogic::Fixed(_)) {
+            // Per-decision measurement economy: how many simulated events
+            // this *fresh* tuning decision cost (memo replays credit
+            // `adcl.simmemo` instead and never reach this path).
+            simcore::metrics::histogram("adcl.sweep.sim_events_per_decision").record(sim_events);
+        }
         Ok(MicrobenchOutcome {
             total: s.timers[timer].total(),
             post_learning: s.timers[timer].total_from(converged.unwrap_or(0)),
@@ -329,6 +340,7 @@ impl MicrobenchSpec {
             accounting,
             sim_events,
             demoted: Vec::new(),
+            margin: tuner.decision_margin(),
         })
     }
 

@@ -1,0 +1,116 @@
+//! Determinism matrix for racing selection (`SelectionLogic::Racing`):
+//! winners, decision audit logs, and racing metric deltas must be
+//! byte-identical across worker counts, fault profiles, and reruns —
+//! and the racing winner must agree with brute force when healthy.
+//!
+//! Everything lives in one `#[test]` because the fault override and the
+//! audit/metrics registries are process-global: parallel test threads
+//! would race on them.
+
+use autonbc::driver::{CollectiveOp, MicrobenchSpec};
+use autonbc::prelude::*;
+use mpisim::fault::{set_override, FaultConfig};
+
+fn specs() -> Vec<MicrobenchSpec> {
+    let mk = |platform: Platform, op, nprocs, msg_bytes, seed| MicrobenchSpec {
+        platform,
+        nprocs,
+        op,
+        msg_bytes,
+        iters: 12,
+        compute_total: SimTime::from_millis(12),
+        num_progress: 4,
+        noise: NoiseConfig::light(seed),
+        reps: 3,
+        placement: Placement::Block,
+        imbalance: Imbalance::None,
+    };
+    vec![
+        mk(Platform::whale(), CollectiveOp::Ialltoall, 8, 4096, 11),
+        mk(Platform::crill(), CollectiveOp::Iallgather, 6, 2048, 22),
+        mk(Platform::bluegene_p(), CollectiveOp::Ibcast, 8, 8192, 33),
+    ]
+}
+
+/// Run every spec under `Racing(2)` with `jobs` workers and render one
+/// canonical string: per-spec outcome bits, then the decision audit
+/// records sorted by label (worker append order is scheduling-dependent,
+/// the *contents* must not be), then the racing metric deltas.
+fn fingerprint(jobs: usize, specs: &[MicrobenchSpec]) -> String {
+    adcl::audit::clear();
+    let scope = simcore::metrics::Scope::begin();
+    let outs = simcore::par::par_map(jobs, specs, |_, s| s.run(SelectionLogic::Racing(2)));
+    let mut fp = String::new();
+    for out in &outs {
+        fp.push_str(&format!(
+            "winner={:?} total={:016x} margin={:016x} events={}\n",
+            out.winner,
+            out.total.to_bits(),
+            out.margin.to_bits(),
+            out.sim_events,
+        ));
+    }
+    let mut recs = adcl::audit::records();
+    recs.sort_by(|a, b| a.label.cmp(&b.label));
+    for r in &recs {
+        fp.push_str(&r.to_json());
+        fp.push('\n');
+    }
+    let mut deltas: Vec<(&str, u64)> = scope
+        .delta()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("adcl.sweep."))
+        .collect();
+    deltas.sort();
+    for (name, v) in deltas {
+        fp.push_str(&format!("{name}={v}\n"));
+    }
+    fp
+}
+
+#[test]
+fn racing_is_byte_identical_across_jobs_faults_and_reruns() {
+    // Audit records only flow when tracing is on; restore on exit.
+    simcore::trace::set_enabled(true);
+
+    // Healthy-run parity: racing must pick the same winner brute force
+    // picks, on every matrix spec.
+    set_override(Some(FaultConfig::parse("off").expect("valid spec")));
+    for spec in &specs() {
+        let brute = spec.run(SelectionLogic::BruteForce);
+        let raced = spec.run(SelectionLogic::Racing(2));
+        assert_eq!(
+            raced.winner, brute.winner,
+            "racing winner diverged from brute force on {:?}/{}",
+            spec.op, spec.msg_bytes
+        );
+        // Interleaving shifts noise-dependent event counts a little even
+        // when nothing is eliminated; racing must never cost materially
+        // more. (The >=30% *savings* gate lives in perf_trajectory, on
+        // configs where elimination fires.)
+        assert!(
+            raced.sim_events as f64 <= brute.sim_events as f64 * 1.10,
+            "racing simulated materially more than brute force: {} vs {}",
+            raced.sim_events,
+            brute.sim_events
+        );
+    }
+
+    // Full matrix: fault profile x worker count x rerun.
+    let specs = specs();
+    for faults in ["off", "light:42", "heavy:42"] {
+        set_override(Some(FaultConfig::parse(faults).expect("valid spec")));
+        let base = fingerprint(1, &specs);
+        assert!(base.contains("winner=Some"), "no decision under {faults}");
+        for jobs in [2usize, 8] {
+            let fp = fingerprint(jobs, &specs);
+            assert_eq!(fp, base, "jobs={jobs} diverged under faults={faults}");
+        }
+        let rerun = fingerprint(1, &specs);
+        assert_eq!(rerun, base, "rerun diverged under faults={faults}");
+    }
+
+    set_override(None);
+    simcore::trace::clear_enabled_override();
+    adcl::audit::clear();
+}

@@ -30,7 +30,7 @@ fn main() {
     let modes = [
         FftMode::LibNbc,
         FftMode::BlockingMpi,
-        FftMode::Adcl(SelectionLogic::BruteForce),
+        FftMode::Adcl(bench::tuned_logic()),
     ];
     for p in procs {
         let results = fft_table(&platform, p, &cfg, &modes);

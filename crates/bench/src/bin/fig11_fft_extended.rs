@@ -56,7 +56,7 @@ fn main() {
                 p,
                 &cfg,
                 pattern,
-                FftMode::AdclExtended(SelectionLogic::BruteForce),
+                FftMode::AdclExtended(bench::tuned_logic()),
                 NoiseConfig::light(p as u64),
             );
             // Steady-state comparison over the same number of iterations:

@@ -51,7 +51,7 @@ fn main() {
             p,
             &cfg,
             pattern,
-            FftMode::AdclExtended(SelectionLogic::BruteForce),
+            FftMode::AdclExtended(bench::tuned_logic()),
             NoiseConfig::light(1024),
         );
         let learn = ext.converged_at.unwrap_or(0);

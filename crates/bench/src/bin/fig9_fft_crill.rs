@@ -23,7 +23,7 @@ fn main() {
         placement: Placement::Block,
     };
     let platform = Platform::crill();
-    let modes = [FftMode::LibNbc, FftMode::Adcl(SelectionLogic::BruteForce)];
+    let modes = [FftMode::LibNbc, FftMode::Adcl(bench::tuned_logic())];
     for p in procs {
         let results = fft_table(&platform, p, &cfg, &modes);
         let mut adcl_wins = 0;

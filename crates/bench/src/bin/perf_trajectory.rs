@@ -559,6 +559,128 @@ fn main() {
     );
     report.set_section("adcld_serve", serve.render_section());
 
+    // 5. Racing selection vs brute force: the cold-decision accelerator.
+    // Each config runs fresh (no memo) under both logics with a hard
+    // decision-parity gate: the racing winner must equal the brute-force
+    // winner. "Events per decision" is the cost of *deciding*: each run
+    // is then re-run truncated at its convergence iteration (identical
+    // prefix — per-iteration compute and noise seeds are unchanged), and
+    // the truncated `sim_events` is the decision cost. Racing must save
+    // >= 30% of those events in aggregate. Configs use the collectives
+    // with well-separated implementations (the regime racing targets;
+    // near-tie families like the 21 Ibcast tree variants are sampled at
+    // different iterations under interleaving and may legitimately break
+    // ties the other way).
+    println!();
+    let block = 2usize;
+    let racing_reps = 6usize;
+    let mut racing_rows = Vec::new();
+    let (mut brute_total, mut raced_total) = (0u64, 0u64);
+    let mut parity_ok = true;
+    for (platform, op, nprocs, msg_bytes, seed) in [
+        (Platform::whale(), CollectiveOp::Ialltoall, 8, 4096, 11u64),
+        (Platform::whale(), CollectiveOp::Ireduce, 8, 16384, 12),
+        (Platform::crill(), CollectiveOp::Iallgather, 8, 8192, 13),
+        (
+            Platform::bluegene_p(),
+            CollectiveOp::Iallreduce,
+            8,
+            8192,
+            14,
+        ),
+    ] {
+        let label = format!("{:?}/{}/m{}", op, platform.name, msg_bytes);
+        let spec_with_iters = |iters: usize| MicrobenchSpec {
+            platform: platform.clone(),
+            nprocs,
+            op,
+            msg_bytes,
+            iters,
+            // Keep per-iteration compute at 1 ms regardless of length so
+            // a truncated run replays the full run's prefix exactly.
+            compute_total: SimTime::from_millis(iters as u64),
+            num_progress: 4,
+            noise: NoiseConfig::light(seed),
+            reps: racing_reps,
+            placement: Placement::Block,
+            imbalance: Imbalance::None,
+        };
+        let k = spec_with_iters(1)
+            .op
+            .fnset(spec_with_iters(1).coll_spec())
+            .len();
+        let full_iters = k * racing_reps + 2;
+        let brute = spec_with_iters(full_iters).run(SelectionLogic::BruteForce);
+        let scope = simcore::metrics::Scope::begin();
+        let raced = spec_with_iters(full_iters).run(SelectionLogic::Racing(block));
+        let eliminated = scope
+            .delta()
+            .into_iter()
+            .find(|(n, _)| *n == "adcl.sweep.eliminated_candidates")
+            .map_or(0, |(_, v)| v);
+        if raced.winner != brute.winner {
+            eprintln!(
+                "FAIL: racing winner {:?} != brute-force winner {:?} on {label}",
+                raced.winner, brute.winner
+            );
+            parity_ok = false;
+            continue;
+        }
+        // Decision cost: replay each logic truncated right after commit.
+        let decide = |logic: SelectionLogic, converged_at: Option<usize>| {
+            let c = converged_at.expect("full run converged");
+            spec_with_iters(c + 1).run(logic)
+        };
+        let brute_dec = decide(SelectionLogic::BruteForce, brute.converged_at);
+        let raced_dec = decide(SelectionLogic::Racing(block), raced.converged_at);
+        if brute_dec.winner != brute.winner || raced_dec.winner != raced.winner {
+            eprintln!("FAIL: truncated decision replay diverged on {label}");
+            parity_ok = false;
+            continue;
+        }
+        let saved =
+            100.0 * (1.0 - raced_dec.sim_events as f64 / brute_dec.sim_events.max(1) as f64);
+        println!(
+            "racing {label:<32}: brute {:>5} ev, raced {:>5} ev (-{saved:.1}%), \
+             {eliminated}/{k} eliminated, winner {}",
+            brute_dec.sim_events,
+            raced_dec.sim_events,
+            raced.winner.as_deref().unwrap_or("-")
+        );
+        brute_total += brute_dec.sim_events;
+        raced_total += raced_dec.sim_events;
+        racing_rows.push(format!(
+            "{{ \"config\": \"{label}\", \"candidates\": {k}, \"brute_events\": {}, \
+             \"raced_events\": {}, \"eliminated\": {eliminated}, \
+             \"winner\": \"{}\", \"parity\": true }}",
+            brute_dec.sim_events,
+            raced_dec.sim_events,
+            raced.winner.as_deref().unwrap_or("")
+        ));
+    }
+    if !parity_ok {
+        std::process::exit(1);
+    }
+    println!("racing: decision parity OK ({} configs)", racing_rows.len());
+    let saved_total = 100.0 * (1.0 - raced_total as f64 / brute_total.max(1) as f64);
+    if saved_total < 30.0 {
+        eprintln!(
+            "FAIL: racing saved only {saved_total:.1}% simulated events per decision \
+             (>= 30% required): brute {brute_total}, raced {raced_total}"
+        );
+        std::process::exit(1);
+    }
+    println!("racing: sim events/decision -{saved_total:.1}% vs brute force (>= 30% required) OK");
+    report.set_section(
+        "racing",
+        format!(
+            "{{ \"block\": {block}, \"brute_events\": {brute_total}, \
+             \"raced_events\": {raced_total}, \"saved_pct\": {saved_total:.2}, \
+             \"parity\": true, \"configs\": [{}] }}",
+            racing_rows.join(", ")
+        ),
+    );
+
     let t_merge = Instant::now();
     let (hits, misses) = nbc::cache::stats();
     let memo = adcl::simmemo::stats();

@@ -48,7 +48,7 @@ fn run_scenario(sc: &Scenario) -> Outcome {
         sc.procs,
         &sc.cfg,
         sc.pattern,
-        FftMode::Adcl(SelectionLogic::BruteForce),
+        FftMode::Adcl(bench::tuned_logic()),
         noise,
     );
     let improvement = 1.0 - adcl_r.total_time / nbc.total_time;

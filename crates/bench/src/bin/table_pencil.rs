@@ -47,7 +47,7 @@ fn main() {
         p,
         &slab_cfg,
         FftPattern::WindowTiled,
-        FftMode::Adcl(SelectionLogic::BruteForce),
+        FftMode::Adcl(bench::tuned_logic()),
         NoiseConfig::none(),
     );
 
@@ -72,7 +72,7 @@ fn main() {
     let pencil_tuned = run_pencil(
         &platform,
         &pencil_cfg,
-        SelectionLogic::BruteForce,
+        bench::tuned_logic(),
         NoiseConfig::none(),
     );
 

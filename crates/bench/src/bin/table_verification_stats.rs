@@ -43,10 +43,11 @@ struct Outcome {
     decisions: Vec<(String, bool)>,
 }
 
-const LOGICS: [SelectionLogic; 2] = [
-    SelectionLogic::BruteForce,
-    SelectionLogic::AttributeHeuristic,
-];
+/// Tuned logic (brute force, or racing under `NBC_RACING=on`) plus the
+/// attribute heuristic.
+fn logics() -> [SelectionLogic; 2] {
+    [bench::tuned_logic(), SelectionLogic::AttributeHeuristic]
+}
 
 fn scenarios(args: &Args) -> Vec<Scenario> {
     let procs = args.pick3(vec![8usize], vec![8usize, 16], vec![32usize, 128]);
@@ -121,7 +122,7 @@ fn run_scenario(sc: &Scenario) -> Outcome {
         .unwrap()
         .0
         .clone();
-    let decisions = LOGICS
+    let decisions = logics()
         .iter()
         .map(|&logic| {
             let out = sc.spec.run(logic);
@@ -156,9 +157,13 @@ fn main() {
     // under --jobs.
     let outcomes = simcore::par::par_map(bench::jobs(), &scenarios, |_, sc| run_scenario(sc));
 
+    let tuned_name = match bench::tuned_logic() {
+        SelectionLogic::Racing(_) => "racing",
+        _ => "brute force",
+    };
     let mut sweeps = [
         (
-            "brute force",
+            tuned_name,
             Sweep {
                 total: 0,
                 correct: 0,
@@ -172,7 +177,7 @@ fn main() {
             },
         ),
     ];
-    let mut detail = Table::new(&["scenario", "oracle best", "brute force", "heuristic"]);
+    let mut detail = Table::new(&["scenario", "oracle best", tuned_name, "heuristic"]);
     for (sc, outcome) in scenarios.iter().zip(&outcomes) {
         let mut cells = vec![sc.label.clone(), outcome.best_name.clone()];
         for ((winner, ok), (_, sweep)) in outcome.decisions.iter().zip(sweeps.iter_mut()) {
@@ -194,7 +199,11 @@ fn main() {
             sweep.correct,
             sweep.total,
             sweep.rate(),
-            if name.starts_with("brute") { 90 } else { 92 }
+            if *name == "attribute heuristic" {
+                92
+            } else {
+                90
+            }
         );
     }
     bench::write_trace_if_requested();

@@ -282,12 +282,15 @@ impl PerfReport {
     /// clamped rows explicitly instead of by host heuristic; v7 adds
     /// optional named sections ([`PerfReport::set_section`]) — the first
     /// consumer is `adcld_serve`, the tuning-daemon load-generator results
-    /// (requests/sec and p50/p99 latency for cold/warm/mixed traffic).
+    /// (requests/sec and p50/p99 latency for cold/warm/mixed traffic); v8
+    /// adds the `racing` section (brute-force vs racing-selection sweep
+    /// comparison: simulated events per decision, eliminated candidates,
+    /// and the winner-parity verdict the verify.sh gate keys on).
     pub fn to_json(&self) -> String {
         let (hits, misses) = nbc::cache::stats();
         let memo = adcl::simmemo::stats();
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"adcl-bench-engine-v7\",\n");
+        s.push_str("  \"schema\": \"adcl-bench-engine-v8\",\n");
         s.push_str(&format!(
             "  \"host_threads\": {},\n",
             simcore::par::hardware_parallelism()
@@ -446,7 +449,7 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\\\""));
         assert!(j.contains("\"entries\""));
-        assert!(j.contains("adcl-bench-engine-v7"));
+        assert!(j.contains("adcl-bench-engine-v8"));
         assert!(j.contains("\"adcld_serve\""));
         assert!(j.contains("\"clamped\""));
         assert!(j.contains("\"host_threads\""));

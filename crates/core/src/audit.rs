@@ -35,6 +35,9 @@ pub struct CandidateAudit {
     pub kept: usize,
     /// Robust score in seconds (`f64::INFINITY` if never measured).
     pub score: f64,
+    /// 1-based racing block after which the candidate was permanently
+    /// eliminated; `None` for survivors and for non-racing strategies.
+    pub eliminated_at_block: Option<usize>,
 }
 
 /// One committed tuning decision.
@@ -81,12 +84,16 @@ impl DecisionAudit {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"func\":{},\"name\":\"{}\",\"samples\":{},\"kept\":{},\"score\":{}}}",
+                    "{{\"func\":{},\"name\":\"{}\",\"samples\":{},\"kept\":{},\"score\":{},\
+                     \"eliminated_at_block\":{}}}",
                     c.func,
                     trace::escape(&c.name),
                     c.samples,
                     c.kept,
-                    number(c.score)
+                    number(c.score),
+                    c.eliminated_at_block
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "null".into())
                 )
             })
             .collect();
@@ -330,6 +337,7 @@ mod tests {
                     samples: 4,
                     kept: 3,
                     score: 0.002,
+                    eliminated_at_block: None,
                 },
                 CandidateAudit {
                     func: 1,
@@ -337,6 +345,7 @@ mod tests {
                     samples: 4,
                     kept: 4,
                     score: f64::INFINITY,
+                    eliminated_at_block: Some(2),
                 },
             ],
         }
@@ -465,5 +474,15 @@ mod tests {
             cands[1].get("score"),
             Some(simcore::json::Json::Null)
         ));
+        // Elimination records: null for survivors, the 1-based block for
+        // racing-eliminated candidates.
+        assert!(matches!(
+            cands[0].get("eliminated_at_block"),
+            Some(simcore::json::Json::Null)
+        ));
+        assert_eq!(
+            cands[1].get("eliminated_at_block").and_then(|v| v.as_u64()),
+            Some(2)
+        );
     }
 }

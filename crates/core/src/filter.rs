@@ -78,6 +78,50 @@ impl FilterKind {
         }
     }
 
+    /// The sample subset that survives this filter (the population whose
+    /// mean [`FilterKind::score`] reports). Mean/median policies keep the
+    /// full set; IQR and trimmed policies drop their outliers.
+    fn surviving(&self, samples: &[f64]) -> Vec<f64> {
+        match *self {
+            FilterKind::None | FilterKind::Median => samples.to_vec(),
+            FilterKind::Iqr(k) => stats::iqr_filter(samples, k),
+            FilterKind::Trimmed(t) => {
+                // Mirror the clamp in `stats::trimmed_mean`.
+                let drop =
+                    (((samples.len() as f64) * t).floor() as usize).min((samples.len() - 1) / 2);
+                let mut sorted = samples.to_vec();
+                sorted.sort_by(f64::total_cmp);
+                sorted[drop..samples.len() - drop].to_vec()
+            }
+        }
+    }
+
+    /// Smallest sample surviving this filter: an optimistic bound on any
+    /// robust location estimate the function can still achieve. Returns
+    /// `f64::INFINITY` for an empty set (an unmeasured function has no
+    /// evidence either way). Racing elimination compares a candidate's
+    /// lower bound against the leader's [`FilterKind::upper_bound`].
+    pub fn lower_bound(&self, samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return f64::INFINITY;
+        }
+        self.surviving(samples)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample surviving this filter: a pessimistic bound on the
+    /// leader's final score. A candidate whose [`FilterKind::lower_bound`]
+    /// exceeds this can never overtake the leader under this policy.
+    pub fn upper_bound(&self, samples: &[f64]) -> f64 {
+        if samples.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        self.surviving(samples)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
     /// Index of the best (lowest-scoring) sample set among `sets`, or
     /// `None` if every set is empty.
     pub fn argmin(&self, sets: &[Vec<f64>]) -> Option<usize> {

@@ -18,6 +18,13 @@
 //!   parameters; intended for very large parameter spaces.
 //! * [`SelectionLogic::Fixed`] — pin one implementation (used for the
 //!   verification runs and the LibNBC/MPI baselines of §IV).
+//! * [`SelectionLogic::Racing`] — brute-force candidate set, but measured
+//!   in interleaved fixed-size iteration blocks with deterministic
+//!   elimination: after each block, any candidate whose filtered lower
+//!   bound exceeds the current leader's filtered upper bound can never win
+//!   under the filter's scoring rule and is permanently dropped, so losing
+//!   schedules stop consuming simulated events after a block or two
+//!   instead of the full measurement budget.
 //!
 //! A strategy is driven iteration by iteration: [`Strategy::next_assignment`]
 //! returns the function to use for the next application iteration, given
@@ -26,6 +33,7 @@
 
 use crate::attr::AttributeSet;
 use crate::filter::FilterKind;
+use std::collections::VecDeque;
 
 /// The per-iteration interface every selection logic implements.
 pub trait Strategy {
@@ -48,6 +56,14 @@ pub trait Strategy {
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Per-function elimination record: `Some(block)` (1-based) for every
+    /// candidate the strategy permanently dropped during the learning
+    /// phase. Only racing-style strategies eliminate; the default is
+    /// `None` (no elimination machinery at all).
+    fn eliminations(&self) -> Option<&[Option<usize>]> {
+        None
+    }
 }
 
 /// Which selection logic to instantiate.
@@ -61,16 +77,66 @@ pub enum SelectionLogic {
     TwoKFactorial,
     /// No tuning: always use the given function index.
     Fixed(usize),
+    /// Brute-force candidate set with block-interleaved racing
+    /// elimination; the payload is the block size (iterations per
+    /// candidate per block).
+    Racing(usize),
+}
+
+/// Default racing block size when `NBC_RACING=on` gives none.
+pub const DEFAULT_RACING_BLOCK: usize = 2;
+
+/// Parsed state of the `NBC_RACING` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RacingEnv {
+    /// Variable absent (or unparseable): each consumer picks its own
+    /// default — figure binaries stay on brute force, the tuning daemon
+    /// races.
+    Unset,
+    /// Explicitly disabled (`off` / `0` / `false`).
+    Off,
+    /// Enabled with the given block size (`on` / `on:BLOCK`).
+    On(usize),
+}
+
+/// Read `NBC_RACING` (`off` | `on` | `on:BLOCK`). Unrecognized values are
+/// treated as unset.
+pub fn racing_env() -> RacingEnv {
+    parse_racing(std::env::var("NBC_RACING").ok().as_deref())
+}
+
+fn parse_racing(raw: Option<&str>) -> RacingEnv {
+    let Some(raw) = raw else {
+        return RacingEnv::Unset;
+    };
+    let v = raw.trim().to_ascii_lowercase();
+    match v.as_str() {
+        "" => RacingEnv::Unset,
+        "off" | "0" | "false" => RacingEnv::Off,
+        "on" | "1" | "true" => RacingEnv::On(DEFAULT_RACING_BLOCK),
+        other => match other
+            .strip_prefix("on:")
+            .and_then(|b| b.parse::<usize>().ok())
+            .filter(|&b| b >= 1)
+        {
+            Some(b) => RacingEnv::On(b),
+            None => RacingEnv::Unset,
+        },
+    }
 }
 
 impl SelectionLogic {
     /// Build the strategy for a function-set with the given per-function
-    /// attribute vectors.
+    /// attribute vectors and names (names feed racing's total-ordered
+    /// tie-breaks, which must not depend on function-set insertion order
+    /// alone).
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         self,
         n_funcs: usize,
         attr_vecs: &[Vec<i64>],
         attrs: &AttributeSet,
+        names: &[String],
         reps: usize,
         min_samples: usize,
         filter: FilterKind,
@@ -103,6 +169,17 @@ impl SelectionLogic {
             SelectionLogic::Fixed(idx) => {
                 assert!(idx < n_funcs, "fixed function index out of range");
                 Box::new(Fixed(idx))
+            }
+            SelectionLogic::Racing(block) => {
+                assert!(block >= 1, "racing block size must be >= 1");
+                Box::new(Racing::new(
+                    n_funcs,
+                    names,
+                    reps,
+                    min_samples,
+                    block,
+                    filter,
+                ))
             }
         }
     }
@@ -484,6 +561,182 @@ impl Strategy for Factorial {
     }
 }
 
+// ----------------------------------------------------------------------
+// Racing elimination
+// ----------------------------------------------------------------------
+
+/// Brute force with block-interleaved deterministic elimination.
+///
+/// Candidates are measured in fixed-size blocks: every still-active
+/// candidate, in index order, receives `block` consecutive iterations,
+/// then the strategy waits for the block's measurements. After each
+/// complete block the current leader is the active candidate with the
+/// lowest `(score, name, index)` triple (a total order — ties cannot
+/// depend on timing or thread interleaving), and any other candidate
+/// whose filtered lower bound exceeds the leader's filtered upper bound
+/// is permanently eliminated. The block schedule is a pure function of
+/// the elimination history, so the emitted iteration sequence — and with
+/// it every simulated event — is byte-identical across reruns, `--jobs`
+/// values and fault profiles (faults shift the measured values the same
+/// deterministic way everywhere).
+struct Racing {
+    reps: usize,
+    block: usize,
+    min_samples: usize,
+    names: Vec<String>,
+    filter: FilterKind,
+    active: Vec<bool>,
+    /// 1-based block at which each candidate was eliminated.
+    eliminated_at: Vec<Option<usize>>,
+    /// Completed (fully emitted) blocks so far.
+    block_no: usize,
+    /// Iterations handed out per candidate (including warmup discards).
+    emitted_iters: Vec<usize>,
+    /// Assignments of the current block not yet handed out.
+    pending: VecDeque<usize>,
+    winner: Option<usize>,
+}
+
+impl Racing {
+    fn new(
+        n_funcs: usize,
+        names: &[String],
+        reps: usize,
+        min_samples: usize,
+        block: usize,
+        filter: FilterKind,
+    ) -> Self {
+        assert_eq!(names.len(), n_funcs, "one name per function");
+        Racing {
+            reps,
+            block,
+            min_samples,
+            names: names.to_vec(),
+            filter,
+            active: vec![true; n_funcs],
+            eliminated_at: vec![None; n_funcs],
+            block_no: 0,
+            emitted_iters: vec![0; n_funcs],
+            pending: VecDeque::new(),
+            winner: None,
+        }
+    }
+
+    fn active_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(f, _)| f)
+    }
+
+    /// Active candidate with the lowest `(score, name, index)`; `None`
+    /// while no active candidate has a finite score yet.
+    fn leader(&self, samples: &[Vec<f64>]) -> Option<usize> {
+        self.active_indices()
+            .filter_map(|f| {
+                let sc = self.filter.score(&samples[f]);
+                sc.is_finite().then_some((f, sc))
+            })
+            .min_by(|&(f1, s1), &(f2, s2)| {
+                s1.total_cmp(&s2)
+                    .then_with(|| self.names[f1].cmp(&self.names[f2]))
+                    .then_with(|| f1.cmp(&f2))
+            })
+            .map(|(f, _)| f)
+    }
+
+    /// Drop every active non-leader whose optimistic bound is already
+    /// worse than the leader's pessimistic bound.
+    fn eliminate(&mut self, samples: &[Vec<f64>]) {
+        let Some(leader) = self.leader(samples) else {
+            return;
+        };
+        let ub = self.filter.upper_bound(&samples[leader]);
+        for (f, sample) in samples.iter().enumerate().take(self.active.len()) {
+            if !self.active[f] || f == leader || sample.is_empty() {
+                continue;
+            }
+            if self.filter.lower_bound(sample) > ub {
+                self.active[f] = false;
+                self.eliminated_at[f] = Some(self.block_no);
+            }
+        }
+    }
+
+    fn provisional(&self, samples: &[Vec<f64>]) -> usize {
+        self.leader(samples)
+            .or_else(|| self.active_indices().next())
+            .unwrap_or(0)
+    }
+}
+
+impl Strategy for Racing {
+    fn next_assignment(&mut self, samples: &[Vec<f64>]) -> usize {
+        loop {
+            if let Some(w) = self.winner {
+                return w;
+            }
+            if let Some(f) = self.pending.pop_front() {
+                return f;
+            }
+            // Between blocks. The first `reps - min_samples` iterations of
+            // each candidate are warmup discards, so a candidate that has
+            // been handed `e` iterations owes `e - warmup` measurements.
+            // Like brute force, stay provisional (never commit, never
+            // eliminate) until every active candidate's block data is in.
+            let warmup = self.reps - self.min_samples;
+            let complete = self
+                .active_indices()
+                .all(|f| samples[f].len() >= self.emitted_iters[f].saturating_sub(warmup));
+            if !complete {
+                return self.provisional(samples);
+            }
+            if self.block_no > 0 {
+                self.eliminate(samples);
+                if self.active.iter().filter(|&&a| a).count() == 1 {
+                    // Everyone else is dominated: commit early without
+                    // spending the survivor's remaining budget.
+                    let sole = self.active_indices().next();
+                    self.winner = sole;
+                    continue;
+                }
+            }
+            if self
+                .active_indices()
+                .all(|f| self.emitted_iters[f] >= self.reps)
+            {
+                // Full budget spent for every survivor: commit like brute
+                // force, with the racing total order as the tie-break.
+                self.winner = Some(self.provisional(samples));
+                continue;
+            }
+            // Emit the next block: every active candidate, in index
+            // order, gets up to `block` of its remaining iterations.
+            self.block_no += 1;
+            for f in 0..self.active.len() {
+                if !self.active[f] || self.emitted_iters[f] >= self.reps {
+                    continue;
+                }
+                let take = self.block.min(self.reps - self.emitted_iters[f]);
+                self.emitted_iters[f] += take;
+                for _ in 0..take {
+                    self.pending.push_back(f);
+                }
+            }
+        }
+    }
+    fn winner(&self) -> Option<usize> {
+        self.winner
+    }
+    fn name(&self) -> &'static str {
+        "racing"
+    }
+    fn eliminations(&self) -> Option<&[Option<usize>]> {
+        Some(&self.eliminated_at)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,10 +778,22 @@ mod tests {
         (vecs, attrs)
     }
 
+    fn func_names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i:02}")).collect()
+    }
+
     #[test]
     fn fixed_never_learns() {
         let (vecs, attrs) = grid_attrs();
-        let mut s = SelectionLogic::Fixed(3).build(6, &vecs, &attrs, 5, 5, FilterKind::default());
+        let mut s = SelectionLogic::Fixed(3).build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            5,
+            5,
+            FilterKind::default(),
+        );
         assert_eq!(s.winner(), Some(3));
         assert_eq!(s.next_assignment(&vec![Vec::new(); 6]), 3);
     }
@@ -536,7 +801,15 @@ mod tests {
     #[test]
     fn brute_force_finds_minimum() {
         let (vecs, attrs) = grid_attrs();
-        let mut s = SelectionLogic::BruteForce.build(6, &vecs, &attrs, 4, 4, FilterKind::default());
+        let mut s = SelectionLogic::BruteForce.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            4,
+            4,
+            FilterKind::default(),
+        );
         let (w, iters) = drive(s.as_mut(), 6, |f| 10.0 + ((f as f64) - 4.0).abs());
         assert_eq!(w, 4);
         assert_eq!(iters, 24); // 6 functions x 4 reps
@@ -545,7 +818,15 @@ mod tests {
     #[test]
     fn brute_force_robust_to_one_outlier() {
         let (vecs, attrs) = grid_attrs();
-        let mut s = SelectionLogic::BruteForce.build(6, &vecs, &attrs, 8, 8, FilterKind::Iqr(1.5));
+        let mut s = SelectionLogic::BruteForce.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            8,
+            8,
+            FilterKind::Iqr(1.5),
+        );
         let mut call = 0usize;
         let (w, _) = drive(s.as_mut(), 6, move |f| {
             call += 1;
@@ -570,8 +851,15 @@ mod tests {
             let b = vecs2[f][1] as f64;
             (a - 1.0).abs() * 10.0 + (b - 20.0).abs() * 0.1 + 1.0
         };
-        let mut s =
-            SelectionLogic::AttributeHeuristic.build(6, &vecs, &attrs, 3, 3, FilterKind::default());
+        let mut s = SelectionLogic::AttributeHeuristic.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            3,
+            3,
+            FilterKind::default(),
+        );
         let (w, iters) = drive(s.as_mut(), 6, cost);
         assert_eq!(vecs[w], vec![1, 20]);
         // Heuristic tests 3 values of a + 2 values of b = 5 representatives,
@@ -595,14 +883,22 @@ mod tests {
             21,
             &vecs,
             &attrs,
+            &func_names(21),
             5,
             5,
             FilterKind::default(),
         );
         let (w, h_iters) = drive(h.as_mut(), 21, &cost);
         assert_eq!(vecs[w], vec![3, 32]);
-        let mut b =
-            SelectionLogic::BruteForce.build(21, &vecs, &attrs, 5, 5, FilterKind::default());
+        let mut b = SelectionLogic::BruteForce.build(
+            21,
+            &vecs,
+            &attrs,
+            &func_names(21),
+            5,
+            5,
+            FilterKind::default(),
+        );
         let (wb, b_iters) = drive(b.as_mut(), 21, &cost);
         assert_eq!(vecs[wb], vec![3, 32]);
         assert!(
@@ -617,8 +913,15 @@ mod tests {
         // Monotone cost: lower a better, higher b better -> corner [0, 20].
         let vecs2 = vecs.clone();
         let cost = move |f: usize| vecs2[f][0] as f64 * 5.0 - vecs2[f][1] as f64 * 0.1 + 10.0;
-        let mut s =
-            SelectionLogic::TwoKFactorial.build(6, &vecs, &attrs, 3, 3, FilterKind::default());
+        let mut s = SelectionLogic::TwoKFactorial.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            3,
+            3,
+            FilterKind::default(),
+        );
         let (w, iters) = drive(s.as_mut(), 6, cost);
         assert_eq!(vecs[w], vec![0, 20]);
         // 4 corners x 3 reps.
@@ -638,8 +941,15 @@ mod tests {
     #[test]
     fn best_so_far_before_convergence() {
         let (vecs, attrs) = grid_attrs();
-        let mut s =
-            SelectionLogic::BruteForce.build(6, &vecs, &attrs, 10, 10, FilterKind::default());
+        let mut s = SelectionLogic::BruteForce.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            10,
+            10,
+            FilterKind::default(),
+        );
         let mut samples: Vec<Vec<f64>> = vec![Vec::new(); 6];
         // Measure two functions only.
         let f = s.next_assignment(&samples);
@@ -652,6 +962,140 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn fixed_out_of_range_rejected() {
         let (vecs, attrs) = grid_attrs();
-        SelectionLogic::Fixed(9).build(6, &vecs, &attrs, 1, 1, FilterKind::default());
+        SelectionLogic::Fixed(9).build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            1,
+            1,
+            FilterKind::default(),
+        );
+    }
+
+    #[test]
+    fn racing_eliminates_slow_candidate_after_block_one() {
+        let (vecs, attrs) = grid_attrs();
+        let mut s = SelectionLogic::Racing(2).build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            6,
+            6,
+            FilterKind::default(),
+        );
+        // Candidate 3 is deliberately ~30x slower; the fast ones overlap
+        // (per-call jitter wider than their separation) so they survive
+        // the early blocks and keep racing.
+        let mut call = 0usize;
+        let (w, iters) = drive(s.as_mut(), 6, move |f| {
+            call += 1;
+            let jitter = (call % 4) as f64;
+            if f == 3 {
+                100.0 + jitter
+            } else {
+                1.0 + jitter
+            }
+        });
+        assert_ne!(w, 3, "the slow candidate must never win");
+        let elim = s.eliminations().expect("racing records eliminations");
+        assert_eq!(elim[3], Some(1), "slow candidate dropped after block 1");
+        assert_eq!(elim[w], None, "the winner is never eliminated");
+        // Brute force would spend 6 functions x 6 reps = 36 learning
+        // iterations; elimination must cut that.
+        assert!(iters < 36, "racing spent {iters} iterations, expected < 36");
+    }
+
+    #[test]
+    fn racing_matches_brute_force_on_well_separated_costs() {
+        let (vecs, attrs) = grid_attrs();
+        let cost = |f: usize| 10.0 + ((f as f64) - 4.0).abs();
+        let mut r = SelectionLogic::Racing(2).build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            4,
+            4,
+            FilterKind::default(),
+        );
+        let (wr, r_iters) = drive(r.as_mut(), 6, cost);
+        let mut b = SelectionLogic::BruteForce.build(
+            6,
+            &vecs,
+            &attrs,
+            &func_names(6),
+            4,
+            4,
+            FilterKind::default(),
+        );
+        let (wb, b_iters) = drive(b.as_mut(), 6, cost);
+        assert_eq!(wr, wb, "racing winner must match brute force");
+        assert!(r_iters <= b_iters);
+    }
+
+    #[test]
+    fn racing_reruns_are_byte_identical() {
+        // Same oracle, two runs: the emitted assignment sequence (hence
+        // every simulated event) must match exactly.
+        let (vecs, attrs) = grid_attrs();
+        let run = || {
+            let mut s = SelectionLogic::Racing(2).build(
+                6,
+                &vecs,
+                &attrs,
+                &func_names(6),
+                5,
+                5,
+                FilterKind::default(),
+            );
+            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); 6];
+            let mut seq = Vec::new();
+            let mut call = 0usize;
+            while s.winner().is_none() {
+                let f = s.next_assignment(&samples);
+                seq.push(f);
+                call += 1;
+                samples[f].push(if f == 2 { 1.0 } else { 3.0 + (call % 3) as f64 });
+                if call > 10_000 {
+                    panic!("no convergence");
+                }
+            }
+            (seq, s.winner())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn racing_single_candidate_commits() {
+        let attrs = AttributeSet::from_functions(&[], &[vec![]]);
+        let mut s = SelectionLogic::Racing(2).build(
+            1,
+            &[vec![]],
+            &attrs,
+            &func_names(1),
+            3,
+            3,
+            FilterKind::default(),
+        );
+        let (w, iters) = drive(s.as_mut(), 1, |_| 1.0);
+        assert_eq!(w, 0);
+        assert!(iters <= 3);
+    }
+
+    #[test]
+    fn racing_env_spec_parses() {
+        assert_eq!(parse_racing(None), RacingEnv::Unset);
+        assert_eq!(parse_racing(Some("")), RacingEnv::Unset);
+        assert_eq!(parse_racing(Some("off")), RacingEnv::Off);
+        assert_eq!(parse_racing(Some("0")), RacingEnv::Off);
+        assert_eq!(
+            parse_racing(Some("on")),
+            RacingEnv::On(DEFAULT_RACING_BLOCK)
+        );
+        assert_eq!(parse_racing(Some("ON:4")), RacingEnv::On(4));
+        assert_eq!(parse_racing(Some("on:0")), RacingEnv::Unset);
+        assert_eq!(parse_racing(Some("bogus")), RacingEnv::Unset);
     }
 }

@@ -93,10 +93,12 @@ impl Tuner {
         let attrs = fnset.attribute_set();
         let warmup = cfg.warmup.min(cfg.reps.saturating_sub(1));
         let min_samples = (cfg.reps - warmup).max(1);
+        let func_names: Vec<String> = fnset.functions.iter().map(|f| f.name.clone()).collect();
         let strategy = cfg.logic.build(
             fnset.len(),
             &attr_vecs,
             &attrs,
+            &func_names,
             cfg.reps,
             min_samples,
             cfg.filter,
@@ -110,7 +112,7 @@ impl Tuner {
             discards_left: vec![warmup; fnset.len()],
             n_funcs: fnset.len(),
             op: fnset.name.clone(),
-            func_names: fnset.functions.iter().map(|f| f.name.clone()).collect(),
+            func_names,
             label: String::new(),
         }
     }
@@ -147,6 +149,10 @@ impl Tuner {
             if self.converged_at.is_none() {
                 if let Some(w) = self.strategy.winner() {
                     self.converged_at = Some(self.assignments.len());
+                    if let Some(elim) = self.strategy.eliminations() {
+                        let n = elim.iter().filter(|e| e.is_some()).count();
+                        simcore::metrics::counter("adcl.sweep.eliminated_candidates").add(n as u64);
+                    }
                     self.emit_audit(w, self.assignments.len());
                 }
             }
@@ -166,6 +172,7 @@ impl Tuner {
         let scores: Vec<f64> = (0..self.n_funcs)
             .map(|f| self.cfg.filter.score(&self.samples[f]))
             .collect();
+        let eliminations = self.strategy.eliminations();
         let candidates: Vec<CandidateAudit> = (0..self.n_funcs)
             .map(|f| CandidateAudit {
                 func: f,
@@ -177,20 +184,10 @@ impl Tuner {
                 samples: self.samples[f].len(),
                 kept: self.cfg.filter.survivors(&self.samples[f]),
                 score: scores[f],
+                eliminated_at_block: eliminations.and_then(|e| e[f]),
             })
             .collect();
-        let winner_score = scores.get(winner).copied().unwrap_or(f64::INFINITY);
-        let runner_up = scores
-            .iter()
-            .enumerate()
-            .filter(|&(f, s)| f != winner && s.is_finite())
-            .map(|(_, s)| *s)
-            .fold(f64::INFINITY, f64::min);
-        let margin = if winner_score.is_finite() && winner_score > 0.0 && runner_up.is_finite() {
-            (runner_up - winner_score) / winner_score
-        } else {
-            0.0
-        };
+        let margin = self.margin_for(winner);
         audit::record(DecisionAudit {
             label: self.label.clone(),
             op: self.op.clone(),
@@ -206,6 +203,43 @@ impl Tuner {
             margin,
             candidates,
         });
+    }
+
+    /// Winner margin relative to the best credible alternative: for
+    /// surviving candidates that is their filtered score; for candidates a
+    /// racing strategy eliminated early it is their filtered *lower bound*
+    /// (the full score would be an artifact of a deliberately truncated
+    /// sample set — the bound is what the elimination proof actually
+    /// established). With no eliminations this reduces to the classic
+    /// winner-vs-runner-up margin. `0.0` when no finite reference exists.
+    fn margin_for(&self, winner: usize) -> f64 {
+        let winner_score = self.cfg.filter.score(&self.samples[winner]);
+        let eliminations = self.strategy.eliminations();
+        let reference = (0..self.n_funcs)
+            .filter(|&f| f != winner)
+            .map(|f| match eliminations.and_then(|e| e[f]) {
+                Some(_) => self.cfg.filter.lower_bound(&self.samples[f]),
+                None => self.cfg.filter.score(&self.samples[f]),
+            })
+            .filter(|s| s.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if winner_score.is_finite() && winner_score > 0.0 && reference.is_finite() {
+            (reference - winner_score) / winner_score
+        } else {
+            0.0
+        }
+    }
+
+    /// The committed winner's margin (see the audit-log field of the same
+    /// name); `0.0` before convergence.
+    pub fn decision_margin(&self) -> f64 {
+        self.winner().map(|w| self.margin_for(w)).unwrap_or(0.0)
+    }
+
+    /// Per-function racing elimination record (`None` for strategies
+    /// without elimination).
+    pub fn eliminations(&self) -> Option<&[Option<usize>]> {
+        self.strategy.eliminations()
     }
 
     /// Function for iteration `iter` while this operation is *frozen*

@@ -303,6 +303,66 @@ if [ "$warm2" != "$warm" ]; then
 fi
 echo "   cold sweep -> history hit, decision byte-identical across restart"
 
+echo "== adcld racing off-switch: NBC_RACING=off fixed sweeps still serve"
+# The racing default must be escapable: with NBC_RACING=off the daemon
+# takes the classic per-candidate fixed-sweep path, and two independent
+# off-mode daemons must serve byte-identical decisions.
+adcld_off_dir=/tmp/verify_adcld_off.$$
+rm -rf "$adcld_off_dir"
+mkdir -p "$adcld_off_dir"
+adcld_off_q='{"id":8,"op":"ialltoall","platform":"whale","nprocs":4,"msg_bytes":5120}'
+adcld_off_run() {
+    rm -f "$adcld_off_dir/addr.txt"
+    NBC_RACING=off ./target/release/adcld --listen 127.0.0.1:0 \
+        --history "$adcld_off_dir/$1.tsv" --checkpoint-every 1 \
+        --addr-file "$adcld_off_dir/addr.txt" >"$adcld_off_dir/$1.log" 2>&1 &
+    adcld_off_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$adcld_off_dir/addr.txt" ] && break
+        sleep 0.1
+    done
+    if ! [ -s "$adcld_off_dir/addr.txt" ]; then
+        echo "FAIL: NBC_RACING=off adcld did not write its address file" >&2
+        cat "$adcld_off_dir/$1.log" >&2 || true
+        kill "$adcld_off_pid" 2>/dev/null || true
+        exit 1
+    fi
+    adcld_off_addr=$(head -1 "$adcld_off_dir/addr.txt")
+    adcld_off_resp=$(./target/release/adcld_bench --connect "$adcld_off_addr" --query "$adcld_off_q")
+    ./target/release/adcld_bench --connect "$adcld_off_addr" --shutdown >/dev/null
+    wait "$adcld_off_pid"
+}
+adcld_off_run a
+off_a=$adcld_off_resp
+adcld_off_run b
+off_b=$adcld_off_resp
+rm -rf "$adcld_off_dir"
+if [ -z "$off_a" ] || ! printf '%s' "$off_a" | grep -q '"decision"'; then
+    echo "FAIL: NBC_RACING=off daemon served no decision: $off_a" >&2
+    exit 1
+fi
+if [ "$off_a" != "$off_b" ]; then
+    echo "FAIL: NBC_RACING=off decisions differ across daemons" >&2
+    printf 'a: %s\nb: %s\n' "$off_a" "$off_b" >&2
+    exit 1
+fi
+echo "   off-mode fixed sweep served, byte-identical across independent daemons"
+
+echo "== adcld admission gate: 8 concurrent cold queries, <= 2 pool sweeps"
+# 8 distinct cold keys submitted before any response is read must be
+# drained as at most 2 batched pool admissions (the queue-wait metric
+# split proves they waited together instead of serializing).
+if ! gate_out=$(./target/release/adcld_bench --admission-gate --jobs 8); then
+    echo "FAIL: adcld_bench --admission-gate exited non-zero" >&2
+    printf '%s\n' "$gate_out" >&2
+    exit 1
+fi
+printf '%s\n' "$gate_out" | sed 's/^/   /'
+if ! printf '%s\n' "$gate_out" | grep -q 'adcld_admission: .* OK'; then
+    echo "FAIL: admission gate did not report its OK line" >&2
+    exit 1
+fi
+
 echo "== refresh BENCH_engine.json"
 baseline=$(git show HEAD:BENCH_engine.json 2>/dev/null || true)
 # shellcheck disable=SC2086  # PROFILE_FLAG is intentionally word-split
@@ -310,7 +370,7 @@ traj=$(./target/release/perf_trajectory --quick --jobs 8 $PROFILE_FLAG)
 printf '%s\n' "$traj"
 
 echo "== schema tags: every BENCH document must carry its expected version"
-for pair in "BENCH_engine.json adcl-bench-engine-v7" "BENCH_guidelines.json adcl-guidelines-v1"; do
+for pair in "BENCH_engine.json adcl-bench-engine-v8" "BENCH_guidelines.json adcl-guidelines-v1"; do
     file=${pair%% *}
     tag=${pair##* }
     if ! grep -q "\"schema\": \"$tag\"" "$file"; then
@@ -361,6 +421,24 @@ if ! grep -q '"adcld_serve"' BENCH_engine.json; then
     exit 1
 fi
 echo "   $(printf '%s\n' "$traj" | grep 'adcld_serve: warm traffic')"
+
+echo "== racing: decision parity + events-per-decision savings (hard)"
+# perf_trajectory runs each racing config against brute force and exits
+# non-zero on any winner mismatch or on < 30% event savings; require both
+# OK lines and the v8 report section so a skipped phase can't pass.
+if ! printf '%s\n' "$traj" | grep -q 'racing: decision parity OK'; then
+    echo "FAIL: perf_trajectory did not report the racing decision-parity gate" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$traj" | grep -q 'racing: sim events/decision .* OK'; then
+    echo "FAIL: perf_trajectory did not report the racing events-per-decision gate" >&2
+    exit 1
+fi
+if ! grep -q '"racing"' BENCH_engine.json; then
+    echo "FAIL: BENCH_engine.json carries no racing section" >&2
+    exit 1
+fi
+printf '%s\n' "$traj" | grep '^racing: ' | sed 's/^/   /'
 
 echo "== scaling gate (clamped-aware, hard)"
 # Schema v6 marks every row that requested more workers than the host has
